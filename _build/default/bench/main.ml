@@ -1,0 +1,167 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4) on the simulated machine, then runs Bechamel
+   micro-benchmarks of the simulator primitives behind each experiment
+   (host wall-clock, one Test.make per table/figure).
+
+   Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list] *)
+
+open Lvm_machine
+open Lvm_vm
+
+(* {1 Bechamel micro-benchmarks}
+
+   Fixtures are prebuilt and each staged closure is safe to run millions
+   of times (offsets wrap, logs are recycled). *)
+
+let bench_table2 () =
+  let k = Kernel.create ~frames:256 () in
+  let sp = Kernel.create_space k in
+  let seg = Kernel.create_segment k ~size:8192 in
+  let region = Kernel.create_region k seg in
+  let ls = Kernel.create_log_segment k ~size:(16 * Addr.page_size) in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"table2/logged-write"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         Kernel.write_word k sp (base + (!i * 4 mod 4096)) !i;
+         if !i mod 200 = 0 then begin
+           Kernel.sync_log k ls;
+           Kernel.truncate_log_suffix k ls ~new_end:0
+         end))
+
+let bench_table3 () =
+  let k = Kernel.create ~frames:512 () in
+  let sp = Kernel.create_space k in
+  let rvm = Lvm_rvm.Rvm.create k sp ~size:8192 in
+  let rlvm = Lvm_rvm.Rlvm.create k sp ~size:8192 in
+  let i = ref 0 in
+  let rvm_test =
+    Bechamel.Test.make ~name:"table3/rvm-txn"
+      (Bechamel.Staged.stage (fun () ->
+           incr i;
+           let off = !i * 8 mod 4096 in
+           Lvm_rvm.Rvm.begin_txn rvm;
+           Lvm_rvm.Rvm.set_range rvm ~off ~len:4;
+           Lvm_rvm.Rvm.write_word rvm ~off !i;
+           Lvm_rvm.Rvm.commit rvm))
+  in
+  let j = ref 0 in
+  let rlvm_test =
+    Bechamel.Test.make ~name:"table3/rlvm-txn"
+      (Bechamel.Staged.stage (fun () ->
+           incr j;
+           let off = !j * 8 mod 4096 in
+           Lvm_rvm.Rlvm.begin_txn rlvm;
+           Lvm_rvm.Rlvm.write_word rlvm ~off !j;
+           Lvm_rvm.Rlvm.commit rlvm))
+  in
+  [ rvm_test; rlvm_test ]
+
+let bench_fig7 () =
+  Bechamel.Test.make ~name:"fig7-8/synthetic-200-events"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Lvm_sim.Synthetic.run
+              { Lvm_sim.Synthetic.default_params with
+                Lvm_sim.Synthetic.events = 200 }
+              Lvm_sim.State_saving.Lvm_based)))
+
+let bench_fig9 () =
+  let k = Kernel.create ~frames:512 () in
+  let sp = Kernel.create_space k in
+  let working = Kernel.create_segment k ~size:(32 * 1024) in
+  let ckpt = Kernel.create_segment k ~size:(32 * 1024) in
+  Kernel.declare_source k ~dst:working ~src:ckpt ~offset:0;
+  let region = Kernel.create_region k working in
+  let base = Kernel.bind k sp region in
+  Bechamel.Test.make ~name:"fig9/reset-deferred-copy-32k"
+    (Bechamel.Staged.stage (fun () ->
+         Kernel.write_word k sp base 1;
+         Kernel.reset_deferred_copy k sp ~start:base ~len:(32 * 1024)))
+
+let bench_fig10 () =
+  Bechamel.Test.make ~name:"fig10-12/writes-loop-500-iters"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Lvm_experiments.Writes_loop.run ~iterations:500 ~c:60 ~unlogged:0
+              ~logged:1 ())))
+
+let bench_consistency () =
+  let k = Kernel.create ~frames:512 () in
+  let sp = Kernel.create_space k in
+  let t =
+    Lvm_consistency.Shared_segment.create k sp ~size:8192
+      Lvm_consistency.Shared_segment.Log_based
+  in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"consistency/log-based-release"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         Lvm_consistency.Shared_segment.acquire t;
+         Lvm_consistency.Shared_segment.write_word t ~off:(!i * 4 mod 8192)
+           !i;
+         ignore (Lvm_consistency.Shared_segment.release t)))
+
+let bechamel_tests () =
+  Bechamel.Test.make_grouped ~name:"lvm"
+    ([ bench_table2 () ] @ bench_table3 ()
+    @ [ bench_fig7 (); bench_fig9 (); bench_fig10 (); bench_consistency () ])
+
+let run_bechamel () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Format.printf "@.%s@.= Bechamel micro-benchmarks (host ns/op) =@.%s@."
+    (String.make 46 '=') (String.make 46 '=');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%.0f ns/op" e
+        | Some _ | None -> "n/a"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  Lvm_experiments.Report.table Format.std_formatter
+    ~header:[ "benchmark"; "estimate" ]
+    (List.sort compare !rows)
+
+(* {1 Entry point} *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let ppf = Format.std_formatter in
+  if List.mem "--list" args then
+    List.iter
+      (fun e ->
+        Printf.printf "%-14s %s\n" e.Lvm_experiments.Experiments.id
+          e.Lvm_experiments.Experiments.description)
+      Lvm_experiments.Experiments.all
+  else begin
+    (match
+       let rec only = function
+         | "--only" :: id :: _ -> Some id
+         | _ :: rest -> only rest
+         | [] -> None
+       in
+       only args
+     with
+    | Some id -> (
+      match Lvm_experiments.Experiments.find id with
+      | Some e -> e.Lvm_experiments.Experiments.run ~quick ppf
+      | None ->
+        Printf.eprintf "unknown experiment %s (try --list)\n" id;
+        exit 1)
+    | None -> Lvm_experiments.Experiments.run_all ~quick ppf);
+    Format.pp_print_flush ppf ();
+    if not (List.mem "--no-bechamel" args) then run_bechamel ()
+  end

@@ -1,0 +1,240 @@
+(* lvmctl: command-line driver for the LVM reproduction.
+
+   Subcommands run individual paper experiments with custom parameters,
+   TimeWarp simulations, TPC-A, and the synthetic state-saving workload. *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* {1 experiments} *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps for a fast run.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-14s %s\n" e.Lvm_experiments.Experiments.id
+          e.Lvm_experiments.Experiments.description)
+      Lvm_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproduction experiments.")
+    Term.(const run $ const ())
+
+let exp_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,lvmctl list)).")
+  in
+  let run id quick =
+    match Lvm_experiments.Experiments.find id with
+    | Some e ->
+      e.Lvm_experiments.Experiments.run ~quick ppf;
+      Format.pp_print_flush ppf ();
+      `Ok ()
+    | None -> `Error (false, "unknown experiment " ^ id)
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run one table/figure reproduction experiment.")
+    Term.(ret (const run $ id_arg $ quick_arg))
+
+let all_cmd =
+  let run quick =
+    Lvm_experiments.Experiments.run_all ~quick ppf;
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every reproduction experiment.")
+    Term.(const run $ quick_arg)
+
+(* {1 sim} *)
+
+let strategy_conv =
+  let parse = function
+    | "lvm" -> Ok Lvm_sim.State_saving.Lvm_based
+    | "copy" -> Ok Lvm_sim.State_saving.Copy_based
+    | "page-protect" -> Ok Lvm_sim.State_saving.Page_protect
+    | s -> Error (`Msg ("unknown strategy " ^ s))
+  in
+  Arg.conv (parse, fun ppf s ->
+      Format.pp_print_string ppf (Lvm_sim.State_saving.to_string s))
+
+let sim_cmd =
+  let schedulers =
+    Arg.(value & opt int 4 & info [ "schedulers" ] ~doc:"Scheduler count.")
+  in
+  let objects =
+    Arg.(value & opt int 16 & info [ "objects" ] ~doc:"Simulation objects.")
+  in
+  let population =
+    Arg.(value & opt int 12 & info [ "population" ] ~doc:"Initial events.")
+  in
+  let end_time =
+    Arg.(value & opt int 500 & info [ "end-time" ] ~doc:"Virtual end time.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PHOLD seed.") in
+  let strategy =
+    Arg.(value & opt strategy_conv Lvm_sim.State_saving.Lvm_based
+         & info [ "strategy" ] ~doc:"State saving: lvm or copy.")
+  in
+  let workload =
+    Arg.(value
+         & opt (enum [ ("phold", `Phold); ("queueing", `Queueing) ]) `Phold
+         & info [ "workload" ] ~doc:"Simulation model: phold or queueing.")
+  in
+  let engine_kind =
+    Arg.(value
+         & opt (enum [ ("optimistic", `Optimistic);
+                       ("conservative", `Conservative) ]) `Optimistic
+         & info [ "engine" ] ~doc:"optimistic (TimeWarp) or conservative.")
+  in
+  let run schedulers objects population end_time seed strategy workload
+      engine_kind =
+    let app, inject_tw, inject_cons, name =
+      match workload with
+      | `Phold ->
+        ( Lvm_sim.Phold.app ~objects ~seed (),
+          (fun e ->
+            Lvm_sim.Phold.inject_population e ~objects ~population ~seed),
+          (fun e ->
+            for i = 0 to population - 1 do
+              let h = Lvm_sim.Phold.hash seed i 17 23 in
+              Lvm_sim.Conservative.inject e ~time:(1 + (h mod 10))
+                ~dst:(h / 16 mod objects) ~payload:(h land 0xFFFF)
+            done),
+          "PHOLD" )
+      | `Queueing ->
+        ( Lvm_sim.Queueing.app ~stations:objects ~seed,
+          (fun e ->
+            Lvm_sim.Queueing.inject_customers e ~stations:objects
+              ~customers:population ~seed),
+          (fun e ->
+            for c = 0 to population - 1 do
+              let h = Lvm_sim.Phold.hash seed c 3 5 in
+              Lvm_sim.Conservative.inject e ~time:(1 + (h mod 8))
+                ~dst:(h / 8 mod objects) ~payload:(c land 0xFFFF)
+            done),
+          "queueing network" )
+    in
+    match engine_kind with
+    | `Conservative ->
+      let e = Lvm_sim.Conservative.create ~n_schedulers:schedulers ~app () in
+      inject_cons e;
+      let r = Lvm_sim.Conservative.run e ~end_time in
+      Printf.printf
+        "%s (conservative): %d schedulers, %d objects, %d tokens, end-time          %d\n"
+        name schedulers objects population end_time;
+      Printf.printf "  events processed   %d\n"
+        r.Lvm_sim.Conservative.events_processed;
+      Printf.printf "  barrier steps      %d\n" r.Lvm_sim.Conservative.steps;
+      Printf.printf "  elapsed (cycles)   %d\n"
+        r.Lvm_sim.Conservative.elapsed_cycles;
+      Printf.printf "  busy (cycles)      %d\n"
+        r.Lvm_sim.Conservative.busy_cycles
+    | `Optimistic ->
+      let engine =
+        Lvm_sim.Timewarp.create ~n_schedulers:schedulers ~strategy ~app ()
+      in
+      inject_tw engine;
+      let r = Lvm_sim.Timewarp.run engine ~end_time in
+      Printf.printf
+        "%s: %d schedulers, %d objects, %d tokens, end-time %d (%s)\n" name
+        schedulers objects population end_time
+        (Lvm_sim.State_saving.to_string strategy);
+      Printf.printf "  committed events   %d\n" r.Lvm_sim.Timewarp.total_events_committed;
+      Printf.printf "  processed events   %d\n" r.Lvm_sim.Timewarp.total_events_processed;
+      Printf.printf "  rollbacks          %d\n" r.Lvm_sim.Timewarp.total_rollbacks;
+      Printf.printf "  stragglers         %d\n" r.Lvm_sim.Timewarp.total_stragglers;
+      Printf.printf "  anti-messages      %d\n" r.Lvm_sim.Timewarp.total_anti_messages;
+      Printf.printf "  elapsed (cycles)   %d\n" r.Lvm_sim.Timewarp.elapsed_cycles;
+      Printf.printf "  efficiency         %.1f%%\n"
+        (100.
+         *. float_of_int r.Lvm_sim.Timewarp.total_events_committed
+         /. float_of_int (max 1 r.Lvm_sim.Timewarp.total_events_processed))
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Run a simulation (PHOLD or queueing) over LVM.")
+    Term.(const run $ schedulers $ objects $ population $ end_time $ seed
+          $ strategy $ workload $ engine_kind)
+
+(* {1 tpca} *)
+
+let tpca_cmd =
+  let txns =
+    Arg.(value & opt int 500 & info [ "txns" ] ~doc:"Transactions to run.")
+  in
+  let store =
+    Arg.(value & opt (enum [ ("rvm", `Rvm); ("rlvm", `Rlvm) ]) `Rlvm
+         & info [ "store" ] ~doc:"Recoverable store: rvm or rlvm.")
+  in
+  let run txns store =
+    let k = Lvm_vm.Kernel.create () in
+    let sp = Lvm_vm.Kernel.create_space k in
+    let bank =
+      Lvm_tpc.Bank.layout ~branches:4 ~tellers:40 ~accounts:400 ~history:256
+    in
+    let size = Lvm_tpc.Bank.segment_bytes bank in
+    let name, s =
+      match store with
+      | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.create k sp ~size))
+      | `Rlvm ->
+        ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.create k sp ~size))
+    in
+    Lvm_tpc.Tpca.setup s bank;
+    let r = Lvm_tpc.Tpca.run s bank ~txns in
+    Printf.printf "TPC-A on %s: %d txns, %.0f tps, %.0f cycles/txn, \
+                   invariant %b\n"
+      name r.Lvm_tpc.Tpca.txns r.Lvm_tpc.Tpca.tps r.Lvm_tpc.Tpca.cycles_per_txn
+      (Lvm_tpc.Tpca.balance_invariant s bank)
+  in
+  Cmd.v (Cmd.info "tpca" ~doc:"Run the TPC-A debit-credit benchmark.")
+    Term.(const run $ txns $ store)
+
+(* {1 synthetic} *)
+
+let synthetic_cmd =
+  let events =
+    Arg.(value & opt int 2000 & info [ "events" ] ~doc:"Events to process.")
+  in
+  let c =
+    Arg.(value & opt int 512
+         & info [ "compute" ] ~doc:"Compute cycles per event (c).")
+  in
+  let s =
+    Arg.(value & opt int 64
+         & info [ "object-bytes" ] ~doc:"Object size in bytes (s).")
+  in
+  let w =
+    Arg.(value & opt int 2 & info [ "writes" ] ~doc:"Writes per event (w).")
+  in
+  let strategy =
+    Arg.(value & opt strategy_conv Lvm_sim.State_saving.Lvm_based
+         & info [ "strategy" ] ~doc:"lvm, copy or page-protect.")
+  in
+  let run events c s w strategy =
+    let p = { Lvm_sim.Synthetic.default_params with
+              Lvm_sim.Synthetic.events; c; s; w } in
+    let r = Lvm_sim.Synthetic.run p strategy in
+    Printf.printf
+      "synthetic (%s): %.2f cycles/event, %d overloads, %d log records, \
+       %d protect faults\n"
+      (Lvm_sim.State_saving.to_string strategy)
+      r.Lvm_sim.Synthetic.per_event r.Lvm_sim.Synthetic.overloads
+      r.Lvm_sim.Synthetic.log_records r.Lvm_sim.Synthetic.protect_faults;
+    if strategy = Lvm_sim.State_saving.Lvm_based then
+      Printf.printf "speedup over copy-based: %.2f\n"
+        (Lvm_sim.Synthetic.speedup p)
+  in
+  Cmd.v
+    (Cmd.info "synthetic"
+       ~doc:"Run the Section 4.3 synthetic simulation workload.")
+    Term.(const run $ events $ c $ s $ w $ strategy)
+
+let main =
+  Cmd.group
+    (Cmd.info "lvmctl" ~version:"1.0.0"
+       ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
+    [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd ]
+
+let () = exit (Cmd.eval main)

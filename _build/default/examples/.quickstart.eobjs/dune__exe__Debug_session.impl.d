@@ -1,0 +1,1 @@
+examples/debug_session.ml: Kernel List Lvm_tools Lvm_vm Printf String

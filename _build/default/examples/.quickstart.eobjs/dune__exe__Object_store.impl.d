@@ -1,0 +1,1 @@
+examples/object_store.ml: Backing_store Kernel Lvm Lvm_machine Lvm_vm Printf Segment

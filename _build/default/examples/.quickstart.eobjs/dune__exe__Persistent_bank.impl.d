@@ -1,0 +1,1 @@
+examples/persistent_bank.ml: Lvm_rvm Lvm_vm Printf

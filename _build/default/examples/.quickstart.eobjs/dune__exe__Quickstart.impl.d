@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lvm Lvm_machine Printf

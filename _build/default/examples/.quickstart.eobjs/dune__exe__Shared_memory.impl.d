@@ -1,0 +1,1 @@
+examples/shared_memory.ml: Lvm_consistency Lvm_vm Printf Shared_segment

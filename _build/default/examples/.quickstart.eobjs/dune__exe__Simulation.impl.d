@@ -1,0 +1,1 @@
+examples/simulation.ml: Lvm_sim Phold Printf State_saving Timewarp

@@ -1,0 +1,1 @@
+examples/visualization.ml: List Lvm_tools Lvm_vm Printf String

@@ -1,0 +1,1 @@
+examples/visualization.mli:

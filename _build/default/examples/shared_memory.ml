@@ -1,0 +1,40 @@
+(* Log-based consistency for write-shared memory (the paper's
+   Section 2.6).
+
+   A producer updates a shared segment inside acquire/release sections; a
+   consumer holds a replica. With LVM the updates are already identified
+   by the log, so the producer can stream them as it goes and release
+   costs almost nothing — compare the Munin twin/diff protocol, which
+   must fault, twin and diff whole pages at release. Run with:
+
+     dune exec examples/shared_memory.exe *)
+
+open Lvm_consistency
+
+let () =
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+
+  let run name protocol ~stream =
+    let t = Shared_segment.create k sp ~size:(8 * 4096) protocol in
+    Shared_segment.acquire t;
+    (* sparse update pattern: one counter per page *)
+    for i = 0 to 31 do
+      Shared_segment.write_word t ~off:(i mod 8 * 4096) (i * 11);
+      if stream && i mod 8 = 7 then ignore (Shared_segment.stream t)
+    done;
+    let s = Shared_segment.release t in
+    assert (Shared_segment.replica_consistent t);
+    Printf.printf "%-22s release took %6d cycles, sent %d words in %d msgs\n"
+      name s.Shared_segment.release_cycles s.Shared_segment.words_sent
+      s.Shared_segment.messages
+  in
+  print_endline "32 sparse updates over 8 pages, then release:";
+  run "munin twin/diff" Shared_segment.Twin_diff ~stream:false;
+  run "log-based" Shared_segment.Log_based ~stream:false;
+  run "log-based, streaming" Shared_segment.Log_based ~stream:true;
+  print_endline
+    "\nlog-based consistency avoids the fault/twin/diff machinery, and\n\
+     streaming leaves almost no backlog at release. twin/diff sent fewer\n\
+     words here because each location was overwritten repeatedly -- the\n\
+     tradeoff Section 2.6 concedes but expects to be uncommon."

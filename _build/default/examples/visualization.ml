@@ -1,0 +1,50 @@
+(* High-performance output through logging (the paper's Section 2.6).
+
+   A producer renders frames of a tiny "simulation" by storing samples
+   into a logged output region; a separate consumer process interprets the
+   indexed log stream and draws the display — the producer never blocks on
+   output. A direct-mapped log then mirrors a device frame buffer. Run:
+
+     dune exec examples/visualization.exe *)
+
+let () =
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+
+  (* Indexed mode: a bare stream of data values for the display process. *)
+  let stream =
+    Lvm_tools.Output_stream.create_indexed k sp ~size:4096 ~log_pages:8
+  in
+  print_endline "producer renders three frames of a sine-ish wave:";
+  for frame = 1 to 3 do
+    for x = 0 to 15 do
+      let y = (frame * (x - 8) * (x - 8)) mod 9 in
+      Lvm_tools.Output_stream.emit stream y
+    done;
+    (* the consumer (display) drains the stream asynchronously *)
+    let values = Lvm_tools.Output_stream.consume stream in
+    Printf.printf "frame %d: " frame;
+    List.iter
+      (fun v -> print_string (String.make (1 + v) '*' ^ " "))
+      (List.filteri (fun i _ -> i < 8) values);
+    print_newline ()
+  done;
+
+  (* Direct-mapped mode: writes land at the same offset in the log page,
+     like memory-mapped device registers with no read-back support. *)
+  let device = Lvm_tools.Output_stream.create_direct k sp ~size:4096 in
+  Lvm_tools.Output_stream.emit_at device ~off:0x40 0xBEEF;
+  Lvm_tools.Output_stream.emit_at device ~off:0x80 0xF00D;
+  Printf.printf
+    "device mirror: [0x40]=0x%x [0x80]=0x%x (written via mapped I/O)\n"
+    (Lvm_tools.Output_stream.mirror_word device ~off:0x40)
+    (Lvm_tools.Output_stream.mirror_word device ~off:0x80);
+
+  (* The producer's cost: logged stores only, no output-path work. *)
+  let t0 = Lvm_vm.Kernel.time k in
+  for i = 0 to 99 do
+    Lvm_tools.Output_stream.emit stream i
+  done;
+  Printf.printf "producer spent %d cycles emitting 100 samples (%.1f/sample)\n"
+    (Lvm_vm.Kernel.time k - t0)
+    (float_of_int (Lvm_vm.Kernel.time k - t0) /. 100.)

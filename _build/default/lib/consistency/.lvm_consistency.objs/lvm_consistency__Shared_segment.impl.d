@@ -1,0 +1,1 @@
+lib/consistency/shared_segment.ml: Addr Address_space Kernel List Log_record Logger Lvm Lvm_machine Lvm_vm Machine Option Region Segment

@@ -1,0 +1,1 @@
+lib/consistency/shared_segment.mli: Lvm_vm

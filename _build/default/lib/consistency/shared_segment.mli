@@ -1,0 +1,71 @@
+(** Update propagation for write-shared memory (Section 2.6).
+
+    A producer updates a shared segment inside acquire/release sections; on
+    release the updates must be sent to a consumer replica. Two protocols
+    are implemented:
+
+    - [Twin_diff] — the Munin mechanism: pages are write-protected on
+      acquire; the first write to a page faults and makes a twin copy; on
+      release each twinned page is compared word by word against its twin
+      and the differences are transmitted.
+    - [Log_based] — log-based consistency: the producer's region is
+      logged, so the updates are already identified; release just streams
+      the log records to the consumer and truncates.
+    - [Snooped] — log-based coherence in hardware: a second snoop on the
+      bus watches the logging traffic and updates the replica in place,
+      so consistency costs the producer nothing beyond logging itself.
+
+    Transmission is modelled as a per-message overhead plus a per-word
+    wire cost charged to the producer's processor. The consumer replica is
+    updated in place so tests can check both protocols produce identical
+    replicas; the interesting outputs are the release-time cycles and the
+    words transmitted. *)
+
+type protocol =
+  | Twin_diff
+  | Log_based
+  | Snooped
+      (** The hardware-coherence variant of Section 2.6: a consistency
+          snoop monitors the logging bus traffic and applies each record
+          to the replica as it passes — zero added cost on the producer
+          and nothing left to do at release. *)
+
+type t
+
+type release_stats = {
+  words_sent : int;
+  messages : int;
+  release_cycles : int;  (** Producer cycles spent in this release. *)
+}
+
+val create :
+  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> protocol -> t
+
+val protocol : t -> protocol
+
+val acquire : t -> unit
+(** Begin a write section (re-protects pages under [Twin_diff]). *)
+
+val write_word : t -> off:int -> int -> unit
+(** Producer store inside the section. *)
+
+val read_word : t -> off:int -> int
+(** Producer-side read. *)
+
+val stream : t -> release_stats
+(** Propagate the updates logged so far {e without} ending the section
+    (Section 2.6: logging "facilitates streaming the updates to the
+    consumers so that the time for processing on lock release ... is
+    reduced" to little more than synchronization). Only meaningful under
+    [Log_based]; twin/diff cannot stream — differences are only known at
+    release — so this returns empty stats there. *)
+
+val release : t -> release_stats
+(** Propagate the section's remaining updates to the consumer replica. *)
+
+val consumer_word : t -> off:int -> int
+(** Consumer replica contents (untimed). *)
+
+val replica_consistent : t -> bool
+(** Whether the consumer replica equals the producer segment (valid after
+    a release with no further writes). *)

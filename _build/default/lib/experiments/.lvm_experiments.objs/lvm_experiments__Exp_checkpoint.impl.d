@@ -1,0 +1,1 @@
+lib/experiments/exp_checkpoint.ml: Addr Kernel List Lvm_machine Lvm_vm Machine Protect_checkpoint Report

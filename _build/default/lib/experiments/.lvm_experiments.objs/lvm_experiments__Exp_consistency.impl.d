@@ -1,0 +1,1 @@
+lib/experiments/exp_consistency.ml: Kernel List Lvm_consistency Lvm_machine Lvm_vm Report Shared_segment

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: List Printf Report Writes_loop

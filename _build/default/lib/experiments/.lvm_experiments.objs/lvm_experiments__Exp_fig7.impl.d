@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: List Lvm_sim Printf Report State_saving Synthetic

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Float List Lvm_sim Printf Report Synthetic

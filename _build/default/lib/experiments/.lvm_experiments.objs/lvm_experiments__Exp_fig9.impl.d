@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Addr Float Format Kernel List Lvm_machine Lvm_vm Machine Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_onchip.ml: List Logger Lvm_machine Report Writes_loop

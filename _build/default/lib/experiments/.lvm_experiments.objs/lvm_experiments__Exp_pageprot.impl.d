@@ -1,0 +1,1 @@
+lib/experiments/exp_pageprot.ml: List Lvm_sim Printf Report State_saving Synthetic

@@ -1,0 +1,1 @@
+lib/experiments/exp_pageprot.mli: Format Lvm_sim

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Addr Cycles Kernel List Logger Lvm_machine Lvm_vm Machine Perf Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Kernel Lvm_rvm Lvm_tpc Lvm_vm Report Rlvm Rvm

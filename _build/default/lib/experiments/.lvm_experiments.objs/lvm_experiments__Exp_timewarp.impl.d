@@ -1,0 +1,1 @@
+lib/experiments/exp_timewarp.ml: Conservative List Lvm_sim Phold Report State_saving Timewarp

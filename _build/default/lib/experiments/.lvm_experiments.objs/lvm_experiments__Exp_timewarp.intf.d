@@ -1,0 +1,1 @@
+lib/experiments/exp_timewarp.mli: Format Lvm_sim

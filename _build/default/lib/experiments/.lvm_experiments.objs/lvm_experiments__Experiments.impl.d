@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Exp_checkpoint Exp_consistency Exp_fig10 Exp_fig11 Exp_fig7 Exp_fig8 Exp_fig9 Exp_onchip Exp_pageprot Exp_table2 Exp_table3 Exp_timewarp Format List

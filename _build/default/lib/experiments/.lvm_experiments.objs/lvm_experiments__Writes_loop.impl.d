@@ -1,0 +1,1 @@
+lib/experiments/writes_loop.ml: Addr Kernel Log_record Logger Lvm_machine Lvm_vm Machine Perf

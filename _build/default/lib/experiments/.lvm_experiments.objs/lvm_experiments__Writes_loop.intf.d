@@ -1,0 +1,1 @@
+lib/experiments/writes_loop.mli: Lvm_machine

@@ -1,0 +1,29 @@
+(** Ablation E: checkpoint/rollback primitives compared (Sections 4.4 and
+    5.1).
+
+    For one checkpoint-modify-rollback cycle over a segment with a
+    varying fraction of pages dirtied, the three mechanisms:
+
+    - [bcopy]: copy the whole segment back (flat cost);
+    - deferred copy: [resetDeferredCopy] (per-dirty-page second-level
+      line sweep; checkpoint establishment is free);
+    - Li/Appel page-protect: write-protect at checkpoint, fault + page
+      copy on first writes, restore by remapping (restore is nearly free,
+      but the faults and copies are paid up front on the mutator's
+      critical path).
+
+    The paper's point: deferred copy wins for rollback-heavy optimistic
+    execution because it needs no faults, and page-protect cannot provide
+    per-write logging at all. *)
+
+type point = {
+  dirty_pages : int;
+  bcopy_cycles : int;
+  dc_mutate_cycles : int;  (** Writing the dirty words under deferred copy. *)
+  dc_restore_cycles : int;
+  ppc_mutate_cycles : int;  (** Same writes, paying protection faults. *)
+  ppc_restore_cycles : int;
+}
+
+val measure : ?pages:int -> ?dirty_counts:int list -> unit -> point list
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,24 @@
+(** Ablation C (Section 2.6): log-based consistency versus Munin-style
+    twin/diff.
+
+    A producer writes [writes] words spread over [spread_pages] pages of a
+    write-shared segment, then releases. Twin/diff pays a protection
+    fault, a page copy and a whole-page word-by-word comparison per
+    touched page; log-based consistency streams exactly the logged
+    updates. The paper expects log-based to win when updates are small
+    relative to the consistency unit. *)
+
+type row = {
+  writes : int;
+  spread_pages : int;
+  twin_release : int;
+  log_release : int;
+  snoop_release : int;
+      (** Release cycles when a hardware snoop on the logging bus keeps
+          the replica coherent (Section 2.6's on-chip variant). *)
+  twin_words : int;
+  log_words : int;
+}
+
+val measure : ?segment_kb:int -> unit -> row list
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,56 @@
+type point = { c : int; logged : float; unlogged : float }
+type cluster = { writes : int; points : point list }
+
+let default_cs = [ 0; 32; 64; 128; 192; 256; 384; 512 ]
+let default_clusters = [ 2; 4; 8 ]
+
+let measure ?(iterations = 4000) ?(cs = default_cs)
+    ?(clusters = default_clusters) () =
+  List.map
+    (fun writes ->
+      let points =
+        List.map
+          (fun c ->
+            let logged_r =
+              Writes_loop.run ~iterations ~c ~unlogged:0 ~logged:writes ()
+            in
+            let unlogged_r =
+              Writes_loop.run ~iterations ~c ~unlogged:writes ~logged:0 ()
+            in
+            {
+              c;
+              logged = Writes_loop.per_write logged_r ~c
+                  ~writes_per_iter:writes;
+              unlogged =
+                Writes_loop.per_write unlogged_r ~c ~writes_per_iter:writes;
+            })
+          cs
+      in
+      { writes; points })
+    clusters
+
+let run ~quick ppf =
+  Report.section ppf "Figure 10: CPU Cost of Logged Writes";
+  let clusters =
+    measure
+      ~iterations:(if quick then 1000 else 4000)
+      ~cs:(if quick then [ 0; 64; 256; 512 ] else default_cs)
+      ()
+  in
+  List.iter
+    (fun cl ->
+      Report.subsection ppf
+        (Printf.sprintf "cluster of %d writes" cl.writes);
+      Report.table ppf
+        ~header:
+          [ "compute cycles"; "with logging (cyc/write)";
+            "without logging (cyc/write)" ]
+        (List.map
+           (fun p ->
+             [ Report.fi p.c; Report.ff p.logged; Report.ff p.unlogged ])
+           cl.points))
+    clusters;
+  Report.note ppf
+    "paper shape: overload blows up the logged cost at small c; on the \
+     flat part the logged-unlogged gap is the write-through cost, \
+     growing with burst size."

@@ -1,0 +1,16 @@
+(** Figure 10: CPU cost of logged writes.
+
+    Cycles per write for clusters of 2, 4 and 8 writes per iteration, with
+    and without logging, as compute cycles per iteration vary. For small
+    [c] the logger is overloaded and logged writes are far more expensive;
+    on the flat portion the difference between logged and unlogged is the
+    cost of write-through, which grows with the burst size. *)
+
+type point = { c : int; logged : float; unlogged : float }
+type cluster = { writes : int; points : point list }
+
+val measure :
+  ?iterations:int -> ?cs:int list -> ?clusters:int list -> unit ->
+  cluster list
+
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,77 @@
+type point = {
+  c : int;
+  logged_per_iter : float;
+  unlogged_per_iter : float;
+  overloads_per_1000 : float;
+  overload_cost : float;
+}
+
+(* fine steps around the overload threshold (~27), then the paper's
+   sweep up to 630 *)
+let default_cs =
+  [ 0; 5; 10; 15; 20; 24; 27; 30 ] @ List.init 10 (fun i -> 60 * (i + 1))
+
+let measure ?(iterations = 20_000) ?(cs = default_cs) () =
+  List.map
+    (fun c ->
+      let logged = Writes_loop.run ~iterations ~c ~unlogged:0 ~logged:1 () in
+      let unlogged = Writes_loop.run ~iterations ~c ~unlogged:1 ~logged:0 ()
+      in
+      {
+        c;
+        logged_per_iter = Writes_loop.per_iteration logged;
+        unlogged_per_iter = Writes_loop.per_iteration unlogged;
+        overloads_per_1000 =
+          1000. *. float_of_int logged.Writes_loop.overloads
+          /. float_of_int iterations;
+        overload_cost =
+          (if logged.Writes_loop.overloads = 0 then 0.
+           else
+             float_of_int logged.Writes_loop.overload_cycles
+             /. float_of_int logged.Writes_loop.overloads);
+      })
+    cs
+
+let overload_threshold_c points =
+  List.find_map
+    (fun p -> if p.overloads_per_1000 = 0. then Some p.c else None)
+    (List.sort (fun a b -> compare a.c b.c) points)
+
+let run ~quick ppf =
+  let points =
+    measure
+      ~iterations:(if quick then 4000 else 20_000)
+      ~cs:(if quick then [ 0; 30; 90; 210; 330; 630 ] else default_cs)
+      ()
+  in
+  Report.section ppf "Figure 11: Total Cost of a Logged Write";
+  Report.table ppf
+    ~header:
+      [ "compute cycles"; "with logging (cyc/iter)";
+        "without logging (cyc/iter)" ]
+    (List.map
+       (fun p ->
+         [ Report.fi p.c; Report.ff p.logged_per_iter;
+           Report.ff p.unlogged_per_iter ])
+       points);
+  (match
+     List.find_opt (fun p -> p.overload_cost > 0.) (List.rev points)
+   with
+  | Some p ->
+    Format.fprintf ppf
+      "mean overload penalty: %.0f cycles (paper: more than 30,000)@."
+      p.overload_cost
+  | None -> ());
+  Report.section ppf "Figure 12: Overload Events";
+  Report.table ppf
+    ~header:[ "compute cycles"; "overloads per 1000 iterations" ]
+    (List.map
+       (fun p -> [ Report.fi p.c; Report.ff p.overloads_per_1000 ])
+       points);
+  match overload_threshold_c points with
+  | Some c ->
+    Format.fprintf ppf
+      "overload avoided from c = %d compute cycles per logged write \
+       (paper: ~27)@."
+      c
+  | None -> Format.fprintf ppf "overload present across the whole sweep@."

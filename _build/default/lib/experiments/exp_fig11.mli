@@ -1,0 +1,24 @@
+(** Figures 11 and 12: total cost of a logged write and overload events.
+
+    One logged write per iteration (l=1, w=0), compute cycles swept over
+    [0..630]: Figure 11 plots the average total cycles per iteration with
+    and without logging, Figure 12 the overload events per 1000
+    iterations. The paper reports each overload costs more than 30,000
+    cycles — so the time per iteration {e decreases} as computation per
+    loop increases — and that overload is avoided once there is no more
+    than one logged write per ~27 compute cycles on average. *)
+
+type point = {
+  c : int;
+  logged_per_iter : float;
+  unlogged_per_iter : float;
+  overloads_per_1000 : float;
+  overload_cost : float;  (** Mean cycles per overload event, 0 if none. *)
+}
+
+val measure : ?iterations:int -> ?cs:int list -> unit -> point list
+
+val overload_threshold_c : point list -> int option
+(** Smallest measured [c] with no overloads. *)
+
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,60 @@
+open Lvm_sim
+
+type point = { c : int; speedup : float; lvm_overloads : int }
+type curve = { w : int; s : int; points : point list }
+
+let curves_spec = [ (1, 32); (2, 64); (4, 128); (8, 256) ]
+let default_cs = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+
+let measure ?(events = 1500) ?(cs = default_cs) () =
+  List.map
+    (fun (w, s) ->
+      let points =
+        List.map
+          (fun c ->
+            let p = { Synthetic.default_params with Synthetic.events; c; s; w }
+            in
+            let copy = Synthetic.run p State_saving.Copy_based in
+            let lvm = Synthetic.run p State_saving.Lvm_based in
+            {
+              c;
+              speedup =
+                float_of_int copy.Synthetic.cycles
+                /. float_of_int lvm.Synthetic.cycles;
+              lvm_overloads = lvm.Synthetic.overloads;
+            })
+          cs
+      in
+      { w; s; points })
+    curves_spec
+
+let run ~quick ppf =
+  Report.section ppf "Figure 7: LVM vs Copy-based Checkpointing";
+  let curves =
+    measure
+      ~events:(if quick then 500 else 1500)
+      ~cs:(if quick then [ 128; 512; 2048; 8192 ] else default_cs)
+      ()
+  in
+  let cs = List.map (fun p -> p.c) (List.hd curves).points in
+  let header =
+    "compute cycles"
+    :: List.map (fun cu -> Printf.sprintf "w=%d,s=%d" cu.w cu.s) curves
+  in
+  let rows =
+    List.mapi
+      (fun i c ->
+        Report.fi c
+        :: List.map
+             (fun cu ->
+               let p = List.nth cu.points i in
+               Report.ff p.speedup
+               ^ if p.lvm_overloads > 0 then "*" else "")
+             curves)
+      cs
+  in
+  Report.table ppf ~header rows;
+  Report.note ppf
+    "speedup = copy-based elapsed / LVM elapsed; '*' marks logger \
+     overload. Paper shape: speedup falls with c, rises with s, and \
+     collapses below c~200 for w=8 where the prototype logger overflows."

@@ -1,0 +1,15 @@
+(** Figure 7: LVM versus copy-based checkpointing in the "simulated"
+    simulation.
+
+    Speedup (copy-based elapsed time / LVM elapsed time) as a function of
+    compute cycles per event [c], for the paper's four curves
+    (w,s) ∈ {(1,32), (2,64), (4,128), (8,256)}. The paper reports speedups
+    from a few percent at large [c] up to large factors at small [c],
+    biggest for large objects, with LVM's advantage collapsing at small
+    [c] and large [w] when the logger overloads. *)
+
+type point = { c : int; speedup : float; lvm_overloads : int }
+type curve = { w : int; s : int; points : point list }
+
+val measure : ?events:int -> ?cs:int list -> unit -> curve list
+val run : quick:bool -> Format.formatter -> unit

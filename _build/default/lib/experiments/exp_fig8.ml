@@ -1,0 +1,57 @@
+open Lvm_sim
+
+type point = { fraction : float; w : int; speedup : float }
+type curve = { s : int; c : int; points : point list }
+
+let curves_spec = [ (32, 256); (64, 512); (128, 1024); (256, 2048) ]
+let default_fractions = [ 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1.0 ]
+
+let measure ?(events = 1500) ?(fractions = default_fractions) () =
+  List.map
+    (fun (s, c) ->
+      let points =
+        List.filter_map
+          (fun fraction ->
+            let w =
+              int_of_float (Float.round (fraction *. float_of_int s /. 4.))
+            in
+            if w < 1 then None
+            else
+              let p =
+                { Synthetic.default_params with Synthetic.events; c; s; w }
+              in
+              Some { fraction; w; speedup = Synthetic.speedup p })
+          fractions
+      in
+      { s; c; points })
+    curves_spec
+
+let run ~quick ppf =
+  Report.section ppf "Figure 8: Effect of Number of Writes on LVM";
+  let curves =
+    measure
+      ~events:(if quick then 500 else 1500)
+      ~fractions:(if quick then [ 0.25; 0.5; 1.0 ] else default_fractions)
+      ()
+  in
+  let fractions = List.map (fun p -> p.fraction) (List.hd curves).points in
+  let header =
+    "fraction written"
+    :: List.map (fun cu -> Printf.sprintf "s=%d,c=%d" cu.s cu.c) curves
+  in
+  let rows =
+    List.map
+      (fun f ->
+        Report.ff ~decimals:3 f
+        :: List.map
+             (fun cu ->
+               match List.find_opt (fun p -> p.fraction = f) cu.points with
+               | Some p -> Report.ff p.speedup
+               | None -> "-")
+             curves)
+      fractions
+  in
+  Report.table ppf ~header rows;
+  Report.note ppf
+    "paper shape: speedup decreases slowly with the fraction written; \
+     only near fraction 1 does write-through overhead bite."

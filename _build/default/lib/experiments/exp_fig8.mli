@@ -1,0 +1,14 @@
+(** Figure 8: effect of the number of writes on LVM performance.
+
+    Speedup versus the fraction of the object written per event, for the
+    paper's four curves (s,c) ∈ {(32,256), (64,512), (128,1024),
+    (256,2048)}. The paper finds the speedup decreases only slowly as the
+    fraction grows — copy-based saving is independent of the number of
+    writes while LVM pays one write-through per write — with the drop
+    becoming significant only as the fraction approaches one. *)
+
+type point = { fraction : float; w : int; speedup : float }
+type curve = { s : int; c : int; points : point list }
+
+val measure : ?events:int -> ?fractions:float list -> unit -> curve list
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,19 @@
+(** Figure 9: execution time of [resetDeferredCopy] versus [bcopy].
+
+    For 32 KB, 512 KB and 2 MB segment pairs, the time to reset the
+    deferred copy as a function of how much of the segment is dirty,
+    against the flat cost of copying the whole segment with [bcopy]. The
+    paper finds reset wins whenever less than about two-thirds of the
+    segment is dirty. *)
+
+type point = { dirty_kb : int; reset_kcycles : float; bcopy_kcycles : float }
+
+type curve = {
+  segment_kb : int;
+  points : point list;
+  crossover_fraction : float option;
+      (** Dirty fraction where reset stops winning. *)
+}
+
+val measure : ?fractions:float list -> segment_kb:int -> unit -> curve
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,18 @@
+(** Ablation A (Section 4.6): prototype bus logger versus on-chip logging.
+
+    Reruns the Figure 11 loop under both hardware models. With logging
+    support in the CPU's VM unit there are no FIFO overload interrupts —
+    the processor stalls briefly like any write-through writer — so the
+    cost of a logged write stays near the cost of an unlogged one even at
+    zero compute cycles, and per-region logs log virtual addresses. *)
+
+type point = {
+  c : int;
+  prototype_per_iter : float;
+  onchip_per_iter : float;
+  prototype_overloads : int;
+  onchip_overloads : int;
+}
+
+val measure : ?iterations:int -> ?cs:int list -> unit -> point list
+val run : quick:bool -> Format.formatter -> unit

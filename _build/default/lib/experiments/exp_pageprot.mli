@@ -1,0 +1,23 @@
+(** Ablation B (Section 5.1): log-generation technique comparison.
+
+    Forward-progress cost per event of the synthetic simulation under the
+    three state-saving techniques: copy-based (conventional TimeWarp),
+    page-protect checkpointing (Li/Appel: write-protect at each
+    checkpoint, fault-and-copy each first-written page), and LVM. The
+    paper argues per-write page-protect logging is impractical — a write
+    fault costs thousands of cycles — which is why hardware support is
+    needed; the numbers here show where each technique's cost goes. *)
+
+type row = {
+  strategy : Lvm_sim.State_saving.t;
+  per_event : float;
+  protect_faults : int;
+  overloads : int;
+}
+
+type setting = { c : int; s : int; w : int; rows : row list }
+
+val measure : ?events:int -> ?settings:(int * int * int) list -> unit ->
+  setting list
+
+val run : quick:bool -> Format.formatter -> unit

@@ -1,0 +1,110 @@
+open Lvm_sim
+
+type row = {
+  schedulers : int;
+  strategy : State_saving.t;
+  elapsed_cycles : int;
+  committed : int;
+  rollbacks : int;
+  matches_sequential : bool;
+}
+
+let seed = 23
+let population = 16
+let locality_pct = 90
+
+let engine ~objects ~object_words ~n_schedulers ~strategy =
+  let app =
+    Phold.app ~objects ~object_words ~locality_pct ~seed ~compute:300 ()
+  in
+  let e = Timewarp.create ~n_schedulers ~strategy ~app () in
+  Phold.inject_population e ~objects ~population ~seed;
+  e
+
+let conservative_engine ~objects ~object_words ~n_schedulers =
+  let app =
+    Phold.app ~objects ~object_words ~locality_pct ~seed ~compute:300 ()
+  in
+  let e = Conservative.create ~n_schedulers ~app () in
+  (* replicate Phold.inject_population for the conservative engine *)
+  for i = 0 to population - 1 do
+    let h = Phold.hash seed i 17 23 in
+    Conservative.inject e ~time:(1 + (h mod 10)) ~dst:(h / 16 mod objects)
+      ~payload:(h land 0xFFFF)
+  done;
+  e
+
+let measure ?(objects = 24) ?(object_words = 512) ?(end_time = 600)
+    ?(scheduler_counts = [ 1; 2; 4 ]) () =
+  let reference = engine ~objects ~object_words ~n_schedulers:1
+      ~strategy:State_saving.Lvm_based in
+  ignore (Timewarp.run reference ~end_time);
+  let reference_state = Timewarp.state_vector reference in
+  List.concat_map
+    (fun schedulers ->
+      let optimistic =
+        List.map
+          (fun strategy ->
+            let e = engine ~objects ~object_words ~n_schedulers:schedulers
+                ~strategy in
+            let r = Timewarp.run e ~end_time in
+            {
+              schedulers;
+              strategy;
+              elapsed_cycles = r.Timewarp.elapsed_cycles;
+              committed = r.Timewarp.total_events_committed;
+              rollbacks = r.Timewarp.total_rollbacks;
+              matches_sequential =
+                Timewarp.state_vector e = reference_state;
+            })
+          [ State_saving.Copy_based; State_saving.Lvm_based ]
+      in
+      let conservative =
+        let e =
+          conservative_engine ~objects ~object_words
+            ~n_schedulers:schedulers
+        in
+        let r = Conservative.run e ~end_time in
+        {
+          schedulers;
+          strategy = State_saving.No_saving;
+          elapsed_cycles = r.Conservative.elapsed_cycles;
+          committed = r.Conservative.events_processed;
+          rollbacks = 0;
+          matches_sequential = Conservative.state_vector e = reference_state;
+        }
+      in
+      conservative :: optimistic)
+    scheduler_counts
+
+let run ~quick ppf =
+  Report.section ppf
+    "Ablation D: TimeWarp End-to-End, LVM vs Copy-based State Saving";
+  let rows =
+    measure
+      ~end_time:(if quick then 300 else 600)
+      ~scheduler_counts:(if quick then [ 1; 4 ] else [ 1; 2; 4 ])
+      ()
+  in
+  Report.table ppf
+    ~header:
+      [ "schedulers"; "strategy"; "elapsed (cycles)"; "committed";
+        "rollbacks"; "matches sequential" ]
+    (List.map
+       (fun r ->
+         [
+           Report.fi r.schedulers;
+           State_saving.to_string r.strategy;
+           Report.fi r.elapsed_cycles;
+           Report.fi r.committed;
+           Report.fi r.rollbacks;
+           string_of_bool r.matches_sequential;
+         ])
+       rows);
+  Report.note ppf
+    "PHOLD with 2 KB objects and 90% locality; every configuration \
+     commits the identical sequential execution. 'no-saving' is the \
+     conservative barrier-synchronous engine (idles at every step, never \
+     rolls back); LVM removes the per-event state copies from the \
+     optimistic engine's critical path, and its rollback cost is paid \
+     only by schedulers running ahead (Section 2.4)."

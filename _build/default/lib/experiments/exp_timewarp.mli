@@ -1,0 +1,23 @@
+(** Ablation D: end-to-end TimeWarp with LVM vs copy-based state saving.
+
+    The full optimistic engine (stragglers, anti-messages, GVT, CULT) runs
+    the PHOLD workload with large objects and spatial locality — the
+    sophisticated-simulation regime the paper argues for (Section 2.7) —
+    under both state-saving strategies and several scheduler counts. Both
+    strategies commit the identical sequential execution; the comparison
+    is processor cycles. *)
+
+type row = {
+  schedulers : int;
+  strategy : Lvm_sim.State_saving.t;
+  elapsed_cycles : int;
+  committed : int;
+  rollbacks : int;
+  matches_sequential : bool;
+}
+
+val measure :
+  ?objects:int -> ?object_words:int -> ?end_time:int ->
+  ?scheduler_counts:int list -> unit -> row list
+
+val run : quick:bool -> Format.formatter -> unit

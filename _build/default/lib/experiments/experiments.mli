@@ -1,0 +1,11 @@
+(** Registry of all reproduction experiments. *)
+
+type t = {
+  id : string;  (** Short name for the CLI, e.g. "table2". *)
+  description : string;
+  run : quick:bool -> Format.formatter -> unit;
+}
+
+val all : t list
+val find : string -> t option
+val run_all : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,69 @@
+open Lvm_machine
+open Lvm_vm
+
+type result = {
+  iterations : int;
+  cycles : int;
+  overloads : int;
+  overload_cycles : int;
+}
+
+let seg_bytes = 256 * 1024
+let log_pages = 128
+
+let run ?hw ~iterations ~c ~unlogged ~logged () =
+  let k = Kernel.create ?hw ~frames:512 () in
+  let sp = Kernel.create_space k in
+  (* unlogged target *)
+  let useg = Kernel.create_segment k ~size:seg_bytes in
+  let uregion = Kernel.create_region k useg in
+  let ubase = Kernel.bind k sp uregion in
+  (* logged target *)
+  let lseg = Kernel.create_segment k ~size:seg_bytes in
+  let lregion = Kernel.create_region k lseg in
+  let ls = Kernel.create_log_segment k ~size:(log_pages * Addr.page_size) in
+  Kernel.set_region_log k lregion (Some ls);
+  let lbase = Kernel.bind k sp lregion in
+  (* fault all pages in ahead of the measurement *)
+  for p = 0 to (seg_bytes / Addr.page_size) - 1 do
+    ignore (Kernel.read_word k sp (ubase + (p * Addr.page_size)));
+    ignore (Kernel.read_word k sp (lbase + (p * Addr.page_size)))
+  done;
+  Logger.flush (Machine.logger (Kernel.machine k));
+  let perf = Kernel.perf k in
+  Perf.reset perf;
+  let upos = ref 0 and lpos = ref 0 in
+  let recycle_at = (log_pages - 8) * Addr.page_size in
+  let records = ref 0 in
+  let t0 = Kernel.time k in
+  for i = 0 to iterations - 1 do
+    Kernel.compute k c;
+    for _ = 1 to unlogged do
+      Kernel.write_word k sp (ubase + !upos) i;
+      upos := (!upos + Addr.word_size) mod seg_bytes
+    done;
+    for _ = 1 to logged do
+      Kernel.write_word k sp (lbase + !lpos) i;
+      lpos := (!lpos + Addr.word_size) mod seg_bytes;
+      incr records
+    done;
+    if !records * Log_record.bytes >= recycle_at then begin
+      Kernel.sync_log k ls;
+      Kernel.truncate_log_suffix k ls ~new_end:0;
+      records := 0
+    end
+  done;
+  let cycles = Kernel.time k - t0 in
+  Logger.complete_pending (Machine.logger (Kernel.machine k));
+  {
+    iterations;
+    cycles;
+    overloads = perf.Perf.overloads;
+    overload_cycles = perf.Perf.overload_cycles;
+  }
+
+let per_write r ~c ~writes_per_iter =
+  float_of_int (r.cycles - (c * r.iterations))
+  /. float_of_int (r.iterations * writes_per_iter)
+
+let per_iteration r = float_of_int r.cycles /. float_of_int r.iterations

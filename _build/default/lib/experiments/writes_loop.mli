@@ -1,0 +1,28 @@
+(** The Section 4.5.1 test methodology, shared by Figures 10-12 and the
+    on-chip ablation: run iterations of
+
+    + perform [c] compute cycles,
+    + perform [unlogged] normal write operations,
+    + perform [logged] logged write operations,
+
+    with write addresses increasing so accesses hit in the second-level
+    cache but not generally in the first-level. The log is recycled out of
+    band (the kernel resets the write position when the segment nears its
+    end), standing in for asynchronous CULT, so measurements reflect
+    steady-state logging cost only. *)
+
+type result = {
+  iterations : int;
+  cycles : int;  (** Total elapsed cycles including compute. *)
+  overloads : int;
+  overload_cycles : int;
+}
+
+val run :
+  ?hw:Lvm_machine.Logger.hw -> iterations:int -> c:int -> unlogged:int ->
+  logged:int -> unit -> result
+
+val per_write : result -> c:int -> writes_per_iter:int -> float
+(** Cycles per write with the compute time subtracted out. *)
+
+val per_iteration : result -> float

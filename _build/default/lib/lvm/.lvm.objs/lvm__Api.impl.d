@@ -1,0 +1,1 @@
+lib/lvm/api.ml: Address_space Kernel Lvm_machine Lvm_vm Region Segment

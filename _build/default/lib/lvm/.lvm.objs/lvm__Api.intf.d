@@ -1,0 +1,1 @@
+lib/lvm/api.mli: Lvm_machine Lvm_vm

@@ -1,0 +1,1 @@
+lib/lvm/arena.ml: Addr Kernel Lvm_machine Lvm_vm Region Segment

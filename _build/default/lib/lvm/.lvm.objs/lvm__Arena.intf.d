@@ -1,0 +1,1 @@
+lib/lvm/arena.mli: Lvm_vm

@@ -1,0 +1,1 @@
+lib/lvm/checkpoint.ml: Kernel Log_reader Log_record Lvm_machine Lvm_vm Machine Region Segment

@@ -1,0 +1,1 @@
+lib/lvm/checkpoint.mli: Lvm_machine Lvm_vm

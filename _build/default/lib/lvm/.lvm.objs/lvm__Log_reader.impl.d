@@ -1,0 +1,1 @@
+lib/lvm/log_reader.ml: Addr Bytes Int32 Kernel List Log_record Logger Lvm_machine Lvm_vm Machine Region Segment

@@ -1,0 +1,1 @@
+lib/lvm/log_reader.mli: Lvm_machine Lvm_vm

@@ -1,0 +1,36 @@
+open Lvm_vm
+
+type kernel = Kernel.t
+type segment = Segment.t
+type region = Region.t
+type address_space = Address_space.t
+
+let boot ?hw ?frames ?log_entries () = Kernel.create ?hw ?frames ?log_entries ()
+let address_space k = Kernel.create_space k
+let std_segment ?manager k ~size = Kernel.create_segment ?manager k ~size
+let std_region ?seg_offset ?size k segment =
+  Kernel.create_region ?seg_offset ?size k segment
+
+let bind k space ?vaddr region = Kernel.bind k space ?vaddr region
+
+let log_segment ?mode ?(size = 16 * Lvm_machine.Addr.page_size) k =
+  Kernel.create_log_segment ?mode k ~size
+
+let log k region ls = Kernel.set_region_log k region (Some ls)
+let unlog k region = Kernel.set_region_log k region None
+let set_logging k region enabled = Kernel.set_logging_enabled k region enabled
+let extend_log k ls ~pages = Kernel.extend_log k ls ~pages
+let sync_log k ls = Kernel.sync_log k ls
+
+let source_segment ?(offset = 0) k ~dst ~src =
+  Kernel.declare_source k ~dst ~src ~offset
+
+let reset_deferred_copy k space ~start ~len =
+  Kernel.reset_deferred_copy k space ~start ~len
+
+let read_word k space vaddr = Kernel.read_word k space vaddr
+let write_word k space vaddr v = Kernel.write_word k space vaddr v
+let read k space ~vaddr ~size = Kernel.read k space ~vaddr ~size
+let write k space ~vaddr ~size v = Kernel.write k space ~vaddr ~size v
+let compute k c = Kernel.compute k c
+let time k = Kernel.time k

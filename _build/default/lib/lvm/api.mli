@@ -1,0 +1,77 @@
+(** The logged-virtual-memory application program interface.
+
+    This is the OCaml rendering of the paper's C++ interface (Table 1).
+    The example from Section 2.2, creating a logged region:
+
+    {[
+      let k = Api.boot () in
+      let space = Api.address_space k in
+      let seg_a = Api.std_segment k ~size in        (* new StdSegment(size) *)
+      let reg_r = Api.std_region k seg_a in         (* new StdRegion(seg_a) *)
+      let ls = Api.log_segment k in                 (* new LogSegment() *)
+      Api.log k reg_r ls;                           (* reg_r->log(ls) *)
+      let base = Api.bind k space reg_r in          (* reg_r->bind(as) *)
+      Api.write_word k space (base + 16) 42         (* logged automatically *)
+    ]} *)
+
+type kernel = Lvm_vm.Kernel.t
+type segment = Lvm_vm.Segment.t
+type region = Lvm_vm.Region.t
+type address_space = Lvm_vm.Address_space.t
+
+val boot :
+  ?hw:Lvm_machine.Logger.hw -> ?frames:int -> ?log_entries:int -> unit ->
+  kernel
+(** Bring up a machine and its VM kernel. [hw] selects the prototype bus
+    logger (default) or the on-chip design of Section 4.6. *)
+
+val address_space : kernel -> address_space
+(** Create an address space ([thisProcess()->addressSpace()] analogue). *)
+
+(** {1 Standard virtual memory functions (Table 1, part 1)} *)
+
+val std_segment :
+  ?manager:(segment -> int -> unit) -> kernel -> size:int -> segment
+(** [new StdSegment(size)]; [manager] is the user-level page-fill hook
+    (the SegmentMan argument). *)
+
+val std_region : ?seg_offset:int -> ?size:int -> kernel -> segment -> region
+(** [new StdRegion(segment)]. *)
+
+val bind : kernel -> address_space -> ?vaddr:int -> region -> int
+(** [Region::bind(as, virtAddr)], returning the bound base address. *)
+
+(** {1 Extensions for logging (Table 1, part 2)} *)
+
+val log_segment :
+  ?mode:Lvm_machine.Logger.mode -> ?size:int -> kernel -> segment
+(** [new LogSegment()]. Initial capacity defaults to 16 pages; extend in
+    advance of the logger reaching the end with {!extend_log}. *)
+
+val log : kernel -> region -> segment -> unit
+(** [Region::log(ls)]: log records for all writes to the region appear in
+    [ls]. *)
+
+val unlog : kernel -> region -> unit
+val set_logging : kernel -> region -> bool -> unit
+val extend_log : kernel -> segment -> pages:int -> unit
+val sync_log : kernel -> segment -> unit
+
+(** {1 Extensions for deferred copy (Table 1, part 3)} *)
+
+val source_segment : ?offset:int -> kernel -> dst:segment -> src:segment ->
+  unit
+(** [Segment::sourceSegment(source, offset)]. *)
+
+val reset_deferred_copy : kernel -> address_space -> start:int -> len:int ->
+  unit
+(** [AddressSpace::resetDeferredCopy(start, end)]. *)
+
+(** {1 Access} *)
+
+val read_word : kernel -> address_space -> int -> int
+val write_word : kernel -> address_space -> int -> int -> unit
+val read : kernel -> address_space -> vaddr:int -> size:int -> int
+val write : kernel -> address_space -> vaddr:int -> size:int -> int -> unit
+val compute : kernel -> int -> unit
+val time : kernel -> int

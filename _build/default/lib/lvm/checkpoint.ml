@@ -1,0 +1,63 @@
+open Lvm_machine
+open Lvm_vm
+
+type kernel = Kernel.t
+type segment = Segment.t
+
+let apply_record k ~target ~off (r : Log_record.t) =
+  let paddr = Kernel.paddr_of k target ~off in
+  Machine.write (Kernel.machine k) ~paddr ~size:r.Log_record.size
+    ~mode:Machine.Write_back ~logged:false r.Log_record.value
+
+let roll_forward k ~log ~from ~apply =
+  let len = Log_reader.length k log in
+  let rec go off =
+    if off + Log_record.bytes > len then off
+    else
+      let r = Log_reader.read_at_timed k log ~off in
+      match apply ~off r with
+      | `Continue -> go (off + Log_record.bytes)
+      | `Stop -> off
+  in
+  go from
+
+let rollback k ~space ~working ~working_region ~base ~log ~upto =
+  (* Re-applied updates must not be re-logged (logging is dynamically
+     switchable per region, Section 2.7). *)
+  Kernel.set_logging_enabled k working_region false;
+  Kernel.reset_deferred_copy k space ~start:base
+    ~len:(Region.size working_region);
+  let stop =
+    roll_forward k ~log ~from:0 ~apply:(fun ~off:_ r ->
+        if r.Log_record.pre_image then `Continue
+        else if not (upto r) then `Stop
+        else
+          match Log_reader.locate k r with
+          | Some (seg, off) when Segment.id seg = Segment.id working ->
+            apply_record k ~target:working ~off r;
+            `Continue
+          | Some _ | None -> `Continue)
+  in
+  Kernel.truncate_log_suffix k log ~new_end:stop;
+  Kernel.set_logging_enabled k working_region true
+
+let cult k ~working ~checkpoint ~log ~upto =
+  let applied = ref 0 in
+  let stop =
+    roll_forward k ~log ~from:0 ~apply:(fun ~off:_ r ->
+        if r.Log_record.pre_image then `Continue
+        else if not (upto r) then `Stop
+        else begin
+          (match Log_reader.locate k r with
+          | Some (seg, off) when Segment.id seg = Segment.id working ->
+            apply_record k ~target:checkpoint ~off r;
+            incr applied
+          | Some _ | None -> ());
+          `Continue
+        end)
+  in
+  Kernel.truncate_log k log ~keep_from:stop;
+  !applied
+
+let cult_all k ~working ~checkpoint ~log =
+  cult k ~working ~checkpoint ~log ~upto:(fun _ -> true)

@@ -1,0 +1,69 @@
+open Lvm_machine
+open Lvm_vm
+
+type kernel = Kernel.t
+type segment = Segment.t
+
+let length k ls =
+  Kernel.sync_log k ls;
+  Segment.write_pos ls
+
+let record_count k ls = length k ls / Log_record.bytes
+
+let read_at k ls ~off =
+  let paddr = Kernel.paddr_of k ls ~off in
+  Log_record.decode_from (Machine.mem (Kernel.machine k)) ~paddr
+
+let read_at_timed k ls ~off =
+  let paddr = Kernel.paddr_of k ls ~off in
+  let m = Kernel.machine k in
+  for w = 0 to 3 do
+    ignore (Machine.read m ~paddr:(paddr + (w * Addr.word_size)) ~size:4)
+  done;
+  Log_record.decode_from (Machine.mem m) ~paddr
+
+let map k space ls =
+  if Segment.kind ls <> Segment.Log then
+    invalid_arg "Log_reader.map: not a log segment";
+  let region = Kernel.create_region k ls in
+  Kernel.bind k space region
+
+let read_mapped k space ~base ~off =
+  let word i = Kernel.read_word k space (base + off + (i * Addr.word_size)) in
+  let buf = Bytes.create Log_record.bytes in
+  for i = 0 to 3 do
+    Bytes.set_int32_le buf (i * 4) (Int32.of_int (word i))
+  done;
+  Log_record.decode_bytes buf ~pos:0
+
+let fold k ls ~init ~f =
+  let len = length k ls in
+  let rec go acc off =
+    if off + Log_record.bytes > len then acc
+    else go (f acc ~off (read_at k ls ~off)) (off + Log_record.bytes)
+  in
+  go init 0
+
+let iter k ls ~f = fold k ls ~init:() ~f:(fun () ~off r -> f ~off r)
+
+let to_list k ls =
+  List.rev (fold k ls ~init:[] ~f:(fun acc ~off:_ r -> r :: acc))
+
+let locate k (r : Log_record.t) =
+  match Logger.hw (Machine.logger (Kernel.machine k)) with
+  | Logger.Prototype -> (
+    match
+      Kernel.owner_of_frame k ~frame:(Addr.page_number r.Log_record.addr)
+    with
+    | None -> None
+    | Some (seg, page) ->
+      Some (seg, (page * Addr.page_size) + Addr.page_offset r.Log_record.addr))
+  | Logger.On_chip ->
+    (* on-chip records carry virtual addresses (Section 4.6) *)
+    Kernel.find_mapping k ~vaddr:r.Log_record.addr
+
+let vaddr_in ~base ~region seg off =
+  if Segment.id (Region.segment region) <> Segment.id seg then None
+  else
+    let rel = off - Region.seg_offset region in
+    if rel < 0 || rel >= Region.size region then None else Some (base + rel)

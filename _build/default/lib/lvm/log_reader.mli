@@ -1,0 +1,58 @@
+(** Reading log segments.
+
+    A log segment holds a time-ordered sequence of 16-byte records (earlier
+    writes at lower offsets, Section 2.1). This module parses them, either
+    untimed (for checkers, debuggers attached out-of-band, and tests) or
+    timed (charging the machine's read costs, as an application scanning
+    its own log would).
+
+    Prototype-logger records carry physical addresses; {!locate} translates
+    them back to (segment, offset) through the kernel's frame map, and
+    {!vaddr_in} further maps them into a bound region's virtual range. *)
+
+type kernel = Lvm_vm.Kernel.t
+type segment = Lvm_vm.Segment.t
+
+val length : kernel -> segment -> int
+(** Bytes of records currently in the log (syncs with the logger). *)
+
+val record_count : kernel -> segment -> int
+
+val read_at : kernel -> segment -> off:int -> Lvm_machine.Log_record.t
+(** Untimed parse of the record at byte offset [off]. *)
+
+val read_at_timed : kernel -> segment -> off:int -> Lvm_machine.Log_record.t
+(** As {!read_at} but charging four word reads through the cache model. *)
+
+val map : kernel -> Lvm_vm.Address_space.t -> segment -> int
+(** Bind the log segment into an address space for reading (Section 2.1:
+    "the log segment may also be mapped into the address space, so that
+    the same (or a different) application can read the log records").
+    Returns the base address; parse records with {!read_mapped}. *)
+
+val read_mapped :
+  kernel -> Lvm_vm.Address_space.t -> base:int -> off:int ->
+  Lvm_machine.Log_record.t
+(** Parse the record at byte offset [off] of a log mapped at [base],
+    reading through the address space like any application load. *)
+
+val fold :
+  kernel -> segment -> init:'a ->
+  f:('a -> off:int -> Lvm_machine.Log_record.t -> 'a) -> 'a
+(** Untimed fold over all records in log order. *)
+
+val iter :
+  kernel -> segment -> f:(off:int -> Lvm_machine.Log_record.t -> unit) -> unit
+
+val to_list : kernel -> segment -> Lvm_machine.Log_record.t list
+
+val locate :
+  kernel -> Lvm_machine.Log_record.t -> (Lvm_vm.Segment.t * int) option
+(** Translate a record's address to the owning data segment and byte
+    offset: via the frame map for the prototype logger's physical
+    addresses, via the address spaces for on-chip virtual addresses. *)
+
+val vaddr_in :
+  base:int -> region:Lvm_vm.Region.t -> Lvm_vm.Segment.t -> int -> int option
+(** [vaddr_in ~base ~region seg off] is the virtual address of segment
+    offset [off] within [region] bound at [base], if covered. *)

@@ -1,0 +1,1 @@
+lib/machine/deferred_cache.ml: Addr Bytes Cycles Hashtbl List Perf Physmem

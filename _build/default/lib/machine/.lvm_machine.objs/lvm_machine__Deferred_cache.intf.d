@@ -1,0 +1,1 @@
+lib/machine/deferred_cache.mli: Perf Physmem

@@ -1,0 +1,1 @@
+lib/machine/fifo.ml: Array

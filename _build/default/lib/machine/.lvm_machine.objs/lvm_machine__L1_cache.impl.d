@@ -1,0 +1,1 @@
+lib/machine/l1_cache.ml: Addr Array Bus Cycles Perf

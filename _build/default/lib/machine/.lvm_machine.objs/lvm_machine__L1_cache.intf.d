@@ -1,0 +1,1 @@
+lib/machine/l1_cache.mli: Bus Perf

@@ -1,0 +1,1 @@
+lib/machine/log_record.ml: Bytes Format Int32 Physmem

@@ -1,0 +1,1 @@
+lib/machine/logger.ml: Addr Array Bus Cycles Fifo Log_record Perf Physmem

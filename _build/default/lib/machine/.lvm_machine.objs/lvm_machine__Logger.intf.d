@@ -1,0 +1,1 @@
+lib/machine/logger.mli: Bus Perf Physmem

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Addr Bus Cycles Deferred_cache L1_cache Logger Perf Physmem

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Bus Deferred_cache L1_cache Logger Perf Physmem

@@ -1,0 +1,1 @@
+lib/machine/perf.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/physmem.ml: Addr Bytes Char Int32 List Printf

@@ -1,0 +1,21 @@
+let word_size = 4
+let page_size = 4096
+let line_size = 16
+let words_per_page = page_size / word_size
+let lines_per_page = page_size / line_size
+let words_per_line = line_size / word_size
+let page_number addr = addr lsr 12
+let page_base addr = addr land lnot (page_size - 1)
+let page_offset addr = addr land (page_size - 1)
+let line_base addr = addr land lnot (line_size - 1)
+let line_number addr = addr lsr 4
+let addr_of_page pn = pn lsl 12
+let is_word_aligned addr = addr land (word_size - 1) = 0
+let is_page_aligned addr = addr land (page_size - 1) = 0
+
+let align_up n ~alignment =
+  assert (alignment > 0 && alignment land (alignment - 1) = 0);
+  (n + alignment - 1) land lnot (alignment - 1)
+
+let pages_spanning bytes = (bytes + page_size - 1) / page_size
+let pp ppf addr = Format.fprintf ppf "0x%x" addr

@@ -1,0 +1,49 @@
+(** Address arithmetic for the simulated machine.
+
+    Addresses are byte addresses represented as non-negative [int]s. The
+    machine uses 4-byte words and 4-kilobyte pages, matching the ParaDiGM
+    prototype described in the paper (Section 3.1). *)
+
+val word_size : int
+(** Bytes per machine word (4). *)
+
+val page_size : int
+(** Bytes per page (4096). *)
+
+val line_size : int
+(** Bytes per first-level cache line (16). *)
+
+val words_per_page : int
+val lines_per_page : int
+val words_per_line : int
+
+val page_number : int -> int
+(** [page_number addr] is the page number containing byte address [addr]. *)
+
+val page_base : int -> int
+(** [page_base addr] is the byte address of the start of [addr]'s page. *)
+
+val page_offset : int -> int
+(** [page_offset addr] is [addr]'s offset within its page. *)
+
+val line_base : int -> int
+(** [line_base addr] is the byte address of the start of [addr]'s line. *)
+
+val line_number : int -> int
+(** [line_number addr] is the global line index containing [addr]. *)
+
+val addr_of_page : int -> int
+(** [addr_of_page pn] is the base byte address of page number [pn]. *)
+
+val is_word_aligned : int -> bool
+val is_page_aligned : int -> bool
+
+val align_up : int -> alignment:int -> int
+(** [align_up n ~alignment] rounds [n] up to a multiple of [alignment],
+    which must be a power of two. *)
+
+val pages_spanning : int -> int
+(** [pages_spanning bytes] is the number of pages needed to hold [bytes]. *)
+
+val pp : Format.formatter -> int -> unit
+(** Hexadecimal address printer. *)

@@ -1,0 +1,26 @@
+type track = Cpu | Dma
+
+type t = {
+  mutable cpu_free : int;
+  mutable dma_free : int;
+  perf : Perf.t;
+}
+
+let create perf = { cpu_free = 0; dma_free = 0; perf }
+
+let access t ~track ~now ~cycles =
+  if cycles < 0 then invalid_arg "Bus.access: negative cycles";
+  let free = match track with Cpu -> t.cpu_free | Dma -> t.dma_free in
+  let start = if now > free then now else free in
+  let finish = start + cycles in
+  (match track with
+  | Cpu -> t.cpu_free <- finish
+  | Dma -> t.dma_free <- finish);
+  t.perf.Perf.bus_busy_cycles <- t.perf.Perf.bus_busy_cycles + cycles;
+  finish
+
+let free_at t ~track = match track with Cpu -> t.cpu_free | Dma -> t.dma_free
+
+let reset t =
+  t.cpu_free <- 0;
+  t.dma_free <- 0

@@ -1,0 +1,28 @@
+(** The shared system bus.
+
+    The processor is the high-priority bus master; the logger's record DMA
+    is the lowest-priority master and yields to CPU traffic. We model this
+    as two serialized tracks — CPU transactions (write-throughs, fills,
+    write-backs) never wait for logger DMA, while the logger's drain rate
+    is bounded by its own pipeline and DMA slot. This is what lets the
+    processor outrun the logger and fill its FIFOs (Figures 11 and 12);
+    the residual arbitration interference a burst of logged writes sees is
+    charged separately by the machine ({!Cycles.wt_logger_interference}).
+
+    Each track is a simple serial resource: a request at [now] begins when
+    the track frees and occupies it for [cycles]. *)
+
+type track =
+  | Cpu  (** Processor-initiated transactions. *)
+  | Dma  (** Logger record DMA (low priority). *)
+
+type t
+
+val create : Perf.t -> t
+
+val access : t -> track:track -> now:int -> cycles:int -> int
+(** Book [cycles] on the track at or after [now]; returns the completion
+    time. Records total bus occupancy in the perf counters. *)
+
+val free_at : t -> track:track -> int
+val reset : t -> unit

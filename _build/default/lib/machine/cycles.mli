@@ -1,0 +1,117 @@
+(** Cycle-cost model of the ParaDiGM prototype.
+
+    All performance results in the paper are reported in 25 MHz CPU cycles
+    (one cycle is 40 ns). The constants below reproduce Table 2 of the paper
+    exactly and calibrate the secondary costs (fault handling, overload
+    recovery, deferred-copy reset) so that the derived results land in the
+    paper's bands: logger overload onset near one logged write per ~27
+    compute cycles, [reset_deferred_copy] vs [bcopy] crossover near 2/3
+    dirty, and an overload penalty above 30,000 cycles. *)
+
+val cpu_mhz : int
+(** CPU clock in MHz (25). *)
+
+val timestamp_divider : int
+(** The logger timestamps records with a 6.25 MHz counter, i.e. the CPU
+    cycle count divided by this (4). *)
+
+(** {1 Table 2: basic machine operations} *)
+
+val word_write_through_total : int
+(** Total CPU cycles for a word write in write-through mode (6). *)
+
+val word_write_through_bus : int
+(** Bus cycles occupied by a word write-through (5). *)
+
+val cache_block_write_total : int
+(** Total cycles to transfer a 16-byte first-level cache block over the
+    bus (9). Used for write-backs and line fills. *)
+
+val cache_block_write_bus : int
+(** Bus cycles of a cache block transfer (8). *)
+
+val log_record_dma_total : int
+(** Total logger cycles to DMA one 16-byte log record to memory (18). *)
+
+val log_record_dma_bus : int
+(** Bus cycles of a log-record DMA (8). *)
+
+(** {1 First-level cache} *)
+
+val l1_hit : int
+(** Cycles for a first-level cache hit (read or write-back-mode write). *)
+
+val l1_fill_total : int
+(** Total cycles to fill a first-level line from the second-level cache;
+    same bus transaction as a block write. *)
+
+val l1_fill_bus : int
+
+(** {1 Logger internals} *)
+
+val logger_lookup : int
+(** Logger cycles to look up the page mapping table and log table and to
+    form a 16-byte record, before the DMA proper. Together with
+    {!log_record_dma_total} this sets the logger's per-record service time
+    and hence the overload onset (Section 4.5.3). *)
+
+val wt_logger_interference : int
+(** Extra CPU cycles a logged write pays when the logger is still
+    draining earlier records: bus-arbitration interference that makes
+    bursts of logged writes slower per write (Figure 10). *)
+
+val logger_fifo_capacity : int
+(** Entries held by the logger FIFOs (819). *)
+
+val logger_fifo_threshold : int
+(** Occupancy at which the logger raises the overload interrupt (512). *)
+
+val overload_suspend : int
+(** Kernel cycles to field the overload interrupt and suspend every process
+    that might be generating log data, plus the later resume. The total
+    overload penalty is this plus the FIFO drain time; the paper reports
+    more than 30,000 cycles per overload event (Section 4.5.3). *)
+
+val logging_fault : int
+(** Kernel cycles to service a logging fault (page-mapping-table reload or
+    log-table extension, Section 3.2). *)
+
+val page_fault : int
+(** Kernel cycles to service an ordinary page fault, excluding any I/O. *)
+
+val context_switch : int
+(** Kernel cycles to switch address spaces, including unloading logger
+    table state belonging to the outgoing process (Section 3.1.2). *)
+
+val page_in : int
+(** Kernel cycles to fill a frame from a segment's backing store (paging
+    I/O on a RAM-disk-class device, excluding rotational latency). *)
+
+val page_out : int
+(** Kernel cycles to write a frame back to the backing store. *)
+
+val page_remap : int
+(** Kernel cycles to re-point one page mapping (the Li/Appel restore
+    primitive: reset the mapping to the checkpoint copy, Section 5.1). *)
+
+val write_protect_fault : int
+(** Kernel cycles for a write-protection fault, used by the Li/Appel
+    page-protect checkpointing baseline (Section 5.1: over 3,000 cycles
+    including completing the write and logging the data). *)
+
+(** {1 Deferred copy (Section 3.3)} *)
+
+val dc_reset_per_page : int
+(** Cycles per page of [reset_deferred_copy] spent checking the per-page
+    dirty bit and re-pointing the software mapping. *)
+
+val dc_reset_per_dirty_line : int
+(** Cycles per second-level cache line of a dirty page: reset the line's
+    source address and invalidate it if modified. 256 lines per page. *)
+
+val bcopy_per_word : int
+(** Amortized CPU cycles per word of [bcopy] between two segments resident
+    in the second-level cache (read miss stream plus write stream). *)
+
+val bcopy_base : int
+(** Fixed per-call overhead of [bcopy]. *)

@@ -1,0 +1,73 @@
+type page_state = {
+  src_addr : int; (* source address of the page's first line *)
+  modified : Bytes.t; (* one byte per line: 0 = from source, 1 = modified *)
+  mutable dirty : bool;
+}
+
+type t = {
+  pages : (int, page_state) Hashtbl.t; (* dst page number -> state *)
+  mem : Physmem.t;
+  perf : Perf.t;
+}
+
+let create mem perf = { pages = Hashtbl.create 64; mem; perf }
+
+let map t ~dst_page ~src_addr =
+  if src_addr land (Addr.line_size - 1) <> 0 then
+    invalid_arg "Deferred_cache.map: source address must be line-aligned";
+  Hashtbl.replace t.pages dst_page
+    { src_addr; modified = Bytes.make Addr.lines_per_page '\000';
+      dirty = false }
+
+let unmap t ~dst_page = Hashtbl.remove t.pages dst_page
+let is_mapped t ~dst_page = Hashtbl.mem t.pages dst_page
+
+let page_dirty t ~dst_page =
+  match Hashtbl.find_opt t.pages dst_page with
+  | None -> false
+  | Some st -> st.dirty
+
+let line_index paddr = Addr.page_offset paddr / Addr.line_size
+
+let resolve_read t ~paddr =
+  match Hashtbl.find_opt t.pages (Addr.page_number paddr) with
+  | None -> paddr
+  | Some st ->
+    let li = line_index paddr in
+    if Bytes.get st.modified li <> '\000' then paddr
+    else st.src_addr + (li * Addr.line_size) + (paddr land (Addr.line_size - 1))
+
+let note_write t ~paddr =
+  match Hashtbl.find_opt t.pages (Addr.page_number paddr) with
+  | None -> ()
+  | Some st ->
+    let li = line_index paddr in
+    if Bytes.get st.modified li = '\000' then begin
+      (* First write to this line: load it from the source so partial
+         writes merge with the checkpointed bytes. *)
+      let dst_line = Addr.line_base paddr in
+      let src_line = st.src_addr + (li * Addr.line_size) in
+      Physmem.blit t.mem ~src:src_line ~dst:dst_line ~len:Addr.line_size;
+      Bytes.set st.modified li '\001';
+      st.dirty <- true
+    end
+
+let reset_page t ~dst_page ~was_dirty =
+  t.perf.Perf.dc_pages_scanned <- t.perf.Perf.dc_pages_scanned + 1;
+  match Hashtbl.find_opt t.pages dst_page with
+  | None ->
+    was_dirty := false;
+    Cycles.dc_reset_per_page
+  | Some st ->
+    was_dirty := st.dirty;
+    if st.dirty then begin
+      t.perf.Perf.dc_pages_dirty <- t.perf.Perf.dc_pages_dirty + 1;
+      Bytes.fill st.modified 0 Addr.lines_per_page '\000';
+      st.dirty <- false;
+      Cycles.dc_reset_per_page
+      + (Addr.lines_per_page * Cycles.dc_reset_per_dirty_line)
+    end
+    else Cycles.dc_reset_per_page
+
+let mapped_pages t =
+  Hashtbl.fold (fun pn _ acc -> pn :: acc) t.pages [] |> List.sort compare

@@ -1,0 +1,34 @@
+(** Bounded FIFO with timestamped drain, modelling the logger's hardware
+    FIFOs.
+
+    Each entry carries the cycle at which the logger finishes servicing it
+    (its drain time). Occupancy at a given instant is the number of entries
+    whose drain time is still in the future, which is exactly what the
+    hardware threshold comparator sees. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val drain_until : t -> now:int -> unit
+(** Drop every entry whose drain time is at or before [now]. *)
+
+val occupancy : t -> now:int -> int
+(** Entries still queued at time [now] (drains first). *)
+
+val push : t -> drain_time:int -> unit
+(** Enqueue an entry that the logger will finish servicing at
+    [drain_time]. @raise Invalid_argument if the FIFO is physically full
+    (more than [capacity] undrained entries), which the logger must prevent
+    via its overload interrupt. *)
+
+val last_drain_time : t -> int
+(** Drain time of the most recently pushed entry, or 0 if none was ever
+    pushed. This is when the FIFO becomes empty if nothing else arrives. *)
+
+val head_drain_time : t -> int option
+(** Drain time of the oldest still-queued entry, if any. *)
+
+val clear : t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  addr : int;
+  value : int;
+  size : int;
+  timestamp : int;
+  pre_image : bool;
+}
+
+let bytes = 16
+let pre_image_flag = 0x100
+
+let encode_bytes buf ~pos t =
+  Bytes.set_int32_le buf pos (Int32.of_int (t.addr land 0xFFFFFFFF));
+  Bytes.set_int32_le buf (pos + 4) (Int32.of_int (t.value land 0xFFFFFFFF));
+  Bytes.set_int32_le buf (pos + 8)
+    (Int32.of_int
+       ((t.size land 0xFF) lor (if t.pre_image then pre_image_flag else 0)));
+  Bytes.set_int32_le buf (pos + 12) (Int32.of_int (t.timestamp land 0xFFFFFFFF))
+
+let decode_bytes buf ~pos =
+  let word off = Int32.to_int (Bytes.get_int32_le buf (pos + off)) land 0xFFFFFFFF in
+  let size_field = word 8 in
+  { addr = word 0; value = word 4; size = size_field land 0xFF;
+    timestamp = word 12; pre_image = size_field land pre_image_flag <> 0 }
+
+let scratch = Bytes.create bytes
+
+let encode_to mem ~paddr t =
+  encode_bytes scratch ~pos:0 t;
+  Physmem.blit_of_bytes mem scratch ~pos:0 ~dst:paddr ~len:bytes
+
+let decode_from mem ~paddr =
+  Physmem.blit_to_bytes mem ~src:paddr scratch ~pos:0 ~len:bytes;
+  decode_bytes scratch ~pos:0
+
+let equal a b =
+  a.addr = b.addr && a.value = b.value && a.size = b.size
+  && a.timestamp = b.timestamp && a.pre_image = b.pre_image
+
+let pp ppf t =
+  Format.fprintf ppf "{addr=0x%x value=0x%x size=%d ts=%d%s}" t.addr t.value
+    t.size t.timestamp (if t.pre_image then " pre" else "")

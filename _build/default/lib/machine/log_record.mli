@@ -1,0 +1,37 @@
+(** The 16-byte log record wire format produced by the logger hardware.
+
+    A record holds the data address written, the value written there, the
+    size of the write, and a timestamp from the logger's 6.25 MHz counter
+    (Section 3.1). Records are DMA'ed into log segment pages back to back,
+    earlier writes at lower offsets, so user code reads logs by parsing
+    this format straight out of memory. *)
+
+type t = {
+  addr : int;  (** Data address written. Physical in the prototype logger;
+                   virtual with on-chip logging (Section 4.6). *)
+  value : int;  (** Value written (low [8 * size] bits significant). *)
+  size : int;  (** Write size in bytes: 1, 2 or 4. *)
+  timestamp : int;  (** 6.25 MHz counter value, i.e. CPU cycles / 4. *)
+  pre_image : bool;
+      (** Section 4.6's optional extension: when the on-chip logger is
+          configured to record "the memory data before the write", each
+          store emits a flagged pre-image record (carrying the old value)
+          immediately before the ordinary record. Pre-images enable
+          constant-time reverse execution; every state-reconstruction
+          reader must skip them. Encoded as bit 8 of the size word. *)
+}
+
+val bytes : int
+(** Size of an encoded record (16). *)
+
+val encode_to : Physmem.t -> paddr:int -> t -> unit
+(** Store the record at physical address [paddr]. *)
+
+val decode_from : Physmem.t -> paddr:int -> t
+(** Parse the record at physical address [paddr]. *)
+
+val encode_bytes : Bytes.t -> pos:int -> t -> unit
+val decode_bytes : Bytes.t -> pos:int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,278 @@
+type hw = Prototype | On_chip
+type mode = Normal | Direct_mapped | Indexed
+
+type fault =
+  | Pmt_miss of { paddr : int }
+  | Log_addr_invalid of { log_index : int }
+
+type fault_outcome = Fixed | Drop
+
+type pmt_entry = { mutable p_valid : bool; mutable tag : int;
+                   mutable log_index : int }
+
+type log_entry = { mutable l_valid : bool; mutable l_mode : mode;
+                   mutable next_addr : int }
+
+(* A snooped write entering the logger pipeline. *)
+type raw = {
+  w_paddr : int;
+  w_vaddr : int;
+  w_size : int;
+  w_value : int;
+  w_arrival : int;
+  w_timestamp : int;
+  w_pre_image : bool;
+}
+
+type t = {
+  hw : hw;
+  record_old_values : bool;
+  pmt : pmt_entry array;
+  pmt_bits : int;
+  table : log_entry array;
+  fifo : Fifo.t; (* snooped entries awaiting DMA completion *)
+  onchip_buffer : int;
+  clock : int ref;
+  mem : Physmem.t;
+  bus : Bus.t;
+  perf : Perf.t;
+  mutable free_at : int; (* logger pipeline availability *)
+  mutable enabled : bool;
+  mutable on_fault : fault -> fault_outcome;
+  mutable snoop_observer :
+    (paddr:int -> vaddr:int -> size:int -> value:int -> unit) option;
+}
+
+let create ?(hw = Prototype) ?(record_old_values = false) ?(pmt_bits = 15)
+    ?(log_entries = 64) ~clock mem bus perf =
+  if pmt_bits < 2 || pmt_bits > 20 then invalid_arg "Logger.create: pmt_bits";
+  if log_entries <= 0 then invalid_arg "Logger.create: log_entries";
+  if record_old_values && hw <> On_chip then
+    invalid_arg "Logger.create: old-value records need on-chip logging";
+  {
+    hw;
+    record_old_values;
+    pmt =
+      Array.init (1 lsl pmt_bits) (fun _ ->
+          { p_valid = false; tag = 0; log_index = 0 });
+    pmt_bits;
+    table =
+      Array.init log_entries (fun _ ->
+          { l_valid = false; l_mode = Normal; next_addr = 0 });
+    fifo = Fifo.create ~capacity:Cycles.logger_fifo_capacity;
+    onchip_buffer = 8;
+    clock;
+    mem;
+    bus;
+    perf;
+    free_at = 0;
+    enabled = true;
+    on_fault = (fun _ -> Drop);
+    snoop_observer = None;
+  }
+
+let hw t = t.hw
+let records_old_values t = t.record_old_values
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+let set_fault_handler t f = t.on_fault <- f
+let set_snoop_observer t f = t.snoop_observer <- f
+let log_entries t = Array.length t.table
+let slot t page = page land ((1 lsl t.pmt_bits) - 1)
+let tag_of t page = page lsr t.pmt_bits
+
+let load_pmt t ~page ~log_index =
+  if log_index < 0 || log_index >= Array.length t.table then
+    invalid_arg "Logger.load_pmt: bad log index";
+  let e = t.pmt.(slot t page) in
+  e.p_valid <- true;
+  e.tag <- tag_of t page;
+  e.log_index <- log_index
+
+let pmt_lookup t ~page =
+  let e = t.pmt.(slot t page) in
+  if e.p_valid && e.tag = tag_of t page then Some e.log_index else None
+
+let invalidate_pmt t ~page =
+  let e = t.pmt.(slot t page) in
+  if e.p_valid && e.tag = tag_of t page then e.p_valid <- false
+
+let set_log_entry t ~index ~mode ~addr =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg "Logger.set_log_entry: bad index";
+  let e = t.table.(index) in
+  e.l_valid <- true;
+  e.l_mode <- mode;
+  e.next_addr <- addr
+
+let invalidate_log_entry t ~index =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg "Logger.invalidate_log_entry: bad index";
+  t.table.(index).l_valid <- false
+
+let log_entry t ~index =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg "Logger.log_entry: bad index";
+  let e = t.table.(index) in
+  if e.l_valid then Some (e.l_mode, e.next_addr) else None
+
+(* Field a logging fault: the logger suspends while the kernel repairs its
+   tables, which costs CPU time. *)
+let fault t f =
+  (match f with
+  | Pmt_miss _ ->
+    t.perf.Perf.logging_faults_pmt <- t.perf.Perf.logging_faults_pmt + 1
+  | Log_addr_invalid _ ->
+    t.perf.Perf.logging_faults_log_addr <-
+      t.perf.Perf.logging_faults_log_addr + 1);
+  t.clock := !(t.clock) + Cycles.logging_fault;
+  t.on_fault f
+
+(* Emit the record bytes at [addr] and advance the log table entry,
+   invalidating it on page crossing. *)
+let emit t entry ~record_addr ~paddr ~vaddr ~size ~value ~timestamp
+    ~pre_image =
+  let logged_addr = match t.hw with Prototype -> paddr | On_chip -> vaddr in
+  match entry.l_mode with
+  | Normal ->
+    Log_record.encode_to t.mem ~paddr:record_addr
+      { Log_record.addr = logged_addr; value; size; timestamp; pre_image };
+    entry.next_addr <- record_addr + Log_record.bytes;
+    if Addr.page_offset entry.next_addr = 0 then entry.l_valid <- false
+  | Direct_mapped ->
+    let off = Addr.page_offset paddr in
+    Physmem.write_sized t.mem (Addr.page_base record_addr + off) ~size value
+  | Indexed ->
+    Physmem.write_word t.mem record_addr value;
+    entry.next_addr <- record_addr + Addr.word_size;
+    if Addr.page_offset entry.next_addr = 0 then entry.l_valid <- false
+
+(* Run one write FIFO entry through the logger pipeline: table lookups and
+   record formation, then the DMA whose final cycles occupy the bus. *)
+let rec service_one t (w : raw) ~attempts =
+  if attempts > 4 then
+    t.perf.Perf.log_records_lost <- t.perf.Perf.log_records_lost + 1
+  else
+    (* The prototype's page mapping table is keyed by physical page; the
+       on-chip design (Section 4.6) keys its TLB-resident log descriptors
+       by virtual page, which is what makes per-region logs possible. *)
+    let key = match t.hw with Prototype -> w.w_paddr | On_chip -> w.w_vaddr in
+    let page = Addr.page_number key in
+    match pmt_lookup t ~page with
+    | None -> begin
+      match fault t (Pmt_miss { paddr = key }) with
+      | Drop ->
+        t.perf.Perf.log_records_lost <- t.perf.Perf.log_records_lost + 1
+      | Fixed -> service_one t w ~attempts:(attempts + 1)
+    end
+    | Some log_index ->
+      let entry = t.table.(log_index) in
+      if not entry.l_valid then begin
+        match fault t (Log_addr_invalid { log_index }) with
+        | Drop ->
+          t.perf.Perf.log_records_lost <- t.perf.Perf.log_records_lost + 1
+        | Fixed -> service_one t w ~attempts:(attempts + 1)
+      end
+      else begin
+        emit t entry ~record_addr:entry.next_addr ~paddr:w.w_paddr
+          ~vaddr:w.w_vaddr ~size:w.w_size ~value:w.w_value
+          ~timestamp:w.w_timestamp ~pre_image:w.w_pre_image;
+        let start = max w.w_arrival t.free_at in
+        let lookup_done = start + Cycles.logger_lookup in
+        let dma_internal =
+          Cycles.log_record_dma_total - Cycles.log_record_dma_bus
+        in
+        let bus_done =
+          Bus.access t.bus ~track:Bus.Dma ~now:(lookup_done + dma_internal)
+            ~cycles:Cycles.log_record_dma_bus
+        in
+        t.free_at <- bus_done;
+        Fifo.push t.fifo ~drain_time:bus_done;
+        t.perf.Perf.log_records <- t.perf.Perf.log_records + 1;
+        match t.snoop_observer with
+        | Some observe when not w.w_pre_image ->
+          observe ~paddr:w.w_paddr ~vaddr:w.w_vaddr ~size:w.w_size
+            ~value:w.w_value
+        | Some _ | None -> ()
+      end
+
+(* Entries are serviced eagerly at snoop time: the logger's DMA runs on
+   its own low-priority bus track, so its future completion times never
+   delay CPU transactions and can be booked immediately. [advance] and
+   [complete_pending] remain as synchronization points in the interface
+   but have nothing left to do. *)
+let advance _t ~now:_ = ()
+let complete_pending _t = ()
+
+let occupancy_at t ~now = Fifo.occupancy t.fifo ~now
+let occupancy t = occupancy_at t ~now:!(t.clock)
+let drained_at t = max !(t.clock) (Fifo.last_drain_time t.fifo)
+
+let flush t =
+  let target = Fifo.last_drain_time t.fifo in
+  if target > !(t.clock) then t.clock := target;
+  Fifo.drain_until t.fifo ~now:!(t.clock)
+
+let busy t = occupancy_at t ~now:!(t.clock) > 0
+
+(* Check FIFO pressure at [arrival]. In Prototype mode, crossing the
+   threshold raises the overload interrupt: processes are suspended until
+   the FIFOs drain, then pay the kernel suspend/resume overhead. In
+   On_chip mode the processor simply stalls when its small write buffer of
+   pending records is full. *)
+let admit t ~arrival =
+  match t.hw with
+  | Prototype ->
+    if occupancy_at t ~now:arrival >= Cycles.logger_fifo_threshold then begin
+      t.perf.Perf.overloads <- t.perf.Perf.overloads + 1;
+      let drained = max arrival (Fifo.last_drain_time t.fifo) in
+      let resume = drained + Cycles.overload_suspend in
+      t.perf.Perf.overload_cycles <-
+        t.perf.Perf.overload_cycles + (resume - arrival);
+      t.clock := max !(t.clock) resume;
+      Fifo.drain_until t.fifo ~now:!(t.clock)
+    end
+  | On_chip ->
+    if occupancy_at t ~now:!(t.clock) >= t.onchip_buffer then begin
+      while Fifo.occupancy t.fifo ~now:!(t.clock) >= t.onchip_buffer do
+        match Fifo.head_drain_time t.fifo with
+        | None -> ()
+        | Some d -> t.clock := max !(t.clock) d
+      done
+    end
+
+let snoop ?old_value t ~paddr ~vaddr ~size ~value =
+  if t.enabled then begin
+    (* pre-image first, so readers see old value then new value *)
+    (match (t.record_old_values, old_value) with
+    | true, Some old ->
+      let arrival = !(t.clock) in
+      admit t ~arrival;
+      let arrival = max arrival !(t.clock) in
+      service_one t
+        {
+          w_paddr = paddr;
+          w_vaddr = vaddr;
+          w_size = size;
+          w_value = old;
+          w_arrival = arrival;
+          w_timestamp = arrival / Cycles.timestamp_divider;
+          w_pre_image = true;
+        }
+        ~attempts:0
+    | (true | false), _ -> ());
+    let arrival = !(t.clock) in
+    admit t ~arrival;
+    let arrival = max arrival !(t.clock) in
+    service_one t
+      {
+        w_paddr = paddr;
+        w_vaddr = vaddr;
+        w_size = size;
+        w_value = value;
+        w_arrival = arrival;
+        w_timestamp = arrival / Cycles.timestamp_divider;
+        w_pre_image = false;
+      }
+      ~attempts:0
+  end

@@ -1,0 +1,105 @@
+type write_mode = Write_back | Write_through
+
+type t = {
+  mem : Physmem.t;
+  bus : Bus.t;
+  l1 : L1_cache.t;
+  deferred : Deferred_cache.t;
+  logger : Logger.t;
+  perf : Perf.t;
+  clock : int ref;
+}
+
+let create ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
+    ?(log_entries = 64) () =
+  let perf = Perf.create () in
+  let mem = Physmem.create ~frames in
+  let bus = Bus.create perf in
+  let clock = ref 0 in
+  {
+    mem;
+    bus;
+    l1 = L1_cache.create bus perf;
+    deferred = Deferred_cache.create mem perf;
+    logger = Logger.create ~hw ?record_old_values ~log_entries ~clock mem bus
+        perf;
+    perf;
+    clock;
+  }
+
+let mem t = t.mem
+let logger t = t.logger
+let deferred t = t.deferred
+let l1 t = t.l1
+let bus t = t.bus
+let perf t = t.perf
+let clock t = t.clock
+let time t = !(t.clock)
+
+let compute t cycles =
+  if cycles < 0 then invalid_arg "Machine.compute: negative cycles";
+  t.clock := !(t.clock) + cycles
+
+let read t ~paddr ~size =
+  t.clock := L1_cache.read t.l1 ~now:!(t.clock) ~paddr;
+  let actual = Deferred_cache.resolve_read t.deferred ~paddr in
+  Physmem.read_sized t.mem actual ~size
+
+let write t ~paddr ?vaddr ~size ~mode ~logged value =
+  let vaddr = match vaddr with Some v -> v | None -> paddr in
+  (match (mode, logged) with
+  | Write_back, true ->
+    invalid_arg "Machine.write: logged pages must be write-through"
+  | (Write_back | Write_through), _ -> ());
+  (* A logged write issued while the logger is still draining earlier
+     records pays bus-arbitration interference: this is what makes bursts
+     of logged writes cost more per write (Figure 10). *)
+  if logged && Logger.busy t.logger then
+    t.clock := !(t.clock) + Cycles.wt_logger_interference;
+  (* pre-image capture (Section 4.6 option): the old value is available
+     for free during the store on the hardware side *)
+  let old_value =
+    if logged && Logger.records_old_values t.logger then
+      Some (Physmem.read_sized t.mem paddr ~size)
+    else None
+  in
+  (match mode with
+  | Write_through ->
+    t.clock := L1_cache.write_through t.l1 ~now:!(t.clock) ~paddr
+  | Write_back ->
+    t.clock := L1_cache.write_back_mode_write t.l1 ~now:!(t.clock) ~paddr);
+  Deferred_cache.note_write t.deferred ~paddr;
+  Physmem.write_sized t.mem paddr ~size value;
+  if logged then Logger.snoop ?old_value t.logger ~paddr ~vaddr ~size ~value
+
+let bcopy t ~src ~dst ~len =
+  if len < 0 || len mod Addr.word_size <> 0 then
+    invalid_arg "Machine.bcopy: length must be a multiple of the word size";
+  let words = len / Addr.word_size in
+  compute t (Cycles.bcopy_base + (words * Cycles.bcopy_per_word));
+  for i = 0 to words - 1 do
+    let s = src + (i * Addr.word_size) and d = dst + (i * Addr.word_size) in
+    let actual = Deferred_cache.resolve_read t.deferred ~paddr:s in
+    let v = Physmem.read_word t.mem actual in
+    Deferred_cache.note_write t.deferred ~paddr:d;
+    Physmem.write_word t.mem d v
+  done
+
+let dc_map t ~dst_page ~src_addr =
+  Deferred_cache.map t.deferred ~dst_page ~src_addr
+
+let dc_unmap t ~dst_page = Deferred_cache.unmap t.deferred ~dst_page
+
+let dc_reset_page t ~dst_page =
+  let was_dirty = ref false in
+  let cost = Deferred_cache.reset_page t.deferred ~dst_page ~was_dirty in
+  if !was_dirty then L1_cache.invalidate_page t.l1 ~page:dst_page;
+  compute t cost
+
+let dc_page_dirty t ~dst_page = Deferred_cache.page_dirty t.deferred ~dst_page
+
+let read_raw t ~paddr ~size = Physmem.read_sized t.mem paddr ~size
+
+let write_raw t ~paddr ~size value =
+  Deferred_cache.note_write t.deferred ~paddr;
+  Physmem.write_sized t.mem paddr ~size value

@@ -1,0 +1,76 @@
+(** The assembled simulated machine: CPU clock, physical memory, system
+    bus, first-level cache, second-level deferred-copy support and the
+    logger.
+
+    This is the hardware layer that the VM system software ([Lvm_vm])
+    drives. All accesses here are physical; virtual address translation and
+    fault handling live above. The CPU is sequential: [compute] burns
+    cycles, [read]/[write] charge the cache and bus model and perform the
+    access against physical memory, and logged writes are snooped by the
+    logger as a side effect of appearing on the bus. *)
+
+type t
+
+type write_mode =
+  | Write_back  (** Normal copy-back cached page. *)
+  | Write_through
+      (** Page in write-through mode so writes are visible on the bus
+          (required for logged pages, Section 3.2). *)
+
+val create :
+  ?hw:Logger.hw -> ?record_old_values:bool -> ?frames:int ->
+  ?log_entries:int -> unit -> t
+(** [create ()] builds a machine with [frames] physical page frames
+    (default 4096, i.e. 16 MB) and the given logging hardware model
+    (default [Prototype]). [record_old_values] enables the on-chip
+    pre-image records of Section 4.6. *)
+
+val mem : t -> Physmem.t
+val logger : t -> Logger.t
+val deferred : t -> Deferred_cache.t
+val l1 : t -> L1_cache.t
+val bus : t -> Bus.t
+val perf : t -> Perf.t
+val clock : t -> int ref
+
+val time : t -> int
+(** Current CPU cycle count. *)
+
+val compute : t -> int -> unit
+(** Burn the given number of CPU cycles (event processing work). *)
+
+val read : t -> paddr:int -> size:int -> int
+(** Read [size] bytes at [paddr], charging first-level cache timing and
+    resolving deferred-copy source redirection. *)
+
+val write :
+  t -> paddr:int -> ?vaddr:int -> size:int -> mode:write_mode ->
+  logged:bool -> int -> unit
+(** Write [size] bytes at [paddr]. Logged writes must use [Write_through]
+    (the kernel guarantees this; it is enforced here) and are snooped by
+    the logger, with [vaddr] recorded when the hardware logs virtual
+    addresses. *)
+
+val bcopy : t -> src:int -> dst:int -> len:int -> unit
+(** Kernel word-copy loop between physical ranges, charged at its
+    amortized per-word cost. Reads honor deferred-copy redirection and
+    writes update line-modified state; the copy itself is not logged
+    (it is the checkpoint-restore baseline, Section 4.4). [len] must be a
+    multiple of the word size. *)
+
+val dc_map : t -> dst_page:int -> src_addr:int -> unit
+val dc_unmap : t -> dst_page:int -> unit
+
+val dc_reset_page : t -> dst_page:int -> unit
+(** Reset one destination page to its source (Section 3.3): charge the
+    dirty-bit check, and if the page was dirty also the per-line
+    source-address reset, invalidating its first-level lines. *)
+
+val dc_page_dirty : t -> dst_page:int -> bool
+
+val read_raw : t -> paddr:int -> size:int -> int
+(** Uncharged, un-redirected physical read (for checkers and debuggers). *)
+
+val write_raw : t -> paddr:int -> size:int -> int -> unit
+(** Uncharged raw physical write that still updates deferred-copy line
+    state (used to initialize segments without perturbing timing). *)

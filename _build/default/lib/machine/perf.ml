@@ -1,0 +1,69 @@
+type t = {
+  mutable bus_busy_cycles : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l1_write_backs : int;
+  mutable write_throughs : int;
+  mutable log_records : int;
+  mutable log_records_lost : int;
+  mutable logging_faults_pmt : int;
+  mutable logging_faults_log_addr : int;
+  mutable overloads : int;
+  mutable overload_cycles : int;
+  mutable page_faults : int;
+  mutable write_protect_faults : int;
+  mutable dc_resets : int;
+  mutable dc_pages_scanned : int;
+  mutable dc_pages_dirty : int;
+}
+
+let create () =
+  {
+    bus_busy_cycles = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l1_write_backs = 0;
+    write_throughs = 0;
+    log_records = 0;
+    log_records_lost = 0;
+    logging_faults_pmt = 0;
+    logging_faults_log_addr = 0;
+    overloads = 0;
+    overload_cycles = 0;
+    page_faults = 0;
+    write_protect_faults = 0;
+    dc_resets = 0;
+    dc_pages_scanned = 0;
+    dc_pages_dirty = 0;
+  }
+
+let reset t =
+  t.bus_busy_cycles <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.l1_write_backs <- 0;
+  t.write_throughs <- 0;
+  t.log_records <- 0;
+  t.log_records_lost <- 0;
+  t.logging_faults_pmt <- 0;
+  t.logging_faults_log_addr <- 0;
+  t.overloads <- 0;
+  t.overload_cycles <- 0;
+  t.page_faults <- 0;
+  t.write_protect_faults <- 0;
+  t.dc_resets <- 0;
+  t.dc_pages_scanned <- 0;
+  t.dc_pages_dirty <- 0
+
+let copy t = { t with bus_busy_cycles = t.bus_busy_cycles }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>bus_busy_cycles=%d@ l1_hits=%d l1_misses=%d l1_write_backs=%d@ \
+     write_throughs=%d@ log_records=%d lost=%d@ logging_faults pmt=%d \
+     log_addr=%d@ overloads=%d overload_cycles=%d@ page_faults=%d \
+     write_protect_faults=%d@ dc_resets=%d dc_pages scanned=%d dirty=%d@]"
+    t.bus_busy_cycles t.l1_hits t.l1_misses t.l1_write_backs t.write_throughs
+    t.log_records t.log_records_lost t.logging_faults_pmt
+    t.logging_faults_log_addr t.overloads t.overload_cycles t.page_faults
+    t.write_protect_faults t.dc_resets t.dc_pages_scanned t.dc_pages_dirty

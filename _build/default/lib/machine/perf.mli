@@ -1,0 +1,31 @@
+(** Performance counters maintained by the simulated machine.
+
+    Every hardware component increments these as it charges cycles, so the
+    benches can report both elapsed cycles and event counts (log records
+    emitted, overloads taken, faults serviced, ...). *)
+
+type t = {
+  mutable bus_busy_cycles : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l1_write_backs : int;
+  mutable write_throughs : int;
+  mutable log_records : int;
+  mutable log_records_lost : int;
+  mutable logging_faults_pmt : int;
+  mutable logging_faults_log_addr : int;
+  mutable overloads : int;
+  mutable overload_cycles : int;
+  mutable page_faults : int;
+  mutable write_protect_faults : int;
+  mutable dc_resets : int;
+  mutable dc_pages_scanned : int;
+  mutable dc_pages_dirty : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump of all counters. *)

@@ -1,0 +1,93 @@
+type t = {
+  store : Bytes.t;
+  frames : int;
+  mutable free : int list;
+  mutable free_count : int;
+}
+
+exception Out_of_frames
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Physmem.create: frames must be positive";
+  let free = List.init frames (fun i -> i) in
+  { store = Bytes.make (frames * Addr.page_size) '\000'; frames; free;
+    free_count = frames }
+
+let frames t = t.frames
+let bytes t = Bytes.length t.store
+let frames_free t = t.free_count
+
+let zero_frame t fn =
+  Bytes.fill t.store (fn * Addr.page_size) Addr.page_size '\000'
+
+let alloc_frame t =
+  match t.free with
+  | [] -> raise Out_of_frames
+  | fn :: rest ->
+    t.free <- rest;
+    t.free_count <- t.free_count - 1;
+    zero_frame t fn;
+    fn
+
+let alloc_frames t n = List.init n (fun _ -> alloc_frame t)
+
+let free_frame t fn =
+  if fn < 0 || fn >= t.frames then invalid_arg "Physmem.free_frame";
+  t.free <- fn :: t.free;
+  t.free_count <- t.free_count + 1
+
+let check t paddr len =
+  if paddr < 0 || paddr + len > Bytes.length t.store then
+    invalid_arg
+      (Printf.sprintf "Physmem: address 0x%x+%d out of range" paddr len)
+
+let read_word t paddr =
+  check t paddr 4;
+  Int32.to_int (Bytes.get_int32_le t.store paddr) land 0xFFFFFFFF
+
+let write_word t paddr v =
+  check t paddr 4;
+  Bytes.set_int32_le t.store paddr (Int32.of_int (v land 0xFFFFFFFF))
+
+let read_byte t paddr =
+  check t paddr 1;
+  Char.code (Bytes.get t.store paddr)
+
+let write_byte t paddr v =
+  check t paddr 1;
+  Bytes.set t.store paddr (Char.chr (v land 0xFF))
+
+let read_half t paddr =
+  check t paddr 2;
+  Bytes.get_uint16_le t.store paddr
+
+let write_half t paddr v =
+  check t paddr 2;
+  Bytes.set_uint16_le t.store paddr (v land 0xFFFF)
+
+let read_sized t paddr ~size =
+  match size with
+  | 1 -> read_byte t paddr
+  | 2 -> read_half t paddr
+  | 4 -> read_word t paddr
+  | _ -> invalid_arg "Physmem.read_sized: size must be 1, 2 or 4"
+
+let write_sized t paddr ~size v =
+  match size with
+  | 1 -> write_byte t paddr v
+  | 2 -> write_half t paddr v
+  | 4 -> write_word t paddr v
+  | _ -> invalid_arg "Physmem.write_sized: size must be 1, 2 or 4"
+
+let blit t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.store src t.store dst len
+
+let blit_to_bytes t ~src buf ~pos ~len =
+  check t src len;
+  Bytes.blit t.store src buf pos len
+
+let blit_of_bytes t buf ~pos ~dst ~len =
+  check t dst len;
+  Bytes.blit buf pos t.store dst len

@@ -1,0 +1,1 @@
+lib/rvm/ramdisk.ml: Bytes Kernel List Lvm_vm Rvm_costs

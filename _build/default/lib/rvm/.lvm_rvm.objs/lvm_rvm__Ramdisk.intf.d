@@ -1,0 +1,1 @@
+lib/rvm/ramdisk.mli: Bytes Lvm_vm

@@ -1,0 +1,1 @@
+lib/rvm/rlvm.ml: Addr Address_space Bytes Char Int32 Kernel Log_record Lvm Lvm_machine Lvm_vm Ramdisk Region Rvm_costs Segment

@@ -1,0 +1,1 @@
+lib/rvm/rlvm.mli: Lvm_vm Ramdisk

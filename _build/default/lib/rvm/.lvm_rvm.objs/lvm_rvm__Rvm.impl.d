@@ -1,0 +1,1 @@
+lib/rvm/rvm.ml: Address_space Bytes Char Kernel List Lvm_vm Ramdisk Rvm_costs Segment

@@ -1,0 +1,1 @@
+lib/rvm/rvm.mli: Lvm_vm Ramdisk

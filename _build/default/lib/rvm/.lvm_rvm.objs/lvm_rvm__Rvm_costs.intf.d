@@ -1,0 +1,1 @@
+lib/rvm/rvm_costs.mli:

@@ -1,0 +1,81 @@
+open Lvm_vm
+
+type entry =
+  | Data of { txn : int; off : int; bytes : Bytes.t }
+  | Commit of { txn : int }
+
+type t = {
+  k : Kernel.t;
+  image : Bytes.t;
+  mutable wal : entry list; (* newest first *)
+  mutable wal_bytes : int;
+}
+
+let create k ~size =
+  if size <= 0 then invalid_arg "Ramdisk.create: size must be positive";
+  { k; image = Bytes.make size '\000'; wal = []; wal_bytes = 0 }
+
+let size t = Bytes.length t.image
+
+let image_read t ~off ~len =
+  if off < 0 || off + len > size t then invalid_arg "Ramdisk.image_read";
+  Bytes.sub t.image off len
+
+let words bytes = (bytes + 3) / 4
+
+let entry_bytes = function
+  | Data { bytes; _ } -> Bytes.length bytes + 12
+  | Commit _ -> 8
+
+let wal_append t entry =
+  (match entry with
+  | Data { off; bytes; _ } ->
+    if off < 0 || off + Bytes.length bytes > size t then
+      invalid_arg "Ramdisk.wal_append: entry outside image"
+  | Commit _ -> ());
+  let len = entry_bytes entry in
+  Kernel.compute t.k (Rvm_costs.disk_op_overhead
+                      + (words len * Rvm_costs.disk_per_word));
+  t.wal <- entry :: t.wal;
+  t.wal_bytes <- t.wal_bytes + len
+
+let wal_force t = Kernel.compute t.k Rvm_costs.commit_force
+let wal_bytes t = t.wal_bytes
+let entry_count t = List.length t.wal
+
+let should_truncate t = t.wal_bytes > Rvm_costs.truncate_threshold_bytes
+
+let committed_txns wal =
+  List.filter_map (function Commit { txn } -> Some txn | Data _ -> None) wal
+
+let apply_committed image wal =
+  (* [wal] is newest-first; apply in append order. *)
+  let committed = committed_txns wal in
+  List.iter
+    (function
+      | Data { txn; off; bytes } when List.mem txn committed ->
+        Bytes.blit bytes 0 image off (Bytes.length bytes)
+      | Data _ | Commit _ -> ())
+    (List.rev wal)
+
+let truncate t =
+  let applied_words =
+    List.fold_left (fun acc e -> acc + words (entry_bytes e)) 0 t.wal
+  in
+  Kernel.compute t.k (Rvm_costs.truncate_base
+                      + (applied_words * Rvm_costs.truncate_per_word));
+  let committed = committed_txns t.wal in
+  let uncommitted =
+    List.filter
+      (function Data { txn; _ } -> not (List.mem txn committed)
+              | Commit _ -> false)
+      t.wal
+  in
+  apply_committed t.image t.wal;
+  t.wal <- uncommitted;
+  t.wal_bytes <- List.fold_left (fun a e -> a + entry_bytes e) 0 uncommitted
+
+let recovered_image t =
+  let image = Bytes.copy t.image in
+  apply_committed image t.wal;
+  image

@@ -1,0 +1,50 @@
+(** RAM-disk backing store for recoverable memory.
+
+    Holds the persistent image of a recoverable segment plus a write-ahead
+    log of redo records. The TPC-A measurements in the paper use a RAM
+    disk to hold the log (Table 3), so "disk" operations here are charged
+    as driver overhead plus per-word memory copies rather than I/O
+    latencies.
+
+    Crash semantics for testing: {!crash} discards nothing here — the RAM
+    disk {e is} the durable store — while the in-memory recoverable
+    segment is considered lost; {!recovered_image} reconstructs the
+    durable state as of the last committed transaction. *)
+
+type t
+
+type entry =
+  | Data of { txn : int; off : int; bytes : Bytes.t }
+      (** Redo record: new value of [bytes] at image offset [off]. *)
+  | Commit of { txn : int }
+
+val create : Lvm_vm.Kernel.t -> size:int -> t
+(** An all-zero image of [size] bytes. *)
+
+val size : t -> int
+
+val image_read : t -> off:int -> len:int -> Bytes.t
+(** Untimed image read (used at mapping and recovery time). *)
+
+val wal_append : t -> entry -> unit
+(** Append a redo or commit entry, charging driver overhead and the copy. *)
+
+val wal_force : t -> unit
+(** Force the log: the fixed commit-synchronization cost. *)
+
+val wal_bytes : t -> int
+
+val should_truncate : t -> bool
+(** The WAL has grown past the truncation threshold. *)
+
+val truncate : t -> unit
+(** Apply all committed entries to the image and clear the log, charging
+    truncation costs. Uncommitted entries are preserved (there is at most
+    one open transaction). *)
+
+val recovered_image : t -> Bytes.t
+(** The image with every {e committed} WAL entry applied — what recovery
+    after a crash reconstructs. Untimed (recovery time is not part of any
+    reproduced measurement). *)
+
+val entry_count : t -> int

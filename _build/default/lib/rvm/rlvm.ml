@@ -1,0 +1,117 @@
+open Lvm_machine
+open Lvm_vm
+
+exception No_transaction
+exception Transaction_open
+
+type t = {
+  k : Kernel.t;
+  space : Address_space.t;
+  working : Segment.t;
+  committed : Segment.t;
+  region : Region.t;
+  ls : Segment.t;
+  base : int;
+  size : int; (* usable bytes; the txn cell lives at [size] *)
+  disk : Ramdisk.t;
+  mutable current : int option;
+  mutable next_txn : int;
+}
+
+let cell_off t = t.size
+
+let create k space ~size =
+  if size <= 0 || size mod Addr.word_size <> 0 then
+    invalid_arg "Rlvm.create: size must be a positive word multiple";
+  let seg_size = size + Addr.word_size in
+  let working = Kernel.create_segment k ~size:seg_size in
+  let committed = Kernel.create_segment k ~size:seg_size in
+  Kernel.declare_source k ~dst:working ~src:committed ~offset:0;
+  let region = Kernel.create_region k working in
+  let ls = Kernel.create_log_segment k ~size:(32 * Addr.page_size) in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k space region in
+  { k; space; working; committed; region; ls; base; size;
+    disk = Ramdisk.create k ~size; current = None; next_txn = 1 }
+
+let kernel t = t.k
+let base t = t.base
+let size t = t.size
+let disk t = t.disk
+let log_segment t = t.ls
+let in_txn t = t.current <> None
+
+let begin_txn t =
+  if t.current <> None then raise Transaction_open;
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.current <- Some id;
+  (* the special logged location marking the transaction (Section 2.5) *)
+  Kernel.write_word t.k t.space (t.base + cell_off t) id
+
+let check_off t off =
+  if off < 0 || off + 4 > t.size then invalid_arg "Rlvm: offset out of range"
+
+let read_word t ~off =
+  check_off t off;
+  Kernel.read_word t.k t.space (t.base + off)
+
+let write_word t ~off v =
+  if t.current = None then raise No_transaction;
+  check_off t off;
+  Kernel.compute t.k Rvm_costs.rlvm_write_overhead;
+  Kernel.write_word t.k t.space (t.base + off) v
+
+let value_bytes (r : Log_record.t) =
+  let b = Bytes.create r.Log_record.size in
+  (match r.Log_record.size with
+  | 1 -> Bytes.set b 0 (Char.chr (r.Log_record.value land 0xFF))
+  | 2 -> Bytes.set_uint16_le b 0 (r.Log_record.value land 0xFFFF)
+  | _ -> Bytes.set_int32_le b 0 (Int32.of_int r.Log_record.value));
+  b
+
+let commit t =
+  let id = match t.current with None -> raise No_transaction | Some i -> i in
+  (* Build redo records for the write-ahead log straight from the LVM
+     log — the records are already there; no set_range bookkeeping. *)
+  Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
+      match
+        if r.Log_record.pre_image then None else Lvm.Log_reader.locate t.k r
+      with
+      | Some (seg, off)
+        when Segment.id seg = Segment.id t.working && off < t.size ->
+        Ramdisk.wal_append t.disk
+          (Ramdisk.Data { txn = id; off; bytes = value_bytes r })
+      | Some _ | None -> ());
+  Ramdisk.wal_append t.disk (Ramdisk.Commit { txn = id });
+  Ramdisk.wal_force t.disk;
+  (* Fold the transaction into the committed image and truncate the log. *)
+  ignore
+    (Lvm.Checkpoint.cult_all t.k ~working:t.working ~checkpoint:t.committed
+       ~log:t.ls);
+  t.current <- None;
+  Kernel.write_word t.k t.space (t.base + cell_off t) 0;
+  if Ramdisk.should_truncate t.disk then Ramdisk.truncate t.disk
+
+let abort t =
+  if t.current = None then raise No_transaction;
+  Kernel.set_logging_enabled t.k t.region false;
+  Kernel.reset_deferred_copy t.k t.space ~start:t.base
+    ~len:(Region.size t.region);
+  Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
+  Kernel.set_logging_enabled t.k t.region true;
+  t.current <- None;
+  Kernel.write_word t.k t.space (t.base + cell_off t) 0
+
+let crash_and_recover t =
+  t.current <- None;
+  let image = Ramdisk.recovered_image t.disk in
+  Kernel.set_logging_enabled t.k t.region false;
+  Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
+  for off = 0 to t.size - 1 do
+    let byte = Char.code (Bytes.get image off) in
+    Kernel.seg_write_raw t.k t.committed ~off ~size:1 byte;
+    Kernel.seg_write_raw t.k t.working ~off ~size:1 byte
+  done;
+  Kernel.reset_deferred_segment t.k t.working;
+  Kernel.set_logging_enabled t.k t.region true

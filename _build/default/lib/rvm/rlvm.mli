@@ -1,0 +1,45 @@
+(** RLVM: recoverable memory implemented over logged virtual memory
+    (Section 2.5).
+
+    No [set_range] calls are needed: the recoverable segment is a logged
+    region, so every store inside a transaction is recorded automatically
+    by the logger hardware. The transaction identifier is written to a
+    special logged location whenever it changes, which lets the library
+    attribute log records to transactions.
+
+    In-memory transaction semantics use the deferred-copy machinery: the
+    last-committed state is the working segment's deferred-copy source, so
+    abort is [reset_deferred_copy] and commit folds the transaction's log
+    records into the committed image (CULT) while also forcing redo
+    records to the same RAM-disk write-ahead log RVM uses — commit and
+    truncation costs are unchanged by LVM, exactly as the paper reports. *)
+
+type t
+
+exception No_transaction
+exception Transaction_open
+
+val create : Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+(** Map a recoverable segment of [size] usable bytes. One extra word is
+    reserved past [size] for the transaction-identifier cell. *)
+
+val kernel : t -> Lvm_vm.Kernel.t
+val base : t -> int
+val size : t -> int
+val disk : t -> Ramdisk.t
+val log_segment : t -> Lvm_vm.Segment.t
+val in_txn : t -> bool
+
+val begin_txn : t -> unit
+(** One logged write of the transaction id to the special cell. *)
+
+val read_word : t -> off:int -> int
+
+val write_word : t -> off:int -> int -> unit
+(** A plain logged store — no annotation, no old-value copy. *)
+
+val commit : t -> unit
+val abort : t -> unit
+val crash_and_recover : t -> unit
+(** The in-memory working and committed segments are lost; reload the RAM
+    disk's recovered state. *)

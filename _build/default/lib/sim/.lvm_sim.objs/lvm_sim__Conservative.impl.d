@@ -1,0 +1,1 @@
+lib/sim/conservative.ml: Array Event List Lvm_vm Scheduler State_saving

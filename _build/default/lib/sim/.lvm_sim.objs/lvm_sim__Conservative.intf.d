@@ -1,0 +1,1 @@
+lib/sim/conservative.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sim/phold.ml: Scheduler Timewarp

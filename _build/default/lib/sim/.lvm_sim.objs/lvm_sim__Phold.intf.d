@@ -1,0 +1,1 @@
+lib/sim/phold.mli: Scheduler Timewarp

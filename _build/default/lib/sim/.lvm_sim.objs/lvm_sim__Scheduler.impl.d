@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Addr Address_space Event Event_queue Kernel List Log_record Lvm Lvm_machine Lvm_vm Machine Option Region Segment State_saving

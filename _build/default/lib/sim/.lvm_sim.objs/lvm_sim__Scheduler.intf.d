@@ -1,0 +1,1 @@
+lib/sim/scheduler.mli: Event Lvm_machine Lvm_vm State_saving

@@ -1,0 +1,1 @@
+lib/sim/synthetic.ml: Addr Kernel Log_record Logger Lvm_machine Lvm_vm Machine Option Perf Segment State_saving

@@ -1,0 +1,1 @@
+lib/sim/synthetic.mli: Lvm_machine State_saving

@@ -1,0 +1,1 @@
+lib/sim/timewarp.mli: Lvm_machine Scheduler State_saving

@@ -1,0 +1,34 @@
+type t = {
+  time : int;
+  dst : int;
+  payload : int;
+  src : int;
+  send_time : int;
+  uid : int;
+}
+
+type sign = Positive | Negative
+type msg = { sign : sign; event : t }
+
+let compare a b =
+  let c = Int.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.src b.src in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.send_time b.send_time in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.dst b.dst in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.payload b.payload in
+          if c <> 0 then c else Int.compare a.uid b.uid
+
+let anti event = { sign = Negative; event }
+let positive event = { sign = Positive; event }
+
+let pp ppf e =
+  Format.fprintf ppf "@[<h>ev{t=%d %d->%d pay=%d uid=%d}@]" e.time e.src e.dst
+    e.payload e.uid

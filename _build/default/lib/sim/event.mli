@@ -1,0 +1,28 @@
+(** Simulation events and messages.
+
+    Events are totally ordered by receive time with a deterministic,
+    content-based tie-break so that optimistic executions commit the same
+    schedule as a sequential run regardless of interleaving. Anti-messages
+    (TimeWarp cancellation) carry the unique id of the positive event they
+    annihilate. *)
+
+type t = {
+  time : int;  (** Receive virtual time. *)
+  dst : int;  (** Global destination object id. *)
+  payload : int;
+  src : int;  (** Sending object id, or -1 for initial events. *)
+  send_time : int;
+  uid : int;  (** Engine-unique id, shared by an event and its anti. *)
+}
+
+type sign = Positive | Negative
+
+type msg = { sign : sign; event : t }
+
+val compare : t -> t -> int
+(** Order by (time, src, send_time, dst, payload, uid): deterministic
+    under any delivery interleaving of distinct events. *)
+
+val anti : t -> msg
+val positive : t -> msg
+val pp : Format.formatter -> t -> unit

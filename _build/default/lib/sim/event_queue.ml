@@ -1,0 +1,22 @@
+module S = Set.Make (struct
+  type t = Event.t
+
+  let compare = Event.compare
+end)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let size = S.cardinal
+let add t e = S.add e t
+let min t = S.min_elt_opt t
+let remove_min t = match S.min_elt_opt t with None -> t | Some e -> S.remove e t
+
+let remove_uid t ~uid =
+  match S.to_seq t |> Seq.find (fun e -> e.Event.uid = uid) with
+  | None -> None
+  | Some e -> Some (e, S.remove e t)
+
+let min_time t = Option.map (fun e -> e.Event.time) (S.min_elt_opt t)
+let to_list t = S.elements t

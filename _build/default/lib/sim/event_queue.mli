@@ -1,0 +1,18 @@
+(** Pending-event set of a scheduler: ordered by {!Event.compare}, with
+    removal by unique id for anti-message annihilation. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val size : t -> int
+val add : t -> Event.t -> t
+val min : t -> Event.t option
+val remove_min : t -> t
+
+val remove_uid : t -> uid:int -> (Event.t * t) option
+(** Remove the event with the given uid, if present. *)
+
+val min_time : t -> int option
+val to_list : t -> Event.t list
+(** Ascending order. *)

@@ -1,0 +1,446 @@
+open Lvm_machine
+open Lvm_vm
+
+type stats = {
+  mutable events_processed : int;
+  mutable events_committed : int;
+  mutable rollbacks : int;
+  mutable anti_messages_sent : int;
+  mutable annihilations : int;
+  mutable stragglers : int;
+}
+
+type ctx = {
+  self : int;
+  now : int;
+  read : int -> int;
+  write : int -> int -> unit;
+  send : dst:int -> delay:int -> payload:int -> unit;
+  compute : int -> unit;
+}
+
+type app = {
+  n_objects : int;
+  object_words : int;
+  init_word : obj:int -> word:int -> int;
+  handle : ctx -> payload:int -> unit;
+}
+
+type processed = {
+  event : Event.t;
+  sent : Event.t list; (* send order *)
+  save_off : int; (* copy-based: slot holding the pre-state of the event's
+                     object in the save area *)
+}
+
+type t = {
+  id : int;
+  n_schedulers : int;
+  strategy : State_saving.t;
+  app : app;
+  k : Kernel.t;
+  space : Address_space.t;
+  working : Segment.t;
+  checkpoint : Segment.t;
+  region : Region.t;
+  base : int;
+  ls : Segment.t option;
+  save_seg : Segment.t option;
+  save_slots : int; (* capacity of the save area, in object-sized slots *)
+  mutable save_free : int list; (* recycled slots *)
+  mutable save_next : int; (* high-water mark *)
+  lvt_cell_off : int;
+  n_local : int;
+  mutable lvt : int;
+  mutable checkpoint_time : int;
+  mutable queue : Event_queue.t;
+  mutable processed : processed list; (* newest first *)
+  mutable outbox : (int * Event.msg) list; (* newest first *)
+  mutable anti_pending : Event.t list;
+  mutable sending : Event.t list; (* reversed send buffer of current event *)
+  fresh_uid : unit -> int;
+  stats : stats;
+}
+
+let local_of t obj =
+  assert (obj mod t.n_schedulers = t.id);
+  obj / t.n_schedulers
+
+let obj_off t obj = local_of t obj * t.app.object_words * Addr.word_size
+
+let create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid () =
+  if n_schedulers <= 0 then invalid_arg "Scheduler.create: n_schedulers";
+  if strategy = State_saving.Page_protect then
+    invalid_arg
+      "Scheduler.create: page-protect checkpointing has no per-event \
+       rollback; use it with Synthetic only";
+  let k = Kernel.create ?hw ~frames:8192 () in
+  let space = Kernel.create_space k in
+  let n_local =
+    (app.n_objects / n_schedulers)
+    + if id < app.n_objects mod n_schedulers then 1 else 0
+  in
+  let state_bytes = n_local * app.object_words * Addr.word_size in
+  let seg_size = state_bytes + Addr.word_size in
+  let working = Kernel.create_segment k ~size:seg_size in
+  let checkpoint = Kernel.create_segment k ~size:seg_size in
+  (* initialize the checkpoint image *)
+  for local = 0 to n_local - 1 do
+    let obj = (local * n_schedulers) + id in
+    for word = 0 to app.object_words - 1 do
+      Kernel.seg_write_raw k checkpoint
+        ~off:(((local * app.object_words) + word) * Addr.word_size)
+        ~size:4
+        (app.init_word ~obj ~word land 0xFFFFFFFF)
+    done
+  done;
+  Kernel.declare_source k ~dst:working ~src:checkpoint ~offset:0;
+  let region = Kernel.create_region k working in
+  let ls =
+    match strategy with
+    | State_saving.Lvm_based ->
+      let ls = Kernel.create_log_segment k ~size:(64 * Addr.page_size) in
+      Kernel.set_region_log k region (Some ls);
+      Some ls
+    | State_saving.Copy_based | State_saving.Page_protect
+    | State_saving.No_saving -> None
+  in
+  let base = Kernel.bind k space region in
+  let save_seg, save_bytes =
+    match strategy with
+    | State_saving.Copy_based ->
+      let bytes =
+        Addr.align_up
+          (max (256 * app.object_words * Addr.word_size) (64 * Addr.page_size))
+          ~alignment:Addr.page_size
+      in
+      (Some (Kernel.create_segment k ~size:bytes), bytes)
+    | State_saving.Lvm_based | State_saving.Page_protect
+    | State_saving.No_saving -> (None, 0)
+  in
+  {
+    id;
+    n_schedulers;
+    strategy;
+    app;
+    k;
+    space;
+    working;
+    checkpoint;
+    region;
+    base;
+    ls;
+    save_seg;
+    save_slots = save_bytes / (max 1 (app.object_words * Addr.word_size));
+    save_free = [];
+    save_next = 0;
+    lvt_cell_off = state_bytes;
+    n_local;
+    lvt = 0;
+    checkpoint_time = 0;
+    queue = Event_queue.empty;
+    processed = [];
+    outbox = [];
+    anti_pending = [];
+    sending = [];
+    fresh_uid;
+    stats =
+      {
+        events_processed = 0;
+        events_committed = 0;
+        rollbacks = 0;
+        anti_messages_sent = 0;
+        annihilations = 0;
+        stragglers = 0;
+      };
+  }
+
+let id t = t.id
+let kernel t = t.k
+let time t = Kernel.time t.k
+let lvt t = t.lvt
+let stats t = t.stats
+let owns t obj = obj >= 0 && obj < t.app.n_objects && obj mod t.n_schedulers = t.id
+let queue_empty t = Event_queue.is_empty t.queue
+let min_pending_time t = Event_queue.min_time t.queue
+let enqueue t ev = t.queue <- Event_queue.add t.queue ev
+
+(* {1 State restoration} *)
+
+let is_marker t (r : Log_record.t) =
+  match Lvm.Log_reader.locate t.k r with
+  | Some (seg, off) ->
+    Segment.id seg = Segment.id t.working && off = t.lvt_cell_off
+  | None -> false
+
+let restore_lvm t ~target =
+  let ls = Option.get t.ls in
+  Kernel.set_logging_enabled t.k t.region false;
+  Kernel.reset_deferred_copy t.k t.space ~start:t.base
+    ~len:(Region.size t.region);
+  let stop =
+    Lvm.Checkpoint.roll_forward t.k ~log:ls ~from:0 ~apply:(fun ~off:_ r ->
+        if r.Log_record.pre_image then `Continue
+        else if is_marker t r && r.Log_record.value >= target then `Stop
+        else
+          match Lvm.Log_reader.locate t.k r with
+          | Some (seg, off) when Segment.id seg = Segment.id t.working ->
+            Lvm.Checkpoint.apply_record t.k ~target:t.working ~off r;
+            `Continue
+          | Some _ | None -> `Continue)
+  in
+  Kernel.truncate_log_suffix t.k ls ~new_end:stop;
+  Kernel.set_logging_enabled t.k t.region true
+
+let free_save_slot t p =
+  if t.strategy = State_saving.Copy_based then
+    t.save_free <- p.save_off :: t.save_free
+
+let restore_copy t p =
+  let seg = Option.get t.save_seg in
+  let len = t.app.object_words * Addr.word_size in
+  let src = Kernel.paddr_of t.k seg ~off:(p.save_off * len) in
+  let dst = Kernel.paddr_of t.k t.working ~off:(obj_off t p.event.Event.dst) in
+  Machine.bcopy (Kernel.machine t.k) ~src ~dst ~len;
+  free_save_slot t p
+
+(* {1 Rollback} *)
+
+let rollback t ~target =
+  t.stats.rollbacks <- t.stats.rollbacks + 1;
+  let undone, kept =
+    List.partition (fun p -> p.event.Event.time >= target) t.processed
+  in
+  t.processed <- kept;
+  (match t.strategy with
+  | State_saving.Lvm_based -> restore_lvm t ~target
+  | State_saving.Copy_based -> List.iter (restore_copy t) undone
+  | State_saving.No_saving ->
+    invalid_arg "Scheduler: rollback without state saving (conservative \
+                 schedulers must never receive stragglers)"
+  | State_saving.Page_protect -> assert false);
+  (* re-enqueue the undone input events *)
+  List.iter (fun p -> t.queue <- Event_queue.add t.queue p.event) undone;
+  (* cancel their outputs *)
+  let self_antis = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (ev : Event.t) ->
+          t.stats.anti_messages_sent <- t.stats.anti_messages_sent + 1;
+          let dst_sched = ev.Event.dst mod t.n_schedulers in
+          if dst_sched = t.id then self_antis := ev :: !self_antis
+          else t.outbox <- (dst_sched, Event.anti ev) :: t.outbox)
+        p.sent)
+    undone;
+  List.iter
+    (fun (ev : Event.t) ->
+      match Event_queue.remove_uid t.queue ~uid:ev.Event.uid with
+      | Some (_, q) ->
+        t.queue <- q;
+        t.stats.annihilations <- t.stats.annihilations + 1
+      | None ->
+        (* A self-destined event is either pending or was undone and
+           re-enqueued above; it must be present. *)
+        assert false)
+    !self_antis;
+  t.lvt <-
+    (match kept with
+    | p :: _ -> p.event.Event.time
+    | [] -> t.checkpoint_time)
+
+(* {1 Receiving} *)
+
+let receive t msg =
+  let ev = msg.Event.event in
+  if not (owns t ev.Event.dst) then
+    invalid_arg "Scheduler.receive: object not owned by this scheduler";
+  match msg.Event.sign with
+  | Event.Positive ->
+    (* A tie in virtual time also rolls back: committed order must follow
+       the deterministic event order even among equal-time events, or the
+       optimistic run could diverge from the sequential one. *)
+    if ev.Event.time <= t.lvt then begin
+      t.stats.stragglers <- t.stats.stragglers + 1;
+      rollback t ~target:ev.Event.time
+    end;
+    if List.exists (fun (a : Event.t) -> a.Event.uid = ev.Event.uid)
+        t.anti_pending
+    then begin
+      t.anti_pending <-
+        List.filter (fun (a : Event.t) -> a.Event.uid <> ev.Event.uid)
+          t.anti_pending;
+      t.stats.annihilations <- t.stats.annihilations + 1
+    end
+    else t.queue <- Event_queue.add t.queue ev
+  | Event.Negative -> (
+    match Event_queue.remove_uid t.queue ~uid:ev.Event.uid with
+    | Some (_, q) ->
+      t.queue <- q;
+      t.stats.annihilations <- t.stats.annihilations + 1
+    | None ->
+      if
+        List.exists
+          (fun p -> p.event.Event.uid = ev.Event.uid)
+          t.processed
+      then begin
+        (* the victim was optimistically processed: roll back past it *)
+        rollback t ~target:ev.Event.time;
+        match Event_queue.remove_uid t.queue ~uid:ev.Event.uid with
+        | Some (_, q) ->
+          t.queue <- q;
+          t.stats.annihilations <- t.stats.annihilations + 1
+        | None -> assert false
+      end
+      else t.anti_pending <- ev :: t.anti_pending)
+
+(* {1 Event processing} *)
+
+let ensure_log_capacity t =
+  match t.ls with
+  | None -> ()
+  | Some ls ->
+    Kernel.sync_log t.k ls;
+    let capacity = Segment.size ls in
+    if capacity - Segment.write_pos ls < 2 * Addr.page_size then
+      Kernel.extend_log t.k ls ~pages:16
+
+(* Save slots are allocated from a free list so a slot is never reused
+   while its entry is still live (a plain ring would wrap into live saves
+   once rollbacks waste positions). *)
+let alloc_save_slot t =
+  match t.save_free with
+  | slot :: rest ->
+    t.save_free <- rest;
+    slot
+  | [] ->
+    if t.save_next >= t.save_slots then
+      invalid_arg "Scheduler: save area exhausted";
+    let slot = t.save_next in
+    t.save_next <- slot + 1;
+    slot
+
+let save_object_copy t obj =
+  let seg = Option.get t.save_seg in
+  let len = t.app.object_words * Addr.word_size in
+  let slot = alloc_save_slot t in
+  let src = Kernel.paddr_of t.k t.working ~off:(obj_off t obj) in
+  let dst = Kernel.paddr_of t.k seg ~off:(slot * len) in
+  Machine.bcopy (Kernel.machine t.k) ~src ~dst ~len;
+  slot
+
+let make_ctx t (ev : Event.t) =
+  let base_off = obj_off t ev.Event.dst in
+  {
+    self = ev.Event.dst;
+    now = ev.Event.time;
+    read =
+      (fun word ->
+        assert (word >= 0 && word < t.app.object_words);
+        Kernel.read_word t.k t.space
+          (t.base + base_off + (word * Addr.word_size)));
+    write =
+      (fun word v ->
+        assert (word >= 0 && word < t.app.object_words);
+        Kernel.write_word t.k t.space
+          (t.base + base_off + (word * Addr.word_size))
+          v);
+    send =
+      (fun ~dst ~delay ~payload ->
+        if delay <= 0 then invalid_arg "Scheduler: send delay must be positive";
+        if dst < 0 || dst >= t.app.n_objects then
+          invalid_arg "Scheduler: send to unknown object";
+        let out =
+          {
+            Event.time = ev.Event.time + delay;
+            dst;
+            payload;
+            src = ev.Event.dst;
+            send_time = ev.Event.time;
+            uid = t.fresh_uid ();
+          }
+        in
+        t.sending <- out :: t.sending;
+        let dst_sched = dst mod t.n_schedulers in
+        if dst_sched = t.id then t.queue <- Event_queue.add t.queue out
+        else t.outbox <- (dst_sched, Event.positive out) :: t.outbox);
+    compute = (fun c -> Kernel.compute t.k c);
+  }
+
+let step t ~horizon =
+  match Event_queue.min t.queue with
+  | None -> false
+  | Some ev when ev.Event.time > horizon -> false
+  | Some ev ->
+    t.queue <- Event_queue.remove_min t.queue;
+    let save_off =
+      match t.strategy with
+      | State_saving.Copy_based -> save_object_copy t ev.Event.dst
+      | State_saving.Lvm_based ->
+        ensure_log_capacity t;
+        (* the LVT marker write (footnote 2) *)
+        Kernel.write_word t.k t.space (t.base + t.lvt_cell_off)
+          ev.Event.time;
+        0
+      | State_saving.Page_protect | State_saving.No_saving -> 0
+    in
+    t.sending <- [];
+    t.app.handle (make_ctx t ev) ~payload:ev.Event.payload;
+    t.processed <-
+      { event = ev; sent = List.rev t.sending; save_off } :: t.processed;
+    t.sending <- [];
+    t.lvt <- ev.Event.time;
+    t.stats.events_processed <- t.stats.events_processed + 1;
+    true
+
+let drain_outbox t =
+  let out = List.rev t.outbox in
+  t.outbox <- [];
+  out
+
+(* {1 Fossil collection / CULT} *)
+
+(* CULT is deferred until the log has grown past this, standing in for
+   the paper's asynchronous / only-when-not-the-bottleneck CULT policy
+   (Section 2.4): committing history every GVT round would waste the
+   processor on checkpoint maintenance. *)
+let cult_threshold_bytes = 8 * Addr.page_size
+
+let fossil_collect t ~gvt =
+  if gvt > t.checkpoint_time then begin
+    let committed, live =
+      List.partition (fun p -> p.event.Event.time < gvt) t.processed
+    in
+    t.stats.events_committed <-
+      t.stats.events_committed + List.length committed;
+    List.iter (free_save_slot t) committed;
+    t.processed <- live;
+    (match t.strategy with
+    | State_saving.Lvm_based ->
+      let ls = Option.get t.ls in
+      Kernel.sync_log t.k ls;
+      if Segment.write_pos ls >= cult_threshold_bytes then begin
+        let governing = ref min_int in
+        ignore
+          (Lvm.Checkpoint.cult t.k ~working:t.working
+             ~checkpoint:t.checkpoint ~log:ls
+             ~upto:(fun r ->
+               if is_marker t r then begin
+                 governing := r.Log_record.value;
+                 r.Log_record.value < gvt
+               end
+               else true));
+        (* the checkpoint segment now reflects every update below gvt *)
+        t.checkpoint_time <- gvt
+      end
+    | State_saving.Copy_based | State_saving.Page_protect
+    | State_saving.No_saving ->
+      t.checkpoint_time <- gvt);
+    if t.lvt < t.checkpoint_time then t.lvt <- t.checkpoint_time
+  end
+
+let read_state t ~obj ~word =
+  if not (owns t obj) then invalid_arg "Scheduler.read_state: not owned";
+  Kernel.seg_read_raw t.k t.working
+    ~off:(obj_off t obj + (word * Addr.word_size))
+    ~size:4

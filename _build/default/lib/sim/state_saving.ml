@@ -1,0 +1,9 @@
+type t = Copy_based | Lvm_based | Page_protect | No_saving
+
+let to_string = function
+  | Copy_based -> "copy-based"
+  | Lvm_based -> "lvm"
+  | Page_protect -> "page-protect"
+  | No_saving -> "no-saving"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

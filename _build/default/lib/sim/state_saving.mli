@@ -1,0 +1,23 @@
+(** State-saving strategies for rollback support (Sections 2.4 and 4.3).
+
+    - [Copy_based]: the conventional TimeWarp implementation — copy the
+      affected object's state before processing each event; rollback
+      restores the copies in reverse order.
+    - [Lvm_based]: logged virtual memory — the working region is logged
+      and the checkpoint segment is its deferred-copy source; rollback is
+      [reset_deferred_copy] plus roll-forward from the log.
+    - [Page_protect]: the Li/Appel virtual-memory checkpointing baseline —
+      write-protect the region at each checkpoint and copy each page on
+      its first-write fault (Section 5.1; provides checkpoints, not
+      logging, so rollback granularity is the checkpoint interval). *)
+
+type t =
+  | Copy_based
+  | Lvm_based
+  | Page_protect
+  | No_saving
+      (** No rollback support at all — only valid under an engine that
+          never rolls back (the conservative baseline). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** The paper's "simulated" simulation (Section 4.3, Figures 7 and 8).
+
+    A single scheduler processes synthetic events, each of which performs
+    [c] compute cycles and [w] four-byte writes into an object of [s]
+    bytes, under one of the state-saving strategies. No rollbacks occur:
+    the measurement isolates the forward-progress cost of state saving,
+    exactly as the paper's elapsed-time runs do (rollback, GVT advance and
+    log truncation are excluded; CULT is assumed to run asynchronously on
+    another processor, so the log is recycled out of band).
+
+    - Copy-based saving copies the s-byte object before every event.
+    - LVM saving writes an LVT marker and lets the logger record the
+      event's writes; low [c] with high [w] overloads the logger FIFOs,
+      reproducing the overflow cliff the paper notes.
+    - Page-protect saving (Li/Appel, Section 5.1) write-protects the
+      region every [checkpoint_interval] events and copies each page on
+      its first-write fault. *)
+
+type params = {
+  events : int;
+  c : int;  (** Compute cycles per event. *)
+  s : int;  (** Object size in bytes (word multiple). *)
+  w : int;  (** Four-byte writes per event. *)
+  objects : int;  (** Objects touched round-robin. *)
+  checkpoint_interval : int;  (** Page-protect mode only. *)
+}
+
+val default_params : params
+(** 2000 events, c=512, s=64, w=2, 64 objects, interval 50. *)
+
+type run_result = {
+  cycles : int;
+  per_event : float;
+  overloads : int;
+  log_records : int;
+  protect_faults : int;
+}
+
+val run :
+  ?hw:Lvm_machine.Logger.hw -> params -> State_saving.t -> run_result
+
+val speedup : ?hw:Lvm_machine.Logger.hw -> params -> float
+(** Elapsed-time ratio copy-based / LVM — the y-axis of Figures 7/8. *)

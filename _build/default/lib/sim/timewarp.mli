@@ -1,0 +1,51 @@
+(** The optimistic simulation engine: schedulers, message routing, GVT and
+    fossil collection (Section 2.4).
+
+    Schedulers run on independent simulated processors. The engine runs
+    them in rounds — each scheduler optimistically processes a batch of
+    events, then messages are exchanged — so schedulers run ahead of each
+    other in virtual time and stragglers and anti-messages arise exactly
+    as in a parallel TimeWarp execution. Global virtual time is the
+    minimum over all unprocessed and in-flight event times; after each
+    round the schedulers commit history below GVT (CULT under LVM state
+    saving).
+
+    Determinism: event ordering has a content-based total order and
+    application randomness must be derived from event content, so the
+    committed execution is identical for any scheduler count — the basis
+    of the sequential-equivalence tests. *)
+
+type result = {
+  gvt : int;
+  elapsed_cycles : int;
+      (** Wall-clock of the parallel run: the maximum processor time over
+          schedulers. *)
+  total_events_processed : int;
+  total_events_committed : int;
+  total_rollbacks : int;
+  total_anti_messages : int;
+  total_stragglers : int;
+}
+
+type t
+
+val create :
+  ?hw:Lvm_machine.Logger.hw -> ?batch:int -> n_schedulers:int ->
+  strategy:State_saving.t -> app:Scheduler.app -> unit -> t
+(** [batch] is the number of events a scheduler may process per round
+    before synchronizing (the optimism window, default 8). *)
+
+val schedulers : t -> Scheduler.t array
+
+val inject : t -> time:int -> dst:int -> payload:int -> unit
+(** Add an initial event (before {!run}). *)
+
+val run : t -> end_time:int -> result
+(** Execute until every event strictly before [end_time] is committed. *)
+
+val read_state : t -> obj:int -> word:int -> int
+(** Committed state of an object after {!run}. *)
+
+val state_vector : t -> int array
+(** All objects' word 0..n flattened, for whole-run equivalence checks:
+    element [obj * object_words + word]. *)

@@ -1,0 +1,1 @@
+lib/tools/address_trace.ml: Addr Hashtbl List Log_record Lvm Lvm_machine Option

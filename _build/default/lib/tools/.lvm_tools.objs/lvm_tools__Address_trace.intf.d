@@ -1,0 +1,1 @@
+lib/tools/address_trace.mli: Lvm_vm

@@ -1,0 +1,1 @@
+lib/tools/audit.ml: Bytes Char Int32 Kernel Lvm Lvm_machine Lvm_vm Segment

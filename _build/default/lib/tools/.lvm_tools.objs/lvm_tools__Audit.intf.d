@@ -1,0 +1,1 @@
+lib/tools/audit.mli: Lvm_vm

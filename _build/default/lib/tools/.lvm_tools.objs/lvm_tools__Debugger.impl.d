@@ -1,0 +1,1 @@
+lib/tools/debugger.ml: Kernel List Lvm Lvm_machine Lvm_vm Region Segment Watchpoint

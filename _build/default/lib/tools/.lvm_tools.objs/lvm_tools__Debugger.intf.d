@@ -1,0 +1,1 @@
+lib/tools/debugger.mli: Lvm_vm Watchpoint

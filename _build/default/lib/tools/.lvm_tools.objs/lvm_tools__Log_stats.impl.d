@@ -1,0 +1,1 @@
+lib/tools/log_stats.ml: Hashtbl List Lvm Lvm_machine Lvm_vm Option Segment

@@ -1,0 +1,1 @@
+lib/tools/log_stats.mli: Lvm_vm

@@ -1,0 +1,1 @@
+lib/tools/output_stream.ml: Addr Address_space Kernel List Logger Lvm_machine Lvm_vm Machine Physmem Segment

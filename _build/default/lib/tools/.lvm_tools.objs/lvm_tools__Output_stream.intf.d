@@ -1,0 +1,1 @@
+lib/tools/output_stream.mli: Lvm_vm

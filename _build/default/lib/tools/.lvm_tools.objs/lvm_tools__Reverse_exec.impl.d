@@ -1,0 +1,1 @@
+lib/tools/reverse_exec.ml: Address_space Array Kernel List Log_record Lvm Lvm_machine Lvm_vm Region Segment

@@ -1,0 +1,1 @@
+lib/tools/reverse_exec.mli: Lvm_machine Lvm_vm

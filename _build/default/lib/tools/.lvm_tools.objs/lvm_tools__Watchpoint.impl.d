@@ -1,0 +1,1 @@
+lib/tools/watchpoint.ml: List Lvm Lvm_machine Lvm_vm Segment

@@ -1,0 +1,1 @@
+lib/tools/watchpoint.mli: Lvm_vm

@@ -1,0 +1,38 @@
+open Lvm_machine
+
+type entry = { addr : int; size : int; timestamp : int }
+type histogram = (int * int) list
+
+let of_log k ls =
+  List.filter_map
+    (fun (r : Log_record.t) ->
+      if r.Log_record.pre_image then None
+      else
+        Some
+          { addr = r.Log_record.addr; size = r.Log_record.size;
+            timestamp = r.Log_record.timestamp })
+    (Lvm.Log_reader.to_list k ls)
+
+let page_histogram k ls =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let page = Addr.page_number e.addr in
+      Hashtbl.replace counts page
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts page)))
+    (of_log k ls);
+  Hashtbl.fold (fun page n acc -> (page, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let hottest_page k ls =
+  match page_histogram k ls with [] -> None | h :: _ -> Some h
+
+let write_rate k ls =
+  match of_log k ls with
+  | [] | [ _ ] -> None
+  | first :: _ as entries ->
+    let last = List.nth entries (List.length entries - 1) in
+    let span = last.timestamp - first.timestamp in
+    if span <= 0 then None
+    else
+      Some (float_of_int (List.length entries) *. 1000. /. float_of_int span)

@@ -1,0 +1,20 @@
+(** Address traces from logs (Section 1): "a detailed address trace of a
+    program, which can be useful for detecting and isolating performance
+    problems or as input to memory system simulators." *)
+
+type entry = { addr : int; size : int; timestamp : int }
+
+val of_log : Lvm_vm.Kernel.t -> Lvm_vm.Segment.t -> entry list
+(** The write-address trace recorded in a log segment, oldest first. *)
+
+type histogram = (int * int) list
+(** [(page number, write count)] pairs, descending by count. *)
+
+val page_histogram : Lvm_vm.Kernel.t -> Lvm_vm.Segment.t -> histogram
+
+val hottest_page : Lvm_vm.Kernel.t -> Lvm_vm.Segment.t -> (int * int) option
+
+val write_rate :
+  Lvm_vm.Kernel.t -> Lvm_vm.Segment.t -> float option
+(** Mean writes per 1000 timestamp ticks over the trace's span, or [None]
+    for traces too short to have a span. *)

@@ -1,0 +1,24 @@
+(** Audit code for object placement (Section 2.7).
+
+    LVM asks the programmer to place each object in the right region
+    rather than annotate every write; the paper notes that "misplacement
+    of objects in regions can be detected by audit code in most cases".
+    This module is that audit: snapshot a segment, run the program, and
+    compare the segment's changes against the log — a change the log
+    cannot explain is a write that bypassed logging (an object placed in
+    an unlogged region, or a window where logging was disabled). *)
+
+type snapshot
+
+val snapshot : Lvm_vm.Kernel.t -> Lvm_vm.Segment.t -> snapshot
+(** Capture the segment's current contents (untimed — the auditor runs
+    out-of-band, like a debugger). *)
+
+val unlogged_changes :
+  Lvm_vm.Kernel.t -> log:Lvm_vm.Segment.t -> snapshot -> int list
+(** Word offsets where the segment's current contents differ from the
+    snapshot with every logged write since the snapshot replayed on top —
+    i.e. modifications that escaped the log. Sorted ascending. *)
+
+val verify : Lvm_vm.Kernel.t -> log:Lvm_vm.Segment.t -> snapshot -> bool
+(** No unlogged changes. *)

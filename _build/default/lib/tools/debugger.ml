@@ -1,0 +1,34 @@
+open Lvm_vm
+
+type t = {
+  k : Kernel.t;
+  region : Region.t;
+  ls : Segment.t;
+}
+
+let attach ?(log_pages = 64) k region =
+  if Region.log region <> None then
+    invalid_arg "Debugger.attach: region is already logged";
+  let ls =
+    Kernel.create_log_segment k ~size:(log_pages * Lvm_machine.Addr.page_size)
+  in
+  Kernel.set_region_log k region (Some ls);
+  { k; region; ls }
+
+let detach t = Kernel.set_region_log t.k t.region None
+let region t = t.region
+let log t = t.ls
+
+let watch t ~off ~len =
+  Watchpoint.hits t.k ~log:t.ls ~watched:(Region.segment t.region) ~off ~len
+
+let history t ~off =
+  List.map
+    (fun (h : Watchpoint.hit) -> (h.Watchpoint.timestamp, h.Watchpoint.value))
+    (watch t ~off ~len:4)
+
+let writes_observed t = Lvm.Log_reader.record_count t.k t.ls
+
+let find_corruption t ~off ~expected =
+  Watchpoint.first_corruption t.k ~log:t.ls
+    ~watched:(Region.segment t.region) ~off ~expected

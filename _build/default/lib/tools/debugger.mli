@@ -1,0 +1,30 @@
+(** Dynamic attach/detach debugging (Sections 1 and 2.7).
+
+    A separate program such as a debugger can dynamically modify the
+    memory regions used by a program to cause them to log updates, with no
+    change to the program binary, and later detach again. While attached,
+    the write history of any location can be queried, canary corruption
+    located, and the state updates of the debuggee monitored. *)
+
+type t
+
+val attach : ?log_pages:int -> Lvm_vm.Kernel.t -> Lvm_vm.Region.t -> t
+(** Start logging an unlogged region. @raise Invalid_argument if the
+    region already has a log. *)
+
+val detach : t -> unit
+(** Stop logging and drop the debugger's log segment association. *)
+
+val region : t -> Lvm_vm.Region.t
+val log : t -> Lvm_vm.Segment.t
+
+val history : t -> off:int -> (int * int) list
+(** [(timestamp, value)] writes to the watched word, oldest first. *)
+
+val writes_observed : t -> int
+
+val watch :
+  t -> off:int -> len:int -> Watchpoint.hit list
+(** All hits in a byte range of the debuggee's segment. *)
+
+val find_corruption : t -> off:int -> expected:int -> Watchpoint.hit option

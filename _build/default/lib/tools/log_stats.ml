@@ -1,0 +1,41 @@
+open Lvm_vm
+
+type summary = {
+  records : int;
+  distinct_locations : int;
+  redundant : int;
+  redundancy_ratio : float;
+}
+
+let counts k ~watched ~log =
+  let table = Hashtbl.create 64 in
+  let records = ref 0 in
+  Lvm.Log_reader.iter k log ~f:(fun ~off:_ r ->
+      if not r.Lvm_machine.Log_record.pre_image then
+        match Lvm.Log_reader.locate k r with
+        | Some (seg, off) when Segment.id seg = Segment.id watched ->
+          incr records;
+          Hashtbl.replace table off
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table off))
+        | Some _ | None -> ());
+  (table, !records)
+
+let summarize k ~watched ~log =
+  let table, records = counts k ~watched ~log in
+  let distinct_locations = Hashtbl.length table in
+  let redundant = records - distinct_locations in
+  {
+    records;
+    distinct_locations;
+    redundant;
+    redundancy_ratio =
+      (if records = 0 then 0. else float_of_int redundant /. float_of_int records);
+  }
+
+let top_rewritten ?(limit = 10) k ~watched ~log =
+  let table, _ = counts k ~watched ~log in
+  Hashtbl.fold (fun off n acc -> (off, n) :: acc) table []
+  |> List.filter (fun (_, n) -> n > 1)
+  |> List.sort (fun (o1, a) (o2, b) ->
+         match compare b a with 0 -> compare o1 o2 | c -> c)
+  |> List.filteri (fun i _ -> i < limit)

@@ -1,0 +1,28 @@
+(** Log analysis for performance tuning (Section 2.7).
+
+    LVM performance suffers when applications "repeatedly write the same
+    location when only the last write is of interest"; the paper notes
+    that "the logs provide the information required to identify and
+    eliminate these redundant writes." This module is that analysis:
+    quantify redundancy in a log and point at the worst offenders so
+    rapidly-changing temporaries can be moved out of logged regions. *)
+
+type summary = {
+  records : int;  (** Ordinary write records (pre-images excluded). *)
+  distinct_locations : int;
+  redundant : int;  (** Writes that were later overwritten, i.e. only the
+                        last write per location is of interest. *)
+  redundancy_ratio : float;  (** [redundant / records], 0 for empty logs. *)
+}
+
+val summarize :
+  Lvm_vm.Kernel.t -> watched:Lvm_vm.Segment.t -> log:Lvm_vm.Segment.t ->
+  summary
+(** Analyze the writes that landed in [watched]. *)
+
+val top_rewritten :
+  ?limit:int -> Lvm_vm.Kernel.t -> watched:Lvm_vm.Segment.t ->
+  log:Lvm_vm.Segment.t -> (int * int) list
+(** The most-overwritten byte offsets as [(offset, write count)],
+    descending, at most [limit] (default 10) — candidates for moving into
+    an unlogged region (e.g. an {!Lvm.Arena} scratch arena). *)

@@ -1,0 +1,64 @@
+open Lvm_machine
+open Lvm_vm
+
+type kind = Indexed | Direct
+
+type t = {
+  k : Kernel.t;
+  space : Address_space.t;
+  kind : kind;
+  seg : Segment.t;
+  ls : Segment.t;
+  base : int;
+  size : int;
+  mutable cursor : int; (* producer position, bytes *)
+  mutable consumed : int; (* indexed mode: bytes already consumed *)
+}
+
+let create kind ?(log_pages = 16) k space ~size =
+  let seg = Kernel.create_segment k ~size in
+  let region = Kernel.create_region k seg in
+  let mode, log_size =
+    match kind with
+    | Indexed -> (Logger.Indexed, log_pages * Addr.page_size)
+    | Direct -> (Logger.Direct_mapped, Segment.size seg)
+  in
+  let ls = Kernel.create_log_segment ~mode k ~size:log_size in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k space region in
+  { k; space; kind; seg; ls; base; size; cursor = 0; consumed = 0 }
+
+let create_indexed k space ~size ~log_pages =
+  create Indexed ~log_pages k space ~size
+
+let create_direct k space ~size = create Direct k space ~size
+
+let emit_at t ~off v =
+  if off < 0 || off + 4 > t.size then invalid_arg "Output_stream.emit_at";
+  Kernel.write_word t.k t.space (t.base + off) v
+
+let emit t v =
+  emit_at t ~off:t.cursor v;
+  t.cursor <- (t.cursor + Addr.word_size) mod t.size
+
+let consume t =
+  if t.kind <> Indexed then
+    invalid_arg "Output_stream.consume: indexed mode only";
+  Kernel.sync_log t.k t.ls;
+  let available = Segment.write_pos t.ls in
+  let values = ref [] in
+  let off = ref t.consumed in
+  while !off + Addr.word_size <= available do
+    let paddr = Kernel.paddr_of t.k t.ls ~off:!off in
+    values :=
+      Physmem.read_word (Machine.mem (Kernel.machine t.k)) paddr :: !values;
+    off := !off + Addr.word_size
+  done;
+  t.consumed <- !off;
+  List.rev !values
+
+let mirror_word t ~off =
+  if t.kind <> Direct then
+    invalid_arg "Output_stream.mirror_word: direct-mapped mode only";
+  Kernel.sync_log t.k t.ls;
+  Kernel.seg_read_raw t.k t.ls ~off ~size:4

@@ -1,0 +1,34 @@
+(** High-performance output through logging (Section 2.6).
+
+    A program sets the segment containing its state to be logged; a
+    separate process interprets the log to produce output or a visual
+    display, offloading the application entirely. The indexed log mode
+    yields a bare stream of data values (streamed device output); the
+    direct-mapped mode writes each value at the same offset in the log
+    page as in the data page (mapped I/O without read-back support). *)
+
+type t
+
+val create_indexed :
+  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int ->
+  log_pages:int -> t
+(** A logged output region in indexed mode. *)
+
+val create_direct :
+  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+(** A logged output region in direct-mapped mode (the log segment mirrors
+    the data segment page for page). *)
+
+val emit : t -> int -> unit
+(** Producer: write the next value into the output region (indexed mode
+    streams it; direct-mapped mode updates the mirror at the cursor). *)
+
+val emit_at : t -> off:int -> int -> unit
+(** Producer: write a value at a chosen offset (direct-mapped use). *)
+
+val consume : t -> int list
+(** Consumer process: values streamed since the last [consume] (indexed
+    mode only; the consumed prefix is discarded). *)
+
+val mirror_word : t -> off:int -> int
+(** Consumer view of a direct-mapped output device at [off]. *)

@@ -1,0 +1,107 @@
+open Lvm_machine
+open Lvm_vm
+
+(* One write of the debuggee: the offset of its ordinary record in the
+   log, plus the offset of its pre-image record when the hardware was
+   recording old values (Section 4.6). *)
+type write = { record_off : int; pre_image_off : int option }
+
+type t = {
+  k : Kernel.t;
+  space : Address_space.t;
+  working : Segment.t;
+  region : Region.t;
+  base : int;
+  log : Segment.t;
+  writes : write array;
+  mutable position : int; (* writes applied *)
+}
+
+let index_writes k log =
+  let pending_pre = ref None in
+  let acc = ref [] in
+  Lvm.Log_reader.iter k log ~f:(fun ~off r ->
+      if r.Log_record.pre_image then pending_pre := Some off
+      else begin
+        acc := { record_off = off; pre_image_off = !pending_pre } :: !acc;
+        pending_pre := None
+      end);
+  Array.of_list (List.rev !acc)
+
+let create k ~space ~working ~region ~base ~log =
+  Kernel.set_logging_enabled k region false;
+  let writes = index_writes k log in
+  { k; space; working; region; base; log; writes;
+    position = Array.length writes }
+
+let length t = Array.length t.writes
+let position t = t.position
+
+let locate_in_working t r =
+  match Lvm.Log_reader.locate t.k r with
+  | Some (seg, off) when Segment.id seg = Segment.id t.working -> Some off
+  | Some _ | None -> None
+
+let apply t ~record_off =
+  let r = Lvm.Log_reader.read_at_timed t.k t.log ~off:record_off in
+  match locate_in_working t r with
+  | Some off -> Lvm.Checkpoint.apply_record t.k ~target:t.working ~off r
+  | None -> ()
+
+let replay t ~writes =
+  Kernel.reset_deferred_copy t.k t.space ~start:t.base
+    ~len:(Region.size t.region);
+  for i = 0 to writes - 1 do
+    apply t ~record_off:t.writes.(i).record_off
+  done
+
+let seek t n =
+  if n < 0 || n > length t then invalid_arg "Reverse_exec.seek: out of range";
+  if n <> t.position then begin
+    (* seeking forward needs no reset; backward replays a shorter prefix
+       unless every step has a pre-image to undo with *)
+    if n > t.position then
+      for i = t.position to n - 1 do
+        apply t ~record_off:t.writes.(i).record_off
+      done
+    else begin
+      let undoable =
+        let rec check i =
+          i < n || (t.writes.(i).pre_image_off <> None && check (i - 1))
+        in
+        check (t.position - 1)
+      in
+      if undoable then
+        (* constant work per step: apply the recorded old values in
+           reverse order (Section 4.6's reverse-execution payoff) *)
+        for i = t.position - 1 downto n do
+          match t.writes.(i).pre_image_off with
+          | Some off -> apply t ~record_off:off
+          | None -> assert false
+        done
+      else replay t ~writes:n
+    end;
+    t.position <- n
+  end
+
+let step_back t =
+  if t.position = 0 then false
+  else begin
+    seek t (t.position - 1);
+    true
+  end
+
+let step_forward t =
+  if t.position = length t then false
+  else begin
+    seek t (t.position + 1);
+    true
+  end
+
+let detach t =
+  seek t (length t);
+  Kernel.set_logging_enabled t.k t.region true
+
+let record_at t i =
+  if i < 0 || i >= length t then invalid_arg "Reverse_exec.record_at";
+  Lvm.Log_reader.read_at t.k t.log ~off:t.writes.(i).record_off

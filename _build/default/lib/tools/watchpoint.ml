@@ -1,0 +1,44 @@
+open Lvm_vm
+
+type hit = {
+  record_index : int;
+  off : int;
+  value : int;
+  size : int;
+  timestamp : int;
+}
+
+let overlaps ~off ~len ~roff ~rsize = roff < off + len && off < roff + rsize
+
+let hits k ~log ~watched ~off ~len =
+  let acc =
+    Lvm.Log_reader.fold k log ~init:[] ~f:(fun acc ~off:rec_off r ->
+        match
+          if r.Lvm_machine.Log_record.pre_image then None
+          else Lvm.Log_reader.locate k r
+        with
+        | Some (seg, roff)
+          when Segment.id seg = Segment.id watched
+               && overlaps ~off ~len ~roff ~rsize:r.Lvm_machine.Log_record.size
+          ->
+          {
+            record_index = rec_off / Lvm_machine.Log_record.bytes;
+            off = roff;
+            value = r.Lvm_machine.Log_record.value;
+            size = r.Lvm_machine.Log_record.size;
+            timestamp = r.Lvm_machine.Log_record.timestamp;
+          }
+          :: acc
+        | Some _ | None -> acc)
+  in
+  List.rev acc
+
+let last_writer k ~log ~watched ~off =
+  match List.rev (hits k ~log ~watched ~off ~len:4) with
+  | [] -> None
+  | h :: _ -> Some h
+
+let first_corruption k ~log ~watched ~off ~expected =
+  List.find_opt
+    (fun h -> h.off = off && h.value <> expected)
+    (hits k ~log ~watched ~off ~len:4)

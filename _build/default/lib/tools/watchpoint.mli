@@ -1,0 +1,32 @@
+(** Data watchpoints over a log segment.
+
+    The paper's debugger use case (Section 1): logging the writes of a
+    program under test lets the debugger determine when data was
+    erroneously overwritten, without any breakpointing overhead on the
+    program itself — the log is scanned after the fact. *)
+
+type hit = {
+  record_index : int;  (** Position in the log (0-based record number). *)
+  off : int;  (** Byte offset within the watched segment. *)
+  value : int;
+  size : int;
+  timestamp : int;
+}
+
+val hits :
+  Lvm_vm.Kernel.t -> log:Lvm_vm.Segment.t -> watched:Lvm_vm.Segment.t ->
+  off:int -> len:int -> hit list
+(** Every logged write that touched [watched[off, off+len)], oldest
+    first. *)
+
+val last_writer :
+  Lvm_vm.Kernel.t -> log:Lvm_vm.Segment.t -> watched:Lvm_vm.Segment.t ->
+  off:int -> hit option
+(** The most recent write to the word at [off], i.e. "who overwrote
+    this?". *)
+
+val first_corruption :
+  Lvm_vm.Kernel.t -> log:Lvm_vm.Segment.t -> watched:Lvm_vm.Segment.t ->
+  off:int -> expected:int -> hit option
+(** The first write to [off] whose value differs from [expected] — the
+    canary-style query for finding when a location was clobbered. *)

@@ -1,0 +1,1 @@
+lib/tpc/bank.ml:

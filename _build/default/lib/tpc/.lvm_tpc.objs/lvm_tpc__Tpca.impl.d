@@ -1,0 +1,1 @@
+lib/tpc/tpca.ml: Bank Kernel Lvm_machine Lvm_rvm Lvm_vm Random

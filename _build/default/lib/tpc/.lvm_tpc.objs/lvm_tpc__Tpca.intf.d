@@ -1,0 +1,1 @@
+lib/tpc/tpca.mli: Bank Lvm_rvm Lvm_vm

@@ -1,0 +1,34 @@
+type t = {
+  branches : int;
+  tellers : int;
+  accounts : int;
+  history : int;
+}
+
+let record_bytes = 16
+
+let layout ~branches ~tellers ~accounts ~history =
+  if branches <= 0 || tellers <= 0 || accounts <= 0 || history <= 0 then
+    invalid_arg "Bank.layout: all counts must be positive";
+  { branches; tellers; accounts; history }
+
+let segment_bytes t =
+  (t.branches + t.tellers + t.accounts + t.history) * record_bytes
+
+let branches t = t.branches
+let tellers t = t.tellers
+let accounts t = t.accounts
+let branch_off t i = (i mod t.branches) * record_bytes
+let teller_off t i = (t.branches + (i mod t.tellers)) * record_bytes
+
+let account_off t i =
+  (t.branches + t.tellers + (i mod t.accounts)) * record_bytes
+
+let history_off t i =
+  (t.branches + t.tellers + t.accounts + (i mod t.history)) * record_bytes
+
+(* balance is the second word of a record *)
+let branch_balance_off t i = branch_off t i + 4
+let teller_balance_off t i = teller_off t i + 4
+let account_balance_off t i = account_off t i + 4
+let teller_branch t i = i mod t.tellers mod t.branches

@@ -1,0 +1,29 @@
+(** TPC-A bank schema layout inside a recoverable segment.
+
+    The classic debit-credit schema: branches, tellers, accounts — each a
+    four-word record whose second word is the balance — plus a ring of
+    four-word history entries. All offsets are byte offsets into the
+    recoverable segment. *)
+
+type t
+
+val record_bytes : int
+(** Bytes per branch/teller/account/history record (16). *)
+
+val layout : branches:int -> tellers:int -> accounts:int -> history:int -> t
+(** History is the entry capacity of the ring. *)
+
+val segment_bytes : t -> int
+val branches : t -> int
+val tellers : t -> int
+val accounts : t -> int
+
+val branch_balance_off : t -> int -> int
+val teller_balance_off : t -> int -> int
+val account_balance_off : t -> int -> int
+
+val history_off : t -> int -> int
+(** Base offset of history slot [i mod capacity]. *)
+
+val teller_branch : t -> int -> int
+(** The branch a teller belongs to (tellers are striped over branches). *)

@@ -1,0 +1,117 @@
+open Lvm_vm
+
+type store = {
+  begin_txn : unit -> unit;
+  annotate : off:int -> len:int -> unit;
+  read_word : off:int -> int;
+  write_word : off:int -> int -> unit;
+  commit : unit -> unit;
+  kernel : Kernel.t;
+}
+
+let rvm_store r =
+  {
+    begin_txn = (fun () -> Lvm_rvm.Rvm.begin_txn r);
+    annotate = (fun ~off ~len -> Lvm_rvm.Rvm.set_range r ~off ~len);
+    read_word = (fun ~off -> Lvm_rvm.Rvm.read_word r ~off);
+    write_word = (fun ~off v -> Lvm_rvm.Rvm.write_word r ~off v);
+    commit = (fun () -> Lvm_rvm.Rvm.commit r);
+    kernel = Lvm_rvm.Rvm.kernel r;
+  }
+
+let rlvm_store r =
+  {
+    begin_txn = (fun () -> Lvm_rvm.Rlvm.begin_txn r);
+    annotate = (fun ~off:_ ~len:_ -> ());
+    read_word = (fun ~off -> Lvm_rvm.Rlvm.read_word r ~off);
+    write_word = (fun ~off v -> Lvm_rvm.Rlvm.write_word r ~off v);
+    commit = (fun () -> Lvm_rvm.Rlvm.commit r);
+    kernel = Lvm_rvm.Rlvm.kernel r;
+  }
+
+type result = {
+  txns : int;
+  cycles : int;
+  tps : float;
+  cycles_per_txn : float;
+}
+
+(* sign-extend a 32-bit stored balance *)
+let signed v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let setup store bank =
+  store.begin_txn ();
+  let zero off =
+    store.annotate ~off ~len:4;
+    store.write_word ~off 0
+  in
+  for b = 0 to Bank.branches bank - 1 do
+    zero (Bank.branch_balance_off bank b)
+  done;
+  for tl = 0 to Bank.tellers bank - 1 do
+    zero (Bank.teller_balance_off bank tl)
+  done;
+  for a = 0 to Bank.accounts bank - 1 do
+    zero (Bank.account_balance_off bank a)
+  done;
+  store.commit ()
+
+(* One debit-credit transaction: the application-logic cycles (parsing the
+   request, validation) are charged as compute. *)
+let transaction store bank ~rng ~history_slot =
+  let teller = Random.State.int rng (Bank.tellers bank) in
+  let account = Random.State.int rng (Bank.accounts bank) in
+  let branch = Bank.teller_branch bank teller in
+  let delta = Random.State.int rng 1999 - 999 in
+  store.begin_txn ();
+  Kernel.compute store.kernel 300;
+  let update off =
+    let v = signed (store.read_word ~off) in
+    store.annotate ~off ~len:4;
+    store.write_word ~off (v + delta)
+  in
+  update (Bank.account_balance_off bank account);
+  update (Bank.teller_balance_off bank teller);
+  update (Bank.branch_balance_off bank branch);
+  let h = Bank.history_off bank history_slot in
+  store.annotate ~off:h ~len:Bank.record_bytes;
+  store.write_word ~off:h account;
+  store.write_word ~off:(h + 4) teller;
+  store.write_word ~off:(h + 8) branch;
+  store.write_word ~off:(h + 12) (delta land 0xFFFFFFFF);
+  store.commit ()
+
+let run ?(seed = 42) store bank ~txns =
+  let rng = Random.State.make [| seed |] in
+  let t0 = Kernel.time store.kernel in
+  for i = 0 to txns - 1 do
+    transaction store bank ~rng ~history_slot:i
+  done;
+  let cycles = Kernel.time store.kernel - t0 in
+  let cycles_per_txn = float_of_int cycles /. float_of_int txns in
+  {
+    txns;
+    cycles;
+    tps = float_of_int Lvm_machine.Cycles.cpu_mhz *. 1e6 /. cycles_per_txn;
+    cycles_per_txn;
+  }
+
+let sum store ~n ~off_of =
+  let rec go acc i =
+    if i = n then acc else go (acc + signed (store.read_word ~off:(off_of i))) (i + 1)
+  in
+  go 0 0
+
+let total_balance store bank =
+  sum store ~n:(Bank.accounts bank)
+    ~off_of:(Bank.account_balance_off bank)
+
+let balance_invariant store bank =
+  let a = total_balance store bank in
+  let t =
+    sum store ~n:(Bank.tellers bank) ~off_of:(Bank.teller_balance_off bank)
+  in
+  let b =
+    sum store ~n:(Bank.branches bank) ~off_of:(Bank.branch_balance_off bank)
+  in
+  a = t && t = b

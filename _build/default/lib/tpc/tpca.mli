@@ -1,0 +1,40 @@
+(** The TPC-A debit-credit driver, runnable over RVM or RLVM (Table 3).
+
+    Each transaction picks a teller and account, applies a random delta to
+    the account, teller and branch balances, and appends a history entry —
+    three four-byte recoverable updates plus a sixteen-byte record, the
+    canonical "sequence of simple debit-credit operations". The store
+    abstraction differs only in annotation: RVM requires [set_range]
+    before each update, RLVM needs none. *)
+
+type store = {
+  begin_txn : unit -> unit;
+  annotate : off:int -> len:int -> unit;
+      (** [set_range] for RVM; a no-op for RLVM. *)
+  read_word : off:int -> int;
+  write_word : off:int -> int -> unit;
+  commit : unit -> unit;
+  kernel : Lvm_vm.Kernel.t;
+}
+
+val rvm_store : Lvm_rvm.Rvm.t -> store
+val rlvm_store : Lvm_rvm.Rlvm.t -> store
+
+type result = {
+  txns : int;
+  cycles : int;
+  tps : float;  (** Throughput at the prototype's 25 MHz clock. *)
+  cycles_per_txn : float;
+}
+
+val setup : store -> Bank.t -> unit
+(** Zero balances in one setup transaction. *)
+
+val run : ?seed:int -> store -> Bank.t -> txns:int -> result
+
+val balance_invariant : store -> Bank.t -> bool
+(** Sum of branch balances = sum of teller balances = sum of account
+    balances (every delta is applied to one of each). *)
+
+val total_balance : store -> Bank.t -> int
+(** Sum of all account balances (signed). *)

@@ -1,0 +1,1 @@
+lib/vm/address_space.ml: Addr Hashtbl List Lvm_machine Region

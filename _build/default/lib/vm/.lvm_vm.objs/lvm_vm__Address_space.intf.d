@@ -1,0 +1,1 @@
+lib/vm/address_space.mli: Region

@@ -1,0 +1,1 @@
+lib/vm/backing_store.ml: Addr Bytes Int32 Lvm_machine

@@ -1,0 +1,1 @@
+lib/vm/backing_store.mli: Bytes

@@ -1,0 +1,1 @@
+lib/vm/kernel.ml: Addr Address_space Array Backing_store Bytes Cycles Hashtbl L1_cache List Logger Lvm_machine Machine Perf Physmem Region Segment

@@ -1,0 +1,1 @@
+lib/vm/kernel.mli: Address_space Backing_store Lvm_machine Region Segment

@@ -1,0 +1,1 @@
+lib/vm/protect_checkpoint.ml: Addr Address_space Hashtbl Kernel List Lvm_machine Machine Physmem Region

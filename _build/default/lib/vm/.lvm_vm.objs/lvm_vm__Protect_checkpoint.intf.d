@@ -1,0 +1,1 @@
+lib/vm/protect_checkpoint.mli: Address_space Kernel Region

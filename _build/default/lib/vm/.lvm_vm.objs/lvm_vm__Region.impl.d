@@ -1,0 +1,1 @@
+lib/vm/region.ml: Addr Lvm_machine Segment

@@ -1,0 +1,1 @@
+lib/vm/segment.ml: Addr Array Backing_store Logger Lvm_machine Printf

@@ -1,0 +1,1 @@
+lib/vm/segment.mli: Backing_store Lvm_machine

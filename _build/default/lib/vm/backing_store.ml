@@ -1,0 +1,32 @@
+open Lvm_machine
+
+type t = { image : Bytes.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Backing_store.create: size must be positive";
+  { image = Bytes.make (Addr.align_up size ~alignment:Addr.page_size) '\000' }
+
+let size t = Bytes.length t.image
+let pages t = size t / Addr.page_size
+
+let check_page t page =
+  if page < 0 || page >= pages t then
+    invalid_arg "Backing_store: page out of range"
+
+let read_page t ~page =
+  check_page t page;
+  Bytes.sub t.image (page * Addr.page_size) Addr.page_size
+
+let write_page t ~page bytes =
+  check_page t page;
+  if Bytes.length bytes <> Addr.page_size then
+    invalid_arg "Backing_store.write_page: need exactly one page";
+  Bytes.blit bytes 0 t.image (page * Addr.page_size) Addr.page_size
+
+let read_word t ~off =
+  if off < 0 || off + 4 > size t then invalid_arg "Backing_store.read_word";
+  Int32.to_int (Bytes.get_int32_le t.image off) land 0xFFFFFFFF
+
+let write_word t ~off v =
+  if off < 0 || off + 4 > size t then invalid_arg "Backing_store.write_word";
+  Bytes.set_int32_le t.image off (Int32.of_int (v land 0xFFFFFFFF))

@@ -1,0 +1,31 @@
+(** Backing store for demand-paged segments.
+
+    The paper positions LVM alongside ordinary virtual memory structuring
+    — "attaching the logging to a memory region also fits with application
+    structuring required with mapped files" — and its motivating OODB use
+    maps persistent objects into memory. This module is the paging store
+    behind such segments: a page-granular image that survives the kernel,
+    so a segment can be paged out under memory pressure and a new mapping
+    can reload the same data (the mapped-file pattern).
+
+    Timing: page transfers are charged by the kernel as paging I/O
+    ({!Lvm_machine.Cycles.page_in}/[page_out]); this module only stores
+    bytes. *)
+
+type t
+
+val create : size:int -> t
+(** A zero-filled image of [size] bytes (rounded up to whole pages). *)
+
+val size : t -> int
+val pages : t -> int
+
+val read_page : t -> page:int -> Bytes.t
+(** A copy of the 4 KB page image. *)
+
+val write_page : t -> page:int -> Bytes.t -> unit
+
+val read_word : t -> off:int -> int
+(** Direct image inspection (tests and checkers). *)
+
+val write_word : t -> off:int -> int -> unit

@@ -1,0 +1,736 @@
+open Lvm_machine
+
+type t = {
+  machine : Machine.t;
+  mutable next_id : int;
+  mutable spaces : Address_space.t list;
+  mutable current : Address_space.t option;
+  log_slots : Segment.t option array; (* logger log-table slot -> log seg *)
+  pmt_loads : int list array; (* key pages loaded per slot, for eviction *)
+  direct_slots : (int * int, int) Hashtbl.t;
+      (* (log segment id, data page) -> slot, for direct-mapped logs
+         which need one log-table entry per data page *)
+  slot_direct_page : (int * int) option array; (* inverse of the above *)
+  mutable next_victim : int;
+  frame_owner : (int, Segment.t * int) Hashtbl.t; (* frame -> seg, page *)
+  dc_sources : (int, unit) Hashtbl.t; (* segment ids serving as dc sources *)
+  default_log_frame : int;
+  mutable on_protect_fault :
+    (Address_space.t -> Region.t -> vaddr:int -> unit) option;
+}
+
+let machine t = t.machine
+let perf t = Machine.perf t.machine
+let time t = Machine.time t.machine
+let compute t c = Machine.compute t.machine c
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* {1 Frames} *)
+
+(* Write one resident page of a backed segment out to its store and
+   release its frame, dropping page-table entries that reference it. *)
+let evict_page t seg ~page =
+  match (Segment.frame_of_page seg page, Segment.backing seg) with
+  | None, _ -> invalid_arg "Kernel.evict_page: page not resident"
+  | _, None -> invalid_arg "Kernel.evict_page: segment has no backing store"
+  | Some frame, Some store ->
+    Machine.compute t.machine Cycles.page_out;
+    let buf = Bytes.create Addr.page_size in
+    Physmem.blit_to_bytes (Machine.mem t.machine)
+      ~src:(Addr.addr_of_page frame) buf ~pos:0 ~len:Addr.page_size;
+    Backing_store.write_page store ~page buf;
+    (* drop every mapping of this page *)
+    List.iter
+      (fun space ->
+        List.iter
+          (fun (base, region) ->
+            if Segment.id (Region.segment region) = Segment.id seg then begin
+              let off = (page * Addr.page_size) - Region.seg_offset region in
+              if off >= 0 && off < Region.size region then
+                Address_space.remove space
+                  ~vpage:(Addr.page_number (base + off))
+            end)
+          (Address_space.regions space))
+      t.spaces;
+    L1_cache.invalidate_page (Machine.l1 t.machine) ~page:frame;
+    Hashtbl.remove t.frame_owner frame;
+    Segment.clear_frame seg ~page;
+    Physmem.free_frame (Machine.mem t.machine) frame
+
+(* A page is reclaimable when evicting it cannot lose state the kernel
+   does not track: plain data segments with a backing store, not logged,
+   not part of a deferred-copy pair. *)
+let reclaimable t seg =
+  Segment.kind seg = Segment.Std
+  && Segment.backing seg <> None
+  && Segment.source seg = None
+  && Segment.logged_via seg = None
+  && not (Hashtbl.mem t.dc_sources (Segment.id seg))
+
+let reclaim_frames t ~target =
+  let victims =
+    Hashtbl.fold
+      (fun _frame (seg, page) acc ->
+        if List.length acc < target && reclaimable t seg then
+          (seg, page) :: acc
+        else acc)
+      t.frame_owner []
+  in
+  List.iter (fun (seg, page) -> evict_page t seg ~page) victims;
+  List.length victims
+
+let materialize_page t seg ~page =
+  match Segment.frame_of_page seg page with
+  | Some f -> f
+  | None ->
+    let f =
+      try Physmem.alloc_frame (Machine.mem t.machine)
+      with Physmem.Out_of_frames ->
+        (* memory pressure: page out reclaimable frames and retry *)
+        if reclaim_frames t ~target:8 = 0 then raise Physmem.Out_of_frames
+        else Physmem.alloc_frame (Machine.mem t.machine)
+    in
+    Segment.set_frame seg ~page ~frame:f;
+    Hashtbl.replace t.frame_owner f (seg, page);
+    (match (Segment.backing seg, Segment.manager seg) with
+    | Some store, _ ->
+      (* demand paging: load the page image from the backing store (the
+         store, not the manager, defines a backed page's contents) *)
+      Machine.compute t.machine Cycles.page_in;
+      Physmem.blit_of_bytes (Machine.mem t.machine)
+        (Backing_store.read_page store ~page)
+        ~pos:0 ~dst:(Addr.addr_of_page f) ~len:Addr.page_size
+    | None, Some fill -> fill seg page
+    | None, None -> ());
+    (* If this segment has a deferred-copy source, wire the new page. *)
+    (match Segment.source seg with
+    | None -> ()
+    | Some (src, offset) ->
+      let src_page = (offset / Addr.page_size) + page in
+      if src_page < Segment.pages src then begin
+        let src_frame =
+          match Segment.frame_of_page src src_page with
+          | Some f -> f
+          | None ->
+            let f = Physmem.alloc_frame (Machine.mem t.machine) in
+            Segment.set_frame src ~page:src_page ~frame:f;
+            Hashtbl.replace t.frame_owner f (src, src_page);
+            f
+        in
+        Machine.dc_map t.machine ~dst_page:f
+          ~src_addr:(Addr.addr_of_page src_frame)
+      end);
+    f
+
+let paddr_of t seg ~off =
+  if off < 0 || off >= Segment.size seg then
+    invalid_arg "Kernel.paddr_of: offset out of segment";
+  let frame = materialize_page t seg ~page:(off / Addr.page_size) in
+  Addr.addr_of_page frame + Addr.page_offset off
+
+(* {1 Log segment activation} *)
+
+let logger t = Machine.logger t.machine
+
+(* Point the logger's log-table entry for [ls] at its current write
+   position, materializing the page under it. *)
+let arm_log_entry t ls ~index =
+  let pos = Segment.write_pos ls in
+  let page = pos / Addr.page_size in
+  Segment.set_active_page ls page;
+  let frame = materialize_page t ls ~page in
+  Logger.set_log_entry (logger t) ~index ~mode:(Segment.log_mode ls)
+    ~addr:(Addr.addr_of_page frame + Addr.page_offset pos)
+
+let rec sync_log t ls =
+  Logger.complete_pending (logger t);
+  match Segment.log_index ls with
+  | None -> ()
+  | Some index -> (
+    match Logger.log_entry (logger t) ~index with
+    | Some ((Logger.Normal | Logger.Indexed), addr) ->
+      if not (Segment.absorbing ls) then
+        Segment.set_write_pos ls
+          ((Segment.active_page ls * Addr.page_size) + Addr.page_offset addr)
+    | Some (Logger.Direct_mapped, _) -> ()
+    | None ->
+      (* Entry invalidated by a page crossing the kernel has not serviced
+         yet: records end exactly at the page boundary. *)
+      if not (Segment.absorbing ls) then
+        Segment.set_write_pos ls
+          ((Segment.active_page ls + 1) * Addr.page_size))
+
+and deactivate_slot t index =
+  match t.log_slots.(index) with
+  | None -> ()
+  | Some victim ->
+    (match t.slot_direct_page.(index) with
+    | Some key ->
+      Hashtbl.remove t.direct_slots key;
+      t.slot_direct_page.(index) <- None
+    | None ->
+      sync_log t victim;
+      Segment.set_log_index victim None);
+    Logger.invalidate_log_entry (logger t) ~index;
+    List.iter
+      (fun page -> Logger.invalidate_pmt (logger t) ~page)
+      t.pmt_loads.(index);
+    t.pmt_loads.(index) <- [];
+    t.log_slots.(index) <- None
+
+let free_slot t =
+  let n = Array.length t.log_slots in
+  let rec find i = if i = n then None
+    else if t.log_slots.(i) = None then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> i
+  | None ->
+    (* Round-robin eviction of another log. *)
+    let v = t.next_victim in
+    t.next_victim <- (v + 1) mod n;
+    deactivate_slot t v;
+    v
+
+let alloc_slot t ls =
+  let index = free_slot t in
+  t.log_slots.(index) <- Some ls;
+  Segment.set_log_index ls (Some index);
+  index
+
+let activate_log t ls =
+  match Segment.log_index ls with
+  | Some index ->
+    if Logger.log_entry (logger t) ~index = None
+       && not (Segment.absorbing ls)
+    then arm_log_entry t ls ~index;
+    index
+  | None ->
+    let index = alloc_slot t ls in
+    arm_log_entry t ls ~index;
+    index
+
+(* Direct-mapped logs need a log-table entry per data page, pointing at
+   the base of the corresponding log page. *)
+let alloc_direct_slot t ls ~seg_page =
+  let key = (Segment.id ls, seg_page) in
+  match Hashtbl.find_opt t.direct_slots key with
+  | Some index -> index
+  | None ->
+    let index = free_slot t in
+    t.log_slots.(index) <- Some ls;
+    t.slot_direct_page.(index) <- Some key;
+    Hashtbl.replace t.direct_slots key index;
+    let log_frame = materialize_page t ls ~page:seg_page in
+    Logger.set_log_entry (logger t) ~index ~mode:Logger.Direct_mapped
+      ~addr:(Addr.addr_of_page log_frame);
+    index
+
+(* Make the right log-table entry live for a write to [seg_page] of the
+   data segment logged to [ls]. *)
+let activate_for_page t ls ~seg_page =
+  match Segment.log_mode ls with
+  | Logger.Direct_mapped -> alloc_direct_slot t ls ~seg_page
+  | Logger.Normal | Logger.Indexed -> activate_log t ls
+
+let load_pmt_for t ~key_page ~index =
+  Logger.load_pmt (logger t) ~page:key_page ~log_index:index;
+  if not (List.mem key_page t.pmt_loads.(index)) then
+    t.pmt_loads.(index) <- key_page :: t.pmt_loads.(index)
+
+(* The PMT key for a logged page: the physical page in prototype hardware,
+   the virtual page with on-chip logging (Section 4.6). *)
+let pmt_key t ~frame ~vpage =
+  match Logger.hw (logger t) with
+  | Logger.Prototype -> frame
+  | Logger.On_chip -> vpage
+
+(* {1 Page faults} *)
+
+exception Segmentation_fault of { space : int; vaddr : int }
+
+let install_pte t space ~vaddr =
+  Machine.compute t.machine Cycles.page_fault;
+  (perf t).Perf.page_faults <- (perf t).Perf.page_faults + 1;
+  match Address_space.find_region space ~vaddr with
+  | None ->
+    raise (Segmentation_fault { space = Address_space.id space; vaddr })
+  | Some (base, region) ->
+    let seg = Region.segment region in
+    let seg_page = Region.seg_page_of_vaddr region ~base ~vaddr in
+    let frame = materialize_page t seg ~page:seg_page in
+    let logged = Region.is_logged region in
+    (* Logged pages run the on-chip cache in write-through mode so every
+       write is visible to the logger (Section 3.2). *)
+    let pte =
+      {
+        Address_space.frame;
+        write_through = logged;
+        logged;
+        protected_ = Region.write_protected region;
+        dirty = false;
+        region;
+        seg_page;
+      }
+    in
+    (if logged then
+       match Region.log region with
+       | None -> assert false
+       | Some ls ->
+         let index = activate_for_page t ls ~seg_page in
+         load_pmt_for t
+           ~key_page:(pmt_key t ~frame ~vpage:(Addr.page_number vaddr))
+           ~index);
+    Address_space.install space ~vpage:(Addr.page_number vaddr) pte;
+    pte
+
+let pte_for t space ~vaddr =
+  match Address_space.lookup space ~vpage:(Addr.page_number vaddr) with
+  | Some pte -> pte
+  | None -> install_pte t space ~vaddr
+
+(* {1 Protection faults} *)
+
+let handle_protect_fault t space pte ~vaddr =
+  Machine.compute t.machine Cycles.write_protect_fault;
+  (perf t).Perf.write_protect_faults <-
+    (perf t).Perf.write_protect_faults + 1;
+  pte.Address_space.protected_ <- false;
+  match t.on_protect_fault with
+  | None -> ()
+  | Some f -> f space pte.Address_space.region ~vaddr
+
+(* {1 Access} *)
+
+let check_access ~vaddr ~size =
+  (match size with
+  | 1 | 2 | 4 -> ()
+  | _ -> invalid_arg "Kernel: access size must be 1, 2 or 4");
+  if vaddr land (size - 1) <> 0 then
+    invalid_arg "Kernel: unaligned access"
+
+let read t space ~vaddr ~size =
+  check_access ~vaddr ~size;
+  let pte = pte_for t space ~vaddr in
+  let paddr =
+    Addr.addr_of_page pte.Address_space.frame + Addr.page_offset vaddr
+  in
+  Machine.read t.machine ~paddr ~size
+
+let write t space ~vaddr ~size value =
+  check_access ~vaddr ~size;
+  let pte = pte_for t space ~vaddr in
+  if pte.Address_space.protected_ then
+    handle_protect_fault t space pte ~vaddr;
+  let paddr =
+    Addr.addr_of_page pte.Address_space.frame + Addr.page_offset vaddr
+  in
+  let mode =
+    if pte.Address_space.write_through then Machine.Write_through
+    else Machine.Write_back
+  in
+  Machine.write t.machine ~paddr ~vaddr ~size ~mode
+    ~logged:pte.Address_space.logged value;
+  pte.Address_space.dirty <- true
+
+let read_word t space vaddr = read t space ~vaddr ~size:4
+let write_word t space vaddr v = write t space ~vaddr ~size:4 v
+
+(* {1 Logging faults (registered with the logger)} *)
+
+let handle_pmt_miss t ~addr =
+  match Logger.hw (logger t) with
+  | Logger.Prototype -> (
+    (* [addr] is physical: recover the owning segment, then the single
+       logged region the prototype supports per segment. *)
+    match Hashtbl.find_opt t.frame_owner (Addr.page_number addr) with
+    | None -> Logger.Drop
+    | Some (seg, seg_page) -> (
+      match Segment.logged_via seg with
+      | None -> Logger.Drop
+      | Some region_id -> (
+        (* the region that currently owns this segment's logging — under
+           per-process logs, the one the last context switch installed *)
+        match
+          List.find_map
+            (fun space ->
+              List.find_map
+                (fun (_, r) ->
+                  if Region.id r = region_id && Region.is_logged r then
+                    Region.log r
+                  else None)
+                (Address_space.regions space))
+            t.spaces
+        with
+        | None -> Logger.Drop
+        | Some ls ->
+          let index = activate_for_page t ls ~seg_page in
+          load_pmt_for t ~key_page:(Addr.page_number addr) ~index;
+          Logger.Fixed)))
+  | Logger.On_chip -> (
+    (* [addr] is virtual in the current space. *)
+    match t.current with
+    | None -> Logger.Drop
+    | Some space -> (
+      match Address_space.find_region space ~vaddr:addr with
+      | None -> Logger.Drop
+      | Some (_, region) when not (Region.is_logged region) -> Logger.Drop
+      | Some (base, region) -> (
+        match Region.log region with
+        | None -> Logger.Drop
+        | Some ls ->
+          let seg_page = Region.seg_page_of_vaddr region ~base ~vaddr:addr in
+          let index = activate_for_page t ls ~seg_page in
+          load_pmt_for t ~key_page:(Addr.page_number addr) ~index;
+          Logger.Fixed)))
+
+let handle_log_addr_invalid t ~log_index =
+  match t.log_slots.(log_index) with
+  | None -> Logger.Drop
+  | Some ls -> (
+    match Segment.log_mode ls with
+    | Logger.Direct_mapped -> Logger.Drop
+    | Logger.Normal | Logger.Indexed ->
+      let next = Segment.active_page ls + 1 in
+      (* Capacity the user provided (at creation or by extension) counts as
+         "a page"; frames under it are materialized on demand. *)
+      let have_page = next < Segment.pages ls in
+      if have_page && not (Segment.absorbing ls) then begin
+        Segment.set_write_pos ls (next * Addr.page_size);
+        arm_log_entry t ls ~index:log_index;
+        Logger.Fixed
+      end
+      else begin
+        (* No page provided in time: absorb records into the default log
+           page; they are lost (Section 3.2). *)
+        if not (Segment.absorbing ls) then begin
+          Segment.set_write_pos ls (next * Addr.page_size);
+          Segment.set_absorbing ls true
+        end;
+        Segment.note_absorbed_crossing ls;
+        Logger.set_log_entry (logger t) ~index:log_index
+          ~mode:(Segment.log_mode ls)
+          ~addr:(Addr.addr_of_page t.default_log_frame);
+        Logger.Fixed
+      end)
+
+(* {1 Construction} *)
+
+let create ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64) () =
+  let machine = Machine.create ?hw ?record_old_values ~frames ~log_entries ()
+  in
+  let default_log_frame = Physmem.alloc_frame (Machine.mem machine) in
+  let t =
+    {
+      machine;
+      next_id = 1;
+      spaces = [];
+      current = None;
+      log_slots = Array.make log_entries None;
+      pmt_loads = Array.make log_entries [];
+      direct_slots = Hashtbl.create 16;
+      slot_direct_page = Array.make log_entries None;
+      next_victim = 0;
+      frame_owner = Hashtbl.create 256;
+      dc_sources = Hashtbl.create 16;
+      default_log_frame;
+      on_protect_fault = None;
+    }
+  in
+  Logger.set_fault_handler (Machine.logger machine) (function
+    | Logger.Pmt_miss { paddr } -> handle_pmt_miss t ~addr:paddr
+    | Logger.Log_addr_invalid { log_index } ->
+      handle_log_addr_invalid t ~log_index);
+  t
+
+let create_space t =
+  let s = Address_space.make ~id:(fresh_id t) in
+  t.spaces <- s :: t.spaces;
+  if t.current = None then t.current <- Some s;
+  s
+
+let set_current_space t s = t.current <- Some s
+let current_space t = t.current
+
+let context_switch t space =
+  Machine.compute t.machine Cycles.context_switch;
+  t.current <- Some space;
+  match Logger.hw (logger t) with
+  | Logger.On_chip ->
+    (* the on-chip tables live in the TLB: flush them wholesale *)
+    for index = 0 to Array.length t.log_slots - 1 do
+      deactivate_slot t index
+    done
+  | Logger.Prototype ->
+    (* claim shared logged segments for the incoming process's regions so
+       its writes log to its own segments (Sections 2.1 and 3.1.2) *)
+    List.iter
+      (fun (_, region) ->
+        if Region.is_logged region then begin
+          let seg = Region.segment region in
+          if Segment.logged_via seg <> Some (Region.id region) then begin
+            Segment.set_logged_via seg (Some (Region.id region));
+            for page = 0 to Segment.pages seg - 1 do
+              match Segment.frame_of_page seg page with
+              | Some frame -> Logger.invalidate_pmt (logger t) ~page:frame
+              | None -> ()
+            done
+          end
+        end)
+      (Address_space.regions space)
+
+let create_segment ?manager ?backing t ~size =
+  (match backing with
+  | Some store when Backing_store.size store < size ->
+    invalid_arg "Kernel.create_segment: backing store smaller than segment"
+  | Some _ | None -> ());
+  let seg = Segment.make ~id:(fresh_id t) ~kind:Segment.Std ~size in
+  Segment.set_manager seg manager;
+  Segment.set_backing seg backing;
+  seg
+
+(* msync analogue: push every resident page of a backed segment to its
+   store without evicting it. *)
+let sync_segment t seg =
+  match Segment.backing seg with
+  | None -> invalid_arg "Kernel.sync_segment: segment has no backing store"
+  | Some store ->
+    for page = 0 to Segment.pages seg - 1 do
+      match Segment.frame_of_page seg page with
+      | None -> ()
+      | Some frame ->
+        Machine.compute t.machine Cycles.page_out;
+        let buf = Bytes.create Addr.page_size in
+        Physmem.blit_to_bytes (Machine.mem t.machine)
+          ~src:(Addr.addr_of_page frame) buf ~pos:0 ~len:Addr.page_size;
+        Backing_store.write_page store ~page buf
+    done
+
+let create_log_segment ?(mode = Logger.Normal) t ~size =
+  let seg = Segment.make ~id:(fresh_id t) ~kind:Segment.Log ~size in
+  Segment.set_log_mode seg mode;
+  seg
+
+let create_region ?(seg_offset = 0) ?size t segment =
+  let size =
+    match size with Some s -> s | None -> Segment.size segment - seg_offset
+  in
+  Region.make ~id:(fresh_id t) ~segment ~seg_offset ~size
+
+let bind _t space ?vaddr region = Address_space.bind space region ~vaddr
+let unbind _t space region = Address_space.unbind space region
+
+(* Re-derive the hardware mode bits of every resident page of a region
+   after its logging configuration changed. *)
+let refresh_region_ptes t region =
+  List.iter
+    (fun space ->
+      match Region.binding region with
+      | Some (sid, base) when sid = Address_space.id space ->
+        let logged = Region.is_logged region in
+        let log = Region.log region in
+        for vpage = Addr.page_number base
+          to Addr.page_number (base + Region.size region - 1) do
+          match Address_space.lookup space ~vpage with
+          | None -> ()
+          | Some pte ->
+            pte.Address_space.logged <- logged;
+            pte.Address_space.write_through <- logged;
+            if logged then
+              match log with
+              | None -> ()
+              | Some ls ->
+                let index =
+                  activate_for_page t ls ~seg_page:pte.Address_space.seg_page
+                in
+                load_pmt_for t
+                  ~key_page:(pmt_key t ~frame:pte.Address_space.frame ~vpage)
+                  ~index
+        done
+      | _ -> ())
+    t.spaces
+
+let set_region_log t region log =
+  Region.set_log region log;
+  let seg = Region.segment region in
+  (match log with
+  | Some _ -> Segment.set_logged_via seg (Some (Region.id region))
+  | None ->
+    if Segment.logged_via seg = Some (Region.id region) then
+      Segment.set_logged_via seg None);
+  refresh_region_ptes t region
+
+let set_logging_enabled t region enabled =
+  Region.set_logging_enabled region enabled;
+  refresh_region_ptes t region
+
+let extend_log t ls ~pages =
+  if Segment.kind ls <> Segment.Log then
+    invalid_arg "Kernel.extend_log: not a log segment";
+  let first_new = Segment.pages ls in
+  Segment.grow ls ~pages;
+  for p = first_new to Segment.pages ls - 1 do
+    ignore (materialize_page t ls ~page:p)
+  done;
+  if Segment.absorbing ls then begin
+    (* The user finally provided pages: resume logging into the segment.
+       Records absorbed meanwhile are lost. *)
+    Segment.set_absorbing ls false;
+    match Segment.log_index ls with
+    | None -> ()
+    | Some index -> arm_log_entry t ls ~index
+  end
+
+let truncate_log t ls ~keep_from =
+  sync_log t ls;
+  let pos = Segment.write_pos ls in
+  if keep_from < 0 || keep_from > pos then
+    invalid_arg "Kernel.truncate_log: keep_from out of range";
+  let remaining = pos - keep_from in
+  if remaining > 0 then begin
+    (* Compact the kept suffix to the front, page by page. *)
+    let moved = ref 0 in
+    while !moved < remaining do
+      let src_off = keep_from + !moved in
+      let dst_off = !moved in
+      let chunk =
+        min
+          (min (Addr.page_size - Addr.page_offset src_off)
+             (Addr.page_size - Addr.page_offset dst_off))
+          (remaining - !moved)
+      in
+      let src = paddr_of t ls ~off:src_off in
+      let dst = paddr_of t ls ~off:dst_off in
+      Machine.bcopy t.machine ~src ~dst ~len:chunk;
+      moved := !moved + chunk
+    done
+  end;
+  Segment.set_write_pos ls remaining;
+  match Segment.log_index ls with
+  | None -> Segment.set_active_page ls (remaining / Addr.page_size)
+  | Some index -> arm_log_entry t ls ~index
+
+let truncate_log_suffix t ls ~new_end =
+  sync_log t ls;
+  if new_end < 0 || new_end > Segment.write_pos ls then
+    invalid_arg "Kernel.truncate_log_suffix: new_end out of range";
+  Segment.set_write_pos ls new_end;
+  match Segment.log_index ls with
+  | None -> Segment.set_active_page ls (new_end / Addr.page_size)
+  | Some index -> arm_log_entry t ls ~index
+
+(* {1 Deferred copy} *)
+
+let declare_source t ~dst ~src ~offset =
+  if not (Addr.is_page_aligned offset) then
+    invalid_arg "Kernel.declare_source: offset must be page-aligned";
+  if offset + Segment.size dst > Segment.size src then
+    invalid_arg "Kernel.declare_source: source too small";
+  Segment.set_source dst (Some (src, offset));
+  Hashtbl.replace t.dc_sources (Segment.id src) ();
+  for page = 0 to Segment.pages dst - 1 do
+    let src_page = (offset / Addr.page_size) + page in
+    let src_frame = materialize_page t src ~page:src_page in
+    let dst_frame = materialize_page t dst ~page in
+    Machine.dc_map t.machine ~dst_page:dst_frame
+      ~src_addr:(Addr.addr_of_page src_frame)
+  done
+
+let reset_deferred_copy t space ~start ~len =
+  if len < 0 then invalid_arg "Kernel.reset_deferred_copy: negative length";
+  (perf t).Perf.dc_resets <- (perf t).Perf.dc_resets + 1;
+  for vpage = Addr.page_number start
+    to Addr.page_number (start + len - 1) do
+    match Address_space.lookup space ~vpage with
+    | None -> ()
+    | Some pte ->
+      Machine.dc_reset_page t.machine ~dst_page:pte.Address_space.frame;
+      pte.Address_space.dirty <- false
+  done
+
+let reset_deferred_segment t seg =
+  (perf t).Perf.dc_resets <- (perf t).Perf.dc_resets + 1;
+  for page = 0 to Segment.pages seg - 1 do
+    match Segment.frame_of_page seg page with
+    | None -> ()
+    | Some frame -> Machine.dc_reset_page t.machine ~dst_page:frame
+  done
+
+(* {1 Write protection} *)
+
+let protect_region t region =
+  Region.set_write_protected region true;
+  List.iter
+    (fun space ->
+      match Region.binding region with
+      | Some (sid, base) when sid = Address_space.id space ->
+        for vpage = Addr.page_number base
+          to Addr.page_number (base + Region.size region - 1) do
+          match Address_space.lookup space ~vpage with
+          | None -> ()
+          | Some pte -> pte.Address_space.protected_ <- true
+        done
+      | _ -> ())
+    t.spaces
+
+let set_protect_fault_handler t f = t.on_protect_fault <- f
+let protect_fault_handler t = t.on_protect_fault
+
+let remap_page t space region ~seg_page ~new_frame =
+  let seg = Region.segment region in
+  match Segment.frame_of_page seg seg_page with
+  | None -> invalid_arg "Kernel.remap_page: page not materialized"
+  | Some old_frame ->
+    Machine.compute t.machine Cycles.page_remap;
+    Segment.set_frame seg ~page:seg_page ~frame:new_frame;
+    Hashtbl.remove t.frame_owner old_frame;
+    Hashtbl.replace t.frame_owner new_frame (seg, seg_page);
+    (match Region.binding region with
+    | Some (sid, base) when sid = Address_space.id space ->
+      let vpage =
+        Addr.page_number
+          (base + ((seg_page * Addr.page_size) - Region.seg_offset region))
+      in
+      (match Address_space.lookup space ~vpage with
+      | Some pte -> pte.Address_space.frame <- new_frame
+      | None -> ())
+    | Some _ | None -> ());
+    L1_cache.invalidate_page (Machine.l1 t.machine) ~page:old_frame;
+    Physmem.free_frame (Machine.mem t.machine) old_frame
+
+(* {1 Raw access} *)
+
+let owner_of_frame t ~frame = Hashtbl.find_opt t.frame_owner frame
+
+let find_mapping t ~vaddr =
+  let in_space space =
+    match Address_space.find_region space ~vaddr with
+    | Some (base, region) ->
+      Some
+        ( Region.segment region,
+          Region.seg_offset region + (vaddr - base) )
+    | None -> None
+  in
+  let rest = List.filter_map in_space t.spaces in
+  match t.current with
+  | Some space -> (
+    match in_space space with Some x -> Some x | None ->
+      (match rest with x :: _ -> Some x | [] -> None))
+  | None -> (match rest with x :: _ -> Some x | [] -> None)
+
+let seg_read_raw t seg ~off ~size =
+  let paddr = paddr_of t seg ~off in
+  let resolved =
+    Lvm_machine.Deferred_cache.resolve_read (Machine.deferred t.machine)
+      ~paddr
+  in
+  Machine.read_raw t.machine ~paddr:resolved ~size
+
+let seg_write_raw t seg ~off ~size v =
+  let paddr = paddr_of t seg ~off in
+  Machine.write_raw t.machine ~paddr ~size v

@@ -1,0 +1,180 @@
+(** The virtual memory kernel: the V++ Cache Kernel analogue.
+
+    The kernel owns the simulated machine and implements the VM system
+    extensions of Section 3.2: fault handling for logged pages (putting
+    pages in write-through mode and loading the logger's tables), logging
+    faults (page-mapping-table reloads, log extension across page
+    boundaries, default-page absorption), overload recovery, the
+    deferred-copy mapping, and write-protection faults for the page-protect
+    checkpointing baseline.
+
+    All application memory access goes through {!read} and {!write}, which
+    translate virtual addresses through the current address space's page
+    table and charge the machine's timing model. *)
+
+type t
+
+exception Segmentation_fault of { space : int; vaddr : int }
+(** Raised on access to a virtual address not covered by any bound
+    region. *)
+
+val create :
+  ?hw:Lvm_machine.Logger.hw -> ?record_old_values:bool -> ?frames:int ->
+  ?log_entries:int -> unit -> t
+(** Boot a kernel on a fresh machine. [record_old_values] enables the
+    on-chip pre-image records of Section 4.6. *)
+
+val machine : t -> Lvm_machine.Machine.t
+val perf : t -> Lvm_machine.Perf.t
+val time : t -> int
+val compute : t -> int -> unit
+
+(** {1 Objects} *)
+
+val create_space : t -> Address_space.t
+
+val set_current_space : t -> Address_space.t -> unit
+(** Make a space current (the on-chip logging hardware of Section 4.6 keys
+    its tables by virtual address, so the kernel tracks whose TLB is
+    loaded). *)
+
+val current_space : t -> Address_space.t option
+
+val context_switch : t -> Address_space.t -> unit
+(** Switch the processor to another process's address space, unloading
+    logger table state belonging to the outgoing process as Section 3.1.2
+    describes: the prototype's page mapping table is keyed by physical
+    page, so when several processes log the same shared segment to
+    separate logs (the per-process database logs of Section 2.1), the
+    kernel must invalidate the segment's PMT entries and re-point
+    [logged_via] at the incoming process's region; the next logged write
+    faults and reloads the right log. Charges the context-switch cost. *)
+
+val create_segment :
+  ?manager:(Segment.t -> int -> unit) -> ?backing:Backing_store.t -> t ->
+  size:int -> Segment.t
+(** A standard data segment; [manager] is the user-level page-fill hook.
+    With [backing], the segment is demand-paged from (and evictable to)
+    the given store — the mapped-file pattern; the store, not the
+    manager, defines a backed page's initial contents. *)
+
+val sync_segment : t -> Segment.t -> unit
+(** Write every resident page of a backed segment to its store (msync). *)
+
+val evict_page : t -> Segment.t -> page:int -> unit
+(** Page one resident page out to the backing store, dropping its frame
+    and mappings; the next access faults it back in. *)
+
+val reclaim_frames : t -> target:int -> int
+(** Evict up to [target] reclaimable pages (backed, unlogged, not part of
+    a deferred-copy pair); returns how many were reclaimed. Invoked
+    automatically under memory pressure. *)
+
+val create_log_segment :
+  ?mode:Lvm_machine.Logger.mode -> t -> size:int -> Segment.t
+(** A log segment with initial capacity [size] bytes (whole pages). *)
+
+val create_region : ?seg_offset:int -> ?size:int -> t -> Segment.t -> Region.t
+(** A region over [segment\[seg_offset, seg_offset+size)]; defaults to the
+    whole segment. *)
+
+val bind : t -> Address_space.t -> ?vaddr:int -> Region.t -> int
+(** Bind the region, returning its base virtual address. *)
+
+val unbind : t -> Address_space.t -> Region.t -> unit
+
+(** {1 Logging control} *)
+
+val set_region_log : t -> Region.t -> Segment.t option -> unit
+(** Declare (or remove) the region's log segment (Table 1: [Region::log]).
+    Already-resident pages are switched to write-through/logged mode and
+    the logger tables are updated. *)
+
+val set_logging_enabled : t -> Region.t -> bool -> unit
+(** Dynamically enable or disable logging for a region (Section 2.7). *)
+
+val extend_log : t -> Segment.t -> pages:int -> unit
+(** Grow a log segment and materialize its new pages, normally called in
+    advance of the logger reaching the end (Section 3.2). Leaves
+    absorption mode if the logger was writing to the default page. *)
+
+val sync_log : t -> Segment.t -> unit
+(** Bring the log segment's [write_pos] up to date from the logger's log
+    table entry. *)
+
+val truncate_log : t -> Segment.t -> keep_from:int -> unit
+(** Discard records before byte offset [keep_from], compacting the
+    remainder to the front of the segment (kernel copy, charged at bcopy
+    cost). [keep_from = write_pos] empties the log cheaply. *)
+
+val truncate_log_suffix : t -> Segment.t -> new_end:int -> unit
+(** Discard records at and after byte offset [new_end] (used after
+    rollback: replayed history beyond the target time is dead). *)
+
+(** {1 Access} *)
+
+val read : t -> Address_space.t -> vaddr:int -> size:int -> int
+val write : t -> Address_space.t -> vaddr:int -> size:int -> int -> unit
+
+val read_word : t -> Address_space.t -> int -> int
+val write_word : t -> Address_space.t -> int -> int -> unit
+
+(** {1 Deferred copy} *)
+
+val declare_source : t -> dst:Segment.t -> src:Segment.t -> offset:int -> unit
+(** [Segment::sourceSegment]: segment [dst] appears initialized from [src]
+    starting at page-aligned [offset] (Section 2.3). Materializes both
+    segments and installs the second-level-cache mappings. *)
+
+val reset_deferred_copy : t -> Address_space.t -> start:int -> len:int -> unit
+(** [AddressSpace::resetDeferredCopy]: undo all modifications to
+    deferred-copy destination pages in the given virtual range. *)
+
+val reset_deferred_segment : t -> Segment.t -> unit
+(** Reset every deferred-copy page of a destination segment. *)
+
+(** {1 Write protection (page-protect baseline)} *)
+
+val protect_region : t -> Region.t -> unit
+(** Write-protect all pages of the region; the next write to each page
+    faults once (Li/Appel checkpointing, Section 5.1). *)
+
+val set_protect_fault_handler :
+  t -> (Address_space.t -> Region.t -> vaddr:int -> unit) option -> unit
+
+val protect_fault_handler :
+  t -> (Address_space.t -> Region.t -> vaddr:int -> unit) option
+(** The currently installed handler (so facilities can chain). *)
+
+val remap_page :
+  t -> Address_space.t -> Region.t -> seg_page:int -> new_frame:int -> unit
+(** Point segment page [seg_page] at [new_frame]: update the segment's
+    frame table, the reverse frame map, and the page-table entry in the
+    given space; invalidate first-level lines of the old frame and free
+    it. This is the Li/Appel restore primitive — rolling back a modified
+    page by resetting the mapping to its checkpoint copy (Section 5.1).
+    Charged as a page-table update, not a copy. *)
+
+(** {1 Raw (untimed) segment access — initialization and verification} *)
+
+val materialize_page : t -> Segment.t -> page:int -> int
+(** Ensure the page has a frame; returns the frame number. *)
+
+val paddr_of : t -> Segment.t -> off:int -> int
+(** Physical address of segment offset [off] (materializing the page). *)
+
+val owner_of_frame : t -> frame:int -> (Segment.t * int) option
+(** Reverse map from a physical frame to the (segment, page) holding it;
+    how log readers translate the physical addresses the prototype logger
+    records back to segment offsets (Section 3.1.2). *)
+
+val find_mapping : t -> vaddr:int -> (Segment.t * int) option
+(** Translate a virtual address to (segment, byte offset), preferring the
+    current address space; how log readers resolve the virtual addresses
+    on-chip loggers record (Section 4.6). *)
+
+val seg_read_raw : t -> Segment.t -> off:int -> size:int -> int
+(** Untimed read of the segment's logical content (deferred-copy source
+    redirection honored). *)
+
+val seg_write_raw : t -> Segment.t -> off:int -> size:int -> int -> unit

@@ -1,0 +1,93 @@
+open Lvm_machine
+
+type saved = (int, int) Hashtbl.t (* seg_page -> shadow frame *)
+
+type checkpointed = {
+  k : Kernel.t;
+  space : Address_space.t;
+  region : Region.t;
+  saved : saved;
+  mutable faults : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  mutable attached : checkpointed list;
+}
+
+let handle t _space region ~vaddr =
+  match
+    List.find_opt
+      (fun c -> Region.id c.region = Region.id region)
+      t.attached
+  with
+  | None -> ()
+  | Some c ->
+    c.faults <- c.faults + 1;
+    let base =
+      match Region.binding region with
+      | Some (_, b) -> b
+      | None -> invalid_arg "Protect_checkpoint: region unbound"
+    in
+    let seg_page = Region.seg_page_of_vaddr region ~base ~vaddr in
+    if not (Hashtbl.mem c.saved seg_page) then begin
+      (* first write this epoch: copy the page out as the checkpoint *)
+      let shadow = Physmem.alloc_frame (Machine.mem (Kernel.machine c.k)) in
+      let src = Kernel.paddr_of c.k (Region.segment region)
+          ~off:(seg_page * Addr.page_size)
+      in
+      Machine.bcopy (Kernel.machine c.k) ~src
+        ~dst:(Addr.addr_of_page shadow) ~len:Addr.page_size;
+      Hashtbl.replace c.saved seg_page shadow
+    end
+
+let manager kernel =
+  let t = { kernel; attached = [] } in
+  let previous = Kernel.protect_fault_handler kernel in
+  Kernel.set_protect_fault_handler kernel
+    (Some
+       (fun space region ~vaddr ->
+         handle t space region ~vaddr;
+         match previous with
+         | Some f -> f space region ~vaddr
+         | None -> ()));
+  t
+
+let attach t ~space region =
+  if Region.binding region = None then
+    invalid_arg "Protect_checkpoint.attach: region must be bound";
+  let c = { k = t.kernel; space; region; saved = Hashtbl.create 16;
+            faults = 0 } in
+  (* materialize all pages so protection sweeps cover them *)
+  (match Region.binding region with
+  | Some (_, base) ->
+    for p = 0 to Region.pages region - 1 do
+      ignore (Kernel.read t.kernel space ~vaddr:(base + (p * Addr.page_size))
+                ~size:4)
+    done
+  | None -> ());
+  t.attached <- c :: t.attached;
+  c
+
+let drop_saved c =
+  Hashtbl.iter
+    (fun _ shadow -> Physmem.free_frame (Machine.mem (Kernel.machine c.k))
+        shadow)
+    c.saved;
+  Hashtbl.reset c.saved
+
+let checkpoint c =
+  drop_saved c;
+  Kernel.protect_region c.k c.region
+
+let restore c =
+  (* remap each modified page to its saved (checkpoint) copy *)
+  Hashtbl.iter
+    (fun seg_page shadow ->
+      Kernel.remap_page c.k c.space c.region ~seg_page ~new_frame:shadow)
+    c.saved;
+  Hashtbl.reset c.saved;
+  Kernel.protect_region c.k c.region
+
+let modified_pages c = Hashtbl.length c.saved
+let faults_taken c = c.faults

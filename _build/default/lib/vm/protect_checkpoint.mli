@@ -1,0 +1,43 @@
+(** Li/Appel-style virtual-memory checkpointing (Section 5.1).
+
+    The paper describes the Li and Appel mechanism — write-protect the
+    region at checkpoint time, copy each page into the checkpoint on its
+    first-write fault, and restore by {e re-mapping} the modified pages to
+    their checkpoint copies — and notes it "would be relatively
+    straightforward to extend our implementation to provide their form of
+    checkpointing and allow the applications to choose". This module is
+    that extension.
+
+    Contrast with deferred copy: restore here is a cheap per-modified-page
+    remap, but every checkpoint pays a write-protection sweep and every
+    first write to a page costs a protection fault plus a page copy — and
+    there is no per-write log, so rollback granularity is the checkpoint,
+    not the write (the limitation Section 5.1 stresses). *)
+
+type t
+
+val manager : Kernel.t -> t
+(** One manager per kernel: it owns the kernel's write-protection fault
+    handler and dispatches faults to the checkpoints registered below.
+    Creating a second manager for the same kernel is an error. *)
+
+type checkpointed
+
+val attach : t -> space:Address_space.t -> Region.t -> checkpointed
+(** Bring a bound region under checkpoint control. The region's pages are
+    materialized eagerly so protection sweeps cover them all. *)
+
+val checkpoint : checkpointed -> unit
+(** Establish a new checkpoint: discard saved pages from the previous
+    epoch and write-protect the region. *)
+
+val restore : checkpointed -> unit
+(** Roll the region back to the last checkpoint by remapping each
+    modified page to its saved copy (no data copying), then re-protect.
+    A region restored without any intervening writes is a no-op. *)
+
+val modified_pages : checkpointed -> int
+(** Pages copied (faulted) since the last checkpoint. *)
+
+val faults_taken : checkpointed -> int
+(** Total protection faults fielded for this region. *)

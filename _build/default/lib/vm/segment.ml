@@ -1,0 +1,105 @@
+open Lvm_machine
+
+type kind = Std | Log
+
+type t = {
+  id : int;
+  kind : kind;
+  mutable size : int;
+  mutable frames : int option array;
+  mutable source : (t * int) option;
+  mutable manager : (t -> int -> unit) option;
+  mutable write_pos : int;
+  mutable active_page : int;
+  mutable log_index : int option;
+  mutable log_mode : Logger.mode;
+  mutable absorbing : bool;
+  mutable absorbed_crossings : int;
+  mutable logged_via : int option;
+  mutable backing : Backing_store.t option;
+}
+
+let make ~id ~kind ~size =
+  if size < 0 then invalid_arg "Segment.make: negative size";
+  let size = Addr.align_up size ~alignment:Addr.page_size in
+  {
+    id;
+    kind;
+    size;
+    frames = Array.make (max 1 (size / Addr.page_size)) None;
+    source = None;
+    manager = None;
+    write_pos = 0;
+    active_page = 0;
+    log_index = None;
+    log_mode = Logger.Normal;
+    absorbing = false;
+    absorbed_crossings = 0;
+    logged_via = None;
+    backing = None;
+  }
+
+let id t = t.id
+let kind t = t.kind
+let size t = t.size
+let pages t = t.size / Addr.page_size
+
+let check_page t page =
+  if page < 0 || page >= pages t then
+    invalid_arg
+      (Printf.sprintf "Segment %d: page %d out of range (%d pages)" t.id page
+         (pages t))
+
+let frame_of_page t page =
+  check_page t page;
+  t.frames.(page)
+
+let set_frame t ~page ~frame =
+  check_page t page;
+  t.frames.(page) <- Some frame
+
+let clear_frame t ~page =
+  check_page t page;
+  t.frames.(page) <- None
+
+let grow t ~pages:n =
+  if n < 0 then invalid_arg "Segment.grow: negative page count";
+  let old = pages t in
+  t.size <- t.size + (n * Addr.page_size);
+  if pages t > Array.length t.frames then begin
+    let frames = Array.make (max (pages t) (2 * Array.length t.frames)) None in
+    Array.blit t.frames 0 frames 0 old;
+    t.frames <- frames
+  end
+
+let source t = t.source
+let set_source t s = t.source <- s
+let manager t = t.manager
+let set_manager t m = t.manager <- m
+
+let log_only t what =
+  if t.kind <> Log then
+    invalid_arg (Printf.sprintf "Segment %d: %s requires a log segment" t.id
+                   what)
+
+let write_pos t = log_only t "write_pos"; t.write_pos
+let set_write_pos t p = log_only t "set_write_pos"; t.write_pos <- p
+let active_page t = log_only t "active_page"; t.active_page
+let set_active_page t p = log_only t "set_active_page"; t.active_page <- p
+let log_index t = log_only t "log_index"; t.log_index
+let set_log_index t i = log_only t "set_log_index"; t.log_index <- i
+let log_mode t = log_only t "log_mode"; t.log_mode
+let set_log_mode t m = log_only t "set_log_mode"; t.log_mode <- m
+let absorbing t = log_only t "absorbing"; t.absorbing
+let set_absorbing t b = log_only t "set_absorbing"; t.absorbing <- b
+let absorbed_crossings t = log_only t "absorbed_crossings";
+  t.absorbed_crossings
+
+let note_absorbed_crossing t =
+  log_only t "note_absorbed_crossing";
+  t.absorbed_crossings <- t.absorbed_crossings + 1
+
+let logged_via t = t.logged_via
+let set_logged_via t r = t.logged_via <- r
+let backing t = t.backing
+let set_backing t b = t.backing <- b

@@ -1,0 +1,90 @@
+(** Memory segments: the virtual memory system objects that regions map.
+
+    A segment is a sized memory object whose pages are materialized into
+    physical page frames on demand by the kernel. Two kinds exist,
+    mirroring the paper's [StdSegment] and [LogSegment] classes (Table 1):
+
+    - [Std] segments hold application data and may name another segment as
+      their deferred-copy source (Section 2.3);
+    - [Log] segments receive log records from the logger hardware; they
+      grow by explicit extension and carry a write position maintained by
+      the kernel in concert with the logger's log table.
+
+    Segments are created through {!Kernel} so they are registered with the
+    machine; this module holds their state and invariants. *)
+
+type kind = Std | Log
+
+type t
+
+val make : id:int -> kind:kind -> size:int -> t
+(** Internal constructor used by the kernel. [size] is rounded up to whole
+    pages. *)
+
+val id : t -> int
+val kind : t -> kind
+val size : t -> int
+(** Current size in bytes (whole pages). *)
+
+val pages : t -> int
+
+val frame_of_page : t -> int -> int option
+(** Physical frame holding segment page [i], if materialized. *)
+
+val set_frame : t -> page:int -> frame:int -> unit
+val clear_frame : t -> page:int -> unit
+
+val grow : t -> pages:int -> unit
+(** Extend the segment by whole pages (log segment extension). *)
+
+val source : t -> (t * int) option
+(** Deferred-copy source segment and starting offset, if declared. *)
+
+val set_source : t -> (t * int) option -> unit
+
+val manager : t -> (t -> int -> unit) option
+(** User-level page-fill hook (the paper's SegmentMan): called with the
+    segment and page index when a page is materialized. *)
+
+val set_manager : t -> (t -> int -> unit) option -> unit
+
+(** {1 Log-segment state} (kernel-maintained; [Invalid_argument] on [Std]) *)
+
+val write_pos : t -> int
+(** Byte offset of the end of the logged data. *)
+
+val set_write_pos : t -> int -> unit
+
+val active_page : t -> int
+(** Page the logger is currently writing (i.e. [write_pos]'s page). *)
+
+val set_active_page : t -> int -> unit
+
+val log_index : t -> int option
+(** Logger log-table slot while this log is active. *)
+
+val set_log_index : t -> int option -> unit
+
+val log_mode : t -> Lvm_machine.Logger.mode
+val set_log_mode : t -> Lvm_machine.Logger.mode -> unit
+
+val absorbing : t -> bool
+(** True while the logger is absorbing this log's records into the default
+    page because the user did not extend the segment in time; such records
+    are lost (Section 3.2). *)
+
+val set_absorbing : t -> bool -> unit
+
+val absorbed_crossings : t -> int
+val note_absorbed_crossing : t -> unit
+
+val logged_via : t -> int option
+(** In prototype hardware, the single region id whose log applies to this
+    segment (the per-segment restriction of Section 3.1.2). *)
+
+val set_logged_via : t -> int option -> unit
+
+val backing : t -> Backing_store.t option
+(** The paging store behind this segment, if it is demand-paged. *)
+
+val set_backing : t -> Backing_store.t option -> unit

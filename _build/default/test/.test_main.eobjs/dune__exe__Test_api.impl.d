@@ -1,0 +1,1 @@
+test/test_api.ml: Addr Alcotest Array Bytes Format Gen List Log_record Lvm Lvm_experiments Lvm_machine Lvm_rvm Lvm_sim Lvm_tools Lvm_tpc Lvm_vm Machine Perf Physmem QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Format List Lvm Lvm_machine Lvm_rvm Lvm_sim Lvm_tpc Lvm_vm Phold State_saving Synthetic Timewarp

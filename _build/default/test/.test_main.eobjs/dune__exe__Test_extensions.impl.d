@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Gen Kernel List Lvm Lvm_consistency Lvm_machine Lvm_tools Lvm_vm Printf Protect_checkpoint QCheck QCheck_alcotest Shared_segment

@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Bus Bytes Cycles Deferred_cache Fifo Format L1_cache Log_record Logger Lvm_machine Machine Perf Physmem Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paging.ml: Addr Alcotest Backing_store Bytes Cycles Int32 Kernel Log_record Lvm Lvm_machine Lvm_vm Machine Perf Physmem

@@ -1,0 +1,1 @@
+test/test_rvm.ml: Alcotest Array Bytes Int32 List Lvm_rvm Lvm_tpc Lvm_vm Printf QCheck QCheck_alcotest Ramdisk Rlvm Rvm Rvm_costs String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Conservative Event Event_queue Format List Lvm_machine Lvm_sim Phold Printf QCheck QCheck_alcotest Queueing State_saving Synthetic Timewarp

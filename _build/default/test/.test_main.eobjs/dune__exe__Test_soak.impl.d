@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array List Lvm_rvm Lvm_sim Lvm_vm Phold Queueing Random State_saving Timewarp

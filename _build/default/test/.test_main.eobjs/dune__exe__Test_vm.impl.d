@@ -1,0 +1,1 @@
+test/test_vm.ml: Addr Address_space Alcotest Array Cycles Gen Kernel List Log_record Logger Lvm Lvm_machine Lvm_vm Option Perf Printf QCheck QCheck_alcotest Region Segment String

@@ -1,0 +1,107 @@
+(* Determinism: the simulated machine is a pure function of its inputs —
+   identical runs produce identical cycle counts, log contents and final
+   states. This is what makes the reproduction's numbers repeatable
+   bit-for-bit. *)
+
+open Lvm_sim
+
+let check = Alcotest.(check int)
+
+let test_synthetic_deterministic () =
+  let p = { Synthetic.default_params with Synthetic.events = 500 } in
+  let a = Synthetic.run p State_saving.Lvm_based in
+  let b = Synthetic.run p State_saving.Lvm_based in
+  check "identical cycles" a.Synthetic.cycles b.Synthetic.cycles;
+  check "identical records" a.Synthetic.log_records b.Synthetic.log_records
+
+let test_timewarp_deterministic () =
+  let run () =
+    let app = Phold.app ~objects:10 ~seed:5 () in
+    let engine =
+      Timewarp.create ~n_schedulers:3 ~strategy:State_saving.Lvm_based ~app ()
+    in
+    Phold.inject_population engine ~objects:10 ~population:7 ~seed:5;
+    let r = Timewarp.run engine ~end_time:250 in
+    (r, Timewarp.state_vector engine)
+  in
+  let r1, s1 = run () in
+  let r2, s2 = run () in
+  Alcotest.(check (array int)) "identical states" s1 s2;
+  check "identical elapsed cycles" r1.Timewarp.elapsed_cycles
+    r2.Timewarp.elapsed_cycles;
+  check "identical rollbacks" r1.Timewarp.total_rollbacks
+    r2.Timewarp.total_rollbacks
+
+let test_tpca_deterministic () =
+  let run () =
+    let k = Lvm_vm.Kernel.create () in
+    let sp = Lvm_vm.Kernel.create_space k in
+    let bank =
+      Lvm_tpc.Bank.layout ~branches:2 ~tellers:10 ~accounts:50 ~history:64
+    in
+    let store =
+      Lvm_tpc.Tpca.rlvm_store
+        (Lvm_rvm.Rlvm.create k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
+    in
+    Lvm_tpc.Tpca.setup store bank;
+    let r = Lvm_tpc.Tpca.run ~seed:11 store bank ~txns:60 in
+    (r.Lvm_tpc.Tpca.cycles, Lvm_tpc.Tpca.total_balance store bank)
+  in
+  let c1, b1 = run () in
+  let c2, b2 = run () in
+  check "identical cycles" c1 c2;
+  check "identical balances" b1 b2
+
+let test_logs_bit_identical () =
+  let run () =
+    let k = Lvm_vm.Kernel.create () in
+    let sp = Lvm_vm.Kernel.create_space k in
+    let seg = Lvm_vm.Kernel.create_segment k ~size:4096 in
+    let region = Lvm_vm.Kernel.create_region k seg in
+    let ls =
+      Lvm_vm.Kernel.create_log_segment k
+        ~size:(8 * Lvm_machine.Addr.page_size)
+    in
+    Lvm_vm.Kernel.set_region_log k region (Some ls);
+    let base = Lvm_vm.Kernel.bind k sp region in
+    for i = 0 to 99 do
+      Lvm_vm.Kernel.compute k (i mod 7);
+      Lvm_vm.Kernel.write_word k sp (base + (i * 4 mod 1024)) i
+    done;
+    List.map
+      (Format.asprintf "%a" Lvm_machine.Log_record.pp)
+      (Lvm.Log_reader.to_list k ls)
+  in
+  Alcotest.(check (list string)) "identical logs" (run ()) (run ())
+
+(* TPC-A with negative balances: signed arithmetic must round-trip the
+   32-bit storage *)
+let test_tpca_negative_balances () =
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+  let bank =
+    Lvm_tpc.Bank.layout ~branches:1 ~tellers:2 ~accounts:4 ~history:8
+  in
+  let store =
+    Lvm_tpc.Tpca.rvm_store
+      (Lvm_rvm.Rvm.create k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
+  in
+  Lvm_tpc.Tpca.setup store bank;
+  ignore (Lvm_tpc.Tpca.run ~seed:2 store bank ~txns:40);
+  (* the invariant holds regardless of the total's sign *)
+  Alcotest.(check bool) "balances consistent under negatives" true
+    (Lvm_tpc.Tpca.balance_invariant store bank)
+
+let suites =
+  [
+    ( "determinism",
+      [
+        Alcotest.test_case "synthetic" `Quick test_synthetic_deterministic;
+        Alcotest.test_case "timewarp" `Quick test_timewarp_deterministic;
+        Alcotest.test_case "tpc-a" `Quick test_tpca_deterministic;
+        Alcotest.test_case "logs bit-identical" `Quick
+          test_logs_bit_identical;
+        Alcotest.test_case "tpc-a negative balances" `Quick
+          test_tpca_negative_balances;
+      ] );
+  ]

@@ -1,0 +1,405 @@
+(* Tests for the extensions the paper calls out: Li/Appel checkpointing
+   as a selectable facility (Section 5.1), streaming log-based
+   consistency (Section 2.6), and audit code for object placement
+   (Section 2.7). *)
+
+open Lvm_vm
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot () =
+  let k = Kernel.create () in
+  let sp = Kernel.create_space k in
+  (k, sp)
+
+(* {1 Li/Appel protect-checkpointing} *)
+
+let ppc_fixture () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:(4 * Lvm_machine.Addr.page_size) in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  let mgr = Protect_checkpoint.manager k in
+  let c = Protect_checkpoint.attach mgr ~space:sp region in
+  (k, sp, base, c)
+
+let test_ppc_checkpoint_restore () =
+  let k, sp, base, c = ppc_fixture () in
+  Kernel.write_word k sp base 100;
+  Kernel.write_word k sp (base + 4096) 200;
+  Protect_checkpoint.checkpoint c;
+  Kernel.write_word k sp base 999;
+  Kernel.write_word k sp (base + 8) 888;
+  check "modified pages" 1 (Protect_checkpoint.modified_pages c);
+  Protect_checkpoint.restore c;
+  check "word restored" 100 (Kernel.read_word k sp base);
+  check "second word restored" 0 (Kernel.read_word k sp (base + 8));
+  check "untouched page intact" 200 (Kernel.read_word k sp (base + 4096))
+
+let test_ppc_one_fault_per_page_per_epoch () =
+  let k, sp, base, c = ppc_fixture () in
+  Protect_checkpoint.checkpoint c;
+  Kernel.write_word k sp base 1;
+  Kernel.write_word k sp (base + 4) 2;
+  Kernel.write_word k sp (base + 8) 3;
+  check "single fault for the page" 1 (Protect_checkpoint.faults_taken c);
+  Kernel.write_word k sp (base + 4096) 4;
+  check "second page faults once" 2 (Protect_checkpoint.faults_taken c)
+
+let test_ppc_successive_epochs () =
+  let k, sp, base, c = ppc_fixture () in
+  Protect_checkpoint.checkpoint c;
+  Kernel.write_word k sp base 10;
+  Protect_checkpoint.checkpoint c (* commits 10 as the new baseline *);
+  Kernel.write_word k sp base 20;
+  Protect_checkpoint.restore c;
+  check "rolls back to latest checkpoint only" 10 (Kernel.read_word k sp base)
+
+let test_ppc_restore_without_writes () =
+  let k, sp, base, c = ppc_fixture () in
+  Kernel.write_word k sp base 5;
+  Protect_checkpoint.checkpoint c;
+  Protect_checkpoint.restore c;
+  check "no-op restore" 5 (Kernel.read_word k sp base)
+
+let test_ppc_restore_is_remap_not_copy () =
+  let k, sp, base, c = ppc_fixture () in
+  Protect_checkpoint.checkpoint c;
+  (* dirty one page *)
+  Kernel.write_word k sp base 1;
+  let t0 = Kernel.time k in
+  Protect_checkpoint.restore c;
+  let restore_cycles = Kernel.time k - t0 in
+  (* a restore must cost far less than copying the page back *)
+  check_bool
+    (Printf.sprintf "restore (%d cycles) cheaper than a page copy (%d)"
+       restore_cycles
+       (Lvm_machine.Cycles.bcopy_base
+        + (1024 * Lvm_machine.Cycles.bcopy_per_word)))
+    true
+    (restore_cycles
+     < Lvm_machine.Cycles.bcopy_base
+       + (1024 * Lvm_machine.Cycles.bcopy_per_word))
+
+let prop_ppc_restore_equals_checkpoint_state =
+  QCheck.Test.make ~name:"protect-checkpoint restore = checkpoint state"
+    ~count:30
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 20)
+           (pair (int_bound 255) (int_bound 999)))
+        (list_of_size (Gen.int_range 0 20)
+           (pair (int_bound 255) (int_bound 999))))
+    (fun (before, after) ->
+      let k, sp, base, c = ppc_fixture () in
+      List.iter (fun (w, v) -> Kernel.write_word k sp (base + (w * 4)) v)
+        before;
+      Protect_checkpoint.checkpoint c;
+      let expect = Array.make 256 0 in
+      List.iter (fun (w, v) -> expect.(w) <- v) before;
+      List.iter (fun (w, v) -> Kernel.write_word k sp (base + (w * 4)) v)
+        after;
+      Protect_checkpoint.restore c;
+      let ok = ref true in
+      for w = 0 to 255 do
+        if Kernel.read_word k sp (base + (w * 4)) <> expect.(w) then
+          ok := false
+      done;
+      !ok)
+
+(* {1 Streaming consistency} *)
+
+open Lvm_consistency
+
+let test_streaming_reduces_release_work () =
+  let k, sp = boot () in
+  let t = Shared_segment.create k sp ~size:8192 Shared_segment.Log_based in
+  Shared_segment.acquire t;
+  for i = 0 to 63 do
+    Shared_segment.write_word t ~off:(i * 8) i;
+    (* stream every 16 writes, as a producer naturally would *)
+    if i mod 16 = 15 then ignore (Shared_segment.stream t)
+  done;
+  let s = Shared_segment.release t in
+  check_bool "replica consistent" true (Shared_segment.replica_consistent t);
+  check "release sends only the residue" 0 s.Shared_segment.words_sent;
+  (* compare to a non-streaming section of the same size *)
+  Shared_segment.acquire t;
+  for i = 0 to 63 do
+    Shared_segment.write_word t ~off:(i * 8) (i + 1000)
+  done;
+  let s' = Shared_segment.release t in
+  check "non-streaming release sends everything" 64
+    s'.Shared_segment.words_sent;
+  check_bool
+    (Printf.sprintf "streamed release cheaper (%d < %d)"
+       s.Shared_segment.release_cycles s'.Shared_segment.release_cycles)
+    true
+    (s.Shared_segment.release_cycles < s'.Shared_segment.release_cycles)
+
+let test_streaming_noop_for_twin_diff () =
+  let k, sp = boot () in
+  let t = Shared_segment.create k sp ~size:8192 Shared_segment.Twin_diff in
+  Shared_segment.acquire t;
+  Shared_segment.write_word t ~off:0 7;
+  let s = Shared_segment.stream t in
+  check "twin/diff cannot stream" 0 s.Shared_segment.words_sent;
+  ignore (Shared_segment.release t);
+  check_bool "release still propagates" true
+    (Shared_segment.consumer_word t ~off:0 = 7)
+
+(* {1 Audit} *)
+
+let audit_fixture () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let ls =
+    Kernel.create_log_segment k ~size:(8 * Lvm_machine.Addr.page_size)
+  in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  (k, sp, seg, region, ls, base)
+
+let test_audit_clean_program () =
+  let k, sp, seg, _region, ls, base = audit_fixture () in
+  let snap = Lvm_tools.Audit.snapshot k seg in
+  for i = 0 to 19 do
+    Kernel.write_word k sp (base + (i * 4)) (i * 7)
+  done;
+  check_bool "all writes logged" true (Lvm_tools.Audit.verify k ~log:ls snap)
+
+let test_audit_detects_unlogged_write () =
+  let k, sp, seg, region, ls, base = audit_fixture () in
+  let snap = Lvm_tools.Audit.snapshot k seg in
+  Kernel.write_word k sp base 1 (* logged *);
+  Kernel.set_logging_enabled k region false;
+  Kernel.write_word k sp (base + 40) 2 (* escapes the log! *);
+  Kernel.set_logging_enabled k region true;
+  Kernel.write_word k sp (base + 80) 3 (* logged *);
+  Alcotest.(check (list int)) "exactly the unlogged offset" [ 40 ]
+    (Lvm_tools.Audit.unlogged_changes k ~log:ls snap)
+
+let test_audit_overwrite_back_is_clean () =
+  (* a location overwritten back to its snapshot value by logged writes
+     must not be flagged *)
+  let k, sp, seg, _region, ls, base = audit_fixture () in
+  Kernel.write_word k sp base 5;
+  let snap = Lvm_tools.Audit.snapshot k seg in
+  Kernel.write_word k sp base 9;
+  Kernel.write_word k sp base 5;
+  check_bool "clean" true (Lvm_tools.Audit.verify k ~log:ls snap)
+
+let test_audit_subword_writes () =
+  let k, sp, seg, _region, ls, base = audit_fixture () in
+  let snap = Lvm_tools.Audit.snapshot k seg in
+  Kernel.write k sp ~vaddr:(base + 13) ~size:1 0xAB;
+  Kernel.write k sp ~vaddr:(base + 18) ~size:2 0x1234;
+  check_bool "byte and halfword writes audited via replay" true
+    (Lvm_tools.Audit.verify k ~log:ls snap)
+
+let suites =
+  [
+    ( "ext.protect-checkpoint",
+      [
+        Alcotest.test_case "checkpoint/restore" `Quick
+          test_ppc_checkpoint_restore;
+        Alcotest.test_case "one fault per page" `Quick
+          test_ppc_one_fault_per_page_per_epoch;
+        Alcotest.test_case "successive epochs" `Quick
+          test_ppc_successive_epochs;
+        Alcotest.test_case "no-op restore" `Quick
+          test_ppc_restore_without_writes;
+        Alcotest.test_case "restore is remap" `Quick
+          test_ppc_restore_is_remap_not_copy;
+        QCheck_alcotest.to_alcotest prop_ppc_restore_equals_checkpoint_state;
+      ] );
+    ( "ext.streaming-consistency",
+      [
+        Alcotest.test_case "reduces release work" `Quick
+          test_streaming_reduces_release_work;
+        Alcotest.test_case "twin/diff cannot stream" `Quick
+          test_streaming_noop_for_twin_diff;
+      ] );
+    ( "ext.audit",
+      [
+        Alcotest.test_case "clean program" `Quick test_audit_clean_program;
+        Alcotest.test_case "detects unlogged write" `Quick
+          test_audit_detects_unlogged_write;
+        Alcotest.test_case "overwrite back" `Quick
+          test_audit_overwrite_back_is_clean;
+        Alcotest.test_case "sub-word writes" `Quick test_audit_subword_writes;
+      ] );
+  ]
+
+(* {1 Arena placement (Section 2.7)} *)
+
+let test_arena_placement_controls_logging () =
+  let k, sp = boot () in
+  let arena = Lvm.Arena.create k sp in
+  let counter = Lvm.Arena.alloc arena ~logged:true ~words:2 in
+  let scratch = Lvm.Arena.alloc arena ~logged:false ~words:2 in
+  Kernel.write_word k sp counter 10;
+  Kernel.write_word k sp scratch 999;
+  Kernel.write_word k sp (counter + 4) 20;
+  let values =
+    List.map
+      (fun (r : Lvm_machine.Log_record.t) -> r.Lvm_machine.Log_record.value)
+      (Lvm.Log_reader.to_list k (Lvm.Arena.log arena))
+  in
+  Alcotest.(check (list int)) "only logged-arena writes recorded" [ 10; 20 ]
+    values;
+  check_bool "placement query" true (Lvm.Arena.is_logged_addr arena counter);
+  check_bool "scratch is unlogged" false
+    (Lvm.Arena.is_logged_addr arena scratch)
+
+let test_arena_distinct_objects () =
+  let k, sp = boot () in
+  let arena = Lvm.Arena.create k sp in
+  let a = Lvm.Arena.alloc arena ~logged:true ~words:4 in
+  let b = Lvm.Arena.alloc arena ~logged:true ~words:4 in
+  check "objects do not overlap" 16 (b - a);
+  check "accounting" 8 (Lvm.Arena.allocated_words arena ~logged:true);
+  Lvm.Arena.reset arena ~logged:true;
+  check "reset reclaims" 0 (Lvm.Arena.allocated_words arena ~logged:true);
+  let a' = Lvm.Arena.alloc arena ~logged:true ~words:1 in
+  check "bump restarts" a a'
+
+let test_arena_exhaustion () =
+  let k, sp = boot () in
+  let arena =
+    Lvm.Arena.create ~logged_bytes:Lvm_machine.Addr.page_size k sp
+  in
+  ignore (Lvm.Arena.alloc arena ~logged:true ~words:1024);
+  Alcotest.check_raises "full" Lvm.Arena.Arena_full (fun () ->
+      ignore (Lvm.Arena.alloc arena ~logged:true ~words:1))
+
+let arena_suite =
+  ( "ext.arena",
+    [
+      Alcotest.test_case "placement controls logging" `Quick
+        test_arena_placement_controls_logging;
+      Alcotest.test_case "distinct objects" `Quick test_arena_distinct_objects;
+      Alcotest.test_case "exhaustion" `Quick test_arena_exhaustion;
+    ] )
+
+let suites = suites @ [ arena_suite ]
+
+(* {1 Pre-image records and constant-time reverse execution (4.6)} *)
+
+let undo_fixture () =
+  let k = Kernel.create ~hw:Lvm_machine.Logger.On_chip
+      ~record_old_values:true () in
+  let sp = Kernel.create_space k in
+  let working = Kernel.create_segment k ~size:4096 in
+  let ckpt = Kernel.create_segment k ~size:4096 in
+  Kernel.declare_source k ~dst:working ~src:ckpt ~offset:0;
+  let region = Kernel.create_region k working in
+  let ls =
+    Kernel.create_log_segment k ~size:(16 * Lvm_machine.Addr.page_size)
+  in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  (k, sp, working, region, ls, base)
+
+let test_pre_image_records_emitted () =
+  let k, sp, _w, _r, ls, base = undo_fixture () in
+  Kernel.write_word k sp base 1;
+  Kernel.write_word k sp base 2;
+  let records = Lvm.Log_reader.to_list k ls in
+  check "two records per write" 4 (List.length records);
+  (match records with
+  | [ p1; n1; p2; n2 ] ->
+    check_bool "pre-image flags" true
+      (p1.Lvm_machine.Log_record.pre_image
+       && (not n1.Lvm_machine.Log_record.pre_image)
+       && p2.Lvm_machine.Log_record.pre_image
+       && not n2.Lvm_machine.Log_record.pre_image);
+    check "first pre-image holds initial value" 0
+      p1.Lvm_machine.Log_record.value;
+    check "first write value" 1 n1.Lvm_machine.Log_record.value;
+    check "second pre-image holds overwritten value" 1
+      p2.Lvm_machine.Log_record.value;
+    check "second write value" 2 n2.Lvm_machine.Log_record.value
+  | _ -> Alcotest.fail "expected four records")
+
+let test_pre_images_invisible_to_readers () =
+  let k, sp, working, _r, ls, base = undo_fixture () in
+  Kernel.write_word k sp base 7;
+  Kernel.write_word k sp (base + 4) 8;
+  (* watchpoints, traces and audits see one hit per write *)
+  check "watchpoint sees the writes only" 1
+    (List.length (Lvm_tools.Watchpoint.hits k ~log:ls ~watched:working
+                    ~off:0 ~len:4));
+  check "trace has two entries" 2
+    (List.length (Lvm_tools.Address_trace.of_log k ls))
+
+let test_reverse_exec_constant_time_undo () =
+  let k, sp, working, region, ls, base = undo_fixture () in
+  for i = 1 to 50 do
+    Kernel.write_word k sp base (i * 10)
+  done;
+  let rx =
+    Lvm_tools.Reverse_exec.create k ~space:sp ~working ~region ~base ~log:ls
+  in
+  check "fifty writes indexed" 50 (Lvm_tools.Reverse_exec.length rx);
+  (* one backward step must cost far less than a reset + replay of the
+     49-record prefix: it applies exactly one pre-image *)
+  let t0 = Kernel.time k in
+  ignore (Lvm_tools.Reverse_exec.step_back rx);
+  let undo_cost = Kernel.time k - t0 in
+  check "state stepped back" 490 (Kernel.read_word k sp base);
+  check_bool
+    (Printf.sprintf "undo is constant work (%d cycles)" undo_cost)
+    true
+    (undo_cost < 200);
+  (* walk all the way back with undos, checking every state *)
+  let ok = ref true in
+  for expected = 48 downto 0 do
+    ignore (Lvm_tools.Reverse_exec.step_back rx);
+    if Kernel.read_word k sp base <> expected * 10 then ok := false
+  done;
+  check_bool "every undo state correct" true !ok;
+  Lvm_tools.Reverse_exec.detach rx;
+  check "detach restores failure state" 500 (Kernel.read_word k sp base)
+
+let prop_undo_equals_replay =
+  QCheck.Test.make ~name:"pre-image undo = prefix replay" ~count:30
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30)
+           (pair (int_bound 15) (int_bound 999)))
+        (int_bound 30))
+    (fun (writes, pos) ->
+      let k, sp, working, region, ls, base = undo_fixture () in
+      List.iter (fun (w, v) -> Kernel.write_word k sp (base + (w * 4)) v)
+        writes;
+      let rx =
+        Lvm_tools.Reverse_exec.create k ~space:sp ~working ~region ~base
+          ~log:ls
+      in
+      let n = min pos (Lvm_tools.Reverse_exec.length rx) in
+      Lvm_tools.Reverse_exec.seek rx n (* backward: uses pre-images *);
+      let expect = Array.make 16 0 in
+      List.iteri (fun i (w, v) -> if i < n then expect.(w) <- v) writes;
+      let ok = ref true in
+      for w = 0 to 15 do
+        if Kernel.read_word k sp (base + (w * 4)) <> expect.(w) then
+          ok := false
+      done;
+      !ok)
+
+let undo_suite =
+  ( "ext.pre-image-undo",
+    [
+      Alcotest.test_case "pre-image records emitted" `Quick
+        test_pre_image_records_emitted;
+      Alcotest.test_case "invisible to readers" `Quick
+        test_pre_images_invisible_to_readers;
+      Alcotest.test_case "constant-time undo" `Quick
+        test_reverse_exec_constant_time_undo;
+      QCheck_alcotest.to_alcotest prop_undo_equals_replay;
+    ] )
+
+let suites = suites @ [ undo_suite ]

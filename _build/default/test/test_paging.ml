@@ -1,0 +1,227 @@
+(* Tests for demand paging (backed segments, eviction, reclaim under
+   memory pressure) and for mapping log segments into address spaces. *)
+
+open Lvm_machine
+open Lvm_vm
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot ?frames () =
+  let k = Kernel.create ?frames () in
+  let sp = Kernel.create_space k in
+  (k, sp)
+
+(* {1 Backing store} *)
+
+let test_backing_store_basics () =
+  let b = Backing_store.create ~size:5000 in
+  check "rounded to pages" 8192 (Backing_store.size b);
+  check "pages" 2 (Backing_store.pages b);
+  Backing_store.write_word b ~off:100 0xFEED;
+  check "word roundtrip" 0xFEED (Backing_store.read_word b ~off:100);
+  let page = Backing_store.read_page b ~page:0 in
+  check "page carries the word" 0xFEED
+    (Int32.to_int (Bytes.get_int32_le page 100));
+  Alcotest.check_raises "page bounds"
+    (Invalid_argument "Backing_store: page out of range") (fun () ->
+      ignore (Backing_store.read_page b ~page:2))
+
+(* {1 Demand paging} *)
+
+let test_backed_segment_demand_load () =
+  let k, sp = boot () in
+  let store = Backing_store.create ~size:8192 in
+  Backing_store.write_word store ~off:16 0xAA;
+  Backing_store.write_word store ~off:4096 0xBB;
+  let seg = Kernel.create_segment ~backing:store k ~size:8192 in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  check "page 0 loaded from store" 0xAA (Kernel.read_word k sp (base + 16));
+  check "page 1 loaded from store" 0xBB (Kernel.read_word k sp (base + 4096))
+
+let test_page_in_charged () =
+  let k, sp = boot () in
+  let store = Backing_store.create ~size:4096 in
+  let seg = Kernel.create_segment ~backing:store k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  let t0 = Kernel.time k in
+  ignore (Kernel.read_word k sp base);
+  check_bool "fault includes paging I/O" true
+    (Kernel.time k - t0 >= Cycles.page_fault + Cycles.page_in)
+
+let test_evict_and_refault () =
+  let k, sp = boot () in
+  let store = Backing_store.create ~size:4096 in
+  let seg = Kernel.create_segment ~backing:store k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  Kernel.write_word k sp (base + 8) 777;
+  let free_before = Physmem.frames_free (Machine.mem (Kernel.machine k)) in
+  Kernel.evict_page k seg ~page:0;
+  check "frame released" (free_before + 1)
+    (Physmem.frames_free (Machine.mem (Kernel.machine k)));
+  check "store holds the data" 777 (Backing_store.read_word store ~off:8);
+  (* the next access faults the page back in transparently *)
+  check "refault restores" 777 (Kernel.read_word k sp (base + 8));
+  Kernel.write_word k sp (base + 8) 778;
+  check "writable after refault" 778 (Kernel.read_word k sp (base + 8))
+
+let test_sync_segment () =
+  let k, sp = boot () in
+  let store = Backing_store.create ~size:8192 in
+  let seg = Kernel.create_segment ~backing:store k ~size:8192 in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  Kernel.write_word k sp base 1;
+  Kernel.write_word k sp (base + 4096) 2;
+  check "store stale before sync" 0 (Backing_store.read_word store ~off:0);
+  Kernel.sync_segment k seg;
+  check "page 0 synced" 1 (Backing_store.read_word store ~off:0);
+  check "page 1 synced" 2 (Backing_store.read_word store ~off:4096)
+
+let test_persistence_across_kernels () =
+  (* the mapped-file pattern: a store written by one kernel instance is
+     mapped by a fresh one *)
+  let store = Backing_store.create ~size:4096 in
+  let () =
+    let k, sp = boot () in
+    let seg = Kernel.create_segment ~backing:store k ~size:4096 in
+    let region = Kernel.create_region k seg in
+    let base = Kernel.bind k sp region in
+    Kernel.write_word k sp (base + 12) 4242;
+    Kernel.sync_segment k seg
+  in
+  let k2, sp2 = boot () in
+  let seg2 = Kernel.create_segment ~backing:store k2 ~size:4096 in
+  let region2 = Kernel.create_region k2 seg2 in
+  let base2 = Kernel.bind k2 sp2 region2 in
+  check "data visible in the new kernel" 4242
+    (Kernel.read_word k2 sp2 (base2 + 12))
+
+let test_reclaim_under_memory_pressure () =
+  (* a machine with very few frames: touching more backed pages than fit
+     must transparently page out and keep working *)
+  let k, sp = boot ~frames:24 () in
+  let pages = 40 in
+  let store = Backing_store.create ~size:(pages * Addr.page_size) in
+  let seg =
+    Kernel.create_segment ~backing:store k ~size:(pages * Addr.page_size)
+  in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  for p = 0 to pages - 1 do
+    Kernel.write_word k sp (base + (p * Addr.page_size)) (p + 1)
+  done;
+  (* every page readable afterwards, through refaults *)
+  let ok = ref true in
+  for p = 0 to pages - 1 do
+    if Kernel.read_word k sp (base + (p * Addr.page_size)) <> p + 1 then
+      ok := false
+  done;
+  check_bool "all pages survive paging" true !ok
+
+let test_unbacked_eviction_rejected () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let base = Kernel.bind k sp region in
+  Kernel.write_word k sp base 1;
+  Alcotest.check_raises "no backing"
+    (Invalid_argument "Kernel.evict_page: segment has no backing store")
+    (fun () -> Kernel.evict_page k seg ~page:0)
+
+let test_logged_pages_not_reclaimed () =
+  (* logged segments are pinned: reclaim must not touch them *)
+  let k, sp = boot ~frames:20 () in
+  let store = Backing_store.create ~size:4096 in
+  let logged_store = Backing_store.create ~size:4096 in
+  let lseg = Kernel.create_segment ~backing:logged_store k ~size:4096 in
+  let lregion = Kernel.create_region k lseg in
+  let ls = Kernel.create_log_segment k ~size:(2 * Addr.page_size) in
+  Kernel.set_region_log k lregion (Some ls);
+  let lbase = Kernel.bind k sp lregion in
+  Kernel.write_word k sp lbase 7 (* logged write; page must stay put *);
+  (* churn plain backed pages to force reclaim *)
+  let pages = 24 in
+  let seg =
+    Kernel.create_segment ~backing:store
+      k ~size:4096
+  in
+  ignore seg;
+  let big_store = Backing_store.create ~size:(pages * Addr.page_size) in
+  let big =
+    Kernel.create_segment ~backing:big_store k
+      ~size:(pages * Addr.page_size)
+  in
+  let bregion = Kernel.create_region k big in
+  let bbase = Kernel.bind k sp bregion in
+  for p = 0 to pages - 1 do
+    Kernel.write_word k sp (bbase + (p * Addr.page_size)) p
+  done;
+  (* the logged page was never evicted: write again without a page fault *)
+  let faults = (Kernel.perf k).Perf.page_faults in
+  Kernel.write_word k sp lbase 8;
+  check "no refault on the logged page" faults (Kernel.perf k).Perf.page_faults;
+  check "log intact" 2 (Lvm.Log_reader.record_count k ls)
+
+(* {1 Mapping log segments (Section 2.1)} *)
+
+let test_log_mapped_into_space () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let ls = Kernel.create_log_segment k ~size:(4 * Addr.page_size) in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  Kernel.write_word k sp (base + 8) 0xAAA;
+  Kernel.write_word k sp (base + 12) 0xBBB;
+  (* a (different) reader maps the log and parses records itself *)
+  let reader_space = Kernel.create_space k in
+  let log_base = Lvm.Log_reader.map k reader_space ls in
+  let r0 = Lvm.Log_reader.read_mapped k reader_space ~base:log_base ~off:0 in
+  let r1 =
+    Lvm.Log_reader.read_mapped k reader_space ~base:log_base
+      ~off:Log_record.bytes
+  in
+  check "first record value" 0xAAA r0.Log_record.value;
+  check "second record value" 0xBBB r1.Log_record.value;
+  check_bool "timestamps ordered" true
+    (r0.Log_record.timestamp <= r1.Log_record.timestamp)
+
+let test_log_map_rejects_std_segment () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  Alcotest.check_raises "not a log"
+    (Invalid_argument "Log_reader.map: not a log segment") (fun () ->
+      ignore (Lvm.Log_reader.map k sp seg))
+
+let suites =
+  [
+    ( "paging.store",
+      [ Alcotest.test_case "basics" `Quick test_backing_store_basics ] );
+    ( "paging.demand",
+      [
+        Alcotest.test_case "demand load" `Quick
+          test_backed_segment_demand_load;
+        Alcotest.test_case "page-in charged" `Quick test_page_in_charged;
+        Alcotest.test_case "evict and refault" `Quick test_evict_and_refault;
+        Alcotest.test_case "sync segment" `Quick test_sync_segment;
+        Alcotest.test_case "persistence across kernels" `Quick
+          test_persistence_across_kernels;
+        Alcotest.test_case "reclaim under pressure" `Quick
+          test_reclaim_under_memory_pressure;
+        Alcotest.test_case "unbacked eviction rejected" `Quick
+          test_unbacked_eviction_rejected;
+        Alcotest.test_case "logged pages pinned" `Quick
+          test_logged_pages_not_reclaimed;
+      ] );
+    ( "paging.log-mapping",
+      [
+        Alcotest.test_case "log mapped into space" `Quick
+          test_log_mapped_into_space;
+        Alcotest.test_case "rejects std segment" `Quick
+          test_log_map_rejects_std_segment;
+      ] );
+  ]

@@ -1,0 +1,81 @@
+(* Soak tests: longer randomized end-to-end runs exercising the whole
+   stack at once (marked Slow; they still finish in seconds). *)
+
+open Lvm_sim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_timewarp_soak () =
+  (* a long mixed run: heavy optimism, both workloads, LVM saving, many
+     CULTs, log recycling — everything must stay equivalent *)
+  let app = Phold.app ~objects:20 ~object_words:16 ~seed:99 () in
+  let run n =
+    let e = Timewarp.create ~n_schedulers:n
+        ~strategy:State_saving.Lvm_based ~app () in
+    Phold.inject_population e ~objects:20 ~population:14 ~seed:99;
+    let r = Timewarp.run e ~end_time:1500 in
+    (Timewarp.state_vector e, r)
+  in
+  let s1, r1 = run 1 in
+  let s5, r5 = run 5 in
+  Alcotest.(check (array int)) "5-way equals sequential after 1500 vt" s1 s5;
+  check "same commits" r1.Timewarp.total_events_committed
+    r5.Timewarp.total_events_committed;
+  check_bool "thousands of events" true
+    (r1.Timewarp.total_events_committed > 900);
+  check_bool "plenty of rollbacks survived" true
+    (r5.Timewarp.total_rollbacks > 50)
+
+let test_queueing_soak () =
+  let app = Queueing.app ~stations:12 ~seed:4 in
+  let run n =
+    let e = Timewarp.create ~n_schedulers:n
+        ~strategy:State_saving.Copy_based ~app () in
+    Queueing.inject_customers e ~stations:12 ~customers:10 ~seed:4;
+    ignore (Timewarp.run e ~end_time:1200);
+    Timewarp.state_vector e
+  in
+  Alcotest.(check (array int)) "4-way equals sequential" (run 1) (run 4)
+
+let test_rlvm_soak () =
+  (* hundreds of transactions with periodic crashes *)
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+  let r = Lvm_rvm.Rlvm.create k sp ~size:8192 in
+  let model = Array.make 2048 0 in
+  let rng = Random.State.make [| 77 |] in
+  for txn = 1 to 400 do
+    Lvm_rvm.Rlvm.begin_txn r;
+    let writes = 1 + Random.State.int rng 5 in
+    let staged = ref [] in
+    for _ = 1 to writes do
+      let w = Random.State.int rng 2048 in
+      let v = Random.State.int rng 100000 in
+      Lvm_rvm.Rlvm.write_word r ~off:(w * 4) v;
+      staged := (w, v) :: !staged
+    done;
+    (match Random.State.int rng 3 with
+    | 0 -> Lvm_rvm.Rlvm.abort r
+    | 1 | _ ->
+      Lvm_rvm.Rlvm.commit r;
+      List.iter (fun (w, v) -> model.(w) <- v) (List.rev !staged));
+    if txn mod 50 = 0 then Lvm_rvm.Rlvm.crash_and_recover r
+  done;
+  Lvm_rvm.Rlvm.crash_and_recover r;
+  let ok = ref true in
+  for w = 0 to 2047 do
+    if Lvm_rvm.Rlvm.read_word r ~off:(w * 4) <> model.(w) then ok := false
+  done;
+  check_bool "400-txn soak state matches the model" true !ok
+
+let suites =
+  [
+    ( "soak",
+      [
+        Alcotest.test_case "timewarp phold 1500vt" `Slow test_timewarp_soak;
+        Alcotest.test_case "timewarp queueing 1200vt" `Slow
+          test_queueing_soak;
+        Alcotest.test_case "rlvm 400 txns with crashes" `Slow test_rlvm_soak;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+(* Argument-validation coverage: every public constructor and operation
+   rejects malformed input with a meaningful error rather than corrupting
+   state. *)
+
+open Lvm_machine
+open Lvm_vm
+
+let inv msg f = Alcotest.check_raises msg (Invalid_argument msg) f
+
+let boot () =
+  let k = Kernel.create () in
+  (k, Kernel.create_space k)
+
+let test_machine_validation () =
+  let m = Machine.create ~frames:2 () in
+  inv "Machine.compute: negative cycles" (fun () -> Machine.compute m (-1));
+  inv "Physmem.create: frames must be positive" (fun () ->
+      ignore (Physmem.create ~frames:0));
+  inv "Fifo.create: capacity must be positive" (fun () ->
+      ignore (Fifo.create ~capacity:0));
+  inv "Bus.access: negative cycles" (fun () ->
+      ignore (Bus.access (Machine.bus m) ~track:Bus.Cpu ~now:0 ~cycles:(-1)));
+  inv "Deferred_cache.map: source address must be line-aligned" (fun () ->
+      Machine.dc_map m ~dst_page:1 ~src_addr:5);
+  inv "Physmem.read_sized: size must be 1, 2 or 4" (fun () ->
+      ignore (Physmem.read_sized (Machine.mem m) 0 ~size:3))
+
+let test_logger_validation () =
+  let clock = ref 0 in
+  let perf = Perf.create () in
+  let mem = Physmem.create ~frames:2 in
+  let bus = Bus.create perf in
+  inv "Logger.create: pmt_bits" (fun () ->
+      ignore (Logger.create ~pmt_bits:1 ~clock mem bus perf));
+  inv "Logger.create: log_entries" (fun () ->
+      ignore (Logger.create ~log_entries:0 ~clock mem bus perf));
+  let logger = Logger.create ~log_entries:2 ~clock mem bus perf in
+  inv "Logger.load_pmt: bad log index" (fun () ->
+      Logger.load_pmt logger ~page:0 ~log_index:2);
+  inv "Logger.set_log_entry: bad index" (fun () ->
+      Logger.set_log_entry logger ~index:(-1) ~mode:Logger.Normal ~addr:0);
+  inv "Logger.log_entry: bad index" (fun () ->
+      ignore (Logger.log_entry logger ~index:9))
+
+let test_segment_region_validation () =
+  let k, _sp = boot () in
+  inv "Segment.make: negative size" (fun () ->
+      ignore (Segment.make ~id:0 ~kind:Segment.Std ~size:(-4)));
+  let seg = Kernel.create_segment k ~size:4096 in
+  inv "Segment.grow: negative page count" (fun () ->
+      Segment.grow seg ~pages:(-1));
+  inv "Region.make: size must be positive" (fun () ->
+      ignore (Region.make ~id:1 ~segment:seg ~seg_offset:0 ~size:0));
+  Alcotest.check_raises "page range"
+    (Invalid_argument "Segment 2: page 7 out of range (1 pages)") (fun () ->
+      ignore (Segment.frame_of_page seg 7))
+
+let test_kernel_validation () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  let ls = Kernel.create_log_segment k ~size:4096 in
+  inv "Kernel.extend_log: not a log segment" (fun () ->
+      Kernel.extend_log k seg ~pages:1);
+  inv "Kernel.truncate_log: keep_from out of range" (fun () ->
+      Kernel.truncate_log k ls ~keep_from:99);
+  inv "Kernel.truncate_log_suffix: new_end out of range" (fun () ->
+      Kernel.truncate_log_suffix k ls ~new_end:99);
+  inv "Kernel.declare_source: offset must be page-aligned" (fun () ->
+      Kernel.declare_source k ~dst:seg ~src:seg ~offset:100);
+  inv "Kernel.paddr_of: offset out of segment" (fun () ->
+      ignore (Kernel.paddr_of k seg ~off:9999));
+  inv "Kernel.reset_deferred_copy: negative length" (fun () ->
+      Kernel.reset_deferred_copy k sp ~start:0 ~len:(-1));
+  inv "Kernel: access size must be 1, 2 or 4" (fun () ->
+      ignore (Kernel.read k sp ~vaddr:0 ~size:8));
+  let store = Backing_store.create ~size:4096 in
+  inv "Kernel.create_segment: backing store smaller than segment" (fun () ->
+      ignore (Kernel.create_segment ~backing:store k ~size:8192));
+  inv "Kernel.sync_segment: segment has no backing store" (fun () ->
+      Kernel.sync_segment k seg)
+
+let test_lvm_layer_validation () =
+  let k, sp = boot () in
+  let seg = Kernel.create_segment k ~size:4096 in
+  inv "Arena.alloc: words must be positive" (fun () ->
+      ignore (Lvm.Arena.alloc (Lvm.Arena.create k sp) ~logged:true ~words:0));
+  ignore seg
+
+let test_sim_validation () =
+  let open Lvm_sim in
+  inv "Timewarp.create: batch must be positive" (fun () ->
+      ignore
+        (Timewarp.create ~batch:0 ~n_schedulers:1
+           ~strategy:State_saving.Copy_based
+           ~app:(Phold.app ~objects:2 ~seed:1 ())
+           ()));
+  inv "Phold.app: objects must be positive" (fun () ->
+      ignore (Phold.app ~objects:0 ~seed:1 ()));
+  inv "Phold.app: need at least 4 words" (fun () ->
+      ignore (Phold.app ~objects:2 ~object_words:2 ~seed:1 ()));
+  inv "Phold.app: locality_pct must be a percentage" (fun () ->
+      ignore (Phold.app ~objects:2 ~locality_pct:150 ~seed:1 ()));
+  inv "Queueing.app: stations" (fun () ->
+      ignore (Queueing.app ~stations:0 ~seed:1));
+  inv "Synthetic: bad parameters" (fun () ->
+      ignore
+        (Synthetic.run
+           { Synthetic.default_params with Synthetic.events = 0 }
+           State_saving.Copy_based));
+  inv "Synthetic: object size must be a word multiple" (fun () ->
+      ignore
+        (Synthetic.run
+           { Synthetic.default_params with Synthetic.s = 30 }
+           State_saving.Copy_based))
+
+let test_rvm_validation () =
+  let k, sp = boot () in
+  let r = Lvm_rvm.Rvm.create k sp ~size:4096 in
+  Lvm_rvm.Rvm.begin_txn r;
+  inv "Rvm.set_range: out of segment" (fun () ->
+      Lvm_rvm.Rvm.set_range r ~off:4000 ~len:200);
+  inv "Rlvm.create: size must be a positive word multiple" (fun () ->
+      ignore (Lvm_rvm.Rlvm.create k sp ~size:30));
+  inv "Ramdisk.create: size must be positive" (fun () ->
+      ignore (Lvm_rvm.Ramdisk.create k ~size:0))
+
+let test_consistency_validation () =
+  let k, sp = boot () in
+  inv "Shared_segment.create: bad size" (fun () ->
+      ignore
+        (Lvm_consistency.Shared_segment.create k sp ~size:30
+           Lvm_consistency.Shared_segment.Log_based));
+  let t =
+    Lvm_consistency.Shared_segment.create k sp ~size:4096
+      Lvm_consistency.Shared_segment.Log_based
+  in
+  inv "Shared_segment.write_word" (fun () ->
+      Lvm_consistency.Shared_segment.write_word t ~off:4096 1)
+
+let test_tools_validation () =
+  let k, sp = boot () in
+  let out = Lvm_tools.Output_stream.create_indexed k sp ~size:4096
+      ~log_pages:2 in
+  inv "Output_stream.mirror_word: direct-mapped mode only" (fun () ->
+      ignore (Lvm_tools.Output_stream.mirror_word out ~off:0));
+  let direct = Lvm_tools.Output_stream.create_direct k sp ~size:4096 in
+  inv "Output_stream.consume: indexed mode only" (fun () ->
+      ignore (Lvm_tools.Output_stream.consume direct));
+  inv "Output_stream.emit_at" (fun () ->
+      Lvm_tools.Output_stream.emit_at out ~off:(-4) 1)
+
+let suites =
+  [
+    ( "validation",
+      [
+        Alcotest.test_case "machine layer" `Quick test_machine_validation;
+        Alcotest.test_case "logger" `Quick test_logger_validation;
+        Alcotest.test_case "segments and regions" `Quick
+          test_segment_region_validation;
+        Alcotest.test_case "kernel" `Quick test_kernel_validation;
+        Alcotest.test_case "lvm layer" `Quick test_lvm_layer_validation;
+        Alcotest.test_case "simulation" `Quick test_sim_validation;
+        Alcotest.test_case "recoverable memory" `Quick test_rvm_validation;
+        Alcotest.test_case "consistency" `Quick test_consistency_validation;
+        Alcotest.test_case "tools" `Quick test_tools_validation;
+      ] );
+  ]
