@@ -3,7 +3,8 @@
    micro-benchmarks of the simulator primitives behind each experiment
    (host wall-clock, one Test.make per table/figure).
 
-   Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list] *)
+   Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list]
+                   [--metrics FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -136,9 +137,31 @@ let run_bechamel () =
 
 (* {1 Entry point} *)
 
+(* Write a single JSON metrics blob (counters + histograms merged across
+   every machine the run created) to [file]. *)
+let write_metrics file collector =
+  let oc = open_out file in
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "%s@."
+    (Lvm_obs.Sink.blob_json ~label:"bench"
+       ~histograms:(Lvm_obs.Collector.histograms collector)
+       (Lvm_obs.Collector.snapshot collector));
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  Printf.printf "metrics written to %s\n%!" file
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
+  let flag_value name =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let metrics_file = flag_value "--metrics" in
   let ppf = Format.std_formatter in
   if List.mem "--list" args then
     List.iter
@@ -147,21 +170,18 @@ let () =
           e.Lvm_experiments.Experiments.description)
       Lvm_experiments.Experiments.all
   else begin
-    (match
-       let rec only = function
-         | "--only" :: id :: _ -> Some id
-         | _ :: rest -> only rest
-         | [] -> None
-       in
-       only args
-     with
-    | Some id -> (
-      match Lvm_experiments.Experiments.find id with
-      | Some e -> e.Lvm_experiments.Experiments.run ~quick ppf
-      | None ->
-        Printf.eprintf "unknown experiment %s (try --list)\n" id;
-        exit 1)
-    | None -> Lvm_experiments.Experiments.run_all ~quick ppf);
+    let (), collector =
+      Lvm_obs.Collector.with_collector (fun () ->
+          match flag_value "--only" with
+          | Some id -> (
+            match Lvm_experiments.Experiments.find id with
+            | Some e -> e.Lvm_experiments.Experiments.run ~quick ppf
+            | None ->
+              Printf.eprintf "unknown experiment %s (try --list)\n" id;
+              exit 1)
+          | None -> Lvm_experiments.Experiments.run_all ~quick ppf)
+    in
     Format.pp_print_flush ppf ();
+    Option.iter (fun file -> write_metrics file collector) metrics_file;
     if not (List.mem "--no-bechamel" args) then run_bechamel ()
   end

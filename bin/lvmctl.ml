@@ -1,11 +1,35 @@
 (* lvmctl: command-line driver for the LVM reproduction.
 
    Subcommands run individual paper experiments with custom parameters,
-   TimeWarp simulations, TPC-A, and the synthetic state-saving workload. *)
+   TimeWarp simulations, TPC-A, and the synthetic state-saving workload.
+   Every command routes its output through one formatter, and the
+   workload commands take [--metrics human|json|csv] to append merged
+   counters and histograms from every machine the run created. *)
 
 open Cmdliner
 
 let ppf = Format.std_formatter
+
+(* {1 Shared options} *)
+
+let format_conv =
+  Arg.enum
+    (List.map
+       (fun f -> (Lvm_obs.Sink.format_to_string f, f))
+       Lvm_obs.Sink.all_formats)
+
+let metrics_arg =
+  Arg.(value
+       & opt (some format_conv) None
+       & info [ "metrics" ] ~docv:"FMT"
+           ~doc:"Emit counters and histograms from every machine the \
+                 command created, in $(docv) format (human, json or csv).")
+
+(* Run [f] under an ambient collector and emit its metrics afterwards. *)
+let with_metrics ?label format f =
+  let result = Lvm_experiments.Report.with_metrics ?label ppf ~format f in
+  Format.pp_print_flush ppf ();
+  result
 
 (* {1 experiments} *)
 
@@ -16,9 +40,10 @@ let list_cmd =
   let run () =
     List.iter
       (fun e ->
-        Printf.printf "%-14s %s\n" e.Lvm_experiments.Experiments.id
+        Format.fprintf ppf "%-14s %s@." e.Lvm_experiments.Experiments.id
           e.Lvm_experiments.Experiments.description)
-      Lvm_experiments.Experiments.all
+      Lvm_experiments.Experiments.all;
+    Format.pp_print_flush ppf ()
   in
   Cmd.v (Cmd.info "list" ~doc:"List the reproduction experiments.")
     Term.(const run $ const ())
@@ -28,24 +53,24 @@ let exp_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,lvmctl list)).")
   in
-  let run id quick =
+  let run id quick metrics =
     match Lvm_experiments.Experiments.find id with
     | Some e ->
-      e.Lvm_experiments.Experiments.run ~quick ppf;
-      Format.pp_print_flush ppf ();
+      with_metrics ~label:id metrics (fun () ->
+          e.Lvm_experiments.Experiments.run ~quick ppf);
       `Ok ()
     | None -> `Error (false, "unknown experiment " ^ id)
   in
   Cmd.v (Cmd.info "exp" ~doc:"Run one table/figure reproduction experiment.")
-    Term.(ret (const run $ id_arg $ quick_arg))
+    Term.(ret (const run $ id_arg $ quick_arg $ metrics_arg))
 
 let all_cmd =
-  let run quick =
-    Lvm_experiments.Experiments.run_all ~quick ppf;
-    Format.pp_print_flush ppf ()
+  let run quick metrics =
+    with_metrics ~label:"all" metrics (fun () ->
+        Lvm_experiments.Experiments.run_all ~quick ppf)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every reproduction experiment.")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ metrics_arg)
 
 (* {1 sim} *)
 
@@ -89,7 +114,7 @@ let sim_cmd =
          & info [ "engine" ] ~doc:"optimistic (TimeWarp) or conservative.")
   in
   let run schedulers objects population end_time seed strategy workload
-      engine_kind =
+      engine_kind metrics =
     let app, inject_tw, inject_cons, name =
       match workload with
       | `Phold ->
@@ -116,49 +141,80 @@ let sim_cmd =
             done),
           "queueing network" )
     in
-    match engine_kind with
-    | `Conservative ->
-      let e = Lvm_sim.Conservative.create ~n_schedulers:schedulers ~app () in
-      inject_cons e;
-      let r = Lvm_sim.Conservative.run e ~end_time in
-      Printf.printf
-        "%s (conservative): %d schedulers, %d objects, %d tokens, end-time          %d\n"
-        name schedulers objects population end_time;
-      Printf.printf "  events processed   %d\n"
-        r.Lvm_sim.Conservative.events_processed;
-      Printf.printf "  barrier steps      %d\n" r.Lvm_sim.Conservative.steps;
-      Printf.printf "  elapsed (cycles)   %d\n"
-        r.Lvm_sim.Conservative.elapsed_cycles;
-      Printf.printf "  busy (cycles)      %d\n"
-        r.Lvm_sim.Conservative.busy_cycles
-    | `Optimistic ->
-      let engine =
-        Lvm_sim.Timewarp.create ~n_schedulers:schedulers ~strategy ~app ()
-      in
-      inject_tw engine;
-      let r = Lvm_sim.Timewarp.run engine ~end_time in
-      Printf.printf
-        "%s: %d schedulers, %d objects, %d tokens, end-time %d (%s)\n" name
-        schedulers objects population end_time
-        (Lvm_sim.State_saving.to_string strategy);
-      Printf.printf "  committed events   %d\n" r.Lvm_sim.Timewarp.total_events_committed;
-      Printf.printf "  processed events   %d\n" r.Lvm_sim.Timewarp.total_events_processed;
-      Printf.printf "  rollbacks          %d\n" r.Lvm_sim.Timewarp.total_rollbacks;
-      Printf.printf "  stragglers         %d\n" r.Lvm_sim.Timewarp.total_stragglers;
-      Printf.printf "  anti-messages      %d\n" r.Lvm_sim.Timewarp.total_anti_messages;
-      Printf.printf "  elapsed (cycles)   %d\n" r.Lvm_sim.Timewarp.elapsed_cycles;
-      Printf.printf "  efficiency         %.1f%%\n"
-        (100.
-         *. float_of_int r.Lvm_sim.Timewarp.total_events_committed
-         /. float_of_int (max 1 r.Lvm_sim.Timewarp.total_events_processed))
+    with_metrics ~label:"sim" metrics (fun () ->
+        match engine_kind with
+        | `Conservative ->
+          let e =
+            Lvm_sim.Conservative.create ~n_schedulers:schedulers ~app ()
+          in
+          inject_cons e;
+          let r = Lvm_sim.Conservative.run e ~end_time in
+          Format.fprintf ppf
+            "%s (conservative): %d schedulers, %d objects, %d tokens, \
+             end-time %d@."
+            name schedulers objects population end_time;
+          Format.fprintf ppf "  events processed   %d@."
+            r.Lvm_sim.Conservative.events_processed;
+          Format.fprintf ppf "  barrier steps      %d@."
+            r.Lvm_sim.Conservative.steps;
+          Format.fprintf ppf "  elapsed (cycles)   %d@."
+            r.Lvm_sim.Conservative.elapsed_cycles;
+          Format.fprintf ppf "  busy (cycles)      %d@."
+            r.Lvm_sim.Conservative.busy_cycles
+        | `Optimistic ->
+          let engine =
+            Lvm_sim.Timewarp.create ~n_schedulers:schedulers ~strategy ~app ()
+          in
+          inject_tw engine;
+          let r = Lvm_sim.Timewarp.run engine ~end_time in
+          Format.fprintf ppf
+            "%s: %d schedulers, %d objects, %d tokens, end-time %d (%s)@."
+            name schedulers objects population end_time
+            (Lvm_sim.State_saving.to_string strategy);
+          Format.fprintf ppf "  committed events   %d@."
+            r.Lvm_sim.Timewarp.total_events_committed;
+          Format.fprintf ppf "  processed events   %d@."
+            r.Lvm_sim.Timewarp.total_events_processed;
+          Format.fprintf ppf "  rollbacks          %d@."
+            r.Lvm_sim.Timewarp.total_rollbacks;
+          Format.fprintf ppf "  stragglers         %d@."
+            r.Lvm_sim.Timewarp.total_stragglers;
+          Format.fprintf ppf "  anti-messages      %d@."
+            r.Lvm_sim.Timewarp.total_anti_messages;
+          Format.fprintf ppf "  elapsed (cycles)   %d@."
+            r.Lvm_sim.Timewarp.elapsed_cycles;
+          Format.fprintf ppf "  efficiency         %.1f%%@."
+            (100.
+             *. float_of_int r.Lvm_sim.Timewarp.total_events_committed
+             /. float_of_int (max 1 r.Lvm_sim.Timewarp.total_events_processed)))
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Run a simulation (PHOLD or queueing) over LVM.")
     Term.(const run $ schedulers $ objects $ population $ end_time $ seed
-          $ strategy $ workload $ engine_kind)
+          $ strategy $ workload $ engine_kind $ metrics_arg)
 
 (* {1 tpca} *)
+
+let run_tpca ~txns ~store =
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+  let bank =
+    Lvm_tpc.Bank.layout ~branches:4 ~tellers:40 ~accounts:400 ~history:256
+  in
+  let size = Lvm_tpc.Bank.segment_bytes bank in
+  let name, s =
+    match store with
+    | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.create k sp ~size))
+    | `Rlvm ->
+      ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.create k sp ~size))
+  in
+  Lvm_tpc.Tpca.setup s bank;
+  let r = Lvm_tpc.Tpca.run s bank ~txns in
+  Format.fprintf ppf
+    "TPC-A on %s: %d txns, %.0f tps, %.0f cycles/txn, invariant %b@." name
+    r.Lvm_tpc.Tpca.txns r.Lvm_tpc.Tpca.tps r.Lvm_tpc.Tpca.cycles_per_txn
+    (Lvm_tpc.Tpca.balance_invariant s bank)
 
 let tpca_cmd =
   let txns =
@@ -168,30 +224,27 @@ let tpca_cmd =
     Arg.(value & opt (enum [ ("rvm", `Rvm); ("rlvm", `Rlvm) ]) `Rlvm
          & info [ "store" ] ~doc:"Recoverable store: rvm or rlvm.")
   in
-  let run txns store =
-    let k = Lvm_vm.Kernel.create () in
-    let sp = Lvm_vm.Kernel.create_space k in
-    let bank =
-      Lvm_tpc.Bank.layout ~branches:4 ~tellers:40 ~accounts:400 ~history:256
-    in
-    let size = Lvm_tpc.Bank.segment_bytes bank in
-    let name, s =
-      match store with
-      | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.create k sp ~size))
-      | `Rlvm ->
-        ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.create k sp ~size))
-    in
-    Lvm_tpc.Tpca.setup s bank;
-    let r = Lvm_tpc.Tpca.run s bank ~txns in
-    Printf.printf "TPC-A on %s: %d txns, %.0f tps, %.0f cycles/txn, \
-                   invariant %b\n"
-      name r.Lvm_tpc.Tpca.txns r.Lvm_tpc.Tpca.tps r.Lvm_tpc.Tpca.cycles_per_txn
-      (Lvm_tpc.Tpca.balance_invariant s bank)
+  let run txns store metrics =
+    with_metrics ~label:"tpca" metrics (fun () -> run_tpca ~txns ~store)
   in
   Cmd.v (Cmd.info "tpca" ~doc:"Run the TPC-A debit-credit benchmark.")
-    Term.(const run $ txns $ store)
+    Term.(const run $ txns $ store $ metrics_arg)
 
 (* {1 synthetic} *)
+
+let run_synthetic ~events ~c ~s ~w strategy =
+  let p = { Lvm_sim.Synthetic.default_params with
+            Lvm_sim.Synthetic.events; c; s; w } in
+  let r = Lvm_sim.Synthetic.run p strategy in
+  Format.fprintf ppf
+    "synthetic (%s): %.2f cycles/event, %d overloads, %d log records, \
+     %d protect faults@."
+    (Lvm_sim.State_saving.to_string strategy)
+    r.Lvm_sim.Synthetic.per_event r.Lvm_sim.Synthetic.overloads
+    r.Lvm_sim.Synthetic.log_records r.Lvm_sim.Synthetic.protect_faults;
+  if strategy = Lvm_sim.State_saving.Lvm_based then
+    Format.fprintf ppf "speedup over copy-based: %.2f@."
+      (Lvm_sim.Synthetic.speedup p)
 
 let synthetic_cmd =
   let events =
@@ -212,29 +265,103 @@ let synthetic_cmd =
     Arg.(value & opt strategy_conv Lvm_sim.State_saving.Lvm_based
          & info [ "strategy" ] ~doc:"lvm, copy or page-protect.")
   in
-  let run events c s w strategy =
-    let p = { Lvm_sim.Synthetic.default_params with
-              Lvm_sim.Synthetic.events; c; s; w } in
-    let r = Lvm_sim.Synthetic.run p strategy in
-    Printf.printf
-      "synthetic (%s): %.2f cycles/event, %d overloads, %d log records, \
-       %d protect faults\n"
-      (Lvm_sim.State_saving.to_string strategy)
-      r.Lvm_sim.Synthetic.per_event r.Lvm_sim.Synthetic.overloads
-      r.Lvm_sim.Synthetic.log_records r.Lvm_sim.Synthetic.protect_faults;
-    if strategy = Lvm_sim.State_saving.Lvm_based then
-      Printf.printf "speedup over copy-based: %.2f\n"
-        (Lvm_sim.Synthetic.speedup p)
+  let run events c s w strategy metrics =
+    with_metrics ~label:"synthetic" metrics (fun () ->
+        run_synthetic ~events ~c ~s ~w strategy)
   in
   Cmd.v
     (Cmd.info "synthetic"
        ~doc:"Run the Section 4.3 synthetic simulation workload.")
-    Term.(const run $ events $ c $ s $ w $ strategy)
+    Term.(const run $ events $ c $ s $ w $ strategy $ metrics_arg)
+
+(* {1 trace} *)
+
+(* A small logged-write workload exercising most event types: first-touch
+   page faults, logging faults, log extension and default-page
+   absorption, and a deferred-copy reset. *)
+let trace_writes () =
+  let open Lvm.Api in
+  let page = Lvm_machine.Addr.page_size in
+  let k = boot () in
+  let space = address_space k in
+  let seg = std_segment k ~size:(4 * page) in
+  let region = std_region k seg in
+  let ls = log_segment k ~size:(2 * page) in
+  log k region ls;
+  let base = bind k space region in
+  for i = 0 to 1023 do
+    write_word k space ~vaddr:(base + (i mod 1024 * 4)) i;
+    if i = 700 then extend_log k ls ~pages:4
+  done;
+  sync_log k ls;
+  let src = std_segment k ~size:page in
+  let dst = std_segment k ~size:page in
+  source_segment k ~dst ~src;
+  let r2 = std_region k dst in
+  let b2 = bind k space r2 in
+  write_word k space ~vaddr:b2 1;
+  reset_deferred_copy k space ~start:b2 ~len:page
+
+let trace_phold () =
+  let app = Lvm_sim.Phold.app ~objects:8 ~seed:11 () in
+  let e =
+    Lvm_sim.Timewarp.create ~n_schedulers:2
+      ~strategy:Lvm_sim.State_saving.Lvm_based ~app ()
+  in
+  Lvm_sim.Phold.inject_population e ~objects:8 ~population:8 ~seed:11;
+  ignore (Lvm_sim.Timewarp.run e ~end_time:300)
+
+let trace_cmd =
+  let workload_arg =
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ ("writes", `Writes); ("synthetic", `Synthetic);
+                     ("tpca", `Tpca); ("phold", `Phold) ]))
+             None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workload to trace: writes, synthetic, tpca or phold.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt format_conv Lvm_obs.Sink.Human
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Trace output format: human, json (JSON-lines) or csv.")
+  in
+  let run workload format metrics =
+    let (), collector =
+      Lvm_obs.Collector.with_collector (fun () ->
+          match workload with
+          | `Writes -> trace_writes ()
+          | `Synthetic ->
+            run_synthetic ~events:500 ~c:512 ~s:64 ~w:2
+              Lvm_sim.State_saving.Lvm_based
+          | `Tpca -> run_tpca ~txns:100 ~store:`Rlvm
+          | `Phold -> trace_phold ())
+    in
+    List.iteri
+      (fun i trace ->
+        if Lvm_obs.Trace.total trace > 0 then begin
+          if format = Lvm_obs.Sink.Human then
+            Format.fprintf ppf "-- machine %d --@." i;
+          Lvm_obs.Sink.emit_trace format ppf trace
+        end)
+      (Lvm_obs.Collector.traces collector);
+    Lvm_experiments.Report.metrics ~label:"trace" ppf ~format:metrics
+      collector;
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload and dump its structured event trace.")
+    Term.(const run $ workload_arg $ format_arg $ metrics_arg)
 
 let main =
   Cmd.group
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
-    [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd ]
+    [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -25,13 +25,13 @@ let () =
   Printf.printf "logged region bound at 0x%x\n" base;
 
   (* Ordinary stores; the logger records each one off the critical path. *)
-  Lvm.Api.write_word k space (base + 0x10) 42;
-  Lvm.Api.write_word k space (base + 0x20) 1995;
-  Lvm.Api.write_word k space (base + 0x10) 43;
+  Lvm.Api.write_word k space ~vaddr:(base + 0x10) 42;
+  Lvm.Api.write_word k space ~vaddr:(base + 0x20) 1995;
+  Lvm.Api.write_word k space ~vaddr:(base + 0x10) 43;
 
   Printf.printf "data: [0x10]=%d [0x20]=%d\n"
-    (Lvm.Api.read_word k space (base + 0x10))
-    (Lvm.Api.read_word k space (base + 0x20));
+    (Lvm.Api.read_word k space ~vaddr:(base + 0x10))
+    (Lvm.Api.read_word k space ~vaddr:(base + 0x20));
 
   (* Read the log back: one 16-byte record per write, in order. *)
   Printf.printf "log has %d records:\n" (Lvm.Log_reader.record_count k ls);
@@ -45,6 +45,6 @@ let () =
 
   (* Logging costs almost nothing on the writing processor: *)
   let t0 = Lvm.Api.time k in
-  Lvm.Api.write_word k space (base + 0x30) 7;
+  Lvm.Api.write_word k space ~vaddr:(base + 0x30) 7;
   Printf.printf "a logged write cost the CPU %d cycles\n"
     (Lvm.Api.time k - t0)

@@ -19,3 +19,15 @@ val note : Format.formatter -> string -> unit
 
 val fi : int -> string
 val ff : ?decimals:int -> float -> string
+
+val metrics :
+  ?label:string -> Format.formatter -> format:Lvm_obs.Sink.format option ->
+  Lvm_obs.Collector.t -> unit
+(** Emit the collector's merged counters and histograms in the requested
+    sink format; [format = None] emits nothing (metrics not requested). *)
+
+val with_metrics :
+  ?label:string -> Format.formatter -> format:Lvm_obs.Sink.format option ->
+  (unit -> 'a) -> 'a
+(** Run a workload under an ambient {!Lvm_obs.Collector} and emit its
+    metrics afterwards. Every machine the workload creates is captured. *)

@@ -5,7 +5,21 @@ type segment = Segment.t
 type region = Region.t
 type address_space = Address_space.t
 
-let boot ?hw ?frames ?log_entries () = Kernel.create ?hw ?frames ?log_entries ()
+module Error = Lvm_vm.Error
+
+exception Lvm_error = Lvm_vm.Error.Lvm_error
+
+let boot ?obs ?hw ?frames ?log_entries () =
+  Kernel.create ?obs ?hw ?frames ?log_entries ()
+
+let obs k = Kernel.obs k
+let perf k = Kernel.snapshot k
+
+let with_kernel ?obs ?hw ?frames ?log_entries f =
+  let k = boot ?obs ?hw ?frames ?log_entries () in
+  let result = f k in
+  (result, perf k)
+
 let address_space k = Kernel.create_space k
 let std_segment ?manager k ~size = Kernel.create_segment ?manager k ~size
 let std_region ?seg_offset ?size k segment =
@@ -21,6 +35,8 @@ let unlog k region = Kernel.set_region_log k region None
 let set_logging k region enabled = Kernel.set_logging_enabled k region enabled
 let extend_log k ls ~pages = Kernel.extend_log k ls ~pages
 let sync_log k ls = Kernel.sync_log k ls
+let truncate_log k ls ~keep_from = Kernel.truncate_log k ls ~keep_from
+let truncate_log_suffix k ls ~new_end = Kernel.truncate_log_suffix k ls ~new_end
 
 let source_segment ?(offset = 0) k ~dst ~src =
   Kernel.declare_source k ~dst ~src ~offset
@@ -28,8 +44,8 @@ let source_segment ?(offset = 0) k ~dst ~src =
 let reset_deferred_copy k space ~start ~len =
   Kernel.reset_deferred_copy k space ~start ~len
 
-let read_word k space vaddr = Kernel.read_word k space vaddr
-let write_word k space vaddr v = Kernel.write_word k space vaddr v
+let read_word k space ~vaddr = Kernel.read_word k space vaddr
+let write_word k space ~vaddr v = Kernel.write_word k space vaddr v
 let read k space ~vaddr ~size = Kernel.read k space ~vaddr ~size
 let write k space ~vaddr ~size v = Kernel.write k space ~vaddr ~size v
 let compute k c = Kernel.compute k c

@@ -11,7 +11,18 @@
       let ls = Api.log_segment k in                 (* new LogSegment() *)
       Api.log k reg_r ls;                           (* reg_r->log(ls) *)
       let base = Api.bind k space reg_r in          (* reg_r->bind(as) *)
-      Api.write_word k space (base + 16) 42         (* logged automatically *)
+      Api.write_word k space ~vaddr:(base + 16) 42  (* logged automatically *)
+    ]}
+
+    Invalid requests raise {!Lvm_error} carrying a typed {!Error.t}
+    payload — match on the constructor rather than on exception message
+    strings:
+
+    {[
+      match Api.read_word k space ~vaddr with
+      | v -> use v
+      | exception Api.Lvm_error (Api.Error.Segmentation_fault { vaddr; _ }) ->
+        handle_segv vaddr
     ]} *)
 
 type kernel = Lvm_vm.Kernel.t
@@ -19,11 +30,27 @@ type segment = Lvm_vm.Segment.t
 type region = Lvm_vm.Region.t
 type address_space = Lvm_vm.Address_space.t
 
+module Error = Lvm_vm.Error
+(** Typed error payloads (segmentation faults, alignment, range checks). *)
+
+exception Lvm_error of Error.t
+(** The one exception the API raises on invalid requests (an alias of
+    [Lvm_vm.Error.Lvm_error], so handlers work at either layer). *)
+
 val boot :
-  ?hw:Lvm_machine.Logger.hw -> ?frames:int -> ?log_entries:int -> unit ->
-  kernel
+  ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
+  ?log_entries:int -> unit -> kernel
 (** Bring up a machine and its VM kernel. [hw] selects the prototype bus
-    logger (default) or the on-chip design of Section 4.6. *)
+    logger (default) or the on-chip design of Section 4.6. [obs] supplies
+    an observability context to share (default: a fresh one, announced to
+    any attached [Lvm_obs.Collector]). *)
+
+val with_kernel :
+  ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
+  ?log_entries:int -> (kernel -> 'a) -> 'a * Lvm_obs.Snapshot.t
+(** [with_kernel f] boots a kernel, runs [f] on it and returns [f]'s
+    result together with the final counter snapshot — the convenient
+    shape for measured one-shot workloads. *)
 
 val address_space : kernel -> address_space
 (** Create an address space ([thisProcess()->addressSpace()] analogue). *)
@@ -57,6 +84,13 @@ val set_logging : kernel -> region -> bool -> unit
 val extend_log : kernel -> segment -> pages:int -> unit
 val sync_log : kernel -> segment -> unit
 
+val truncate_log : kernel -> segment -> keep_from:int -> unit
+(** Discard records before byte offset [keep_from], compacting the rest
+    to the front of the segment. *)
+
+val truncate_log_suffix : kernel -> segment -> new_end:int -> unit
+(** Discard records at and after byte offset [new_end]. *)
+
 (** {1 Extensions for deferred copy (Table 1, part 3)} *)
 
 val source_segment : ?offset:int -> kernel -> dst:segment -> src:segment ->
@@ -67,11 +101,28 @@ val reset_deferred_copy : kernel -> address_space -> start:int -> len:int ->
   unit
 (** [AddressSpace::resetDeferredCopy(start, end)]. *)
 
-(** {1 Access} *)
+(** {1 Access}
 
-val read_word : kernel -> address_space -> int -> int
-val write_word : kernel -> address_space -> int -> int -> unit
+    All access functions name the virtual address with [~vaddr]; sizes
+    are 1, 2 or 4 bytes and accesses must be size-aligned. *)
+
+val read_word : kernel -> address_space -> vaddr:int -> int
+val write_word : kernel -> address_space -> vaddr:int -> int -> unit
 val read : kernel -> address_space -> vaddr:int -> size:int -> int
 val write : kernel -> address_space -> vaddr:int -> size:int -> int -> unit
+
 val compute : kernel -> int -> unit
+(** Burn CPU cycles (application compute between memory operations). *)
+
 val time : kernel -> int
+(** Current machine cycle count. *)
+
+(** {1 Observability} *)
+
+val obs : kernel -> Lvm_obs.Ctx.t
+(** The kernel's observability context: structured event trace,
+    counters and histograms (see [Lvm_obs] and docs/OBSERVABILITY.md). *)
+
+val perf : kernel -> Lvm_obs.Snapshot.t
+(** Snapshot of every counter — machine perf record and [kernel.*]
+    counters. Use [Lvm_obs.Snapshot.delta] to measure a workload. *)

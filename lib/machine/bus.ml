@@ -4,14 +4,25 @@ type t = {
   mutable cpu_free : int;
   mutable dma_free : int;
   perf : Perf.t;
+  wait_hist : Lvm_obs.Histogram.t;
 }
 
-let create perf = { cpu_free = 0; dma_free = 0; perf }
+let create ?obs perf =
+  let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
+  {
+    cpu_free = 0;
+    dma_free = 0;
+    perf;
+    wait_hist =
+      Lvm_obs.Ctx.histogram obs ~name:"bus.wait_cycles"
+        ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:12);
+  }
 
 let access t ~track ~now ~cycles =
   if cycles < 0 then invalid_arg "Bus.access: negative cycles";
   let free = match track with Cpu -> t.cpu_free | Dma -> t.dma_free in
   let start = if now > free then now else free in
+  Lvm_obs.Histogram.observe t.wait_hist (start - now);
   let finish = start + cycles in
   (match track with
   | Cpu -> t.cpu_free <- finish

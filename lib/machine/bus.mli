@@ -18,11 +18,14 @@ type track =
 
 type t
 
-val create : Perf.t -> t
+val create : ?obs:Lvm_obs.Ctx.t -> Perf.t -> t
+(** [?obs] is the machine's observability context; when omitted a private
+    one is created (standalone use in tests). *)
 
 val access : t -> track:track -> now:int -> cycles:int -> int
 (** Book [cycles] on the track at or after [now]; returns the completion
-    time. Records total bus occupancy in the perf counters. *)
+    time. Records total bus occupancy in the perf counters and the
+    arbitration wait in the ["bus.wait_cycles"] histogram. *)
 
 val free_at : t -> track:track -> int
 val reset : t -> unit

@@ -8,9 +8,19 @@ type t = {
   pages : (int, page_state) Hashtbl.t; (* dst page number -> state *)
   mem : Physmem.t;
   perf : Perf.t;
+  dirty_hist : Lvm_obs.Histogram.t;
 }
 
-let create mem perf = { pages = Hashtbl.create 64; mem; perf }
+let create ?obs mem perf =
+  let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
+  {
+    pages = Hashtbl.create 64;
+    mem;
+    perf;
+    dirty_hist =
+      Lvm_obs.Ctx.histogram obs ~name:"dc.dirty_lines"
+        ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:8);
+  }
 
 let map t ~dst_page ~src_addr =
   if src_addr land (Addr.line_size - 1) <> 0 then
@@ -62,6 +72,11 @@ let reset_page t ~dst_page ~was_dirty =
     was_dirty := st.dirty;
     if st.dirty then begin
       t.perf.Perf.dc_pages_dirty <- t.perf.Perf.dc_pages_dirty + 1;
+      let dirty_lines = ref 0 in
+      Bytes.iter
+        (fun c -> if c <> '\000' then incr dirty_lines)
+        st.modified;
+      Lvm_obs.Histogram.observe t.dirty_hist !dirty_lines;
       Bytes.fill st.modified 0 Addr.lines_per_page '\000';
       st.dirty <- false;
       Cycles.dc_reset_per_page

@@ -16,7 +16,10 @@
 
 type t
 
-val create : Physmem.t -> Perf.t -> t
+val create : ?obs:Lvm_obs.Ctx.t -> Physmem.t -> Perf.t -> t
+(** [?obs] is the machine's observability context (the cache feeds the
+    ["dc.dirty_lines"] histogram of modified-line counts at reset); when
+    omitted a private one is created. *)
 
 val map : t -> dst_page:int -> src_addr:int -> unit
 (** Declare physical page [dst_page] a deferred-copy destination whose

@@ -4,14 +4,29 @@ type t = {
   mask : int;
   bus : Bus.t;
   perf : Perf.t;
+  run_hist : Lvm_obs.Histogram.t;
+  mutable write_run : int; (* consecutive write-throughs so far *)
 }
 
 let size_bytes = 8 * 1024
 let n_lines = size_bytes / Addr.line_size
 
-let create bus perf =
+let create ?obs bus perf =
+  let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   { tags = Array.make n_lines (-1); dirty = Array.make n_lines false;
-    mask = n_lines - 1; bus; perf }
+    mask = n_lines - 1; bus; perf;
+    run_hist =
+      Lvm_obs.Ctx.histogram obs ~name:"l1.write_run"
+        ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:12);
+    write_run = 0 }
+
+(* A run of consecutive write-throughs ends at any other access; its
+   length is what the overload analysis (Figure 11) cares about. *)
+let end_write_run t =
+  if t.write_run > 0 then begin
+    Lvm_obs.Histogram.observe t.run_hist t.write_run;
+    t.write_run <- 0
+  end
 
 let lines _ = n_lines
 let slot t paddr = Addr.line_number paddr land t.mask
@@ -40,6 +55,7 @@ let fill t ~now idx line =
   bus_op t ~now ~total:Cycles.l1_fill_total ~bus:Cycles.l1_fill_bus
 
 let read t ~now ~paddr =
+  end_write_run t;
   let idx = slot t paddr in
   let line = Addr.line_number paddr in
   if t.tags.(idx) = line then begin
@@ -52,6 +68,7 @@ let read t ~now ~paddr =
   end
 
 let write_back_mode_write t ~now ~paddr =
+  end_write_run t;
   let idx = slot t paddr in
   let line = Addr.line_number paddr in
   if t.tags.(idx) = line then begin
@@ -68,6 +85,7 @@ let write_back_mode_write t ~now ~paddr =
 
 let write_through t ~now ~paddr =
   ignore (slot t paddr);
+  t.write_run <- t.write_run + 1;
   t.perf.Perf.write_throughs <- t.perf.Perf.write_throughs + 1;
   (* The line, if resident, is updated in place; it stays clean because the
      write also goes to memory. No allocation on miss. *)

@@ -15,7 +15,10 @@
 
 type t
 
-val create : Bus.t -> Perf.t -> t
+val create : ?obs:Lvm_obs.Ctx.t -> Bus.t -> Perf.t -> t
+(** [?obs] is the machine's observability context (the cache feeds the
+    ["l1.write_run"] histogram of consecutive write-through run lengths);
+    when omitted a private one is created. *)
 
 val lines : t -> int
 

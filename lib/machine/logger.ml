@@ -36,6 +36,8 @@ type t = {
   mem : Physmem.t;
   bus : Bus.t;
   perf : Perf.t;
+  obs : Lvm_obs.Ctx.t;
+  fifo_hist : Lvm_obs.Histogram.t;
   mutable free_at : int; (* logger pipeline availability *)
   mutable enabled : bool;
   mutable on_fault : fault -> fault_outcome;
@@ -43,8 +45,9 @@ type t = {
     (paddr:int -> vaddr:int -> size:int -> value:int -> unit) option;
 }
 
-let create ?(hw = Prototype) ?(record_old_values = false) ?(pmt_bits = 15)
-    ?(log_entries = 64) ~clock mem bus perf =
+let create ?obs ?(hw = Prototype) ?(record_old_values = false)
+    ?(pmt_bits = 15) ?(log_entries = 64) ~clock mem bus perf =
+  let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   if pmt_bits < 2 || pmt_bits > 20 then invalid_arg "Logger.create: pmt_bits";
   if log_entries <= 0 then invalid_arg "Logger.create: log_entries";
   if record_old_values && hw <> On_chip then
@@ -65,6 +68,10 @@ let create ?(hw = Prototype) ?(record_old_values = false) ?(pmt_bits = 15)
     mem;
     bus;
     perf;
+    obs;
+    fifo_hist =
+      Lvm_obs.Ctx.histogram obs ~name:"logger.fifo_occupancy"
+        ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:10);
     free_at = 0;
     enabled = true;
     on_fault = (fun _ -> Drop);
@@ -120,11 +127,17 @@ let log_entry t ~index =
    tables, which costs CPU time. *)
 let fault t f =
   (match f with
-  | Pmt_miss _ ->
-    t.perf.Perf.logging_faults_pmt <- t.perf.Perf.logging_faults_pmt + 1
-  | Log_addr_invalid _ ->
+  | Pmt_miss { paddr } ->
+    t.perf.Perf.logging_faults_pmt <- t.perf.Perf.logging_faults_pmt + 1;
+    Lvm_obs.Ctx.event t.obs ~at:!(t.clock)
+      (Lvm_obs.Event.Logging_fault
+         { kind = Lvm_obs.Event.Pmt_miss; addr = paddr })
+  | Log_addr_invalid { log_index } ->
     t.perf.Perf.logging_faults_log_addr <-
-      t.perf.Perf.logging_faults_log_addr + 1);
+      t.perf.Perf.logging_faults_log_addr + 1;
+    Lvm_obs.Ctx.event t.obs ~at:!(t.clock)
+      (Lvm_obs.Event.Logging_fault
+         { kind = Lvm_obs.Event.Log_addr_invalid; addr = log_index }));
   t.clock := !(t.clock) + Cycles.logging_fault;
   t.on_fault f
 
@@ -209,7 +222,11 @@ let occupancy t = occupancy_at t ~now:!(t.clock)
 let drained_at t = max !(t.clock) (Fifo.last_drain_time t.fifo)
 
 let flush t =
+  let pending = occupancy_at t ~now:!(t.clock) in
   let target = Fifo.last_drain_time t.fifo in
+  if pending > 0 then
+    Lvm_obs.Ctx.event t.obs ~at:!(t.clock)
+      (Lvm_obs.Event.Dma_flush { pending; drained_at = max !(t.clock) target });
   if target > !(t.clock) then t.clock := target;
   Fifo.drain_until t.fifo ~now:!(t.clock)
 
@@ -223,16 +240,23 @@ let busy t = occupancy_at t ~now:!(t.clock) > 0
 let admit t ~arrival =
   match t.hw with
   | Prototype ->
-    if occupancy_at t ~now:arrival >= Cycles.logger_fifo_threshold then begin
+    let occupancy = occupancy_at t ~now:arrival in
+    Lvm_obs.Histogram.observe t.fifo_hist occupancy;
+    if occupancy >= Cycles.logger_fifo_threshold then begin
       t.perf.Perf.overloads <- t.perf.Perf.overloads + 1;
+      Lvm_obs.Ctx.event t.obs ~at:arrival
+        (Lvm_obs.Event.Overload_enter { occupancy });
       let drained = max arrival (Fifo.last_drain_time t.fifo) in
       let resume = drained + Cycles.overload_suspend in
       t.perf.Perf.overload_cycles <-
         t.perf.Perf.overload_cycles + (resume - arrival);
       t.clock := max !(t.clock) resume;
+      Lvm_obs.Ctx.event t.obs ~at:resume
+        (Lvm_obs.Event.Overload_exit { suspended = resume - arrival });
       Fifo.drain_until t.fifo ~now:!(t.clock)
     end
   | On_chip ->
+    Lvm_obs.Histogram.observe t.fifo_hist (occupancy_at t ~now:!(t.clock));
     if occupancy_at t ~now:!(t.clock) >= t.onchip_buffer then begin
       while Fifo.occupancy t.fifo ~now:!(t.clock) >= t.onchip_buffer do
         match Fifo.head_drain_time t.fifo with

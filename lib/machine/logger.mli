@@ -52,10 +52,14 @@ type fault_outcome =
 type t
 
 val create :
-  ?hw:hw -> ?record_old_values:bool -> ?pmt_bits:int -> ?log_entries:int ->
+  ?obs:Lvm_obs.Ctx.t -> ?hw:hw -> ?record_old_values:bool ->
+  ?pmt_bits:int -> ?log_entries:int ->
   clock:int ref -> Physmem.t -> Bus.t -> Perf.t -> t
 (** [create ~clock mem bus perf] builds a logger sharing the machine's CPU
-    [clock] (faults and overloads advance it). [pmt_bits] defaults to 15
+    [clock] (faults and overloads advance it). [obs] is the machine's
+    observability context: the logger traces logging faults, overload
+    enter/exit and flushes, and feeds the ["logger.fifo_occupancy"]
+    histogram at each admitted write. [pmt_bits] defaults to 15
     (32768 entries, 5-bit tags for a 1 GB physical space); [log_entries]
     defaults to 64. [record_old_values] enables Section 4.6's optional
     pre-image records (on-chip hardware only): each store emits a flagged

@@ -7,23 +7,27 @@ type t = {
   deferred : Deferred_cache.t;
   logger : Logger.t;
   perf : Perf.t;
+  obs : Lvm_obs.Ctx.t;
   clock : int ref;
 }
 
-let create ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
+let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
     ?(log_entries = 64) () =
+  let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   let perf = Perf.create () in
+  Lvm_obs.Ctx.add_provider obs (fun () -> Perf.to_alist perf);
   let mem = Physmem.create ~frames in
-  let bus = Bus.create perf in
+  let bus = Bus.create ~obs perf in
   let clock = ref 0 in
   {
     mem;
     bus;
-    l1 = L1_cache.create bus perf;
-    deferred = Deferred_cache.create mem perf;
-    logger = Logger.create ~hw ?record_old_values ~log_entries ~clock mem bus
-        perf;
+    l1 = L1_cache.create ~obs bus perf;
+    deferred = Deferred_cache.create ~obs mem perf;
+    logger = Logger.create ~obs ~hw ?record_old_values ~log_entries ~clock mem
+        bus perf;
     perf;
+    obs;
     clock;
   }
 
@@ -33,6 +37,8 @@ let deferred t = t.deferred
 let l1 t = t.l1
 let bus t = t.bus
 let perf t = t.perf
+let obs t = t.obs
+let snapshot t = Lvm_obs.Ctx.snapshot t.obs
 let clock t = t.clock
 let time t = !(t.clock)
 

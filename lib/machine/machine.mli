@@ -18,12 +18,15 @@ type write_mode =
           (required for logged pages, Section 3.2). *)
 
 val create :
-  ?hw:Logger.hw -> ?record_old_values:bool -> ?frames:int ->
-  ?log_entries:int -> unit -> t
+  ?obs:Lvm_obs.Ctx.t -> ?hw:Logger.hw -> ?record_old_values:bool ->
+  ?frames:int -> ?log_entries:int -> unit -> t
 (** [create ()] builds a machine with [frames] physical page frames
     (default 4096, i.e. 16 MB) and the given logging hardware model
     (default [Prototype]). [record_old_values] enables the on-chip
-    pre-image records of Section 4.6. *)
+    pre-image records of Section 4.6. [obs] is the observability context
+    shared by every component (default: a fresh one, announced to any
+    attached [Lvm_obs.Collector]); the perf record is enrolled in it as a
+    snapshot provider. *)
 
 val mem : t -> Physmem.t
 val logger : t -> Logger.t
@@ -31,6 +34,14 @@ val deferred : t -> Deferred_cache.t
 val l1 : t -> L1_cache.t
 val bus : t -> Bus.t
 val perf : t -> Perf.t
+
+val obs : t -> Lvm_obs.Ctx.t
+(** The machine's observability context: trace ring, counters and
+    histograms fed by every component. *)
+
+val snapshot : t -> Lvm_obs.Snapshot.t
+(** Point-in-time view of all counters (perf record included). *)
+
 val clock : t -> int ref
 
 val time : t -> int

@@ -57,6 +57,26 @@ let reset t =
 
 let copy t = { t with bus_busy_cycles = t.bus_busy_cycles }
 
+let to_alist t =
+  [
+    ("bus_busy_cycles", t.bus_busy_cycles);
+    ("l1_hits", t.l1_hits);
+    ("l1_misses", t.l1_misses);
+    ("l1_write_backs", t.l1_write_backs);
+    ("write_throughs", t.write_throughs);
+    ("log_records", t.log_records);
+    ("log_records_lost", t.log_records_lost);
+    ("logging_faults_pmt", t.logging_faults_pmt);
+    ("logging_faults_log_addr", t.logging_faults_log_addr);
+    ("overloads", t.overloads);
+    ("overload_cycles", t.overload_cycles);
+    ("page_faults", t.page_faults);
+    ("write_protect_faults", t.write_protect_faults);
+    ("dc_resets", t.dc_resets);
+    ("dc_pages_scanned", t.dc_pages_scanned);
+    ("dc_pages_dirty", t.dc_pages_dirty);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>bus_busy_cycles=%d@ l1_hits=%d l1_misses=%d l1_write_backs=%d@ \

@@ -27,5 +27,9 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
+val to_alist : t -> (string * int) list
+(** All counters as name/value pairs, in declaration order. This is how
+    the perf record enrolls as an [Lvm_obs.Ctx] snapshot provider. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable dump of all counters. *)

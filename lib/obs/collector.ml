@@ -1,0 +1,49 @@
+type t = {
+  mutable ctxs : Ctx.t list; (* newest first *)
+  previous : (Ctx.t -> unit) option;
+}
+
+let attach () =
+  let c = { ctxs = []; previous = !Ctx.on_create } in
+  let note ctx =
+    c.ctxs <- ctx :: c.ctxs;
+    match c.previous with None -> () | Some f -> f ctx
+  in
+  Ctx.on_create := Some note;
+  c
+
+let detach t = Ctx.on_create := t.previous
+let ctxs t = List.rev t.ctxs
+
+let snapshot t =
+  List.fold_left
+    (fun acc ctx -> Snapshot.merge acc (Ctx.snapshot ctx))
+    (Snapshot.of_alist []) (ctxs t)
+
+(* Histograms with the same name and bounds (one per machine) merge into
+   one; the result keeps first-seen order. *)
+let histograms t =
+  let all = List.concat_map Ctx.histograms (ctxs t) in
+  List.fold_left
+    (fun acc h ->
+      let rec merge_in = function
+        | [] -> [ h ]
+        | h' :: rest when Histogram.mergeable h' h ->
+          Histogram.merge h' h :: rest
+        | h' :: rest -> h' :: merge_in rest
+      in
+      merge_in acc)
+    [] all
+
+let traces t = List.map Ctx.trace (ctxs t)
+
+let with_collector f =
+  let c = attach () in
+  let result =
+    try f ()
+    with e ->
+      detach c;
+      raise e
+  in
+  detach c;
+  (result, c)

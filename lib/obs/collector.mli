@@ -1,0 +1,31 @@
+(** Ambient aggregation of observability contexts.
+
+    Experiments and benchmarks construct machines internally, out of the
+    caller's reach. A collector, while attached, is notified of every
+    {!Ctx} created and can afterwards merge their counters and
+    histograms (and enumerate their traces) into one report — this is
+    what backs [lvmctl --metrics] and [lvmctl trace]. Collectors nest:
+    detaching restores the previously attached one. *)
+
+type t
+
+val attach : unit -> t
+(** Start observing contexts created from now on. *)
+
+val detach : t -> unit
+(** Stop observing; restores the previously attached collector. *)
+
+val with_collector : (unit -> 'a) -> 'a * t
+(** [with_collector f] runs [f] under a fresh collector and returns its
+    result together with the (detached) collector. *)
+
+val ctxs : t -> Ctx.t list
+(** Captured contexts, in creation order. *)
+
+val snapshot : t -> Snapshot.t
+(** Merged (summed) counters across all captured contexts. *)
+
+val histograms : t -> Histogram.t list
+(** Histograms merged by name across contexts. *)
+
+val traces : t -> Trace.t list

@@ -1,0 +1,25 @@
+type counter = { name : string; mutable value : int }
+
+type t = { mutable counters : counter list (* newest first *) }
+
+let create () = { counters = [] }
+
+let counter t name =
+  match List.find_opt (fun c -> c.name = name) t.counters with
+  | Some c -> c
+  | None ->
+    let c = { name; value = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let name c = c.name
+let value c = c.value
+let set c v = c.value <- v
+let incr c = c.value <- c.value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Counter.add: negative increment";
+  c.value <- c.value + n
+
+let to_alist t = List.rev_map (fun c -> (c.name, c.value)) t.counters
+let reset t = List.iter (fun c -> c.value <- 0) t.counters

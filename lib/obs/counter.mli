@@ -1,0 +1,36 @@
+(** A registry of named monotonic counters.
+
+    Every component of the stack registers its counters here by name
+    (find-or-create, stable registration order), so a whole machine's
+    counters can be enumerated into a {!Snapshot} without knowing who
+    owns what. This registry is what subsumes the hardware's flat
+    [Lvm_machine.Perf] record: the machine enrolls its perf counters as a
+    snapshot provider and higher layers (kernel, simulation engine) add
+    their own named counters alongside. *)
+
+type counter
+(** A single named counter. *)
+
+type t
+(** The registry. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or create the counter named [name]. Registration order is
+    stable; repeated calls return the same counter. *)
+
+val name : counter -> string
+val value : counter -> int
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val set : counter -> int -> unit
+
+val to_alist : t -> (string * int) list
+(** All counters in registration order. *)
+
+val reset : t -> unit
+(** Zero every counter (registrations are kept). *)

@@ -1,0 +1,50 @@
+type logging_fault_kind = Pmt_miss | Log_addr_invalid
+
+type t =
+  | Page_fault of { space : int; vaddr : int }
+  | Protect_fault of { space : int; vaddr : int }
+  | Logging_fault of { kind : logging_fault_kind; addr : int }
+  | Overload_enter of { occupancy : int }
+  | Overload_exit of { suspended : int }
+  | Dma_flush of { pending : int; drained_at : int }
+  | Log_extend of { segment : int; pages : int; total_pages : int }
+  | Log_absorb of { segment : int }
+  | Dc_reset of { pages : int; dirty : int }
+  | Rollback of { scheduler : int; target : int; undone : int }
+  | Commit of { scheduler : int; gvt : int; events : int }
+
+let label = function
+  | Page_fault _ -> "page_fault"
+  | Protect_fault _ -> "protect_fault"
+  | Logging_fault { kind = Pmt_miss; _ } -> "logging_fault_pmt"
+  | Logging_fault { kind = Log_addr_invalid; _ } -> "logging_fault_log_addr"
+  | Overload_enter _ -> "overload_enter"
+  | Overload_exit _ -> "overload_exit"
+  | Dma_flush _ -> "dma_flush"
+  | Log_extend _ -> "log_extend"
+  | Log_absorb _ -> "log_absorb"
+  | Dc_reset _ -> "dc_reset"
+  | Rollback _ -> "rollback"
+  | Commit _ -> "commit"
+
+let fields = function
+  | Page_fault { space; vaddr } | Protect_fault { space; vaddr } ->
+    [ ("space", space); ("vaddr", vaddr) ]
+  | Logging_fault { kind = _; addr } -> [ ("addr", addr) ]
+  | Overload_enter { occupancy } -> [ ("occupancy", occupancy) ]
+  | Overload_exit { suspended } -> [ ("suspended", suspended) ]
+  | Dma_flush { pending; drained_at } ->
+    [ ("pending", pending); ("drained_at", drained_at) ]
+  | Log_extend { segment; pages; total_pages } ->
+    [ ("segment", segment); ("pages", pages); ("total_pages", total_pages) ]
+  | Log_absorb { segment } -> [ ("segment", segment) ]
+  | Dc_reset { pages; dirty } -> [ ("pages", pages); ("dirty", dirty) ]
+  | Rollback { scheduler; target; undone } ->
+    [ ("scheduler", scheduler); ("target", target); ("undone", undone) ]
+  | Commit { scheduler; gvt; events } ->
+    [ ("scheduler", scheduler); ("gvt", gvt); ("events", events) ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s{%s}" (label t)
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (fields t)))

@@ -1,0 +1,40 @@
+(** Structured trace events.
+
+    One constructor per noteworthy occurrence in the simulated stack: VM
+    faults, logger faults and overloads, DMA flushes, log maintenance,
+    deferred-copy resets and the simulation engine's rollback/commit
+    decisions. Events carry only integers so that rendering them is
+    deterministic and cheap; the {!Trace} ring stamps each one with the
+    machine cycle time at which it occurred. *)
+
+type logging_fault_kind = Pmt_miss | Log_addr_invalid
+
+type t =
+  | Page_fault of { space : int; vaddr : int }
+  | Protect_fault of { space : int; vaddr : int }
+  | Logging_fault of { kind : logging_fault_kind; addr : int }
+      (** [addr] is the faulting physical page address for PMT misses and
+          the log-table index for log-address-invalid faults. *)
+  | Overload_enter of { occupancy : int }
+      (** The logger FIFO crossed its threshold; processes suspend. *)
+  | Overload_exit of { suspended : int }
+      (** Resumption after an overload; [suspended] is the cycles lost. *)
+  | Dma_flush of { pending : int; drained_at : int }
+      (** An explicit logger flush: [pending] records were still queued. *)
+  | Log_extend of { segment : int; pages : int; total_pages : int }
+  | Log_absorb of { segment : int }
+      (** The log ran off its end; records absorb into the default page. *)
+  | Dc_reset of { pages : int; dirty : int }
+      (** A deferred-copy reset over [pages] pages, [dirty] of them
+          modified. *)
+  | Rollback of { scheduler : int; target : int; undone : int }
+  | Commit of { scheduler : int; gvt : int; events : int }
+
+val label : t -> string
+(** Stable snake_case name, used by every sink. *)
+
+val fields : t -> (string * int) list
+(** Payload as name/value pairs, in declaration order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [label{k=v, ...}]. *)

@@ -1,0 +1,40 @@
+(** Bounded histograms with fixed integer bucket boundaries.
+
+    A histogram has a strictly increasing array of upper bounds plus one
+    implicit overflow bucket; observing a value increments the first
+    bucket whose bound is >= the value. Everything is integer arithmetic
+    over a fixed layout, so rendering is deterministic and merging across
+    machines is exact. *)
+
+type t
+
+val create : name:string -> bounds:int array -> t
+(** Raises [Invalid_argument] on empty or non-increasing [bounds]. *)
+
+val pow2_bounds : max_exp:int -> int array
+(** [[|0; 1; 2; 4; ...; 2^max_exp|]] — the default shape for cycle and
+    length distributions. *)
+
+val observe : t -> int -> unit
+
+val name : t -> string
+val bounds : t -> int array
+val counts : t -> int array
+(** Bucket counts; one longer than {!bounds} (overflow last). *)
+
+val count : t -> int
+val sum : t -> int
+val max_seen : t -> int
+val mean : t -> float
+
+val buckets : t -> (int option * int) list
+(** (upper bound, count) pairs; [None] is the overflow bucket. *)
+
+val mergeable : t -> t -> bool
+
+val merge : t -> t -> t
+(** Fresh histogram with summed counts; raises [Invalid_argument] unless
+    {!mergeable}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Header line plus one line per non-empty bucket. *)

@@ -1,0 +1,151 @@
+type format = Human | Json | Csv
+
+let format_to_string = function
+  | Human -> "human"
+  | Json -> "json"
+  | Csv -> "csv"
+
+let format_of_string = function
+  | "human" -> Some Human
+  | "json" -> Some Json
+  | "csv" -> Some Csv
+  | _ -> None
+
+let all_formats = [ Human; Json; Csv ]
+
+(* {1 JSON plumbing (no external dependency)} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_arr elts = "[" ^ String.concat "," elts ^ "]"
+
+let counters_json snap =
+  json_obj
+    (List.map
+       (fun (n, v) -> (n, string_of_int v))
+       (Snapshot.to_alist snap))
+
+let histogram_json h =
+  json_obj
+    [
+      ("name", json_str (Histogram.name h));
+      ("count", string_of_int (Histogram.count h));
+      ("sum", string_of_int (Histogram.sum h));
+      ("max", string_of_int (Histogram.max_seen h));
+      ( "buckets",
+        json_arr
+          (List.map
+             (fun (le, c) ->
+               json_obj
+                 [
+                   ( "le",
+                     match le with
+                     | Some le -> string_of_int le
+                     | None -> json_str "inf" );
+                   ("count", string_of_int c);
+                 ])
+             (Histogram.buckets h)) );
+    ]
+
+let entry_json (e : Trace.entry) =
+  json_obj
+    (("at", string_of_int e.at)
+     :: ("ev", json_str (Event.label e.event))
+     :: List.map (fun (k, v) -> (k, string_of_int v)) (Event.fields e.event))
+
+let blob_json ?label ?(histograms = []) ?trace snap =
+  json_obj
+    ((match label with Some l -> [ ("label", json_str l) ] | None -> [])
+    @ [ ("counters", counters_json snap) ]
+    @ (match histograms with
+      | [] -> []
+      | hs -> [ ("histograms", json_arr (List.map histogram_json hs)) ])
+    @
+    match trace with
+    | None -> []
+    | Some t ->
+      [
+        ("trace_dropped", string_of_int (Trace.dropped t));
+        ("trace", json_arr (List.map entry_json (Trace.entries t)));
+      ])
+
+(* {1 Emission} *)
+
+let emit_human ppf ?label ?(histograms = []) ?trace snap =
+  (match label with
+  | Some l -> Format.fprintf ppf "-- %s --@." l
+  | None -> ());
+  Format.fprintf ppf "%a@." Snapshot.pp snap;
+  List.iter
+    (fun h -> if Histogram.count h > 0 then Format.fprintf ppf "%a@." Histogram.pp h)
+    histograms;
+  match trace with
+  | None -> ()
+  | Some t -> Format.fprintf ppf "%a@." Trace.pp t
+
+let emit_csv ppf ?label ?(histograms = []) ?trace snap =
+  let prefix = match label with Some l -> l | None -> "" in
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "counter,%s,%s,%d@." prefix n v)
+    (Snapshot.to_alist snap);
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (le, c) ->
+          Format.fprintf ppf "histogram,%s,%s,%s,%d@." prefix
+            (Histogram.name h)
+            (match le with Some le -> string_of_int le | None -> "inf")
+            c)
+        (Histogram.buckets h))
+    histograms;
+  match trace with
+  | None -> ()
+  | Some t ->
+    Trace.iter t ~f:(fun ~at ev ->
+        Format.fprintf ppf "trace,%s,%d,%s,%s@." prefix at (Event.label ev)
+          (String.concat ";"
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                (Event.fields ev))))
+
+let emit ?label ?histograms ?trace format ppf snap =
+  match format with
+  | Human -> emit_human ppf ?label ?histograms ?trace snap
+  | Json ->
+    Format.fprintf ppf "%s@." (blob_json ?label ?histograms ?trace snap)
+  | Csv -> emit_csv ppf ?label ?histograms ?trace snap
+
+let emit_trace format ppf trace =
+  match format with
+  | Human -> Format.fprintf ppf "%a@." Trace.pp trace
+  | Json ->
+    (* JSON-lines: one event object per line *)
+    List.iter
+      (fun e -> Format.fprintf ppf "%s@." (entry_json e))
+      (Trace.entries trace)
+  | Csv ->
+    Trace.iter trace ~f:(fun ~at ev ->
+        Format.fprintf ppf "trace,,%d,%s,%s@." at (Event.label ev)
+          (String.concat ";"
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                (Event.fields ev))))

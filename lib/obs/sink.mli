@@ -1,0 +1,45 @@
+(** Pluggable output sinks for metrics and traces.
+
+    Three formats render the same data:
+
+    - [Human]: aligned counter columns, non-empty histogram buckets, a
+      pretty-printed trace;
+    - [Json]: a single JSON object
+      [{"label", "counters", "histograms", "trace"}] on one line (the
+      trace-only emitter produces JSON-lines, one event per line);
+    - [Csv]: self-describing rows
+      [kind,label,...] — [counter,<label>,<name>,<value>],
+      [histogram,<label>,<name>,<le>,<count>],
+      [trace,<label>,<at>,<event>,<k=v;...>].
+
+    Everything is emitted from explicit snapshots, so output is
+    deterministic. *)
+
+type format = Human | Json | Csv
+
+val format_to_string : format -> string
+val format_of_string : string -> format option
+val all_formats : format list
+
+val emit :
+  ?label:string ->
+  ?histograms:Histogram.t list ->
+  ?trace:Trace.t ->
+  format ->
+  Format.formatter ->
+  Snapshot.t ->
+  unit
+(** Render a full metrics blob: counters, plus optional histograms and
+    trace. *)
+
+val emit_trace : format -> Format.formatter -> Trace.t -> unit
+(** Render just a trace ([Json] yields JSON-lines). *)
+
+val blob_json :
+  ?label:string ->
+  ?histograms:Histogram.t list ->
+  ?trace:Trace.t ->
+  Snapshot.t ->
+  string
+(** The [Json] blob as a string (what benchmarks write to
+    [BENCH_*.json] files). *)

@@ -1,0 +1,37 @@
+type t = (string * int) list
+
+let of_alist l = l
+let to_alist t = t
+
+let get t name =
+  match List.assoc_opt name t with Some v -> v | None -> 0
+
+let mem t name = List.mem_assoc name t
+
+let delta ~before ~after =
+  let changed = List.map (fun (n, v) -> (n, v - get before n)) after in
+  (* names that existed only before appear as negative deltas *)
+  let vanished =
+    List.filter_map
+      (fun (n, v) -> if mem after n then None else Some (n, -v))
+      before
+  in
+  changed @ vanished
+
+let merge a b =
+  let extra = List.filter (fun (n, _) -> not (mem a n)) b in
+  List.map (fun (n, v) -> (n, v + get b n)) a @ extra
+
+let total = List.fold_left (fun acc (_, v) -> acc + v) 0
+
+let pp ppf t =
+  let w =
+    List.fold_left (fun m (n, _) -> max m (String.length n)) 0 t
+  in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%-*s %d" w n v)
+    t;
+  Format.pp_close_box ppf ()

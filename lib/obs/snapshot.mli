@@ -1,0 +1,35 @@
+(** A point-in-time reading of a set of named counters.
+
+    Snapshots are ordered association lists, so rendering them is
+    deterministic. [delta] turns two snapshots taken around a workload
+    into the workload's own counts — the idiom every experiment report
+    uses:
+
+    {[
+      let before = Machine.snapshot m in
+      run_workload ();
+      let work = Snapshot.delta ~before ~after:(Machine.snapshot m) in
+      assert (Snapshot.get work "log_records" = expected)
+    ]} *)
+
+type t
+
+val of_alist : (string * int) list -> t
+val to_alist : t -> (string * int) list
+
+val get : t -> string -> int
+(** Value of a named counter, 0 when absent. *)
+
+val mem : t -> string -> bool
+
+val delta : before:t -> after:t -> t
+(** Pointwise [after - before] over the union of names, in [after]'s
+    order. *)
+
+val merge : t -> t -> t
+(** Pointwise sum over the union of names (combining machines). *)
+
+val total : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Aligned [name value] lines. *)

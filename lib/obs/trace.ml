@@ -1,0 +1,50 @@
+type entry = { at : int; event : Event.t }
+
+type t = {
+  buf : entry array;
+  capacity : int;
+  mutable next : int; (* slot for the next entry *)
+  mutable total : int; (* entries ever recorded *)
+}
+
+let dummy = { at = 0; event = Event.Overload_enter { occupancy = 0 } }
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; capacity; next = 0; total = 0 }
+
+let capacity t = t.capacity
+
+let record t ~at event =
+  t.buf.(t.next) <- { at; event };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let length t = min t.total t.capacity
+let total t = t.total
+let dropped t = t.total - length t
+
+(* Oldest first. *)
+let entries t =
+  let n = length t in
+  let first = (t.next - n + t.capacity * 2) mod t.capacity in
+  List.init n (fun i -> t.buf.((first + i) mod t.capacity))
+
+let iter t ~f = List.iter (fun e -> f ~at:e.at e.event) (entries t)
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0
+
+let pp_entry ppf e = Format.fprintf ppf "t=%-8d %a" e.at Event.pp e.event
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  if dropped t > 0 then
+    Format.fprintf ppf "... %d earlier events dropped@ " (dropped t);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_entry ppf e)
+    (entries t);
+  Format.pp_close_box ppf ()

@@ -60,6 +60,8 @@ type t = {
   mutable sending : Event.t list; (* reversed send buffer of current event *)
   fresh_uid : unit -> int;
   stats : stats;
+  c_rollbacks : Lvm_obs.Counter.counter;
+  c_committed : Lvm_obs.Counter.counter;
 }
 
 let local_of t obj =
@@ -153,6 +155,8 @@ let create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid () =
         annihilations = 0;
         stragglers = 0;
       };
+    c_rollbacks = Lvm_obs.Ctx.counter (Kernel.obs k) "sim.rollbacks";
+    c_committed = Lvm_obs.Ctx.counter (Kernel.obs k) "sim.events_committed";
   }
 
 let id t = t.id
@@ -208,9 +212,13 @@ let restore_copy t p =
 
 let rollback t ~target =
   t.stats.rollbacks <- t.stats.rollbacks + 1;
+  Lvm_obs.Counter.incr t.c_rollbacks;
   let undone, kept =
     List.partition (fun p -> p.event.Event.time >= target) t.processed
   in
+  Lvm_obs.Ctx.event (Kernel.obs t.k) ~at:(Kernel.time t.k)
+    (Lvm_obs.Event.Rollback
+       { scheduler = t.id; target; undone = List.length undone });
   t.processed <- kept;
   (match t.strategy with
   | State_saving.Lvm_based -> restore_lvm t ~target
@@ -413,6 +421,10 @@ let fossil_collect t ~gvt =
     in
     t.stats.events_committed <-
       t.stats.events_committed + List.length committed;
+    Lvm_obs.Counter.add t.c_committed (List.length committed);
+    Lvm_obs.Ctx.event (Kernel.obs t.k) ~at:(Kernel.time t.k)
+      (Lvm_obs.Event.Commit
+         { scheduler = t.id; gvt; events = List.length committed });
     List.iter (free_save_slot t) committed;
     t.processed <- live;
     (match t.strategy with

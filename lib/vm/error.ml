@@ -1,0 +1,40 @@
+type t =
+  | Segmentation_fault of { space : int; vaddr : int }
+  | Unaligned_access of { vaddr : int; size : int }
+  | Bad_access_size of { size : int }
+  | Out_of_segment of { segment : int; off : int }
+  | Page_not_resident of { op : string; segment : int; page : int }
+  | No_backing_store of { op : string; segment : int }
+  | Not_a_log_segment of { op : string; segment : int }
+  | Out_of_range of { op : string; what : string; value : int }
+  | Invalid of { op : string; reason : string }
+
+exception Lvm_error of t
+
+let raise_ e = raise (Lvm_error e)
+
+let to_string = function
+  | Segmentation_fault { space; vaddr } ->
+    Printf.sprintf "segmentation fault: space %d, vaddr 0x%x" space vaddr
+  | Unaligned_access { vaddr; size } ->
+    Printf.sprintf "unaligned access: vaddr 0x%x, size %d" vaddr size
+  | Bad_access_size { size } ->
+    Printf.sprintf "access size must be 1, 2 or 4 (got %d)" size
+  | Out_of_segment { segment; off } ->
+    Printf.sprintf "offset %d outside segment %d" off segment
+  | Page_not_resident { op; segment; page } ->
+    Printf.sprintf "%s: page %d of segment %d not resident" op page segment
+  | No_backing_store { op; segment } ->
+    Printf.sprintf "%s: segment %d has no backing store" op segment
+  | Not_a_log_segment { op; segment } ->
+    Printf.sprintf "%s: segment %d is not a log segment" op segment
+  | Out_of_range { op; what; value } ->
+    Printf.sprintf "%s: %s out of range (%d)" op what value
+  | Invalid { op; reason } -> Printf.sprintf "%s: %s" op reason
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Lvm_error e -> Some ("Lvm_error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,35 @@
+(** Typed errors raised by the VM kernel.
+
+    Every recoverable misuse of the kernel interface raises
+    [Lvm_error] carrying one of these constructors, replacing the
+    ad-hoc [Invalid_argument] strings of earlier versions. Callers can
+    match on the payload; the structured fields (address space and
+    segment ids, addresses, offsets) are what a real kernel would
+    deliver with the signal.
+
+    Programming errors inside the simulator itself (negative cycle
+    counts, malformed physical addresses) still raise
+    [Invalid_argument] from the machine layer: those are bugs, not
+    conditions a caller should handle. *)
+
+type t =
+  | Segmentation_fault of { space : int; vaddr : int }
+      (** No region of the address space covers [vaddr]. *)
+  | Unaligned_access of { vaddr : int; size : int }
+  | Bad_access_size of { size : int }  (** Sizes are 1, 2 or 4 bytes. *)
+  | Out_of_segment of { segment : int; off : int }
+  | Page_not_resident of { op : string; segment : int; page : int }
+  | No_backing_store of { op : string; segment : int }
+  | Not_a_log_segment of { op : string; segment : int }
+  | Out_of_range of { op : string; what : string; value : int }
+      (** A parameter ([what]) of kernel operation [op] was outside its
+          valid range. *)
+  | Invalid of { op : string; reason : string }
+      (** Catch-all for other invalid requests ([op] names the kernel
+          operation). *)
+
+exception Lvm_error of t
+
+val raise_ : t -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -17,12 +17,20 @@ type t = {
   default_log_frame : int;
   mutable on_protect_fault :
     (Address_space.t -> Region.t -> vaddr:int -> unit) option;
+  c_materialized : Lvm_obs.Counter.counter;
+  c_evicted : Lvm_obs.Counter.counter;
+  c_switches : Lvm_obs.Counter.counter;
+  c_extends : Lvm_obs.Counter.counter;
 }
 
 let machine t = t.machine
 let perf t = Machine.perf t.machine
+let obs t = Machine.obs t.machine
+let snapshot t = Machine.snapshot t.machine
 let time t = Machine.time t.machine
 let compute t c = Machine.compute t.machine c
+
+let event t ev = Lvm_obs.Ctx.event (obs t) ~at:(Machine.time t.machine) ev
 
 let fresh_id t =
   let id = t.next_id in
@@ -35,9 +43,15 @@ let fresh_id t =
    release its frame, dropping page-table entries that reference it. *)
 let evict_page t seg ~page =
   match (Segment.frame_of_page seg page, Segment.backing seg) with
-  | None, _ -> invalid_arg "Kernel.evict_page: page not resident"
-  | _, None -> invalid_arg "Kernel.evict_page: segment has no backing store"
+  | None, _ ->
+    Error.raise_
+      (Error.Page_not_resident
+         { op = "evict_page"; segment = Segment.id seg; page })
+  | _, None ->
+    Error.raise_
+      (Error.No_backing_store { op = "evict_page"; segment = Segment.id seg })
   | Some frame, Some store ->
+    Lvm_obs.Counter.incr t.c_evicted;
     Machine.compute t.machine Cycles.page_out;
     let buf = Bytes.create Addr.page_size in
     Physmem.blit_to_bytes (Machine.mem t.machine)
@@ -87,6 +101,7 @@ let materialize_page t seg ~page =
   match Segment.frame_of_page seg page with
   | Some f -> f
   | None ->
+    Lvm_obs.Counter.incr t.c_materialized;
     let f =
       try Physmem.alloc_frame (Machine.mem t.machine)
       with Physmem.Out_of_frames ->
@@ -128,7 +143,7 @@ let materialize_page t seg ~page =
 
 let paddr_of t seg ~off =
   if off < 0 || off >= Segment.size seg then
-    invalid_arg "Kernel.paddr_of: offset out of segment";
+    Error.raise_ (Error.Out_of_segment { segment = Segment.id seg; off });
   let frame = materialize_page t seg ~page:(off / Addr.page_size) in
   Addr.addr_of_page frame + Addr.page_offset off
 
@@ -252,14 +267,15 @@ let pmt_key t ~frame ~vpage =
 
 (* {1 Page faults} *)
 
-exception Segmentation_fault of { space : int; vaddr : int }
-
 let install_pte t space ~vaddr =
   Machine.compute t.machine Cycles.page_fault;
   (perf t).Perf.page_faults <- (perf t).Perf.page_faults + 1;
+  event t
+    (Lvm_obs.Event.Page_fault { space = Address_space.id space; vaddr });
   match Address_space.find_region space ~vaddr with
   | None ->
-    raise (Segmentation_fault { space = Address_space.id space; vaddr })
+    Error.raise_
+      (Error.Segmentation_fault { space = Address_space.id space; vaddr })
   | Some (base, region) ->
     let seg = Region.segment region in
     let seg_page = Region.seg_page_of_vaddr region ~base ~vaddr in
@@ -300,6 +316,8 @@ let handle_protect_fault t space pte ~vaddr =
   Machine.compute t.machine Cycles.write_protect_fault;
   (perf t).Perf.write_protect_faults <-
     (perf t).Perf.write_protect_faults + 1;
+  event t
+    (Lvm_obs.Event.Protect_fault { space = Address_space.id space; vaddr });
   pte.Address_space.protected_ <- false;
   match t.on_protect_fault with
   | None -> ()
@@ -310,9 +328,9 @@ let handle_protect_fault t space pte ~vaddr =
 let check_access ~vaddr ~size =
   (match size with
   | 1 | 2 | 4 -> ()
-  | _ -> invalid_arg "Kernel: access size must be 1, 2 or 4");
+  | _ -> Error.raise_ (Error.Bad_access_size { size }));
   if vaddr land (size - 1) <> 0 then
-    invalid_arg "Kernel: unaligned access"
+    Error.raise_ (Error.Unaligned_access { vaddr; size })
 
 let read t space ~vaddr ~size =
   check_access ~vaddr ~size;
@@ -410,7 +428,8 @@ let handle_log_addr_invalid t ~log_index =
            page; they are lost (Section 3.2). *)
         if not (Segment.absorbing ls) then begin
           Segment.set_write_pos ls (next * Addr.page_size);
-          Segment.set_absorbing ls true
+          Segment.set_absorbing ls true;
+          event t (Lvm_obs.Event.Log_absorb { segment = Segment.id ls })
         end;
         Segment.note_absorbed_crossing ls;
         Logger.set_log_entry (logger t) ~index:log_index
@@ -421,9 +440,12 @@ let handle_log_addr_invalid t ~log_index =
 
 (* {1 Construction} *)
 
-let create ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64) () =
-  let machine = Machine.create ?hw ?record_old_values ~frames ~log_entries ()
+let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
+    () =
+  let machine =
+    Machine.create ?obs ?hw ?record_old_values ~frames ~log_entries ()
   in
+  let ctx = Machine.obs machine in
   let default_log_frame = Physmem.alloc_frame (Machine.mem machine) in
   let t =
     {
@@ -440,6 +462,10 @@ let create ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64) () =
       dc_sources = Hashtbl.create 16;
       default_log_frame;
       on_protect_fault = None;
+      c_materialized = Lvm_obs.Ctx.counter ctx "kernel.pages_materialized";
+      c_evicted = Lvm_obs.Ctx.counter ctx "kernel.pages_evicted";
+      c_switches = Lvm_obs.Ctx.counter ctx "kernel.context_switches";
+      c_extends = Lvm_obs.Ctx.counter ctx "kernel.log_extends";
     }
   in
   Logger.set_fault_handler (Machine.logger machine) (function
@@ -459,6 +485,7 @@ let current_space t = t.current
 
 let context_switch t space =
   Machine.compute t.machine Cycles.context_switch;
+  Lvm_obs.Counter.incr t.c_switches;
   t.current <- Some space;
   match Logger.hw (logger t) with
   | Logger.On_chip ->
@@ -487,7 +514,10 @@ let context_switch t space =
 let create_segment ?manager ?backing t ~size =
   (match backing with
   | Some store when Backing_store.size store < size ->
-    invalid_arg "Kernel.create_segment: backing store smaller than segment"
+    Error.raise_
+      (Error.Invalid
+         { op = "create_segment";
+           reason = "backing store smaller than segment" })
   | Some _ | None -> ());
   let seg = Segment.make ~id:(fresh_id t) ~kind:Segment.Std ~size in
   Segment.set_manager seg manager;
@@ -498,7 +528,10 @@ let create_segment ?manager ?backing t ~size =
    store without evicting it. *)
 let sync_segment t seg =
   match Segment.backing seg with
-  | None -> invalid_arg "Kernel.sync_segment: segment has no backing store"
+  | None ->
+    Error.raise_
+      (Error.No_backing_store
+         { op = "sync_segment"; segment = Segment.id seg })
   | Some store ->
     for page = 0 to Segment.pages seg - 1 do
       match Segment.frame_of_page seg page with
@@ -571,9 +604,14 @@ let set_logging_enabled t region enabled =
 
 let extend_log t ls ~pages =
   if Segment.kind ls <> Segment.Log then
-    invalid_arg "Kernel.extend_log: not a log segment";
+    Error.raise_
+      (Error.Not_a_log_segment { op = "extend_log"; segment = Segment.id ls });
   let first_new = Segment.pages ls in
   Segment.grow ls ~pages;
+  Lvm_obs.Counter.incr t.c_extends;
+  event t
+    (Lvm_obs.Event.Log_extend
+       { segment = Segment.id ls; pages; total_pages = Segment.pages ls });
   for p = first_new to Segment.pages ls - 1 do
     ignore (materialize_page t ls ~page:p)
   done;
@@ -590,7 +628,9 @@ let truncate_log t ls ~keep_from =
   sync_log t ls;
   let pos = Segment.write_pos ls in
   if keep_from < 0 || keep_from > pos then
-    invalid_arg "Kernel.truncate_log: keep_from out of range";
+    Error.raise_
+      (Error.Out_of_range
+         { op = "truncate_log"; what = "keep_from"; value = keep_from });
   let remaining = pos - keep_from in
   if remaining > 0 then begin
     (* Compact the kept suffix to the front, page by page. *)
@@ -618,7 +658,9 @@ let truncate_log t ls ~keep_from =
 let truncate_log_suffix t ls ~new_end =
   sync_log t ls;
   if new_end < 0 || new_end > Segment.write_pos ls then
-    invalid_arg "Kernel.truncate_log_suffix: new_end out of range";
+    Error.raise_
+      (Error.Out_of_range
+         { op = "truncate_log_suffix"; what = "new_end"; value = new_end });
   Segment.set_write_pos ls new_end;
   match Segment.log_index ls with
   | None -> Segment.set_active_page ls (new_end / Addr.page_size)
@@ -628,9 +670,12 @@ let truncate_log_suffix t ls ~new_end =
 
 let declare_source t ~dst ~src ~offset =
   if not (Addr.is_page_aligned offset) then
-    invalid_arg "Kernel.declare_source: offset must be page-aligned";
+    Error.raise_
+      (Error.Invalid
+         { op = "declare_source"; reason = "offset must be page-aligned" });
   if offset + Segment.size dst > Segment.size src then
-    invalid_arg "Kernel.declare_source: source too small";
+    Error.raise_
+      (Error.Invalid { op = "declare_source"; reason = "source too small" });
   Segment.set_source dst (Some (src, offset));
   Hashtbl.replace t.dc_sources (Segment.id src) ();
   for page = 0 to Segment.pages dst - 1 do
@@ -642,8 +687,13 @@ let declare_source t ~dst ~src ~offset =
   done
 
 let reset_deferred_copy t space ~start ~len =
-  if len < 0 then invalid_arg "Kernel.reset_deferred_copy: negative length";
+  if len < 0 then
+    Error.raise_
+      (Error.Out_of_range
+         { op = "reset_deferred_copy"; what = "len"; value = len });
   (perf t).Perf.dc_resets <- (perf t).Perf.dc_resets + 1;
+  let scanned0 = (perf t).Perf.dc_pages_scanned in
+  let dirty0 = (perf t).Perf.dc_pages_dirty in
   for vpage = Addr.page_number start
     to Addr.page_number (start + len - 1) do
     match Address_space.lookup space ~vpage with
@@ -651,15 +701,25 @@ let reset_deferred_copy t space ~start ~len =
     | Some pte ->
       Machine.dc_reset_page t.machine ~dst_page:pte.Address_space.frame;
       pte.Address_space.dirty <- false
-  done
+  done;
+  event t
+    (Lvm_obs.Event.Dc_reset
+       { pages = (perf t).Perf.dc_pages_scanned - scanned0;
+         dirty = (perf t).Perf.dc_pages_dirty - dirty0 })
 
 let reset_deferred_segment t seg =
   (perf t).Perf.dc_resets <- (perf t).Perf.dc_resets + 1;
+  let scanned0 = (perf t).Perf.dc_pages_scanned in
+  let dirty0 = (perf t).Perf.dc_pages_dirty in
   for page = 0 to Segment.pages seg - 1 do
     match Segment.frame_of_page seg page with
     | None -> ()
     | Some frame -> Machine.dc_reset_page t.machine ~dst_page:frame
-  done
+  done;
+  event t
+    (Lvm_obs.Event.Dc_reset
+       { pages = (perf t).Perf.dc_pages_scanned - scanned0;
+         dirty = (perf t).Perf.dc_pages_dirty - dirty0 })
 
 (* {1 Write protection} *)
 
@@ -684,7 +744,10 @@ let protect_fault_handler t = t.on_protect_fault
 let remap_page t space region ~seg_page ~new_frame =
   let seg = Region.segment region in
   match Segment.frame_of_page seg seg_page with
-  | None -> invalid_arg "Kernel.remap_page: page not materialized"
+  | None ->
+    Error.raise_
+      (Error.Page_not_resident
+         { op = "remap_page"; segment = Segment.id seg; page = seg_page })
   | Some old_frame ->
     Machine.compute t.machine Cycles.page_remap;
     Segment.set_frame seg ~page:seg_page ~frame:new_frame;

@@ -10,22 +10,30 @@
 
     All application memory access goes through {!read} and {!write}, which
     translate virtual addresses through the current address space's page
-    table and charge the machine's timing model. *)
+    table and charge the machine's timing model.
+
+    Invalid requests raise {!Error.Lvm_error} with a typed payload
+    (see {!Error}). *)
 
 type t
 
-exception Segmentation_fault of { space : int; vaddr : int }
-(** Raised on access to a virtual address not covered by any bound
-    region. *)
-
 val create :
-  ?hw:Lvm_machine.Logger.hw -> ?record_old_values:bool -> ?frames:int ->
-  ?log_entries:int -> unit -> t
+  ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw ->
+  ?record_old_values:bool -> ?frames:int -> ?log_entries:int -> unit -> t
 (** Boot a kernel on a fresh machine. [record_old_values] enables the
-    on-chip pre-image records of Section 4.6. *)
+    on-chip pre-image records of Section 4.6. [obs] is the observability
+    context shared with the machine (default: a fresh one). *)
 
 val machine : t -> Lvm_machine.Machine.t
 val perf : t -> Lvm_machine.Perf.t
+
+val obs : t -> Lvm_obs.Ctx.t
+(** The machine's observability context; the kernel traces VM faults and
+    log maintenance into it and keeps [kernel.*] counters there. *)
+
+val snapshot : t -> Lvm_obs.Snapshot.t
+(** All counters — machine perf record plus [kernel.*] — at this moment. *)
+
 val time : t -> int
 val compute : t -> int -> unit
 

@@ -18,8 +18,8 @@ let test_api_section_2_2_sequence () =
   let ls = Lvm.Api.log_segment k in
   Lvm.Api.log k reg_r ls;
   let base = Lvm.Api.bind k space reg_r in
-  Lvm.Api.write_word k space (base + 16) 42;
-  check "write readable" 42 (Lvm.Api.read_word k space (base + 16));
+  Lvm.Api.write_word k space ~vaddr:(base + 16) 42;
+  check "write readable" 42 (Lvm.Api.read_word k space ~vaddr:(base + 16));
   check "write logged" 1 (Lvm.Log_reader.record_count k ls)
 
 let test_api_source_segment_and_reset () =
@@ -30,9 +30,9 @@ let test_api_source_segment_and_reset () =
   let reg = Lvm.Api.std_region k working in
   Lvm.Api.source_segment k ~dst:working ~src:ckpt;
   let base = Lvm.Api.bind k space reg in
-  Lvm.Api.write_word k space base 7;
+  Lvm.Api.write_word k space ~vaddr:base 7;
   Lvm.Api.reset_deferred_copy k space ~start:base ~len:4096;
-  check "reset restored source" 0 (Lvm.Api.read_word k space base)
+  check "reset restored source" 0 (Lvm.Api.read_word k space ~vaddr:base)
 
 let test_api_unlog_and_set_logging () =
   let k = Lvm.Api.boot () in
@@ -42,12 +42,12 @@ let test_api_unlog_and_set_logging () =
   let ls = Lvm.Api.log_segment k in
   Lvm.Api.log k reg ls;
   let base = Lvm.Api.bind k space reg in
-  Lvm.Api.write_word k space base 1;
+  Lvm.Api.write_word k space ~vaddr:base 1;
   Lvm.Api.set_logging k reg false;
-  Lvm.Api.write_word k space base 2;
+  Lvm.Api.write_word k space ~vaddr:base 2;
   Lvm.Api.set_logging k reg true;
   Lvm.Api.unlog k reg;
-  Lvm.Api.write_word k space base 3;
+  Lvm.Api.write_word k space ~vaddr:base 3;
   check "only the enabled-and-logged write" 1
     (Lvm.Log_reader.record_count k ls)
 
@@ -88,7 +88,7 @@ let prop_log_totality =
       Lvm.Api.log k reg ls;
       let base = Lvm.Api.bind k space reg in
       List.iter
-        (fun (w, v) -> Lvm.Api.write_word k space (base + (w * 4)) v)
+        (fun (w, v) -> Lvm.Api.write_word k space ~vaddr:(base + (w * 4)) v)
         writes;
       let logged =
         List.map
@@ -116,7 +116,7 @@ let prop_log_replay_reconstructs =
       Lvm.Api.log k reg ls;
       let base = Lvm.Api.bind k space reg in
       List.iter
-        (fun (w, v) -> Lvm.Api.write_word k space (base + (w * 4)) v)
+        (fun (w, v) -> Lvm.Api.write_word k space ~vaddr:(base + (w * 4)) v)
         writes;
       let replayed = Array.make 256 0 in
       Lvm.Log_reader.iter k ls ~f:(fun ~off:_ r ->
@@ -125,7 +125,7 @@ let prop_log_replay_reconstructs =
           | None -> ());
       let ok = ref true in
       for w = 0 to 255 do
-        if Lvm.Api.read_word k space (base + (w * 4)) <> replayed.(w) then
+        if Lvm.Api.read_word k space ~vaddr:(base + (w * 4)) <> replayed.(w) then
           ok := false
       done;
       !ok)
@@ -146,7 +146,7 @@ let prop_log_timestamps_monotone =
       List.iter
         (fun (w, c) ->
           Lvm.Api.compute k c;
-          Lvm.Api.write_word k space (base + (w mod 256 * 4)) w)
+          Lvm.Api.write_word k space ~vaddr:(base + (w mod 256 * 4)) w)
         ops;
       let ts =
         List.map
@@ -241,9 +241,9 @@ let test_address_trace_write_rate () =
   let base = Lvm.Api.bind k space reg in
   check_bool "no rate for empty trace" true
     (Lvm_tools.Address_trace.write_rate k ls = None);
-  Lvm.Api.write_word k space base 1;
+  Lvm.Api.write_word k space ~vaddr:base 1;
   Lvm.Api.compute k 4000;
-  Lvm.Api.write_word k space base 2;
+  Lvm.Api.write_word k space ~vaddr:base 2;
   (match Lvm_tools.Address_trace.write_rate k ls with
   | Some rate -> check_bool "plausible rate" true (rate > 0. && rate < 10.)
   | None -> Alcotest.fail "expected a rate")

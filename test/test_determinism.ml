@@ -74,6 +74,29 @@ let test_logs_bit_identical () =
   in
   Alcotest.(check (list string)) "identical logs" (run ()) (run ())
 
+(* The structured event trace is part of the deterministic surface too:
+   same seed, same workload, byte-identical rendering. *)
+let test_trace_bit_identical () =
+  let run () =
+    let app = Phold.app ~objects:8 ~seed:3 () in
+    let (), collector =
+      Lvm_obs.Collector.with_collector (fun () ->
+          let engine =
+            Timewarp.create ~n_schedulers:2 ~strategy:State_saving.Lvm_based
+              ~app ()
+          in
+          Phold.inject_population engine ~objects:8 ~population:6 ~seed:3;
+          ignore (Timewarp.run engine ~end_time:200))
+    in
+    List.map
+      (Format.asprintf "%a" Lvm_obs.Trace.pp)
+      (Lvm_obs.Collector.traces collector)
+  in
+  let t1 = run () and t2 = run () in
+  Alcotest.(check (list string)) "identical traces" t1 t2;
+  Alcotest.(check bool) "traces are non-trivial" true
+    (List.exists (fun s -> String.length s > 0) t1)
+
 (* TPC-A with negative balances: signed arithmetic must round-trip the
    32-bit storage *)
 let test_tpca_negative_balances () =
@@ -101,6 +124,8 @@ let suites =
         Alcotest.test_case "tpc-a" `Quick test_tpca_deterministic;
         Alcotest.test_case "logs bit-identical" `Quick
           test_logs_bit_identical;
+        Alcotest.test_case "traces bit-identical" `Quick
+          test_trace_bit_identical;
         Alcotest.test_case "tpc-a negative balances" `Quick
           test_tpca_negative_balances;
       ] );

@@ -122,7 +122,7 @@ let test_region_window_into_segment () =
     (try
        ignore (Kernel.read_word k sp (base + Addr.page_size));
        false
-     with Kernel.Segmentation_fault _ -> true)
+     with Error.Lvm_error (Error.Segmentation_fault _) -> true)
 
 let test_logged_window_only_logs_window () =
   let k, sp = boot () in

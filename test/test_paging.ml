@@ -129,7 +129,9 @@ let test_unbacked_eviction_rejected () =
   let base = Kernel.bind k sp region in
   Kernel.write_word k sp base 1;
   Alcotest.check_raises "no backing"
-    (Invalid_argument "Kernel.evict_page: segment has no backing store")
+    (Error.Lvm_error
+       (Error.No_backing_store
+          { op = "evict_page"; segment = Segment.id seg }))
     (fun () -> Kernel.evict_page k seg ~page:0)
 
 let test_logged_pages_not_reclaimed () =

@@ -59,25 +59,40 @@ let test_kernel_validation () =
   let k, sp = boot () in
   let seg = Kernel.create_segment k ~size:4096 in
   let ls = Kernel.create_log_segment k ~size:4096 in
-  inv "Kernel.extend_log: not a log segment" (fun () ->
-      Kernel.extend_log k seg ~pages:1);
-  inv "Kernel.truncate_log: keep_from out of range" (fun () ->
-      Kernel.truncate_log k ls ~keep_from:99);
-  inv "Kernel.truncate_log_suffix: new_end out of range" (fun () ->
-      Kernel.truncate_log_suffix k ls ~new_end:99);
-  inv "Kernel.declare_source: offset must be page-aligned" (fun () ->
-      Kernel.declare_source k ~dst:seg ~src:seg ~offset:100);
-  inv "Kernel.paddr_of: offset out of segment" (fun () ->
-      ignore (Kernel.paddr_of k seg ~off:9999));
-  inv "Kernel.reset_deferred_copy: negative length" (fun () ->
-      Kernel.reset_deferred_copy k sp ~start:0 ~len:(-1));
-  inv "Kernel: access size must be 1, 2 or 4" (fun () ->
-      ignore (Kernel.read k sp ~vaddr:0 ~size:8));
+  let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
+  err "extend_log on std segment"
+    (Error.Not_a_log_segment { op = "extend_log"; segment = Segment.id seg })
+    (fun () -> Kernel.extend_log k seg ~pages:1);
+  err "truncate_log keep_from"
+    (Error.Out_of_range { op = "truncate_log"; what = "keep_from"; value = 99 })
+    (fun () -> Kernel.truncate_log k ls ~keep_from:99);
+  err "truncate_log_suffix new_end"
+    (Error.Out_of_range
+       { op = "truncate_log_suffix"; what = "new_end"; value = 99 })
+    (fun () -> Kernel.truncate_log_suffix k ls ~new_end:99);
+  err "declare_source unaligned offset"
+    (Error.Invalid
+       { op = "declare_source"; reason = "offset must be page-aligned" })
+    (fun () -> Kernel.declare_source k ~dst:seg ~src:seg ~offset:100);
+  err "paddr_of out of segment"
+    (Error.Out_of_segment { segment = Segment.id seg; off = 9999 })
+    (fun () -> ignore (Kernel.paddr_of k seg ~off:9999));
+  err "reset_deferred_copy negative length"
+    (Error.Out_of_range
+       { op = "reset_deferred_copy"; what = "len"; value = -1 })
+    (fun () -> Kernel.reset_deferred_copy k sp ~start:0 ~len:(-1));
+  err "bad access size"
+    (Error.Bad_access_size { size = 8 })
+    (fun () -> ignore (Kernel.read k sp ~vaddr:0 ~size:8));
   let store = Backing_store.create ~size:4096 in
-  inv "Kernel.create_segment: backing store smaller than segment" (fun () ->
-      ignore (Kernel.create_segment ~backing:store k ~size:8192));
-  inv "Kernel.sync_segment: segment has no backing store" (fun () ->
-      Kernel.sync_segment k seg)
+  err "backing store too small"
+    (Error.Invalid
+       { op = "create_segment";
+         reason = "backing store smaller than segment" })
+    (fun () -> ignore (Kernel.create_segment ~backing:store k ~size:8192));
+  err "sync_segment without backing"
+    (Error.No_backing_store { op = "sync_segment"; segment = Segment.id seg })
+    (fun () -> Kernel.sync_segment k seg)
 
 let test_lvm_layer_validation () =
   let k, sp = boot () in

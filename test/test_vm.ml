@@ -127,7 +127,7 @@ let test_kernel_segv () =
     (try
        ignore (Kernel.read_word k sp 0x666000);
        false
-     with Kernel.Segmentation_fault _ -> true)
+     with Error.Lvm_error (Error.Segmentation_fault _) -> true)
 
 let test_kernel_unaligned_rejected () =
   let k, sp = boot () in
@@ -135,8 +135,8 @@ let test_kernel_unaligned_rejected () =
   let r = Kernel.create_region k seg in
   let base = Kernel.bind k sp r in
   Alcotest.check_raises "unaligned word"
-    (Invalid_argument "Kernel: unaligned access") (fun () ->
-      ignore (Kernel.read k sp ~vaddr:(base + 2) ~size:4))
+    (Error.Lvm_error (Error.Unaligned_access { vaddr = base + 2; size = 4 }))
+    (fun () -> ignore (Kernel.read k sp ~vaddr:(base + 2) ~size:4))
 
 let test_kernel_manager_fill () =
   let k, sp = boot () in
