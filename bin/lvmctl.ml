@@ -274,6 +274,50 @@ let synthetic_cmd =
        ~doc:"Run the Section 4.3 synthetic simulation workload.")
     Term.(const run $ events $ c $ s $ w $ strategy $ metrics_arg)
 
+(* {1 crashsweep} *)
+
+let crashsweep_cmd =
+  let points =
+    Arg.(value & opt int 200
+         & info [ "points" ] ~doc:"Crash points swept over the workload.")
+  in
+  let torn =
+    Arg.(value & opt int 24
+         & info [ "torn" ] ~doc:"Torn-write points (WAL appends torn).")
+  in
+  let txns =
+    Arg.(value & opt int 12
+         & info [ "txns" ] ~doc:"Transactions in the swept workload.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sweep seed.") in
+  let show_trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the deterministic per-run recovery trace.")
+  in
+  let run points torn txns seed show_trace =
+    let o =
+      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ()
+    in
+    Format.fprintf ppf
+      "crash sweep: %d points (%d crashed, %d completed, %d torn tails), \
+       %d failures@."
+      o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
+      o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
+      (List.length o.Lvm_tpc.Crash_sweep.failures);
+    List.iter
+      (fun f -> Format.fprintf ppf "FAIL: %s@." f)
+      o.Lvm_tpc.Crash_sweep.failures;
+    if show_trace then Format.fprintf ppf "%s" o.Lvm_tpc.Crash_sweep.trace;
+    Format.pp_print_flush ppf ();
+    if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashsweep"
+       ~doc:"Crash a transactional RLVM workload at every swept point, \
+             recover, and check crash-consistency invariants.")
+    Term.(const run $ points $ torn $ txns $ seed $ show_trace)
+
 (* {1 trace} *)
 
 (* A small logged-write workload exercising most event types: first-touch
@@ -362,6 +406,6 @@ let main =
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
     [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
-      trace_cmd ]
+      crashsweep_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,66 @@
+type site =
+  | Cpu
+  | Ramdisk_write
+  | Ramdisk_force
+  | Log_dma
+  | Logger_admit
+  | Log_segment
+
+type kind =
+  | Crash
+  | Torn_write of { keep : int }
+  | Failed_write
+  | Bit_flip of { byte : int; bit : int }
+  | Dma_fail
+  | Fifo_overrun
+  | Log_exhaust
+
+exception Crashed of { cycle : int; site : site }
+
+let all_sites =
+  [ Cpu; Ramdisk_write; Ramdisk_force; Log_dma; Logger_admit; Log_segment ]
+
+let site_code = function
+  | Cpu -> 0
+  | Ramdisk_write -> 1
+  | Ramdisk_force -> 2
+  | Log_dma -> 3
+  | Logger_admit -> 4
+  | Log_segment -> 5
+
+let kind_code = function
+  | Crash -> 0
+  | Torn_write _ -> 1
+  | Failed_write -> 2
+  | Bit_flip _ -> 3
+  | Dma_fail -> 4
+  | Fifo_overrun -> 5
+  | Log_exhaust -> 6
+
+let site_name = function
+  | Cpu -> "cpu"
+  | Ramdisk_write -> "ramdisk_write"
+  | Ramdisk_force -> "ramdisk_force"
+  | Log_dma -> "log_dma"
+  | Logger_admit -> "logger_admit"
+  | Log_segment -> "log_segment"
+
+let kind_name = function
+  | Crash -> "crash"
+  | Torn_write { keep } -> Printf.sprintf "torn_write(keep=%d)" keep
+  | Failed_write -> "failed_write"
+  | Bit_flip { byte; bit } -> Printf.sprintf "bit_flip(%d.%d)" byte bit
+  | Dma_fail -> "dma_fail"
+  | Fifo_overrun -> "fifo_overrun"
+  | Log_exhaust -> "log_exhaust"
+
+let pp_site ppf s = Format.pp_print_string ppf (site_name s)
+let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
+
+let () =
+  Printexc.register_printer (function
+    | Crashed { cycle; site } ->
+      Some
+        (Printf.sprintf "Lvm_fault.Crashed at cycle %d (site %s)" cycle
+           (site_name site))
+    | _ -> None)

@@ -1,0 +1,130 @@
+type trigger =
+  | At_cycle of int
+  | At_count of int
+  | Every of int
+  | With_probability of float
+
+type injection = { site : Fault.site; trigger : trigger; fault : Fault.kind }
+
+type record = { at_cycle : int; at_site : Fault.site; what : Fault.kind }
+
+type armed = { inj : injection; mutable live : bool }
+
+type t = {
+  seed : int;
+  armed : armed list;
+  counts : int array; (* site occurrences, indexed by Fault.site_code *)
+  mutable rng : int64; (* splitmix64 state *)
+  mutable history : record list; (* newest first *)
+  mutable obs : Lvm_obs.Ctx.t option;
+  mutable counter : Lvm_obs.Counter.counter option;
+}
+
+let n_sites = List.length Fault.all_sites
+
+let validate { site; trigger; fault = _ } =
+  (match trigger with
+  | At_cycle n | At_count n | Every n ->
+    if n <= 0 then invalid_arg "Plan.create: trigger threshold must be > 0"
+  | With_probability p ->
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Plan.create: probability must be in [0,1]");
+  ignore (Fault.site_code site)
+
+let create ?(seed = 0) injections =
+  List.iter validate injections;
+  {
+    seed;
+    armed = List.map (fun inj -> { inj; live = true }) injections;
+    counts = Array.make n_sites 0;
+    rng = Int64.of_int (seed lxor 0x9E3779B9);
+    history = [];
+    obs = None;
+    counter = None;
+  }
+
+let seed t = t.seed
+
+let crash_at ?seed cycle =
+  create ?seed
+    [ { site = Fault.Cpu; trigger = At_cycle cycle; fault = Fault.Crash } ]
+
+let set_obs t ctx =
+  t.obs <- Some ctx;
+  t.counter <- Some (Lvm_obs.Ctx.counter ctx "fault.injected")
+
+(* splitmix64: a tiny, high-quality, explicitly-seeded generator — the
+   plan must not touch the global [Random] state. *)
+let next_u64 t =
+  let z = Int64.add t.rng 0x9E3779B97F4A7C15L in
+  t.rng <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_unit_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_u64 t) 11) in
+  float_of_int bits53 /. 9007199254740992. (* 2^53 *)
+
+let fires t a ~cycle ~count =
+  match a.inj.trigger with
+  | At_cycle c ->
+    if cycle >= c then begin
+      a.live <- false;
+      true
+    end
+    else false
+  | At_count k ->
+    if count = k then begin
+      a.live <- false;
+      true
+    end
+    else false
+  | Every k -> count mod k = 0
+  | With_probability p -> next_unit_float t < p
+
+let check t ~site ~cycle =
+  let idx = Fault.site_code site in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  let count = t.counts.(idx) in
+  let rec first = function
+    | [] -> None
+    | a :: rest ->
+      if a.live && a.inj.site = site && fires t a ~cycle ~count then
+        Some a.inj.fault
+      else first rest
+  in
+  match first t.armed with
+  | None -> None
+  | Some fault ->
+    t.history <- { at_cycle = cycle; at_site = site; what = fault }
+                 :: t.history;
+    (match t.counter with
+    | Some c -> Lvm_obs.Counter.incr c
+    | None -> ());
+    (match t.obs with
+    | Some ctx ->
+      Lvm_obs.Ctx.event ctx ~at:cycle
+        (Lvm_obs.Event.Fault_injected
+           { site = Fault.site_code site; kind = Fault.kind_code fault })
+    | None -> ());
+    Some fault
+
+let check_crash t ~site ~cycle =
+  match check t ~site ~cycle with
+  | Some Fault.Crash -> raise (Fault.Crashed { cycle; site })
+  | other -> other
+
+let occurrences t ~site = t.counts.(Fault.site_code site)
+let injected t = List.rev t.history
+let injected_count t = List.length t.history
+
+let trace t =
+  String.concat ""
+    (List.map
+       (fun { at_cycle; at_site; what } ->
+         Printf.sprintf "cycle=%d site=%s kind=%s\n" at_cycle
+           (Fault.site_name at_site) (Fault.kind_name what))
+       (injected t))

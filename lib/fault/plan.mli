@@ -1,0 +1,66 @@
+(** Seeded, deterministic fault plans.
+
+    A plan is a schedule of {!injection}s evaluated at the fault sites
+    threaded through the machine, kernel and RAM disk. Determinism
+    guarantee: for a fixed plan (same injections, same seed) driven by a
+    deterministic workload, the sequence of injected faults — and hence
+    the whole simulated execution, trace included — is byte-identical
+    across runs. The only randomness is the plan's own splitmix64 PRNG,
+    seeded explicitly; the global [Random] state is never consulted.
+
+    Each site occurrence ("the machine reached this hook point") is
+    counted per site. Triggers are evaluated in the order injections
+    were declared; the first that fires wins that occurrence, and
+    one-shot triggers ([At_cycle], [At_count]) disarm afterwards. *)
+
+type trigger =
+  | At_cycle of int
+      (** One-shot: fires at the first occurrence of the site whose
+          machine cycle is [>= n]. *)
+  | At_count of int
+      (** One-shot: fires on the [n]-th occurrence of the site
+          (1-based). *)
+  | Every of int  (** Fires on every [n]-th occurrence of the site. *)
+  | With_probability of float
+      (** Fires with probability [p] per occurrence, drawn from the
+          plan's seeded PRNG. *)
+
+type injection = { site : Fault.site; trigger : trigger; fault : Fault.kind }
+
+type record = { at_cycle : int; at_site : Fault.site; what : Fault.kind }
+
+type t
+
+val create : ?seed:int -> injection list -> t
+
+val seed : t -> int
+
+val crash_at : ?seed:int -> int -> t
+(** [crash_at n]: the canonical crash-sweep plan — crash the machine at
+    the first instruction-stream boundary at or after cycle [n]. *)
+
+val set_obs : t -> Lvm_obs.Ctx.t -> unit
+(** Attach an observability context: every subsequent injection emits a
+    [Fault_injected] trace event and bumps the ["fault.injected"]
+    counter. [Machine.set_fault_plan] does this automatically. *)
+
+val check : t -> site:Fault.site -> cycle:int -> Fault.kind option
+(** Record one occurrence of [site] at [cycle] and return the fault to
+    inject there, if any. Injection sites call this; user code normally
+    has no reason to. *)
+
+val check_crash : t -> site:Fault.site -> cycle:int -> Fault.kind option
+(** Like {!check}, but a [Crash] fault raises {!Fault.Crashed} directly
+    — the behaviour every site except the torn-write path wants. *)
+
+val occurrences : t -> site:Fault.site -> int
+(** Site occurrences observed so far. *)
+
+val injected : t -> record list
+(** Faults injected so far, oldest first. *)
+
+val injected_count : t -> int
+
+val trace : t -> string
+(** Deterministic one-line-per-injection rendering
+    ("cycle=C site=S kind=K"), for byte-equality checks between runs. *)

@@ -43,6 +43,7 @@ type t = {
   mutable on_fault : fault -> fault_outcome;
   mutable snoop_observer :
     (paddr:int -> vaddr:int -> size:int -> value:int -> unit) option;
+  mutable fault_plan : Lvm_fault.Plan.t option;
 }
 
 let create ?obs ?(hw = Prototype) ?(record_old_values = false)
@@ -76,6 +77,7 @@ let create ?obs ?(hw = Prototype) ?(record_old_values = false)
     enabled = true;
     on_fault = (fun _ -> Drop);
     snoop_observer = None;
+    fault_plan = None;
   }
 
 let hw t = t.hw
@@ -84,6 +86,12 @@ let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
 let set_fault_handler t f = t.on_fault <- f
 let set_snoop_observer t f = t.snoop_observer <- f
+let set_fault_plan t p = t.fault_plan <- p
+
+let fault_check t ~site ~cycle =
+  match t.fault_plan with
+  | None -> None
+  | Some plan -> Lvm_fault.Plan.check_crash plan ~site ~cycle
 let log_entries t = Array.length t.table
 let slot t page = page land ((1 lsl t.pmt_bits) - 1)
 let tag_of t page = page lsr t.pmt_bits
@@ -187,6 +195,12 @@ let rec service_one t (w : raw) ~attempts =
         | Fixed -> service_one t w ~attempts:(attempts + 1)
       end
       else begin
+        match fault_check t ~site:Lvm_fault.Fault.Log_dma ~cycle:!(t.clock) with
+        | Some Lvm_fault.Fault.Dma_fail ->
+          (* The record DMA fails in flight: the record is lost, exactly
+             like an unrepairable logging fault. *)
+          t.perf.Perf.log_records_lost <- t.perf.Perf.log_records_lost + 1
+        | Some _ | None ->
         emit t entry ~record_addr:entry.next_addr ~paddr:w.w_paddr
           ~vaddr:w.w_vaddr ~size:w.w_size ~value:w.w_value
           ~timestamp:w.w_timestamp ~pre_image:w.w_pre_image;
@@ -242,7 +256,12 @@ let admit t ~arrival =
   | Prototype ->
     let occupancy = occupancy_at t ~now:arrival in
     Lvm_obs.Histogram.observe t.fifo_hist occupancy;
-    if occupancy >= Cycles.logger_fifo_threshold then begin
+    let forced =
+      match fault_check t ~site:Lvm_fault.Fault.Logger_admit ~cycle:arrival with
+      | Some Lvm_fault.Fault.Fifo_overrun -> true
+      | Some _ | None -> false
+    in
+    if forced || occupancy >= Cycles.logger_fifo_threshold then begin
       t.perf.Perf.overloads <- t.perf.Perf.overloads + 1;
       Lvm_obs.Ctx.event t.obs ~at:arrival
         (Lvm_obs.Event.Overload_enter { occupancy });

@@ -84,6 +84,15 @@ val set_snoop_observer :
     the logging bus traffic." The observer runs at zero cost to the
     writing processor. *)
 
+val set_fault_plan : t -> Lvm_fault.Plan.t option -> unit
+(** Attach (or clear) a fault plan. The logger consults it at two sites:
+    [Logger_admit] on each Prototype-mode FIFO admission ([Fifo_overrun]
+    forces the overload interrupt regardless of occupancy) and [Log_dma]
+    when a record is about to be formed and DMA-ed ([Dma_fail] loses the
+    record, counted in [Perf.log_records_lost]). A [Crash] at either site
+    raises [Lvm_fault.Fault.Crashed]. [Machine.set_fault_plan] installs
+    the plan here automatically. *)
+
 (** {1 Kernel (privileged) table operations} *)
 
 val load_pmt : t -> page:int -> log_index:int -> unit

@@ -9,6 +9,7 @@ type t = {
   perf : Perf.t;
   obs : Lvm_obs.Ctx.t;
   clock : int ref;
+  mutable fault : Lvm_fault.Plan.t option;
 }
 
 let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
@@ -29,6 +30,7 @@ let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
     perf;
     obs;
     clock;
+    fault = None;
   }
 
 let mem t = t.mem
@@ -42,16 +44,38 @@ let snapshot t = Lvm_obs.Ctx.snapshot t.obs
 let clock t = t.clock
 let time t = !(t.clock)
 
+let set_fault_plan t plan =
+  t.fault <- plan;
+  Logger.set_fault_plan t.logger plan;
+  match plan with
+  | Some p -> Lvm_fault.Plan.set_obs p t.obs
+  | None -> ()
+
+let fault_plan t = t.fault
+
+let fault_check t ~site =
+  match t.fault with
+  | None -> None
+  | Some plan -> Lvm_fault.Plan.check_crash plan ~site ~cycle:!(t.clock)
+
+(* Instruction-stream crash boundary: every compute/read/write consults
+   the plan, so [Plan.crash_at n] dies at the first boundary at or after
+   cycle [n]. Only [Crash] is meaningful at the Cpu site. *)
+let cpu_boundary t = ignore (fault_check t ~site:Lvm_fault.Fault.Cpu)
+
 let compute t cycles =
   if cycles < 0 then invalid_arg "Machine.compute: negative cycles";
-  t.clock := !(t.clock) + cycles
+  t.clock := !(t.clock) + cycles;
+  cpu_boundary t
 
 let read t ~paddr ~size =
+  cpu_boundary t;
   t.clock := L1_cache.read t.l1 ~now:!(t.clock) ~paddr;
   let actual = Deferred_cache.resolve_read t.deferred ~paddr in
   Physmem.read_sized t.mem actual ~size
 
 let write t ~paddr ?vaddr ~size ~mode ~logged value =
+  cpu_boundary t;
   let vaddr = match vaddr with Some v -> v | None -> paddr in
   (match (mode, logged) with
   | Write_back, true ->

@@ -47,6 +47,24 @@ val clock : t -> int ref
 val time : t -> int
 (** Current CPU cycle count. *)
 
+val set_fault_plan : t -> Lvm_fault.Plan.t option -> unit
+(** Attach (or clear) a deterministic fault plan ({!Lvm_fault.Plan}). The
+    plan is wired to the machine's observability context (every injection
+    traces a [Fault_injected] event) and forwarded to the logger for its
+    [Logger_admit]/[Log_dma] sites. The machine itself consults the plan
+    at every instruction-stream boundary — each [compute], [read] and
+    [write] — so a [Crash] injection at the [Cpu] site raises
+    {!Lvm_fault.Fault.Crashed} at the first boundary its trigger fires. *)
+
+val fault_plan : t -> Lvm_fault.Plan.t option
+
+val fault_check : t -> site:Lvm_fault.Fault.site -> Lvm_fault.Fault.kind option
+(** Consult the installed plan at an externally-owned fault site (the RAM
+    disk's write paths, the kernel's log-segment provisioning), at the
+    current cycle. [Crash] raises {!Lvm_fault.Fault.Crashed}; any other
+    fired kind is returned for the caller to interpret. [None] when no
+    plan is installed or nothing fires. *)
+
 val compute : t -> int -> unit
 (** Burn the given number of CPU cycles (event processing work). *)
 

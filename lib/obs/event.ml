@@ -12,6 +12,9 @@ type t =
   | Dc_reset of { pages : int; dirty : int }
   | Rollback of { scheduler : int; target : int; undone : int }
   | Commit of { scheduler : int; gvt : int; events : int }
+  | Fault_injected of { site : int; kind : int }
+  | Wal_torn of { off : int; len : int }
+  | Recovery of { committed : int; replayed : int; truncated : int }
 
 let label = function
   | Page_fault _ -> "page_fault"
@@ -26,6 +29,9 @@ let label = function
   | Dc_reset _ -> "dc_reset"
   | Rollback _ -> "rollback"
   | Commit _ -> "commit"
+  | Fault_injected _ -> "fault_injected"
+  | Wal_torn _ -> "wal_torn"
+  | Recovery _ -> "recovery"
 
 let fields = function
   | Page_fault { space; vaddr } | Protect_fault { space; vaddr } ->
@@ -43,6 +49,11 @@ let fields = function
     [ ("scheduler", scheduler); ("target", target); ("undone", undone) ]
   | Commit { scheduler; gvt; events } ->
     [ ("scheduler", scheduler); ("gvt", gvt); ("events", events) ]
+  | Fault_injected { site; kind } -> [ ("site", site); ("kind", kind) ]
+  | Wal_torn { off; len } -> [ ("off", off); ("len", len) ]
+  | Recovery { committed; replayed; truncated } ->
+    [ ("committed", committed); ("replayed", replayed);
+      ("truncated", truncated) ]
 
 let pp ppf t =
   Format.fprintf ppf "%s{%s}" (label t)

@@ -29,6 +29,16 @@ type t =
           modified. *)
   | Rollback of { scheduler : int; target : int; undone : int }
   | Commit of { scheduler : int; gvt : int; events : int }
+  | Fault_injected of { site : int; kind : int }
+      (** A fault plan fired. [site] and [kind] are the stable integer
+          codes from [Lvm_fault.Fault.site_code] / [kind_code]. *)
+  | Wal_torn of { off : int; len : int }
+      (** Recovery found a torn or corrupt write-ahead-log tail starting
+          at byte [off] and truncated [len] bytes. *)
+  | Recovery of { committed : int; replayed : int; truncated : int }
+      (** A recoverable store finished crash recovery: [committed]
+          transactions found durable, [replayed] redo records applied,
+          [truncated] WAL bytes discarded as torn. *)
 
 val label : t -> string
 (** Stable snake_case name, used by every sink. *)

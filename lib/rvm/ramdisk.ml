@@ -1,3 +1,4 @@
+open Lvm_machine
 open Lvm_vm
 
 type entry =
@@ -7,75 +8,282 @@ type entry =
 type t = {
   k : Kernel.t;
   image : Bytes.t;
-  mutable wal : entry list; (* newest first *)
-  mutable wal_bytes : int;
+  mutable log : Bytes.t; (* serialized WAL, first [log_len] bytes live *)
+  mutable log_len : int;
+  mutable charged_bytes : int; (* legacy cost-model accounting *)
+  mutable entries : int;
 }
 
 let create k ~size =
-  if size <= 0 then invalid_arg "Ramdisk.create: size must be positive";
-  { k; image = Bytes.make size '\000'; wal = []; wal_bytes = 0 }
+  if size <= 0 then
+    Error.raise_
+      (Error.Invalid { op = "Ramdisk.create"; reason = "size must be positive" });
+  { k; image = Bytes.make size '\000'; log = Bytes.create 4096; log_len = 0;
+    charged_bytes = 0; entries = 0 }
 
 let size t = Bytes.length t.image
 
 let image_read t ~off ~len =
-  if off < 0 || off + len > size t then invalid_arg "Ramdisk.image_read";
+  if off < 0 || off + len > size t then
+    Error.raise_
+      (Error.Out_of_range { op = "Ramdisk.image_read"; what = "offset";
+                            value = off });
   Bytes.sub t.image off len
 
 let words bytes = (bytes + 3) / 4
 
+(* The cost model charges the record sizes of the paper's RVM log (value
+   bytes + 12 bytes of redo header, 8 bytes per commit), independent of
+   the on-disk serialization below. *)
 let entry_bytes = function
   | Data { bytes; _ } -> Bytes.length bytes + 12
   | Commit _ -> 8
+
+(* {1 On-disk serialization}
+
+   Little-endian words: magic "WAL1", kind (0 data / 1 commit), txn, off,
+   payload length, FNV-1a checksum over (kind, txn, off, len, payload),
+   then the payload. Recovery fail-stops at the first record whose header
+   or checksum does not parse: anything past it is a torn tail. *)
+
+let wal_magic = 0x57414C31 (* "WAL1" *)
+let header_bytes = 24
+
+let fnv_prime = 16777619
+let fnv_offset = 0x811C9DC5
+let mask32 = 0xFFFFFFFF
+
+let fnv_byte h b = (b lxor h) * fnv_prime land mask32
+let fnv_word h w =
+  let h = fnv_byte h (w land 0xFF) in
+  let h = fnv_byte h ((w lsr 8) land 0xFF) in
+  let h = fnv_byte h ((w lsr 16) land 0xFF) in
+  fnv_byte h ((w lsr 24) land 0xFF)
+
+let checksum ~kind ~txn ~off ~len payload =
+  let h = fnv_word fnv_offset kind in
+  let h = fnv_word h txn in
+  let h = fnv_word h off in
+  let h = fnv_word h len in
+  let h = ref h in
+  Bytes.iter (fun c -> h := fnv_byte !h (Char.code c)) payload;
+  !h
+
+let get32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land mask32
+let set32 b pos v = Bytes.set_int32_le b pos (Int32.of_int v)
+
+let serialize entry =
+  let kind, txn, off, payload =
+    match entry with
+    | Data { txn; off; bytes } -> (0, txn, off, bytes)
+    | Commit { txn } -> (1, txn, 0, Bytes.empty)
+  in
+  let len = Bytes.length payload in
+  let b = Bytes.create (header_bytes + len) in
+  set32 b 0 wal_magic;
+  set32 b 4 kind;
+  set32 b 8 txn;
+  set32 b 12 off;
+  set32 b 16 len;
+  set32 b 20 (checksum ~kind ~txn ~off ~len payload);
+  Bytes.blit payload 0 b header_bytes len;
+  b
+
+let log_bytes t = t.log_len
+
+let append_raw t src ~len =
+  let need = t.log_len + len in
+  if need > Bytes.length t.log then begin
+    let log = Bytes.make (max need (2 * Bytes.length t.log)) '\000' in
+    Bytes.blit t.log 0 log 0 t.log_len;
+    t.log <- log
+  end;
+  Bytes.blit src 0 t.log t.log_len len;
+  t.log_len <- t.log_len + len
+
+(* {1 Scanning} *)
+
+type scan = {
+  s_entries : entry list; (* oldest first *)
+  s_valid_end : int; (* bytes of intact record prefix *)
+  s_torn : string option; (* why the scan fail-stopped, if it did *)
+}
+
+let scan t =
+  let n = t.log_len in
+  let data = t.log in
+  let rec go pos acc =
+    if pos = n then
+      { s_entries = List.rev acc; s_valid_end = pos; s_torn = None }
+    else if n - pos < header_bytes then stop pos acc "short header"
+    else if get32 data pos <> wal_magic then stop pos acc "bad magic"
+    else
+      let kind = get32 data (pos + 4) in
+      let txn = get32 data (pos + 8) in
+      let off = get32 data (pos + 12) in
+      let len = get32 data (pos + 16) in
+      let ck = get32 data (pos + 20) in
+      if len > n - pos - header_bytes then stop pos acc "short payload"
+      else
+        let payload = Bytes.sub data (pos + header_bytes) len in
+        if checksum ~kind ~txn ~off ~len payload <> ck then
+          stop pos acc "checksum mismatch"
+        else
+          let entry =
+            match kind with
+            | 0 -> Some (Data { txn; off; bytes = payload })
+            | 1 -> Some (Commit { txn })
+            | _ -> None
+          in
+          match entry with
+          | None -> stop pos acc "bad record kind"
+          | Some e -> go (pos + header_bytes + len) (e :: acc)
+  and stop pos acc reason =
+    { s_entries = List.rev acc; s_valid_end = pos; s_torn = Some reason }
+  in
+  go 0 []
+
+let entry_count t = List.length (scan t).s_entries
+let wal_bytes t = t.charged_bytes
+
+(* {1 The write path, with fault injection} *)
+
+let machine t = Kernel.machine t.k
 
 let wal_append t entry =
   (match entry with
   | Data { off; bytes; _ } ->
     if off < 0 || off + Bytes.length bytes > size t then
-      invalid_arg "Ramdisk.wal_append: entry outside image"
+      Error.raise_
+        (Error.Out_of_range { op = "Ramdisk.wal_append"; what = "offset";
+                              value = off })
   | Commit _ -> ());
-  let len = entry_bytes entry in
+  let legacy = entry_bytes entry in
   Kernel.compute t.k (Rvm_costs.disk_op_overhead
-                      + (words len * Rvm_costs.disk_per_word));
-  t.wal <- entry :: t.wal;
-  t.wal_bytes <- t.wal_bytes + len
+                      + (words legacy * Rvm_costs.disk_per_word));
+  (* [fault_check] raises on an injected [Crash]: the machine dies before
+     any byte of the record reaches the disk. *)
+  let fault = Machine.fault_check (machine t) ~site:Lvm_fault.Fault.Ramdisk_write in
+  let record = serialize entry in
+  let total = Bytes.length record in
+  match fault with
+  | Some (Lvm_fault.Fault.Torn_write { keep }) ->
+    (* A torn write is necessarily the last: part of the record reaches
+       the disk, then the machine dies. *)
+    let keep = max 1 (min keep (total - 1)) in
+    append_raw t record ~len:keep;
+    raise (Lvm_fault.Fault.Crashed
+             { cycle = Machine.time (machine t);
+               site = Lvm_fault.Fault.Ramdisk_write })
+  | Some Lvm_fault.Fault.Failed_write ->
+    (* Lost write: the driver believes it succeeded; no byte is durable. *)
+    ()
+  | Some (Lvm_fault.Fault.Bit_flip { byte; bit }) ->
+    let pos = t.log_len + (((byte mod total) + total) mod total) in
+    append_raw t record ~len:total;
+    t.charged_bytes <- t.charged_bytes + legacy;
+    t.entries <- t.entries + 1;
+    Bytes.set t.log pos
+      (Char.chr (Char.code (Bytes.get t.log pos) lxor (1 lsl (bit land 7))))
+  | Some _ | None ->
+    append_raw t record ~len:total;
+    t.charged_bytes <- t.charged_bytes + legacy;
+    t.entries <- t.entries + 1
 
-let wal_force t = Kernel.compute t.k Rvm_costs.commit_force
-let wal_bytes t = t.wal_bytes
-let entry_count t = List.length t.wal
+let wal_force t =
+  ignore (Machine.fault_check (machine t) ~site:Lvm_fault.Fault.Ramdisk_force);
+  Kernel.compute t.k Rvm_costs.commit_force
 
-let should_truncate t = t.wal_bytes > Rvm_costs.truncate_threshold_bytes
+let should_truncate t = t.charged_bytes > Rvm_costs.truncate_threshold_bytes
 
-let committed_txns wal =
-  List.filter_map (function Commit { txn } -> Some txn | Data _ -> None) wal
+let committed_txns entries =
+  List.filter_map
+    (function Commit { txn } -> Some txn | Data _ -> None)
+    entries
 
-let apply_committed image wal =
-  (* [wal] is newest-first; apply in append order. *)
-  let committed = committed_txns wal in
+(* Apply committed Data records in append order. Records carry absolute
+   new values, so replay is idempotent. *)
+let apply_committed image entries =
+  let committed = committed_txns entries in
+  let applied = ref 0 in
   List.iter
     (function
       | Data { txn; off; bytes } when List.mem txn committed ->
+        incr applied;
         Bytes.blit bytes 0 image off (Bytes.length bytes)
       | Data _ | Commit _ -> ())
-    (List.rev wal)
+    entries;
+  !applied
+
+let rebuild_log t entries =
+  t.log_len <- 0;
+  t.entries <- 0;
+  t.charged_bytes <- 0;
+  List.iter
+    (fun e ->
+      let record = serialize e in
+      append_raw t record ~len:(Bytes.length record);
+      t.charged_bytes <- t.charged_bytes + entry_bytes e;
+      t.entries <- t.entries + 1)
+    entries
 
 let truncate t =
+  let s = scan t in
   let applied_words =
-    List.fold_left (fun acc e -> acc + words (entry_bytes e)) 0 t.wal
+    List.fold_left (fun acc e -> acc + words (entry_bytes e)) 0 s.s_entries
   in
   Kernel.compute t.k (Rvm_costs.truncate_base
                       + (applied_words * Rvm_costs.truncate_per_word));
-  let committed = committed_txns t.wal in
+  let committed = committed_txns s.s_entries in
   let uncommitted =
     List.filter
       (function Data { txn; _ } -> not (List.mem txn committed)
               | Commit _ -> false)
-      t.wal
+      s.s_entries
   in
-  apply_committed t.image t.wal;
-  t.wal <- uncommitted;
-  t.wal_bytes <- List.fold_left (fun a e -> a + entry_bytes e) 0 uncommitted
+  ignore (apply_committed t.image s.s_entries);
+  rebuild_log t uncommitted
+
+(* {1 Recovery} *)
+
+type recovery = {
+  scanned : int;
+  committed : int;
+  replayed : int;
+  truncated_bytes : int;
+  torn : string option;
+}
+
+let recovery_to_string r =
+  Printf.sprintf "scanned=%d committed=%d replayed=%d truncated=%d torn=%s"
+    r.scanned r.committed r.replayed r.truncated_bytes
+    (match r.torn with None -> "none" | Some s -> s)
 
 let recovered_image t =
   let image = Bytes.copy t.image in
-  apply_committed image t.wal;
+  ignore (apply_committed image (scan t).s_entries);
   image
+
+let recover t =
+  let s = scan t in
+  let truncated = t.log_len - s.s_valid_end in
+  (match s.s_torn with
+  | Some _ when truncated > 0 ->
+    Lvm_obs.Ctx.event (Kernel.obs t.k)
+      ~at:(Machine.time (machine t))
+      (Lvm_obs.Event.Wal_torn { off = s.s_valid_end; len = truncated })
+  | Some _ | None -> ());
+  (* Repair the tail: drop the torn bytes so a second recovery — or new
+     appends — start from an intact record boundary. *)
+  rebuild_log t s.s_entries;
+  let image = Bytes.copy t.image in
+  let replayed = apply_committed image s.s_entries in
+  let committed = List.length (committed_txns s.s_entries) in
+  let report =
+    { scanned = List.length s.s_entries; committed; replayed;
+      truncated_bytes = truncated; torn = s.s_torn }
+  in
+  Lvm_obs.Ctx.event (Kernel.obs t.k)
+    ~at:(Machine.time (machine t))
+    (Lvm_obs.Event.Recovery { committed; replayed; truncated });
+  (image, report)

@@ -1,15 +1,32 @@
 (** RAM-disk backing store for recoverable memory.
 
-    Holds the persistent image of a recoverable segment plus a write-ahead
-    log of redo records. The TPC-A measurements in the paper use a RAM
-    disk to hold the log (Table 3), so "disk" operations here are charged
-    as driver overhead plus per-word memory copies rather than I/O
-    latencies.
+    Holds the persistent image of a recoverable segment plus a serialized
+    write-ahead log of redo records. The TPC-A measurements in the paper
+    use a RAM disk to hold the log (Table 3), so "disk" operations here
+    are charged as driver overhead plus per-word memory copies rather
+    than I/O latencies; the charges follow the paper's RVM record sizes
+    (value bytes + 12, 8 per commit) independent of the physical
+    serialization.
 
-    Crash semantics for testing: {!crash} discards nothing here — the RAM
+    On disk each record is little-endian words — magic ["WAL1"], kind
+    (0 data / 1 commit), transaction id, image offset, payload length,
+    an FNV-1a checksum over (kind, txn, off, len, payload) — followed by
+    the payload. Recovery fail-stops at the first record whose header or
+    checksum does not parse, so a torn or corrupted tail is detected and
+    truncated rather than replayed.
+
+    Crash semantics for testing: a crash discards nothing here — the RAM
     disk {e is} the durable store — while the in-memory recoverable
-    segment is considered lost; {!recovered_image} reconstructs the
-    durable state as of the last committed transaction. *)
+    segment is considered lost; {!recover} reconstructs the durable state
+    as of the last committed transaction.
+
+    Fault injection: when the owning machine has a fault plan installed
+    ({!Lvm_machine.Machine.set_fault_plan}), {!wal_append} consults the
+    [Ramdisk_write] site — [Crash] dies before any byte is durable,
+    [Torn_write] appends a prefix of the serialized record and dies,
+    [Failed_write] silently loses the record, [Bit_flip] corrupts one bit
+    of the just-written record — and {!wal_force} consults
+    [Ramdisk_force]. *)
 
 type t
 
@@ -27,12 +44,17 @@ val image_read : t -> off:int -> len:int -> Bytes.t
 (** Untimed image read (used at mapping and recovery time). *)
 
 val wal_append : t -> entry -> unit
-(** Append a redo or commit entry, charging driver overhead and the copy. *)
+(** Serialize and append a redo or commit record, charging driver
+    overhead and the copy at the cost model's record size. *)
 
 val wal_force : t -> unit
 (** Force the log: the fixed commit-synchronization cost. *)
 
 val wal_bytes : t -> int
+(** Cost-model bytes of live log (the paper's record sizes). *)
+
+val log_bytes : t -> int
+(** Physical bytes of serialized log, torn tail included. *)
 
 val should_truncate : t -> bool
 (** The WAL has grown past the truncation threshold. *)
@@ -43,8 +65,29 @@ val truncate : t -> unit
     one open transaction). *)
 
 val recovered_image : t -> Bytes.t
-(** The image with every {e committed} WAL entry applied — what recovery
-    after a crash reconstructs. Untimed (recovery time is not part of any
-    reproduced measurement). *)
+(** The image with every {e committed} intact WAL record applied — what
+    recovery after a crash reconstructs, without repairing the log.
+    Untimed (recovery time is not part of any reproduced measurement). *)
+
+type recovery = {
+  scanned : int;  (** Intact records parsed before the scan stopped. *)
+  committed : int;  (** Committed transactions found. *)
+  replayed : int;  (** Data records applied to the image. *)
+  truncated_bytes : int;  (** Torn/corrupt tail bytes discarded. *)
+  torn : string option;
+      (** Why the scan fail-stopped ("short header", "bad magic", "short
+          payload", "checksum mismatch", "bad record kind"), if it did. *)
+}
+
+val recover : t -> Bytes.t * recovery
+(** Crash recovery: scan the log, detect and truncate any torn tail
+    (tracing [Wal_torn]), replay committed records onto a copy of the
+    image (absolute values, so replay is idempotent) and trace a
+    [Recovery] event. Returns the recovered image and the report. The
+    log is physically rewritten to its intact prefix, so recovery is
+    itself idempotent. *)
+
+val recovery_to_string : recovery -> string
 
 val entry_count : t -> int
+(** Intact records currently in the log. *)

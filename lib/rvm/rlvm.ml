@@ -14,25 +14,54 @@ type t = {
   base : int;
   size : int; (* usable bytes; the txn cell lives at [size] *)
   disk : Ramdisk.t;
+  max_log_pages : int;
   mutable current : int option;
   mutable next_txn : int;
+  mutable txn_absorbed_base : int;
+      (* [Segment.absorbed_crossings ls] at [begin_txn]: if it grows, part
+         of the transaction's redo information was absorbed (lost), even
+         when a later [extend_log] resumed logging. *)
 }
 
 let cell_off t = t.size
 
-let create k space ~size =
+let default_log_pages = 32
+
+(* Worst case a single transaction can log: one 16-byte record per word
+   of the segment, plus the begin/end writes of the transaction cell. *)
+let worst_case_log_bytes ~size =
+  ((size / Addr.word_size) * Lvm_machine.Log_record.bytes)
+  + (2 * Lvm_machine.Log_record.bytes)
+
+let create ?(log_pages = default_log_pages) ?max_log_pages k space ~size =
   if size <= 0 || size mod Addr.word_size <> 0 then
-    invalid_arg "Rlvm.create: size must be a positive word multiple";
+    Error.raise_
+      (Error.Invalid
+         { op = "Rlvm.create";
+           reason = "size must be a positive word multiple" });
+  if log_pages <= 0 then
+    Error.raise_
+      (Error.Out_of_range
+         { op = "Rlvm.create"; what = "log_pages"; value = log_pages });
+  let max_log_pages =
+    match max_log_pages with Some m -> max m log_pages | None -> 2 * log_pages
+  in
+  let capacity = log_pages * Addr.page_size in
+  let requested = worst_case_log_bytes ~size in
+  if requested > capacity then
+    Error.raise_ (Error.Log_capacity { op = "Rlvm.create"; requested;
+                                       capacity });
   let seg_size = size + Addr.word_size in
   let working = Kernel.create_segment k ~size:seg_size in
   let committed = Kernel.create_segment k ~size:seg_size in
   Kernel.declare_source k ~dst:working ~src:committed ~offset:0;
   let region = Kernel.create_region k working in
-  let ls = Kernel.create_log_segment k ~size:(32 * Addr.page_size) in
+  let ls = Kernel.create_log_segment k ~size:capacity in
   Kernel.set_region_log k region (Some ls);
   let base = Kernel.bind k space region in
   { k; space; working; committed; region; ls; base; size;
-    disk = Ramdisk.create k ~size; current = None; next_txn = 1 }
+    disk = Ramdisk.create k ~size; max_log_pages; current = None;
+    next_txn = 1; txn_absorbed_base = 0 }
 
 let kernel t = t.k
 let base t = t.base
@@ -41,16 +70,29 @@ let disk t = t.disk
 let log_segment t = t.ls
 let in_txn t = t.current <> None
 
+(* Backpressure: before a logged store, make sure its record cannot run
+   the log segment off its last page. [reserve_log_room] extends the
+   segment (graceful degradation) until [max_log_pages], then raises a
+   typed [Log_exhausted] — before the store, so no record is silently
+   absorbed into the default log page. [sync_log]-based, so it costs no
+   cycles on the common path. *)
+let reserve t =
+  Kernel.reserve_log_room t.k t.ls ~bytes:Lvm_machine.Log_record.bytes
+    ~max_pages:t.max_log_pages
+
 let begin_txn t =
   if t.current <> None then raise Transaction_open;
   let id = t.next_txn in
   t.next_txn <- id + 1;
   t.current <- Some id;
+  reserve t;
+  t.txn_absorbed_base <- Segment.absorbed_crossings t.ls;
   (* the special logged location marking the transaction (Section 2.5) *)
   Kernel.write_word t.k t.space (t.base + cell_off t) id
 
 let check_off t off =
-  if off < 0 || off + 4 > t.size then invalid_arg "Rlvm: offset out of range"
+  if off < 0 || off + 4 > t.size then
+    Error.raise_ (Error.Out_of_segment { segment = Segment.id t.working; off })
 
 let read_word t ~off =
   check_off t off;
@@ -59,6 +101,7 @@ let read_word t ~off =
 let write_word t ~off v =
   if t.current = None then raise No_transaction;
   check_off t off;
+  reserve t;
   Kernel.compute t.k Rvm_costs.rlvm_write_overhead;
   Kernel.write_word t.k t.space (t.base + off) v
 
@@ -72,6 +115,19 @@ let value_bytes (r : Log_record.t) =
 
 let commit t =
   let id = match t.current with None -> raise No_transaction | Some i -> i in
+  (* If the logger fell back to absorbing records into the default log
+     page, part of this transaction's redo information is already lost:
+     committing would write an incomplete transaction to the WAL. This
+     holds even if a later [extend_log] resumed logging: any absorbed
+     crossing during the transaction is unrecoverable loss. *)
+  Kernel.sync_log t.k t.ls;
+  if Segment.absorbing t.ls
+     || Segment.absorbed_crossings t.ls > t.txn_absorbed_base
+  then
+    Error.raise_
+      (Error.Log_exhausted
+         { segment = Segment.id t.ls; pos = Segment.write_pos t.ls;
+           capacity = Segment.size t.ls });
   (* Build redo records for the write-ahead log straight from the LVM
      log — the records are already there; no set_range bookkeeping. *)
   Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
@@ -98,15 +154,17 @@ let abort t =
   Kernel.set_logging_enabled t.k t.region false;
   Kernel.reset_deferred_copy t.k t.space ~start:t.base
     ~len:(Region.size t.region);
+  (if Segment.absorbing t.ls then Segment.set_absorbing t.ls false);
   Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
   Kernel.set_logging_enabled t.k t.region true;
   t.current <- None;
   Kernel.write_word t.k t.space (t.base + cell_off t) 0
 
-let crash_and_recover t =
+let recover t =
   t.current <- None;
-  let image = Ramdisk.recovered_image t.disk in
+  let image, report = Ramdisk.recover t.disk in
   Kernel.set_logging_enabled t.k t.region false;
+  (if Segment.absorbing t.ls then Segment.set_absorbing t.ls false);
   Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
   for off = 0 to t.size - 1 do
     let byte = Char.code (Bytes.get image off) in
@@ -114,4 +172,7 @@ let crash_and_recover t =
     Kernel.seg_write_raw t.k t.working ~off ~size:1 byte
   done;
   Kernel.reset_deferred_segment t.k t.working;
-  Kernel.set_logging_enabled t.k t.region true
+  Kernel.set_logging_enabled t.k t.region true;
+  report
+
+let crash_and_recover t = ignore (recover t)

@@ -19,9 +19,18 @@ type t
 exception No_transaction
 exception Transaction_open
 
-val create : Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+val create :
+  ?log_pages:int -> ?max_log_pages:int ->
+  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
 (** Map a recoverable segment of [size] usable bytes. One extra word is
-    reserved past [size] for the transaction-identifier cell. *)
+    reserved past [size] for the transaction-identifier cell. The log
+    segment is provisioned with [log_pages] pages (default 32) and may be
+    extended under backpressure up to [max_log_pages] (default
+    [2 * log_pages]). [size] is validated against the log provision:
+    if a single worst-case transaction (one record per word, plus the
+    transaction-cell writes) cannot fit, a typed
+    [Lvm_vm.Error.Log_capacity] is raised at creation rather than
+    records being silently absorbed at run time. *)
 
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int
@@ -39,7 +48,20 @@ val write_word : t -> off:int -> int -> unit
 (** A plain logged store — no annotation, no old-value copy. *)
 
 val commit : t -> unit
+(** Fold the transaction into the committed image, force its redo records
+    to the RAM-disk WAL and truncate the LVM log.
+    @raise Lvm_vm.Error.Lvm_error [Log_exhausted] if the log segment fell
+    into default-page absorption during the transaction — redo records
+    were lost, so the transaction cannot be made durable. Abort instead. *)
+
 val abort : t -> unit
+
+val recover : t -> Ramdisk.recovery
+(** Crash recovery: the in-memory working and committed segments are
+    lost; scan the RAM disk's WAL (detecting and truncating any torn
+    tail), replay committed transactions onto the image, and reload both
+    segments from it. Idempotent: committed effects are durable,
+    uncommitted effects invisible. Returns the scan/replay report. *)
+
 val crash_and_recover : t -> unit
-(** The in-memory working and committed segments are lost; reload the RAM
-    disk's recovered state. *)
+(** [recover], report discarded. *)

@@ -53,7 +53,7 @@ let seg_bytes t ~off ~len =
 let set_range t ~off ~len =
   let txn = current t in
   if off < 0 || len < 0 || off + len > t.size then
-    invalid_arg "Rvm.set_range: out of segment";
+    Error.raise_ (Error.Out_of_segment { segment = Segment.id t.seg; off });
   (* Bookkeeping, the old-value save and the redo-record skeleton. *)
   Kernel.compute t.k
     (Rvm_costs.set_range_overhead + Rvm_costs.redo_record_overhead

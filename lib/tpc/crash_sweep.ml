@@ -1,0 +1,194 @@
+open Lvm_vm
+
+(* The harness crashes a transactional TPC-A-style workload at chosen
+   points, recovers, and checks the atomicity contract against a pure
+   model of the store kept on the host side:
+
+   - outside a commit, the recovered state must equal the model exactly
+     (uncommitted writes invisible);
+   - during a commit, it must equal either the model or the model with
+     the transaction's staged writes applied — the atomicity boundary —
+     and nothing in between (committed writes durable, partial
+     application forbidden). *)
+
+type outcome = {
+  points : int;
+  crashed : int;
+  completed : int;
+  torn : int;
+  failures : string list; (* invariant violations; empty = pass *)
+  trace : string; (* deterministic per-run log, for byte-equality checks *)
+}
+
+let bank () = Bank.layout ~branches:2 ~tellers:4 ~accounts:32 ~history:16
+
+type run_state = {
+  r : Lvm_rvm.Rlvm.t;
+  store : Tpca.store;
+  model : int array; (* committed words, host-side truth *)
+  staged : (int * int) list ref; (* newest first; current txn's writes *)
+  in_commit : bool ref;
+}
+
+let build () =
+  let k = Kernel.create () in
+  let sp = Kernel.create_space k in
+  let b = bank () in
+  let size = Bank.segment_bytes b in
+  let r = Lvm_rvm.Rlvm.create k sp ~size in
+  let base = Tpca.rlvm_store r in
+  let model = Array.make (size / 4) 0 in
+  let staged = ref [] in
+  let in_commit = ref false in
+  let apply_staged () =
+    List.iter (fun (off, v) -> model.(off / 4) <- v) (List.rev !staged);
+    staged := []
+  in
+  let store =
+    {
+      base with
+      Tpca.begin_txn =
+        (fun () ->
+          staged := [];
+          base.Tpca.begin_txn ());
+      write_word =
+        (fun ~off v ->
+          staged := (off, v land 0xFFFFFFFF) :: !staged;
+          base.Tpca.write_word ~off v);
+      commit =
+        (fun () ->
+          in_commit := true;
+          base.Tpca.commit ();
+          in_commit := false;
+          apply_staged ());
+    }
+  in
+  (b, { r; store; model; staged; in_commit })
+
+let run_workload b st ~seed ~txns =
+  Tpca.setup st.store b;
+  let rng = Random.State.make [| seed |] in
+  for i = 0 to txns - 1 do
+    Tpca.transaction st.store b ~rng ~history_slot:i
+  done
+
+(* Compare the store against the model, or (inside a commit) against the
+   model with the staged transaction applied. *)
+let check_state st =
+  let n = Array.length st.model in
+  let actual = Array.init n (fun i -> Lvm_rvm.Rlvm.read_word st.r ~off:(i * 4)) in
+  let plus_staged =
+    let m = Array.copy st.model in
+    List.iter (fun (off, v) -> m.(off / 4) <- v) (List.rev !(st.staged));
+    m
+  in
+  if actual = st.model then Ok "committed"
+  else if !(st.in_commit) && actual = plus_staged then Ok "committed+txn"
+  else
+    let diff =
+      let rec find i =
+        if i = n then "?"
+        else if actual.(i) <> st.model.(i)
+                && (not !(st.in_commit) || actual.(i) <> plus_staged.(i))
+        then Printf.sprintf "word %d: got %d model %d" i actual.(i) st.model.(i)
+        else find (i + 1)
+      in
+      find 0
+    in
+    Error diff
+
+let machine_of st = Kernel.machine (Lvm_rvm.Rlvm.kernel st.r)
+
+(* One run under one plan. Returns (trace line, failure option,
+   crashed?, torn-tail-detected?). *)
+let run_one ~label ~seed ~txns plan =
+  let b, st = build () in
+  Lvm_machine.Machine.set_fault_plan (machine_of st) (Some plan);
+  match run_workload b st ~seed ~txns with
+  | () -> (
+    (* The harness's own verification reads must not trip a still-armed
+       injection (e.g. a crash point past the workload's last boundary). *)
+    Lvm_machine.Machine.set_fault_plan (machine_of st) None;
+    match check_state st with
+    | Ok _ -> (Printf.sprintf "%s completed state=ok\n" label, None, false, false)
+    | Error d ->
+      ( Printf.sprintf "%s completed state=FAIL %s\n" label d,
+        Some (label ^ ": " ^ d), false, false ))
+  | exception Lvm_fault.Fault.Crashed { cycle; site } -> (
+    Lvm_machine.Machine.set_fault_plan (machine_of st) None;
+    let report = Lvm_rvm.Rlvm.recover st.r in
+    let torn = report.Lvm_rvm.Ramdisk.truncated_bytes > 0 in
+    let base =
+      Printf.sprintf "%s crashed cycle=%d site=%s in_commit=%b %s" label cycle
+        (Lvm_fault.Fault.site_name site)
+        !(st.in_commit)
+        (Lvm_rvm.Ramdisk.recovery_to_string report)
+    in
+    (* Replay idempotence: a second recovery must land on the same state. *)
+    let first = Array.init (Array.length st.model)
+        (fun i -> Lvm_rvm.Rlvm.read_word st.r ~off:(i * 4)) in
+    ignore (Lvm_rvm.Rlvm.recover st.r);
+    let second = Array.init (Array.length st.model)
+        (fun i -> Lvm_rvm.Rlvm.read_word st.r ~off:(i * 4)) in
+    match check_state st with
+    | Ok which when first = second ->
+      (Printf.sprintf "%s state=ok(%s)\n" base which, None, true, torn)
+    | Ok _ ->
+      ( Printf.sprintf "%s state=FAIL not idempotent\n" base,
+        Some (label ^ ": recovery not idempotent"), true, torn )
+    | Error d ->
+      ( Printf.sprintf "%s state=FAIL %s\n" base d,
+        Some (label ^ ": " ^ d), true, torn ))
+
+let crash_plan ~at =
+  Lvm_fault.Plan.create
+    [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Cpu;
+        trigger = Lvm_fault.Plan.At_cycle at;
+        fault = Lvm_fault.Fault.Crash } ]
+
+let torn_plan ~nth ~keep =
+  Lvm_fault.Plan.create
+    [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Ramdisk_write;
+        trigger = Lvm_fault.Plan.At_count nth;
+        fault = Lvm_fault.Fault.Torn_write { keep } } ]
+
+let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) () =
+  (* Reference run: how long the whole workload takes with no faults. *)
+  let total =
+    let b, st = build () in
+    run_workload b st ~seed ~txns;
+    Kernel.time (Lvm_rvm.Rlvm.kernel st.r)
+  in
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let crashed = ref 0 and completed = ref 0 and torn = ref 0 in
+  let record (line, failure, did_crash, did_torn) =
+    Buffer.add_string buf line;
+    (match failure with Some f -> failures := f :: !failures | None -> ());
+    if did_crash then incr crashed else incr completed;
+    if did_torn then incr torn
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "crashsweep seed=%d txns=%d total_cycles=%d\n" seed txns
+       total);
+  for i = 0 to points - 1 do
+    let at = 1 + (i * (total - 1) / max 1 (points - 1)) in
+    record
+      (run_one ~label:(Printf.sprintf "point=%d at=%d" i at) ~seed ~txns
+         (crash_plan ~at))
+  done;
+  for j = 1 to torn_points do
+    let keep = 1 + (j * 7 mod 23) in
+    record
+      (run_one
+         ~label:(Printf.sprintf "torn=%d keep=%d" j keep)
+         ~seed ~txns (torn_plan ~nth:j ~keep))
+  done;
+  {
+    points = points + torn_points;
+    crashed = !crashed;
+    completed = !completed;
+    torn = !torn;
+    failures = List.rev !failures;
+    trace = Buffer.contents buf;
+  }

@@ -1,0 +1,34 @@
+(** Crash-sweep harness: crash-consistency testing for RLVM.
+
+    Runs a deterministic TPC-A-style transactional workload over RLVM
+    many times, each run under a fault plan that kills the machine at a
+    different point — a sweep of instruction-stream crash points covering
+    the whole run, plus a sweep of torn WAL writes — then recovers and
+    checks the atomicity contract against a host-side model:
+
+    - committed transactions are durable;
+    - uncommitted writes are invisible;
+    - a crash inside commit lands on exactly one side of the atomicity
+      boundary (old state or new state, never a mixture);
+    - recovery is idempotent (a second recovery reproduces the state);
+    - a torn last WAL record is detected and truncated, never replayed.
+
+    Everything is seeded: two sweeps with the same parameters produce
+    byte-identical {!outcome.trace} strings, which the [@crash] CI alias
+    checks. *)
+
+type outcome = {
+  points : int;  (** Total runs (crash points + torn-write points). *)
+  crashed : int;  (** Runs in which the injected fault fired. *)
+  completed : int;  (** Runs that finished the workload unharmed. *)
+  torn : int;  (** Recoveries that detected and truncated a torn tail. *)
+  failures : string list;  (** Invariant violations; empty = pass. *)
+  trace : string;  (** Deterministic one-line-per-run log. *)
+}
+
+val run :
+  ?seed:int -> ?txns:int -> ?points:int -> ?torn_points:int -> unit -> outcome
+(** [run ()] sweeps [points] (default 200) evenly-spaced crash cycles
+    over a [txns]-transaction workload (default 12), then [torn_points]
+    (default 24) torn-write crashes at successive WAL appends with
+    varying torn lengths. Each point builds a fresh machine. *)

@@ -30,6 +30,12 @@ type result = {
 val setup : store -> Bank.t -> unit
 (** Zero balances in one setup transaction. *)
 
+val transaction :
+  store -> Bank.t -> rng:Random.State.t -> history_slot:int -> unit
+(** One debit-credit transaction (begin, three balance updates, a history
+    record, commit). Exposed for drivers — like the crash sweep — that
+    need to interleave transactions with other work. *)
+
 val run : ?seed:int -> store -> Bank.t -> txns:int -> result
 
 val balance_invariant : store -> Bank.t -> bool

@@ -43,15 +43,22 @@ let overlaps t ~base ~size =
 
 let bind t region ~vaddr =
   if Region.binding region <> None then
-    invalid_arg "Address_space.bind: region is already bound";
+    Error.raise_
+      (Error.Invalid
+         { op = "Address_space.bind"; reason = "region is already bound" });
   let size = Region.size region in
   let base =
     match vaddr with
     | Some v ->
       if not (Addr.is_page_aligned v) then
-        invalid_arg "Address_space.bind: address must be page-aligned";
+        Error.raise_
+          (Error.Invalid
+             { op = "Address_space.bind";
+               reason = "address must be page-aligned" });
       if overlaps t ~base:v ~size then
-        invalid_arg "Address_space.bind: overlapping binding";
+        Error.raise_
+          (Error.Invalid
+             { op = "Address_space.bind"; reason = "overlapping binding" });
       v
     | None ->
       let v = t.next_base in
@@ -69,7 +76,10 @@ let unbind t region =
   | None -> ()
   | Some (sid, base) ->
     if sid <> t.id then
-      invalid_arg "Address_space.unbind: region bound to another space";
+      Error.raise_
+        (Error.Invalid
+           { op = "Address_space.unbind";
+             reason = "region bound to another space" });
     for vpage = Addr.page_number base
       to Addr.page_number (base + Region.size region - 1) do
       Hashtbl.remove t.table vpage

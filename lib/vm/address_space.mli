@@ -36,7 +36,7 @@ val find_region : t -> vaddr:int -> (int * Region.t) option
 val bind : t -> Region.t -> vaddr:int option -> int
 (** Bind a region at [vaddr] (page-aligned) or at a kernel-chosen address
     when [None]. Returns the base address.
-    @raise Invalid_argument on overlap or misalignment. *)
+    @raise Error.Lvm_error on overlap or misalignment. *)
 
 val unbind : t -> Region.t -> unit
 (** Remove the region's binding and all its page-table entries. *)

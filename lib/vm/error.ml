@@ -6,6 +6,9 @@ type t =
   | Page_not_resident of { op : string; segment : int; page : int }
   | No_backing_store of { op : string; segment : int }
   | Not_a_log_segment of { op : string; segment : int }
+  | Page_out_of_range of { segment : int; page : int; pages : int }
+  | Log_exhausted of { segment : int; pos : int; capacity : int }
+  | Log_capacity of { op : string; requested : int; capacity : int }
   | Out_of_range of { op : string; what : string; value : int }
   | Invalid of { op : string; reason : string }
 
@@ -28,6 +31,14 @@ let to_string = function
     Printf.sprintf "%s: segment %d has no backing store" op segment
   | Not_a_log_segment { op; segment } ->
     Printf.sprintf "%s: segment %d is not a log segment" op segment
+  | Page_out_of_range { segment; page; pages } ->
+    Printf.sprintf "page %d outside segment %d (%d pages)" page segment pages
+  | Log_exhausted { segment; pos; capacity } ->
+    Printf.sprintf "log segment %d exhausted: write position %d of %d bytes"
+      segment pos capacity
+  | Log_capacity { op; requested; capacity } ->
+    Printf.sprintf "%s: %d bytes of log traffic exceed the %d-byte log"
+      op requested capacity
   | Out_of_range { op; what; value } ->
     Printf.sprintf "%s: %s out of range (%d)" op what value
   | Invalid { op; reason } -> Printf.sprintf "%s: %s" op reason

@@ -21,6 +21,15 @@ type t =
   | Page_not_resident of { op : string; segment : int; page : int }
   | No_backing_store of { op : string; segment : int }
   | Not_a_log_segment of { op : string; segment : int }
+  | Page_out_of_range of { segment : int; page : int; pages : int }
+      (** A page index was outside the segment's page count. *)
+  | Log_exhausted of { segment : int; pos : int; capacity : int }
+      (** A logged write would run the log segment past its last page and
+          the segment cannot be extended further; the record would be
+          absorbed into the default log page and lost to recovery. *)
+  | Log_capacity of { op : string; requested : int; capacity : int }
+      (** A segment's worst-case log traffic ([requested] bytes) does not
+          fit in the log segment provisioned for it. *)
   | Out_of_range of { op : string; what : string; value : int }
       (** A parameter ([what]) of kernel operation [op] was outside its
           valid range. *)

@@ -415,9 +415,19 @@ let handle_log_addr_invalid t ~log_index =
     | Logger.Direct_mapped -> Logger.Drop
     | Logger.Normal | Logger.Indexed ->
       let next = Segment.active_page ls + 1 in
+      (* A [Log_exhaust] injection makes this crossing behave as if the
+         user had provided no further pages, forcing the absorption
+         branch below (Section 3.2's failure mode, on demand). *)
+      let forced_exhaust =
+        match
+          Machine.fault_check t.machine ~site:Lvm_fault.Fault.Log_segment
+        with
+        | Some Lvm_fault.Fault.Log_exhaust -> true
+        | Some _ | None -> false
+      in
       (* Capacity the user provided (at creation or by extension) counts as
          "a page"; frames under it are materialized on demand. *)
-      let have_page = next < Segment.pages ls in
+      let have_page = (next < Segment.pages ls) && not forced_exhaust in
       if have_page && not (Segment.absorbing ls) then begin
         Segment.set_write_pos ls (next * Addr.page_size);
         arm_log_entry t ls ~index:log_index;
@@ -622,6 +632,29 @@ let extend_log t ls ~pages =
     match Segment.log_index ls with
     | None -> ()
     | Some index -> arm_log_entry t ls ~index
+  end
+
+let log_room t ls =
+  sync_log t ls;
+  Segment.size ls - Segment.write_pos ls
+
+let reserve_log_room t ls ~bytes ~max_pages =
+  if bytes < 0 then
+    Error.raise_
+      (Error.Out_of_range
+         { op = "reserve_log_room"; what = "bytes"; value = bytes });
+  sync_log t ls;
+  let pos = Segment.write_pos ls in
+  let capacity = Segment.size ls in
+  if pos + bytes > capacity || Segment.absorbing ls then begin
+    let short = max 0 (pos + bytes - capacity) in
+    let need =
+      max (if Segment.absorbing ls then 1 else 0)
+        ((short + Addr.page_size - 1) / Addr.page_size)
+    in
+    if Segment.pages ls + need <= max_pages then extend_log t ls ~pages:need
+    else Error.raise_ (Error.Log_exhausted { segment = Segment.id ls; pos;
+                                             capacity })
   end
 
 let truncate_log t ls ~keep_from =

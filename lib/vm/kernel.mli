@@ -110,6 +110,20 @@ val sync_log : t -> Segment.t -> unit
 (** Bring the log segment's [write_pos] up to date from the logger's log
     table entry. *)
 
+val log_room : t -> Segment.t -> int
+(** Bytes of log-segment capacity left past the (synchronized) write
+    position. *)
+
+val reserve_log_room : t -> Segment.t -> bytes:int -> max_pages:int -> unit
+(** Backpressure for writers that must not lose records: ensure the log
+    segment can absorb [bytes] more record traffic without falling off
+    its last page. If the (synchronized) write position leaves too little
+    room — or the segment is already absorbing into the default log page —
+    the segment is extended just enough ([extend_log]), the graceful
+    degradation path; if that would exceed [max_pages] total pages, a
+    typed [Error.Log_exhausted] is raised {e before} the caller issues
+    the writes, so no record is silently absorbed. *)
+
 val truncate_log : t -> Segment.t -> keep_from:int -> unit
 (** Discard records before byte offset [keep_from], compacting the
     remainder to the front of the segment (kernel copy, charged at bcopy

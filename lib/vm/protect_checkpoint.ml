@@ -55,7 +55,9 @@ let manager kernel =
 
 let attach t ~space region =
   if Region.binding region = None then
-    invalid_arg "Protect_checkpoint.attach: region must be bound";
+    Error.raise_
+      (Error.Invalid
+         { op = "Protect_checkpoint.attach"; reason = "region must be bound" });
   let c = { k = t.kernel; space; region; saved = Hashtbl.create 16;
             faults = 0 } in
   (* materialize all pages so protection sweeps cover them *)

@@ -13,11 +13,16 @@ type t = {
 
 let make ~id ~segment ~seg_offset ~size =
   if not (Addr.is_page_aligned seg_offset) then
-    invalid_arg "Region.make: segment offset must be page-aligned";
-  if size <= 0 then invalid_arg "Region.make: size must be positive";
+    Error.raise_
+      (Error.Invalid
+         { op = "Region.make"; reason = "segment offset must be page-aligned" });
+  if size <= 0 then
+    Error.raise_
+      (Error.Out_of_range { op = "Region.make"; what = "size"; value = size });
   let size = Addr.align_up size ~alignment:Addr.page_size in
   if seg_offset + size > Segment.size segment then
-    invalid_arg "Region.make: region exceeds segment";
+    Error.raise_
+      (Error.Invalid { op = "Region.make"; reason = "region exceeds segment" });
   { id; segment; seg_offset; size; log = None; logging_enabled = true;
     binding = None; write_protected = false }
 

@@ -20,7 +20,8 @@ type t = {
 }
 
 let make ~id ~kind ~size =
-  if size < 0 then invalid_arg "Segment.make: negative size";
+  if size < 0 then
+    Error.raise_ (Error.Invalid { op = "Segment.make"; reason = "negative size" });
   let size = Addr.align_up size ~alignment:Addr.page_size in
   {
     id;
@@ -46,9 +47,8 @@ let pages t = t.size / Addr.page_size
 
 let check_page t page =
   if page < 0 || page >= pages t then
-    invalid_arg
-      (Printf.sprintf "Segment %d: page %d out of range (%d pages)" t.id page
-         (pages t))
+    Error.raise_
+      (Error.Page_out_of_range { segment = t.id; page; pages = pages t })
 
 let frame_of_page t page =
   check_page t page;
@@ -63,7 +63,9 @@ let clear_frame t ~page =
   t.frames.(page) <- None
 
 let grow t ~pages:n =
-  if n < 0 then invalid_arg "Segment.grow: negative page count";
+  if n < 0 then
+    Error.raise_
+      (Error.Out_of_range { op = "Segment.grow"; what = "page count"; value = n });
   let old = pages t in
   t.size <- t.size + (n * Addr.page_size);
   if pages t > Array.length t.frames then begin
@@ -79,8 +81,7 @@ let set_manager t m = t.manager <- m
 
 let log_only t what =
   if t.kind <> Log then
-    invalid_arg (Printf.sprintf "Segment %d: %s requires a log segment" t.id
-                   what)
+    Error.raise_ (Error.Not_a_log_segment { op = what; segment = t.id })
 
 let write_pos t = log_only t "write_pos"; t.write_pos
 let set_write_pos t p = log_only t "set_write_pos"; t.write_pos <- p

@@ -48,7 +48,8 @@ val manager : t -> (t -> int -> unit) option
 
 val set_manager : t -> (t -> int -> unit) option -> unit
 
-(** {1 Log-segment state} (kernel-maintained; [Invalid_argument] on [Std]) *)
+(** {1 Log-segment state} (kernel-maintained; [Error.Lvm_error
+    (Not_a_log_segment _)] on [Std]) *)
 
 val write_pos : t -> int
 (** Byte offset of the end of the logged data. *)

@@ -1,0 +1,36 @@
+(* Driver for the crash-sweep CI gate (`dune build @crash`).
+
+   Runs the fixed-seed crash sweep, fails on any invariant violation,
+   then runs the identical sweep a second time and requires the two
+   recovery traces to be byte-identical — the determinism guarantee of
+   the fault plan engine. Usage: crash_runner [points] [txns]. *)
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  in
+  let points = arg 1 200 in
+  let txns = arg 2 12 in
+  let o = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns () in
+  Printf.printf
+    "crash sweep: %d points (%d crashed, %d completed, %d torn tails), %d \
+     failures\n"
+    o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
+    o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
+    (List.length o.Lvm_tpc.Crash_sweep.failures);
+  List.iter (Printf.printf "FAIL: %s\n") o.Lvm_tpc.Crash_sweep.failures;
+  if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1;
+  if o.Lvm_tpc.Crash_sweep.crashed = 0 then begin
+    print_endline "FAIL: no crash point actually fired";
+    exit 1
+  end;
+  if o.Lvm_tpc.Crash_sweep.torn = 0 then begin
+    print_endline "FAIL: no torn tail was ever detected";
+    exit 1
+  end;
+  let o2 = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns () in
+  if o.Lvm_tpc.Crash_sweep.trace <> o2.Lvm_tpc.Crash_sweep.trace then begin
+    print_endline "FAIL: two identical sweeps produced different traces";
+    exit 1
+  end;
+  print_endline "determinism: two sweeps byte-identical"

@@ -1,0 +1,501 @@
+open Lvm_machine
+open Lvm_vm
+open Lvm_fault
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* {1 Plan engine} *)
+
+let hit plan site cycle = Plan.check plan ~site ~cycle
+
+let test_plan_at_cycle () =
+  let p =
+    Plan.create
+      [ { Plan.site = Fault.Cpu; trigger = Plan.At_cycle 100;
+          fault = Fault.Crash } ]
+  in
+  check_bool "before threshold" true (hit p Fault.Cpu 50 = None);
+  check_bool "wrong site ignored" true (hit p Fault.Ramdisk_write 500 = None);
+  check_bool "fires at first boundary >= n" true
+    (hit p Fault.Cpu 130 = Some Fault.Crash);
+  (* one-shot: disarmed afterwards, so recovery cannot re-crash *)
+  check_bool "disarmed afterwards" true (hit p Fault.Cpu 200 = None);
+  check "occurrences counted per site" 3 (Plan.occurrences p ~site:Fault.Cpu);
+  check "injected once" 1 (Plan.injected_count p)
+
+let test_plan_at_count_and_every () =
+  let p =
+    Plan.create
+      [ { Plan.site = Fault.Ramdisk_write; trigger = Plan.At_count 3;
+          fault = Fault.Failed_write };
+        { Plan.site = Fault.Log_dma; trigger = Plan.Every 2;
+          fault = Fault.Dma_fail } ]
+  in
+  for i = 1 to 5 do
+    let got = hit p Fault.Ramdisk_write (i * 10) in
+    check_bool
+      (Printf.sprintf "at_count occurrence %d" i)
+      (i = 3)
+      (got = Some Fault.Failed_write)
+  done;
+  let fired = ref 0 in
+  for i = 1 to 6 do
+    if hit p Fault.Log_dma i = Some Fault.Dma_fail then incr fired
+  done;
+  check "every-2 fires on 2nd, 4th, 6th" 3 !fired
+
+let test_plan_declaration_order () =
+  (* two injections at the same site and occurrence: the first declared
+     wins, the second is not consumed *)
+  let p =
+    Plan.create
+      [ { Plan.site = Fault.Cpu; trigger = Plan.At_count 1;
+          fault = Fault.Dma_fail };
+        { Plan.site = Fault.Cpu; trigger = Plan.At_count 2;
+          fault = Fault.Fifo_overrun } ]
+  in
+  check_bool "first declared wins" true (hit p Fault.Cpu 1 = Some Fault.Dma_fail);
+  check_bool "second fires next occurrence" true
+    (hit p Fault.Cpu 2 = Some Fault.Fifo_overrun)
+
+let test_plan_probability_deterministic () =
+  let drive seed =
+    let p =
+      Plan.create ~seed
+        [ { Plan.site = Fault.Cpu; trigger = Plan.With_probability 0.3;
+            fault = Fault.Crash } ]
+    in
+    let fired = ref [] in
+    for i = 1 to 200 do
+      match Plan.check p ~site:Fault.Cpu ~cycle:i with
+      | Some _ -> fired := i :: !fired
+      | None -> ()
+    done;
+    (!fired, Plan.trace p)
+  in
+  let a, ta = drive 7 and b, tb = drive 7 in
+  check_bool "same seed, same firings" true (a = b);
+  check_str "same seed, same trace" ta tb;
+  let c, _ = drive 8 in
+  check_bool "some firings at p=0.3" true (List.length a > 10);
+  check_bool "different seed, different firings" true (a <> c)
+
+let test_plan_validation () =
+  Alcotest.check_raises "non-positive threshold"
+    (Invalid_argument "Plan.create: trigger threshold must be > 0") (fun () ->
+      ignore
+        (Plan.create
+           [ { Plan.site = Fault.Cpu; trigger = Plan.At_count 0;
+               fault = Fault.Crash } ]));
+  Alcotest.check_raises "probability out of range"
+    (Invalid_argument "Plan.create: probability must be in [0,1]") (fun () ->
+      ignore
+        (Plan.create
+           [ { Plan.site = Fault.Cpu; trigger = Plan.With_probability 1.5;
+               fault = Fault.Crash } ]))
+
+let test_plan_trace_and_obs () =
+  let obs = Lvm_obs.Ctx.create () in
+  let p =
+    Plan.create
+      [ { Plan.site = Fault.Log_dma; trigger = Plan.At_count 2;
+          fault = Fault.Dma_fail } ]
+  in
+  Plan.set_obs p obs;
+  ignore (hit p Fault.Log_dma 10);
+  ignore (hit p Fault.Log_dma 25);
+  check_str "trace line" "cycle=25 site=log_dma kind=dma_fail\n" (Plan.trace p);
+  (match Plan.injected p with
+  | [ { Plan.at_cycle; at_site; what } ] ->
+    check "record cycle" 25 at_cycle;
+    check_bool "record site" true (at_site = Fault.Log_dma);
+    check_bool "record kind" true (what = Fault.Dma_fail)
+  | _ -> Alcotest.fail "expected exactly one injection record");
+  check "obs counter bumped" 1
+    (Lvm_obs.Snapshot.get (Lvm_obs.Ctx.snapshot obs) "fault.injected");
+  let events =
+    List.filter
+      (fun { Lvm_obs.Trace.event; _ } ->
+        match event with Lvm_obs.Event.Fault_injected _ -> true | _ -> false)
+      (Lvm_obs.Trace.entries (Lvm_obs.Ctx.trace obs))
+  in
+  check "one fault_injected event" 1 (List.length events)
+
+(* {1 Machine-level crash injection} *)
+
+let test_machine_crash_at () =
+  let m = Machine.create ~frames:16 () in
+  Machine.set_fault_plan m (Some (Plan.crash_at 500));
+  let crashed_at = ref (-1) in
+  (try
+     for i = 0 to 1000 do
+       Machine.compute m 10;
+       ignore (Machine.read m ~paddr:(0x1000 + (i mod 64) * 4) ~size:4)
+     done
+   with Fault.Crashed { cycle; site } ->
+     crashed_at := cycle;
+     check_bool "crash at cpu site" true (site = Fault.Cpu));
+  check_bool "crashed" true (!crashed_at >= 500);
+  check_bool "crashed promptly" true (!crashed_at < 600);
+  (* one-shot: post-crash (recovery) work proceeds on the same machine *)
+  Machine.compute m 1000;
+  check_bool "no re-crash after disarm" true (Machine.time m > !crashed_at)
+
+let logged_machine () =
+  let m = Machine.create ~frames:64 () in
+  let logger = Machine.logger m in
+  let next_log_page = ref 3 in
+  Logger.load_pmt logger ~page:1 ~log_index:0;
+  Logger.set_log_entry logger ~index:0 ~mode:Logger.Normal
+    ~addr:(Addr.addr_of_page 2);
+  Logger.set_fault_handler logger (function
+    | Logger.Pmt_miss _ -> Logger.Drop
+    | Logger.Log_addr_invalid { log_index } ->
+      let p = !next_log_page in
+      incr next_log_page;
+      Logger.set_log_entry logger ~index:log_index ~mode:Logger.Normal
+        ~addr:(Addr.addr_of_page p);
+      Logger.Fixed);
+  m
+
+let settle logger =
+  while Logger.busy logger do
+    Logger.flush logger
+  done
+
+let test_logger_dma_fail () =
+  let m = logged_machine () in
+  Machine.set_fault_plan m
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Log_dma; trigger = Plan.At_count 2;
+              fault = Fault.Dma_fail } ]));
+  for i = 0 to 3 do
+    Machine.write m ~paddr:(0x1000 + (i * 4)) ~size:4
+      ~mode:Machine.Write_through ~logged:true (100 + i)
+  done;
+  settle (Machine.logger m);
+  let p = Machine.perf m in
+  check "one record lost" 1 p.Perf.log_records_lost;
+  check "other records emitted" 3 p.Perf.log_records
+
+(* {1 WAL fault injection and recovery (tentpole acceptance)} *)
+
+let wal_fixture () =
+  let k = Kernel.create () in
+  let d = Lvm_rvm.Ramdisk.create k ~size:4096 in
+  (k, d)
+
+let payload v = Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
+
+(* one committed txn (off 0 <- 0x11223344), then one uncommitted data
+   record for txn 2 (off 8 <- v2) *)
+let committed_then_open d ~v2 =
+  Lvm_rvm.Ramdisk.wal_append d
+    (Lvm_rvm.Ramdisk.Data { txn = 1; off = 0; bytes = payload 0x11223344 });
+  Lvm_rvm.Ramdisk.wal_append d (Lvm_rvm.Ramdisk.Commit { txn = 1 });
+  Lvm_rvm.Ramdisk.wal_append d
+    (Lvm_rvm.Ramdisk.Data { txn = 2; off = 8; bytes = payload v2 })
+
+let word_of image off =
+  let b = Bytes.sub image off 4 in
+  Char.code (Bytes.get b 0)
+  lor (Char.code (Bytes.get b 1) lsl 8)
+  lor (Char.code (Bytes.get b 2) lsl 16)
+  lor (Char.code (Bytes.get b 3) lsl 24)
+
+let test_wal_torn_tail_truncated () =
+  let k, d = wal_fixture () in
+  committed_then_open d ~v2:0x5A5A5A5A;
+  Machine.set_fault_plan (Kernel.machine k)
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Ramdisk_write; trigger = Plan.At_count 1;
+              fault = Fault.Torn_write { keep = 9 } } ]));
+  (* the next append tears mid-record and the machine dies *)
+  (match
+     Lvm_rvm.Ramdisk.wal_append d
+       (Lvm_rvm.Ramdisk.Data { txn = 2; off = 12; bytes = payload 0x77 })
+   with
+  | () -> Alcotest.fail "torn write should crash"
+  | exception Fault.Crashed { site; _ } ->
+    check_bool "crashed at ramdisk_write" true (site = Fault.Ramdisk_write));
+  Machine.set_fault_plan (Kernel.machine k) None;
+  let before = Lvm_rvm.Ramdisk.log_bytes d in
+  let image, r = Lvm_rvm.Ramdisk.recover d in
+  check_bool "torn tail detected" true (r.Lvm_rvm.Ramdisk.torn <> None);
+  check_bool "torn bytes truncated" true (r.Lvm_rvm.Ramdisk.truncated_bytes > 0);
+  check "intact records survive" 3 r.Lvm_rvm.Ramdisk.scanned;
+  check "one committed txn" 1 r.Lvm_rvm.Ramdisk.committed;
+  check "committed record replayed" 1 r.Lvm_rvm.Ramdisk.replayed;
+  check "committed value durable" 0x11223344 (word_of image 0);
+  check "uncommitted value invisible" 0 (word_of image 8);
+  check "torn record not replayed" 0 (word_of image 12);
+  check_bool "log physically repaired" true
+    (Lvm_rvm.Ramdisk.log_bytes d < before);
+  (* recovery is idempotent: a second scan finds a clean log *)
+  let image2, r2 = Lvm_rvm.Ramdisk.recover d in
+  check_bool "second recovery clean" true (r2.Lvm_rvm.Ramdisk.torn = None);
+  check "second recovery truncates nothing" 0
+    r2.Lvm_rvm.Ramdisk.truncated_bytes;
+  check_bool "second recovery same image" true (image = image2)
+
+let test_wal_bit_flip_detected () =
+  let k, d = wal_fixture () in
+  committed_then_open d ~v2:0x5A5A5A5A;
+  Machine.set_fault_plan (Kernel.machine k)
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Ramdisk_write; trigger = Plan.At_count 1;
+              fault = Fault.Bit_flip { byte = 26; bit = 3 } } ]));
+  Lvm_rvm.Ramdisk.wal_append d
+    (Lvm_rvm.Ramdisk.Data { txn = 2; off = 12; bytes = payload 0x77 });
+  Machine.set_fault_plan (Kernel.machine k) None;
+  let image, r = Lvm_rvm.Ramdisk.recover d in
+  check_str "checksum catches the flip" "checksum mismatch"
+    (match r.Lvm_rvm.Ramdisk.torn with Some s -> s | None -> "no");
+  check_bool "corrupt record truncated" true
+    (r.Lvm_rvm.Ramdisk.truncated_bytes > 0);
+  check "corrupt record not replayed" 0 (word_of image 12);
+  check "committed value durable" 0x11223344 (word_of image 0)
+
+let test_wal_failed_write_lost () =
+  let k, d = wal_fixture () in
+  Machine.set_fault_plan (Kernel.machine k)
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Ramdisk_write; trigger = Plan.At_count 1;
+              fault = Fault.Failed_write } ]));
+  committed_then_open d ~v2:0x5A5A5A5A;
+  Machine.set_fault_plan (Kernel.machine k) None;
+  (* record 1 (the data record of txn 1) silently vanished; the log is
+     otherwise intact, so recovery sees a clean but shorter log *)
+  check "two records on disk" 2 (Lvm_rvm.Ramdisk.entry_count d);
+  let image, r = Lvm_rvm.Ramdisk.recover d in
+  check_bool "no torn tail" true (r.Lvm_rvm.Ramdisk.torn = None);
+  check "lost record not replayed" 0 (word_of image 0)
+
+(* {1 RLVM crash consistency and log exhaustion} *)
+
+let rlvm_fixture ?log_pages ?max_log_pages ~size () =
+  let k = Kernel.create () in
+  let sp = Kernel.create_space k in
+  let r = Lvm_rvm.Rlvm.create ?log_pages ?max_log_pages k sp ~size in
+  (k, r)
+
+let test_rlvm_crash_mid_txn () =
+  let k, r = rlvm_fixture ~size:4096 () in
+  Lvm_rvm.Rlvm.begin_txn r;
+  Lvm_rvm.Rlvm.write_word r ~off:0 7;
+  Lvm_rvm.Rlvm.commit r;
+  let crash_from = Kernel.time k + 1 in
+  Machine.set_fault_plan (Kernel.machine k) (Some (Plan.crash_at crash_from));
+  (match
+     Lvm_rvm.Rlvm.begin_txn r;
+     Lvm_rvm.Rlvm.write_word r ~off:4 9;
+     Lvm_rvm.Rlvm.write_word r ~off:8 11
+   with
+  | () -> Alcotest.fail "expected a crash"
+  | exception Fault.Crashed _ -> ());
+  Machine.set_fault_plan (Kernel.machine k) None;
+  let report = Lvm_rvm.Rlvm.recover r in
+  check "committed txn recovered" 1 report.Lvm_rvm.Ramdisk.committed;
+  check "committed word durable" 7 (Lvm_rvm.Rlvm.read_word r ~off:0);
+  check "uncommitted word invisible" 0 (Lvm_rvm.Rlvm.read_word r ~off:4);
+  check "uncommitted word invisible (2)" 0 (Lvm_rvm.Rlvm.read_word r ~off:8);
+  (* store usable again after recovery *)
+  Lvm_rvm.Rlvm.begin_txn r;
+  Lvm_rvm.Rlvm.write_word r ~off:4 13;
+  Lvm_rvm.Rlvm.commit r;
+  check "post-recovery commit works" 13 (Lvm_rvm.Rlvm.read_word r ~off:4)
+
+let test_rlvm_backpressure_extends_log () =
+  (* minimal provision, generous ceiling: a transaction whose log traffic
+     overflows the initial provision extends the log instead of absorbing *)
+  let _k, r = rlvm_fixture ~log_pages:5 ~max_log_pages:12 ~size:4096 () in
+  let initial = Segment.pages (Lvm_rvm.Rlvm.log_segment r) in
+  Lvm_rvm.Rlvm.begin_txn r;
+  for i = 0 to 1999 do
+    Lvm_rvm.Rlvm.write_word r ~off:((i mod 1024) * 4) i
+  done;
+  Lvm_rvm.Rlvm.commit r;
+  check_bool "log extended under pressure" true
+    (Segment.pages (Lvm_rvm.Rlvm.log_segment r) > initial);
+  check "last value committed" 1999 (Lvm_rvm.Rlvm.read_word r ~off:(975 * 4));
+  check "first-pass value committed" 1023
+    (Lvm_rvm.Rlvm.read_word r ~off:(1023 * 4))
+
+let test_rlvm_log_exhaustion_typed () =
+  (* same pressure, but the ceiling equals the provision: the reservation
+     fails with a typed error before any record is lost *)
+  let _k, r = rlvm_fixture ~log_pages:5 ~max_log_pages:5 ~size:4096 () in
+  Lvm_rvm.Rlvm.begin_txn r;
+  let raised = ref false in
+  (try
+     for i = 0 to 1999 do
+       Lvm_rvm.Rlvm.write_word r ~off:((i mod 1024) * 4) i
+     done
+   with Error.Lvm_error (Error.Log_exhausted { pos; capacity; _ }) ->
+     raised := true;
+     check_bool "position within capacity" true (pos <= capacity));
+  check_bool "typed exhaustion raised" true !raised;
+  (* graceful degradation: abort releases the log, the store survives *)
+  Lvm_rvm.Rlvm.abort r;
+  Lvm_rvm.Rlvm.begin_txn r;
+  Lvm_rvm.Rlvm.write_word r ~off:0 21;
+  Lvm_rvm.Rlvm.commit r;
+  check "store usable after exhaustion" 21 (Lvm_rvm.Rlvm.read_word r ~off:0)
+
+let test_rlvm_forced_absorption_fails_commit () =
+  let k, r = rlvm_fixture ~size:4096 () in
+  (* force the kernel's log-segment provisioning to report exhaustion the
+     next time the log needs a page, pushing the segment into absorption *)
+  Machine.set_fault_plan (Kernel.machine k)
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Log_segment; trigger = Plan.Every 1;
+              fault = Fault.Log_exhaust } ]));
+  Lvm_rvm.Rlvm.begin_txn r;
+  let failed = ref false in
+  (try
+     (* enough traffic to fill the first log page and demand another *)
+     for i = 0 to 399 do
+       Lvm_rvm.Rlvm.write_word r ~off:((i mod 1024) * 4) i
+     done;
+     Lvm_rvm.Rlvm.commit r
+   with Error.Lvm_error (Error.Log_exhausted _) -> failed := true);
+  check_bool "commit refused after absorption" true !failed;
+  Machine.set_fault_plan (Kernel.machine k) None;
+  Lvm_rvm.Rlvm.abort r;
+  Lvm_rvm.Rlvm.begin_txn r;
+  Lvm_rvm.Rlvm.write_word r ~off:0 5;
+  Lvm_rvm.Rlvm.commit r;
+  check "store recovers after forced exhaustion" 5
+    (Lvm_rvm.Rlvm.read_word r ~off:0)
+
+(* {1 Logger overload recovery (satellite)} *)
+
+let overload_events m =
+  List.fold_left
+    (fun (enters, exits, suspended) { Lvm_obs.Trace.event; _ } ->
+      match event with
+      | Lvm_obs.Event.Overload_enter _ -> (enters + 1, exits, suspended)
+      | Lvm_obs.Event.Overload_exit { suspended = s } ->
+        (enters, exits + 1, suspended + s)
+      | _ -> (enters, exits, suspended))
+    (0, 0, 0)
+    (Lvm_obs.Trace.entries (Lvm_obs.Ctx.trace (Machine.obs m)))
+
+let test_overload_recovery () =
+  let m = logged_machine () in
+  (* back-to-back logged writes with no compute: the FIFO fills faster
+     than DMA drains it and the overload interrupt fires (Fig. 11, c=0) *)
+  for i = 0 to 1499 do
+    Machine.write m ~paddr:(0x1000 + (i * 4 mod Addr.page_size)) ~size:4
+      ~mode:Machine.Write_through ~logged:true i
+  done;
+  let p = Machine.perf m in
+  check_bool "overloads occurred" true (p.Perf.overloads > 0);
+  (* recovery: the interrupt drains the FIFOs, so occupancy is back
+     below the threshold as soon as the burst ends *)
+  check_bool "occupancy back below threshold" true
+    (Logger.occupancy (Machine.logger m) < Cycles.logger_fifo_threshold);
+  let enters, exits, suspended = overload_events m in
+  check "every overload entered is exited" enters exits;
+  check "Perf.overloads agrees with trace" p.Perf.overloads enters;
+  (* each overload's suspension is charged exactly once: the perf total
+     is the sum of the per-event suspensions *)
+  check "overload cycles charged once" suspended p.Perf.overload_cycles;
+  check_bool "suspension includes kernel overhead" true
+    (p.Perf.overload_cycles >= p.Perf.overloads * Cycles.overload_suspend);
+  (* the obs snapshot view and the raw perf record agree *)
+  check "snapshot agrees with perf" p.Perf.overloads
+    (Lvm_obs.Snapshot.get (Machine.snapshot m) "overloads")
+
+let test_forced_fifo_overrun () =
+  let m = logged_machine () in
+  Machine.set_fault_plan m
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Logger_admit; trigger = Plan.At_count 1;
+              fault = Fault.Fifo_overrun } ]));
+  (* a single logged write: occupancy is far below the threshold, but the
+     injected overrun forces the overload interrupt anyway *)
+  Machine.write m ~paddr:0x1000 ~size:4 ~mode:Machine.Write_through
+    ~logged:true 1;
+  let p = Machine.perf m in
+  check "forced overload taken" 1 p.Perf.overloads;
+  check_bool "suspension charged" true
+    (p.Perf.overload_cycles >= Cycles.overload_suspend);
+  check "injection traced" 1
+    (Lvm_obs.Snapshot.get (Machine.snapshot m) "fault.injected");
+  (* recovered: the next write admits normally *)
+  Machine.write m ~paddr:0x1004 ~size:4 ~mode:Machine.Write_through
+    ~logged:true 2;
+  check "no further overloads" 1 p.Perf.overloads
+
+(* {1 Crash sweep smoke test} *)
+
+let test_crash_sweep_small () =
+  let o = Lvm_tpc.Crash_sweep.run ~seed:11 ~txns:4 ~points:12 ~torn_points:4 () in
+  check "no invariant violations" 0 (List.length o.Lvm_tpc.Crash_sweep.failures);
+  check_bool "crashes fired" true (o.Lvm_tpc.Crash_sweep.crashed > 0);
+  check_bool "torn tails detected" true (o.Lvm_tpc.Crash_sweep.torn > 0);
+  let o2 =
+    Lvm_tpc.Crash_sweep.run ~seed:11 ~txns:4 ~points:12 ~torn_points:4 ()
+  in
+  check_str "two sweeps byte-identical" o.Lvm_tpc.Crash_sweep.trace
+    o2.Lvm_tpc.Crash_sweep.trace
+
+let suites =
+  [
+    ( "fault.plan",
+      [
+        Alcotest.test_case "at-cycle one-shot" `Quick test_plan_at_cycle;
+        Alcotest.test_case "at-count and every" `Quick
+          test_plan_at_count_and_every;
+        Alcotest.test_case "declaration order" `Quick
+          test_plan_declaration_order;
+        Alcotest.test_case "seeded probability deterministic" `Quick
+          test_plan_probability_deterministic;
+        Alcotest.test_case "validation" `Quick test_plan_validation;
+        Alcotest.test_case "trace and obs" `Quick test_plan_trace_and_obs;
+      ] );
+    ( "fault.machine",
+      [
+        Alcotest.test_case "crash at cycle" `Quick test_machine_crash_at;
+        Alcotest.test_case "log DMA failure" `Quick test_logger_dma_fail;
+      ] );
+    ( "fault.wal",
+      [
+        Alcotest.test_case "torn tail truncated, not replayed" `Quick
+          test_wal_torn_tail_truncated;
+        Alcotest.test_case "bit flip caught by checksum" `Quick
+          test_wal_bit_flip_detected;
+        Alcotest.test_case "failed write lost" `Quick
+          test_wal_failed_write_lost;
+      ] );
+    ( "fault.rlvm",
+      [
+        Alcotest.test_case "crash mid-transaction" `Quick
+          test_rlvm_crash_mid_txn;
+        Alcotest.test_case "backpressure extends log" `Quick
+          test_rlvm_backpressure_extends_log;
+        Alcotest.test_case "log exhaustion typed error" `Quick
+          test_rlvm_log_exhaustion_typed;
+        Alcotest.test_case "forced absorption fails commit" `Quick
+          test_rlvm_forced_absorption_fails_commit;
+      ] );
+    ( "fault.overload",
+      [
+        Alcotest.test_case "overload recovery accounting" `Quick
+          test_overload_recovery;
+        Alcotest.test_case "forced FIFO overrun" `Quick
+          test_forced_fifo_overrun;
+      ] );
+    ( "fault.sweep",
+      [ Alcotest.test_case "small sweep deterministic" `Quick
+          test_crash_sweep_small ] );
+  ]

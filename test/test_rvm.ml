@@ -34,7 +34,10 @@ let test_ramdisk_bounds () =
   let k, _ = boot () in
   let d = Ramdisk.create k ~size:4096 in
   Alcotest.check_raises "entry outside image"
-    (Invalid_argument "Ramdisk.wal_append: entry outside image") (fun () ->
+    (Lvm_vm.Error.Lvm_error
+       (Lvm_vm.Error.Out_of_range
+          { op = "Ramdisk.wal_append"; what = "offset"; value = 4094 }))
+    (fun () ->
       Ramdisk.wal_append d
         (Ramdisk.Data { txn = 1; off = 4094; bytes = Bytes.create 4 }))
 

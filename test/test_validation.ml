@@ -44,16 +44,21 @@ let test_logger_validation () =
 
 let test_segment_region_validation () =
   let k, _sp = boot () in
-  inv "Segment.make: negative size" (fun () ->
-      ignore (Segment.make ~id:0 ~kind:Segment.Std ~size:(-4)));
+  let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
+  err "Segment.make: negative size"
+    (Error.Invalid { op = "Segment.make"; reason = "negative size" })
+    (fun () -> ignore (Segment.make ~id:0 ~kind:Segment.Std ~size:(-4)));
   let seg = Kernel.create_segment k ~size:4096 in
-  inv "Segment.grow: negative page count" (fun () ->
-      Segment.grow seg ~pages:(-1));
-  inv "Region.make: size must be positive" (fun () ->
-      ignore (Region.make ~id:1 ~segment:seg ~seg_offset:0 ~size:0));
-  Alcotest.check_raises "page range"
-    (Invalid_argument "Segment 2: page 7 out of range (1 pages)") (fun () ->
-      ignore (Segment.frame_of_page seg 7))
+  err "Segment.grow: negative page count"
+    (Error.Out_of_range
+       { op = "Segment.grow"; what = "page count"; value = -1 })
+    (fun () -> Segment.grow seg ~pages:(-1));
+  err "Region.make: size must be positive"
+    (Error.Out_of_range { op = "Region.make"; what = "size"; value = 0 })
+    (fun () -> ignore (Region.make ~id:1 ~segment:seg ~seg_offset:0 ~size:0));
+  err "page range"
+    (Error.Page_out_of_range { segment = 2; page = 7; pages = 1 })
+    (fun () -> ignore (Segment.frame_of_page seg 7))
 
 let test_kernel_validation () =
   let k, sp = boot () in
@@ -130,14 +135,27 @@ let test_sim_validation () =
 
 let test_rvm_validation () =
   let k, sp = boot () in
+  let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
   let r = Lvm_rvm.Rvm.create k sp ~size:4096 in
   Lvm_rvm.Rvm.begin_txn r;
-  inv "Rvm.set_range: out of segment" (fun () ->
-      Lvm_rvm.Rvm.set_range r ~off:4000 ~len:200);
-  inv "Rlvm.create: size must be a positive word multiple" (fun () ->
-      ignore (Lvm_rvm.Rlvm.create k sp ~size:30));
-  inv "Ramdisk.create: size must be positive" (fun () ->
-      ignore (Lvm_rvm.Ramdisk.create k ~size:0))
+  err "Rvm.set_range: out of segment"
+    (Error.Out_of_segment { segment = 2; off = 4000 })
+    (fun () -> Lvm_rvm.Rvm.set_range r ~off:4000 ~len:200);
+  err "Rlvm.create: size must be a positive word multiple"
+    (Error.Invalid
+       { op = "Rlvm.create"; reason = "size must be a positive word multiple" })
+    (fun () -> ignore (Lvm_rvm.Rlvm.create k sp ~size:30));
+  err "Ramdisk.create: size must be positive"
+    (Error.Invalid { op = "Ramdisk.create"; reason = "size must be positive" })
+    (fun () -> ignore (Lvm_rvm.Ramdisk.create k ~size:0));
+  (* Satellite: the log provision is validated at creation. One worst-case
+     transaction over a 64 KB segment needs more than one page of log. *)
+  err "Rlvm.create: log capacity"
+    (Error.Log_capacity
+       { op = "Rlvm.create";
+         requested = (65536 / 4 * 16) + 32;
+         capacity = 4096 })
+    (fun () -> ignore (Lvm_rvm.Rlvm.create ~log_pages:1 k sp ~size:65536))
 
 let test_consistency_validation () =
   let k, sp = boot () in

@@ -26,7 +26,7 @@ let test_segment_basics () =
 let test_segment_log_state_guard () =
   let s = Segment.make ~id:1 ~kind:Segment.Std ~size:4096 in
   Alcotest.check_raises "std segment has no write_pos"
-    (Invalid_argument "Segment 1: write_pos requires a log segment")
+    (Error.Lvm_error (Error.Not_a_log_segment { op = "write_pos"; segment = 1 }))
     (fun () -> ignore (Segment.write_pos s))
 
 (* {1 Region} *)
@@ -34,10 +34,14 @@ let test_segment_log_state_guard () =
 let test_region_validation () =
   let s = Segment.make ~id:1 ~kind:Segment.Std ~size:8192 in
   Alcotest.check_raises "offset alignment"
-    (Invalid_argument "Region.make: segment offset must be page-aligned")
+    (Error.Lvm_error
+       (Error.Invalid
+          { op = "Region.make"; reason = "segment offset must be page-aligned" }))
     (fun () -> ignore (Region.make ~id:2 ~segment:s ~seg_offset:100 ~size:4096));
   Alcotest.check_raises "exceeds segment"
-    (Invalid_argument "Region.make: region exceeds segment") (fun () ->
+    (Error.Lvm_error
+       (Error.Invalid { op = "Region.make"; reason = "region exceeds segment" }))
+    (fun () ->
       ignore (Region.make ~id:2 ~segment:s ~seg_offset:4096 ~size:8192));
   let r = Region.make ~id:2 ~segment:s ~seg_offset:4096 ~size:4096 in
   check "seg page of vaddr" 1
@@ -78,10 +82,14 @@ let test_space_bind_overlap_rejected () =
   let r2 = Region.make ~id:3 ~segment:seg ~seg_offset:0 ~size:8192 in
   ignore (Address_space.bind sp r1 ~vaddr:(Some 0x2000_0000));
   Alcotest.check_raises "overlap"
-    (Invalid_argument "Address_space.bind: overlapping binding") (fun () ->
-      ignore (Address_space.bind sp r2 ~vaddr:(Some 0x2000_1000)));
+    (Error.Lvm_error
+       (Error.Invalid
+          { op = "Address_space.bind"; reason = "overlapping binding" }))
+    (fun () -> ignore (Address_space.bind sp r2 ~vaddr:(Some 0x2000_1000)));
   Alcotest.check_raises "double bind"
-    (Invalid_argument "Address_space.bind: region is already bound")
+    (Error.Lvm_error
+       (Error.Invalid
+          { op = "Address_space.bind"; reason = "region is already bound" }))
     (fun () -> ignore (Address_space.bind sp r1 ~vaddr:None))
 
 let test_space_unbind () =
