@@ -4,7 +4,7 @@
    (host wall-clock, one Test.make per table/figure).
 
    Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list]
-                   [--metrics FILE] *)
+                   [--metrics FILE] [--cpus N] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -89,6 +89,14 @@ let bench_fig10 () =
            (Lvm_experiments.Writes_loop.run ~iterations:500 ~c:60 ~unlogged:0
               ~logged:1 ())))
 
+let bench_multicpu ~cpus () =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "multicpu/writes-loop-%dcpu-200-iters" cpus)
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Lvm_experiments.Writes_loop.run ~cpus ~iterations:200 ~c:60
+              ~unlogged:0 ~logged:1 ())))
+
 let bench_consistency () =
   let k = Kernel.create ~frames:512 () in
   let sp = Kernel.create_space k in
@@ -105,16 +113,17 @@ let bench_consistency () =
            !i;
          ignore (Lvm_consistency.Shared_segment.release t)))
 
-let bechamel_tests () =
+let bechamel_tests ~cpus () =
   Bechamel.Test.make_grouped ~name:"lvm"
     ([ bench_table2 () ] @ bench_table3 ()
-    @ [ bench_fig7 (); bench_fig9 (); bench_fig10 (); bench_consistency () ])
+    @ [ bench_fig7 (); bench_fig9 (); bench_fig10 ();
+        bench_multicpu ~cpus (); bench_consistency () ])
 
-let run_bechamel () =
+let run_bechamel ~cpus () =
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ~cpus ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -162,6 +171,10 @@ let () =
     go args
   in
   let metrics_file = flag_value "--metrics" in
+  (* --cpus N parameterizes the multicpu micro-benchmark fixture. *)
+  let cpus =
+    match flag_value "--cpus" with Some v -> int_of_string v | None -> 4
+  in
   let ppf = Format.std_formatter in
   if List.mem "--list" args then
     List.iter
@@ -183,5 +196,5 @@ let () =
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;
-    if not (List.mem "--no-bechamel" args) then run_bechamel ()
+    if not (List.mem "--no-bechamel" args) then run_bechamel ~cpus ()
   end

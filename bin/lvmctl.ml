@@ -113,8 +113,16 @@ let sim_cmd =
                        ("conservative", `Conservative) ]) `Optimistic
          & info [ "engine" ] ~doc:"optimistic (TimeWarp) or conservative.")
   in
+  let cpus =
+    Arg.(value & opt int 1
+         & info [ "cpus" ]
+             ~doc:"Machine CPUs (optimistic engine only): schedulers share \
+                   one multi-CPU kernel, pinned round-robin.")
+  in
   let run schedulers objects population end_time seed strategy workload
-      engine_kind metrics =
+      engine_kind cpus metrics =
+    if cpus <= 0 then `Error (false, "--cpus must be positive")
+    else begin
     let app, inject_tw, inject_cons, name =
       match workload with
       | `Phold ->
@@ -163,14 +171,17 @@ let sim_cmd =
             r.Lvm_sim.Conservative.busy_cycles
         | `Optimistic ->
           let engine =
-            Lvm_sim.Timewarp.create ~n_schedulers:schedulers ~strategy ~app ()
+            Lvm_sim.Timewarp.create ~cpus ~n_schedulers:schedulers ~strategy
+              ~app ()
           in
           inject_tw engine;
           let r = Lvm_sim.Timewarp.run engine ~end_time in
           Format.fprintf ppf
-            "%s: %d schedulers, %d objects, %d tokens, end-time %d (%s)@."
+            "%s: %d schedulers, %d objects, %d tokens, end-time %d (%s%s)@."
             name schedulers objects population end_time
-            (Lvm_sim.State_saving.to_string strategy);
+            (Lvm_sim.State_saving.to_string strategy)
+            (if cpus = 1 then ""
+             else Printf.sprintf ", %d cpus" cpus);
           Format.fprintf ppf "  committed events   %d@."
             r.Lvm_sim.Timewarp.total_events_committed;
           Format.fprintf ppf "  processed events   %d@."
@@ -186,13 +197,15 @@ let sim_cmd =
           Format.fprintf ppf "  efficiency         %.1f%%@."
             (100.
              *. float_of_int r.Lvm_sim.Timewarp.total_events_committed
-             /. float_of_int (max 1 r.Lvm_sim.Timewarp.total_events_processed)))
+             /. float_of_int (max 1 r.Lvm_sim.Timewarp.total_events_processed)));
+    `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Run a simulation (PHOLD or queueing) over LVM.")
-    Term.(const run $ schedulers $ objects $ population $ end_time $ seed
-          $ strategy $ workload $ engine_kind $ metrics_arg)
+    Term.(ret (const run $ schedulers $ objects $ population $ end_time $ seed
+          $ strategy $ workload $ engine_kind $ cpus $ metrics_arg))
 
 (* {1 tpca} *)
 
@@ -290,18 +303,27 @@ let crashsweep_cmd =
          & info [ "txns" ] ~doc:"Transactions in the swept workload.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sweep seed.") in
+  let cpus =
+    Arg.(value & opt int 1
+         & info [ "cpus" ]
+             ~doc:"Machine CPUs per swept run (workload runs on CPU 0).")
+  in
   let show_trace =
     Arg.(value & flag
          & info [ "trace" ]
              ~doc:"Print the deterministic per-run recovery trace.")
   in
-  let run points torn txns seed show_trace =
+  let run points torn txns seed cpus show_trace =
+    if cpus <= 0 then `Error (false, "--cpus must be positive")
+    else begin
     let o =
-      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ()
+      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus ()
     in
     Format.fprintf ppf
-      "crash sweep: %d points (%d crashed, %d completed, %d torn tails), \
-       %d failures@."
+      "crash sweep (%d cpu%s): %d points (%d crashed, %d completed, %d torn \
+       tails), %d failures@."
+      cpus
+      (if cpus = 1 then "" else "s")
       o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
       o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
       (List.length o.Lvm_tpc.Crash_sweep.failures);
@@ -310,13 +332,15 @@ let crashsweep_cmd =
       o.Lvm_tpc.Crash_sweep.failures;
     if show_trace then Format.fprintf ppf "%s" o.Lvm_tpc.Crash_sweep.trace;
     Format.pp_print_flush ppf ();
-    if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1
+    if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1;
+    `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "crashsweep"
        ~doc:"Crash a transactional RLVM workload at every swept point, \
              recover, and check crash-consistency invariants.")
-    Term.(const run $ points $ torn $ txns $ seed $ show_trace)
+    Term.(ret (const run $ points $ torn $ txns $ seed $ cpus $ show_trace))
 
 (* {1 trace} *)
 

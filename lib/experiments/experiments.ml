@@ -38,6 +38,9 @@ let all =
       description =
         "Ablation E: rollback primitives (bcopy/deferred-copy/Li-Appel)";
       run = Exp_checkpoint.run };
+    { id = "multicpu";
+      description = "Multi-CPU: bus contention and logger overload, 1-4 CPUs";
+      run = Exp_multicpu.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -13,14 +13,25 @@
 
 type result = {
   iterations : int;
-  cycles : int;  (** Total elapsed cycles including compute. *)
+  cycles : int;
+      (** Total elapsed cycles including compute. With several CPUs,
+          the latest processor clock (per-CPU iteration counts are
+          equal, so this is the parallel completion time). *)
   overloads : int;
   overload_cycles : int;
+  bus_contention : int;
+      (** Cycles CPUs spent waiting behind a different CPU's bus
+          transaction; 0 on one CPU. *)
 }
 
 val run :
-  ?hw:Lvm_machine.Logger.hw -> iterations:int -> c:int -> unlogged:int ->
-  logged:int -> unit -> result
+  ?hw:Lvm_machine.Logger.hw -> ?cpus:int -> iterations:int -> c:int ->
+  unlogged:int -> logged:int -> unit -> result
+(** With [cpus > 1] (default 1), {e each} CPU runs the full iteration
+    loop against its own segments and log, so the per-CPU write rate
+    matches the single-CPU run at the same [c] while all processors
+    contend for the one bus and logger. The single-CPU path is exactly
+    the original loop. *)
 
 val per_write : result -> c:int -> writes_per_iter:int -> float
 (** Cycles per write with the compute time subtracted out. *)

@@ -14,7 +14,7 @@ type t = {
   seed : int;
   armed : armed list;
   counts : int array; (* site occurrences, indexed by Fault.site_code *)
-  mutable rng : int64; (* splitmix64 state *)
+  rng : Splitmix.t;
   mutable history : record list; (* newest first *)
   mutable obs : Lvm_obs.Ctx.t option;
   mutable counter : Lvm_obs.Counter.counter option;
@@ -37,7 +37,7 @@ let create ?(seed = 0) injections =
     seed;
     armed = List.map (fun inj -> { inj; live = true }) injections;
     counts = Array.make n_sites 0;
-    rng = Int64.of_int (seed lxor 0x9E3779B9);
+    rng = Splitmix.create ~seed;
     history = [];
     obs = None;
     counter = None;
@@ -52,21 +52,6 @@ let crash_at ?seed cycle =
 let set_obs t ctx =
   t.obs <- Some ctx;
   t.counter <- Some (Lvm_obs.Ctx.counter ctx "fault.injected")
-
-(* splitmix64: a tiny, high-quality, explicitly-seeded generator — the
-   plan must not touch the global [Random] state. *)
-let next_u64 t =
-  let z = Int64.add t.rng 0x9E3779B97F4A7C15L in
-  t.rng <- z;
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-      0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-      0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let next_unit_float t =
-  let bits53 = Int64.to_int (Int64.shift_right_logical (next_u64 t) 11) in
-  float_of_int bits53 /. 9007199254740992. (* 2^53 *)
 
 let fires t a ~cycle ~count =
   match a.inj.trigger with
@@ -83,7 +68,7 @@ let fires t a ~cycle ~count =
     end
     else false
   | Every k -> count mod k = 0
-  | With_probability p -> next_unit_float t < p
+  | With_probability p -> Splitmix.unit_float t.rng < p
 
 let check t ~site ~cycle =
   let idx = Fault.site_code site in

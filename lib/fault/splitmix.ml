@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+(* The state initialization and mixing constants must not change: fault
+   plans and the property-test harness both promise byte-identical
+   streams for a given seed across versions. *)
+let create ~seed = { state = Int64.of_int (seed lxor 0x9E3779B9) }
+
+let next_u64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_u64 t) 11) in
+  float_of_int bits53 /. 9007199254740992. (* 2^53 *)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* 62 nonnegative bits are plenty; modulo bias is irrelevant for test
+     generation at these bounds. *)
+  Int64.to_int (Int64.shift_right_logical (next_u64 t) 2) mod bound
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L

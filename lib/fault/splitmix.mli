@@ -1,0 +1,23 @@
+(** splitmix64: a tiny, high-quality, explicitly-seeded generator.
+
+    Everything in this repository that needs randomness — fault plans,
+    the property-test harness — draws from an instance of this stream
+    and never touches the global [Random] state, so every "random"
+    execution is reproducible from its integer seed. The stream for a
+    given seed is stable: state initialization and mixing constants are
+    part of the compatibility contract. *)
+
+type t
+
+val create : seed:int -> t
+
+val next_u64 : t -> int64
+(** The next 64 raw bits. *)
+
+val unit_float : t -> float
+(** Uniform in [0, 1), 53 bits of precision. *)
+
+val int : t -> bound:int -> int
+(** Uniform-ish in [0, bound); raises on [bound <= 0]. *)
+
+val bool : t -> bool

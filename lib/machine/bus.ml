@@ -1,37 +1,87 @@
 type track = Cpu | Dma
 
+(* The CPU side of the bus is one serial resource shared by every
+   processor; [cpu_free] is when it next frees. The arbiter services
+   requests in arrival order — under the deterministic round-robin
+   scheduler the CPUs interleave one step at a time, so arrival order IS
+   round-robin order and no processor can be granted twice while another
+   has an earlier pending request. Per-CPU grant and wait accounting
+   makes the fairness observable, and waits incurred while another CPU
+   held the bus are separated out as cross-CPU contention. *)
 type t = {
+  n_cpus : int;
+  mutable active : int; (* CPU issuing the current transaction *)
   mutable cpu_free : int;
   mutable dma_free : int;
+  mutable last_owner : int; (* CPU granted the previous transaction *)
+  grants : int array;
+  waits : int array; (* per-CPU arbitration wait cycles *)
+  mutable contention : int; (* waits while another CPU held the bus *)
   perf : Perf.t;
   wait_hist : Lvm_obs.Histogram.t;
 }
 
-let create ?obs perf =
+let create ?obs ?(cpus = 1) perf =
+  if cpus <= 0 then invalid_arg "Bus.create: cpus must be positive";
   let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   {
+    n_cpus = cpus;
+    active = 0;
     cpu_free = 0;
     dma_free = 0;
+    last_owner = -1;
+    grants = Array.make cpus 0;
+    waits = Array.make cpus 0;
+    contention = 0;
     perf;
     wait_hist =
       Lvm_obs.Ctx.histogram obs ~name:"bus.wait_cycles"
         ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:12);
   }
 
+let cpus t = t.n_cpus
+
+let set_active t cpu =
+  if cpu < 0 || cpu >= t.n_cpus then invalid_arg "Bus.set_active: bad cpu";
+  t.active <- cpu
+
+let active t = t.active
+
 let access t ~track ~now ~cycles =
   if cycles < 0 then invalid_arg "Bus.access: negative cycles";
-  let free = match track with Cpu -> t.cpu_free | Dma -> t.dma_free in
-  let start = if now > free then now else free in
-  Lvm_obs.Histogram.observe t.wait_hist (start - now);
-  let finish = start + cycles in
-  (match track with
-  | Cpu -> t.cpu_free <- finish
-  | Dma -> t.dma_free <- finish);
-  t.perf.Perf.bus_busy_cycles <- t.perf.Perf.bus_busy_cycles + cycles;
-  finish
+  match track with
+  | Dma ->
+    let start = if now > t.dma_free then now else t.dma_free in
+    Lvm_obs.Histogram.observe t.wait_hist (start - now);
+    let finish = start + cycles in
+    t.dma_free <- finish;
+    t.perf.Perf.bus_busy_cycles <- t.perf.Perf.bus_busy_cycles + cycles;
+    finish
+  | Cpu ->
+    let start = if now > t.cpu_free then now else t.cpu_free in
+    let wait = start - now in
+    Lvm_obs.Histogram.observe t.wait_hist wait;
+    if wait > 0 then begin
+      t.waits.(t.active) <- t.waits.(t.active) + wait;
+      if t.last_owner >= 0 && t.last_owner <> t.active then
+        t.contention <- t.contention + wait
+    end;
+    t.grants.(t.active) <- t.grants.(t.active) + 1;
+    t.last_owner <- t.active;
+    let finish = start + cycles in
+    t.cpu_free <- finish;
+    t.perf.Perf.bus_busy_cycles <- t.perf.Perf.bus_busy_cycles + cycles;
+    finish
 
 let free_at t ~track = match track with Cpu -> t.cpu_free | Dma -> t.dma_free
+let grants t ~cpu = t.grants.(cpu)
+let wait_cycles t ~cpu = t.waits.(cpu)
+let contention_cycles t = t.contention
 
 let reset t =
   t.cpu_free <- 0;
-  t.dma_free <- 0
+  t.dma_free <- 0;
+  t.last_owner <- -1;
+  Array.fill t.grants 0 t.n_cpus 0;
+  Array.fill t.waits 0 t.n_cpus 0;
+  t.contention <- 0

@@ -1,16 +1,27 @@
 (** The shared system bus.
 
-    The processor is the high-priority bus master; the logger's record DMA
-    is the lowest-priority master and yields to CPU traffic. We model this
-    as two serialized tracks — CPU transactions (write-throughs, fills,
-    write-backs) never wait for logger DMA, while the logger's drain rate
-    is bounded by its own pipeline and DMA slot. This is what lets the
-    processor outrun the logger and fill its FIFOs (Figures 11 and 12);
-    the residual arbitration interference a burst of logged writes sees is
-    charged separately by the machine ({!Cycles.wt_logger_interference}).
+    The processors are the high-priority bus masters; the logger's record
+    DMA is the lowest-priority master and yields to CPU traffic. We model
+    this as two serialized tracks — CPU transactions (write-throughs,
+    fills, write-backs) never wait for logger DMA, while the logger's
+    drain rate is bounded by its own pipeline and DMA slot. This is what
+    lets the processors outrun the logger and fill its FIFOs (Figures 11
+    and 12); the residual arbitration interference a burst of logged
+    writes sees is charged separately by the machine
+    ({!Cycles.wt_logger_interference}).
 
     Each track is a simple serial resource: a request at [now] begins when
-    the track frees and occupies it for [cycles]. *)
+    the track frees and occupies it for [cycles].
+
+    With several CPUs (the paper's ParaDiGM prototype hangs up to four
+    processor boards off one bus), the CPU track is shared by all of them
+    and arbitrated in arrival order. Under the deterministic round-robin
+    CPU scheduler, arrival order is round-robin order, so no processor
+    can starve; per-CPU grant/wait counters make this observable, and
+    wait cycles spent behind a {e different} CPU's transaction accumulate
+    as cross-CPU contention — the quantity the multi-CPU experiment
+    sweeps. With one CPU, contention is always zero and timing is
+    identical to the original single-cursor model. *)
 
 type track =
   | Cpu  (** Processor-initiated transactions. *)
@@ -18,9 +29,18 @@ type track =
 
 type t
 
-val create : ?obs:Lvm_obs.Ctx.t -> Perf.t -> t
+val create : ?obs:Lvm_obs.Ctx.t -> ?cpus:int -> Perf.t -> t
 (** [?obs] is the machine's observability context; when omitted a private
-    one is created (standalone use in tests). *)
+    one is created (standalone use in tests). [?cpus] (default 1) is how
+    many processors share the CPU track. *)
+
+val cpus : t -> int
+
+val set_active : t -> int -> unit
+(** Declare which CPU issues subsequent [Cpu]-track transactions.
+    Raises [Invalid_argument] if out of range. *)
+
+val active : t -> int
 
 val access : t -> track:track -> now:int -> cycles:int -> int
 (** Book [cycles] on the track at or after [now]; returns the completion
@@ -28,4 +48,15 @@ val access : t -> track:track -> now:int -> cycles:int -> int
     arbitration wait in the ["bus.wait_cycles"] histogram. *)
 
 val free_at : t -> track:track -> int
+
+val grants : t -> cpu:int -> int
+(** CPU-track transactions granted to [cpu]. *)
+
+val wait_cycles : t -> cpu:int -> int
+(** Total arbitration wait cycles [cpu] has spent on the CPU track. *)
+
+val contention_cycles : t -> int
+(** Wait cycles spent behind a transaction of a {e different} CPU —
+    always zero on a single-CPU bus. *)
+
 val reset : t -> unit

@@ -103,6 +103,16 @@ let invalidate_page t ~page =
     end
   done
 
+let invalidate_line t ~paddr =
+  let idx = slot t paddr in
+  let line = Addr.line_number paddr in
+  if t.tags.(idx) = line then begin
+    t.tags.(idx) <- -1;
+    t.dirty.(idx) <- false;
+    true
+  end
+  else false
+
 let invalidate_all t =
   Array.fill t.tags 0 n_lines (-1);
   Array.fill t.dirty 0 n_lines false

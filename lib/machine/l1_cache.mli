@@ -39,6 +39,15 @@ val invalidate_page : t -> page:int -> unit
     [reset_deferred_copy]). Charges no cycles; the caller accounts for the
     invalidation sweep. *)
 
+val invalidate_line : t -> paddr:int -> bool
+(** Drop the single line holding [paddr] if resident, without write-back;
+    returns whether a line was dropped. This is the write-invalidate snoop
+    action: when another CPU's write-through for this address appears on
+    the bus, stale copies in other first-level caches are invalidated
+    (Section 2.6 — the same bus traffic the logger snoops keeps the
+    processors consistent). Charges no cycles; the snoop rides the
+    already-charged bus transaction. *)
+
 val invalidate_all : t -> unit
 
 val contains_line : t -> paddr:int -> bool

@@ -32,7 +32,9 @@ type t = {
   table : log_entry array;
   fifo : Fifo.t; (* snooped entries awaiting DMA completion *)
   onchip_buffer : int;
-  clock : int ref;
+  mutable clock : int ref;
+    (* the issuing CPU's clock — overloads suspend that CPU; the machine
+       repoints this when it switches CPUs *)
   mem : Physmem.t;
   bus : Bus.t;
   perf : Perf.t;
@@ -85,6 +87,7 @@ let records_old_values t = t.record_old_values
 let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
 let set_fault_handler t f = t.on_fault <- f
+let set_clock t clock = t.clock <- clock
 let set_snoop_observer t f = t.snoop_observer <- f
 let set_fault_plan t p = t.fault_plan <- p
 

@@ -74,6 +74,13 @@ val enabled : t -> bool
 val set_fault_handler : t -> (fault -> fault_outcome) -> unit
 (** Install the kernel's logging-fault handler. The default handler drops. *)
 
+val set_clock : t -> int ref -> unit
+(** Repoint the logger at another CPU's clock. On a multi-CPU machine the
+    logger snoops every processor's write-through traffic, but an overload
+    interrupt suspends only the {e writing} process (Section 3.2) — so the
+    machine points the logger at the active CPU's clock before each
+    access. Single-CPU machines never call this. *)
+
 val set_snoop_observer :
   t -> (paddr:int -> vaddr:int -> size:int -> value:int -> unit) option ->
   unit

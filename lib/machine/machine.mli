@@ -1,13 +1,25 @@
-(** The assembled simulated machine: CPU clock, physical memory, system
-    bus, first-level cache, second-level deferred-copy support and the
+(** The assembled simulated machine: CPU clocks, physical memory, system
+    bus, first-level caches, second-level deferred-copy support and the
     logger.
 
     This is the hardware layer that the VM system software ([Lvm_vm])
     drives. All accesses here are physical; virtual address translation and
-    fault handling live above. The CPU is sequential: [compute] burns
+    fault handling live above. Execution is sequential: [compute] burns
     cycles, [read]/[write] charge the cache and bus model and perform the
     access against physical memory, and logged writes are snooped by the
-    logger as a side effect of appearing on the bus. *)
+    logger as a side effect of appearing on the bus.
+
+    The machine models 1–N processor boards on the shared bus (the
+    paper's ParaDiGM prototype carries four 68040s). Each CPU has a
+    private clock and first-level cache; memory, the bus, the
+    deferred-copy cache and the logger are shared. Exactly one CPU is
+    {e active} at a time ([set_cpu]); the deterministic round-robin
+    scheduler in [Lvm_vm.Kernel] interleaves them. Write-through traffic
+    from any CPU is snooped both by the logger and by the other CPUs'
+    caches (write-invalidate, Section 2.6), and a logger FIFO overload
+    suspends only the CPU that issued the write. With [cpus = 1]
+    (the default) behaviour is identical to the original
+    single-processor machine. *)
 
 type t
 
@@ -19,19 +31,23 @@ type write_mode =
 
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Logger.hw -> ?record_old_values:bool ->
-  ?frames:int -> ?log_entries:int -> unit -> t
+  ?frames:int -> ?log_entries:int -> ?cpus:int -> unit -> t
 (** [create ()] builds a machine with [frames] physical page frames
     (default 4096, i.e. 16 MB) and the given logging hardware model
     (default [Prototype]). [record_old_values] enables the on-chip
     pre-image records of Section 4.6. [obs] is the observability context
     shared by every component (default: a fresh one, announced to any
     attached [Lvm_obs.Collector]); the perf record is enrolled in it as a
-    snapshot provider. *)
+    snapshot provider. [cpus] (default 1) is the number of processor
+    boards; multi-CPU machines additionally enroll a provider publishing
+    [cpu.cycles{cpu=<i>}], [cpu.bus_wait_cycles{cpu=<i>}],
+    [cpu.bus_grants{cpu=<i>}] and [bus.contention_cycles], plus the
+    [l1.snoop_invalidations] counter — none of which exist on a
+    single-CPU machine, keeping its snapshots bit-identical to before. *)
 
 val mem : t -> Physmem.t
 val logger : t -> Logger.t
 val deferred : t -> Deferred_cache.t
-val l1 : t -> L1_cache.t
 val bus : t -> Bus.t
 val perf : t -> Perf.t
 
@@ -43,9 +59,40 @@ val snapshot : t -> Lvm_obs.Snapshot.t
 (** Point-in-time view of all counters (perf record included). *)
 
 val clock : t -> int ref
+(** The {e active} CPU's clock. *)
 
 val time : t -> int
-(** Current CPU cycle count. *)
+(** Current cycle count of the active CPU. *)
+
+(** {1 Processors} *)
+
+val cpus : t -> int
+val current_cpu : t -> int
+
+val set_cpu : t -> int -> unit
+(** Make CPU [i] the active processor: subsequent [compute]/[read]/[write]
+    charge its clock and private cache, its transactions own the bus
+    arbiter's grant accounting, and logger overloads suspend it. Raises
+    [Invalid_argument] when out of range. Costless — scheduling overhead
+    is charged by the kernel's scheduler, not here. *)
+
+val cpu_time : t -> cpu:int -> int
+(** CPU [i]'s private clock. *)
+
+val max_time : t -> int
+(** The latest of all CPU clocks — wall-clock completion time of a
+    multi-CPU phase. Equals [time] on a single-CPU machine at all times. *)
+
+val bus_contention_cycles : t -> int
+(** Total cycles CPUs spent waiting behind a {e different} CPU's bus
+    transaction (always 0 with one CPU). *)
+
+val l1_invalidate_page : t -> page:int -> unit
+(** Drop every line of the physical page from {e all} CPUs' first-level
+    caches (page remap/eviction must not leave stale lines anywhere). *)
+
+val l1 : t -> L1_cache.t
+(** The active CPU's first-level cache. *)
 
 val set_fault_plan : t -> Lvm_fault.Plan.t option -> unit
 (** Attach (or clear) a deterministic fault plan ({!Lvm_fault.Plan}). The

@@ -39,6 +39,7 @@ type t = {
   strategy : State_saving.t;
   app : app;
   k : Kernel.t;
+  cpu : int; (* which CPU of [k] this scheduler is pinned to *)
   space : Address_space.t;
   working : Segment.t;
   checkpoint : Segment.t;
@@ -70,13 +71,24 @@ let local_of t obj =
 
 let obj_off t obj = local_of t obj * t.app.object_words * Addr.word_size
 
-let create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid () =
+let create ?hw ?kernel ?(cpu = 0) ~id ~n_schedulers ~strategy ~app ~fresh_uid
+    () =
   if n_schedulers <= 0 then invalid_arg "Scheduler.create: n_schedulers";
   if strategy = State_saving.Page_protect then
     invalid_arg
       "Scheduler.create: page-protect checkpointing has no per-event \
        rollback; use it with Synthetic only";
-  let k = Kernel.create ?hw ~frames:8192 () in
+  let k =
+    match kernel with
+    | Some k ->
+      if cpu < 0 || cpu >= Kernel.cpus k then
+        invalid_arg "Scheduler.create: cpu out of range for shared kernel";
+      (* charge this scheduler's setup (segment init, prefaults) to its
+         own processor *)
+      Kernel.set_cpu k cpu;
+      k
+    | None -> Kernel.create ?hw ~frames:8192 ()
+  in
   let space = Kernel.create_space k in
   let n_local =
     (app.n_objects / n_schedulers)
@@ -126,6 +138,7 @@ let create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid () =
     strategy;
     app;
     k;
+    cpu;
     space;
     working;
     checkpoint;
@@ -161,7 +174,13 @@ let create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid () =
 
 let id t = t.id
 let kernel t = t.k
-let time t = Kernel.time t.k
+
+(* On a shared multi-CPU kernel, every entry point that does kernel work
+   first switches the machine to this scheduler's processor; with a
+   dedicated kernel ([cpu] = 0) this is a no-op. *)
+let pin t = Kernel.set_cpu t.k t.cpu
+
+let time t = Kernel.cpu_time t.k ~cpu:t.cpu
 let lvt t = t.lvt
 let stats t = t.stats
 let owns t obj = obj >= 0 && obj < t.app.n_objects && obj mod t.n_schedulers = t.id
@@ -260,6 +279,7 @@ let rollback t ~target =
 (* {1 Receiving} *)
 
 let receive t msg =
+  pin t;
   let ev = msg.Event.event in
   if not (owns t ev.Event.dst) then
     invalid_arg "Scheduler.receive: object not owned by this scheduler";
@@ -376,6 +396,7 @@ let make_ctx t (ev : Event.t) =
   }
 
 let step t ~horizon =
+  pin t;
   match Event_queue.min t.queue with
   | None -> false
   | Some ev when ev.Event.time > horizon -> false
@@ -415,6 +436,7 @@ let drain_outbox t =
 let cult_threshold_bytes = 8 * Addr.page_size
 
 let fossil_collect t ~gvt =
+  pin t;
   if gvt > t.checkpoint_time then begin
     let committed, live =
       List.partition (fun p -> p.event.Event.time < gvt) t.processed
@@ -452,6 +474,7 @@ let fossil_collect t ~gvt =
   end
 
 let read_state t ~obj ~word =
+  pin t;
   if not (owns t obj) then invalid_arg "Scheduler.read_state: not owned";
   Kernel.seg_read_raw t.k t.working
     ~off:(obj_off t obj + (word * Addr.word_size))

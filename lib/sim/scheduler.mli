@@ -43,15 +43,25 @@ type app = {
 type t
 
 val create :
-  ?hw:Lvm_machine.Logger.hw -> id:int -> n_schedulers:int ->
+  ?hw:Lvm_machine.Logger.hw -> ?kernel:Lvm_vm.Kernel.t -> ?cpu:int ->
+  id:int -> n_schedulers:int ->
   strategy:State_saving.t -> app:app -> fresh_uid:(unit -> int) -> unit -> t
 (** Objects are distributed round-robin: object [o] lives on scheduler
-    [o mod n_schedulers]. *)
+    [o mod n_schedulers].
+
+    By default each scheduler boots its own single-CPU kernel (the
+    original round-based emulation of parallelism). With [kernel], the
+    scheduler instead runs on CPU [cpu] (default 0) of the given shared
+    multi-CPU kernel — the paper's actual ParaDiGM configuration — and
+    every entry point pins the machine to that CPU first, so its work is
+    charged to its own clock and cache while contending for the shared
+    bus and logger. [hw] is ignored when [kernel] is supplied. *)
 
 val id : t -> int
 val kernel : t -> Lvm_vm.Kernel.t
 val time : t -> int
-(** This scheduler's processor clock, in cycles. *)
+(** This scheduler's processor clock (its pinned CPU's, on a shared
+    kernel), in cycles. *)
 
 val lvt : t -> int
 val stats : t -> stats

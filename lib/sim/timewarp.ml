@@ -16,8 +16,9 @@ type t = {
   mutable gvt : int;
 }
 
-let create ?hw ?(batch = 8) ~n_schedulers ~strategy ~app () =
+let create ?hw ?(batch = 8) ?(cpus = 1) ~n_schedulers ~strategy ~app () =
   if batch <= 0 then invalid_arg "Timewarp.create: batch must be positive";
+  if cpus <= 0 then invalid_arg "Timewarp.create: cpus must be positive";
   let next_uid = ref 0 in
   let fresh_uid () =
     let u = !next_uid in
@@ -25,8 +26,21 @@ let create ?hw ?(batch = 8) ~n_schedulers ~strategy ~app () =
     u
   in
   let scheds =
-    Array.init n_schedulers (fun id ->
-        Scheduler.create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid ())
+    if cpus = 1 then
+      (* one kernel per scheduler: the original round-based emulation *)
+      Array.init n_schedulers (fun id ->
+          Scheduler.create ?hw ~id ~n_schedulers ~strategy ~app ~fresh_uid ())
+    else begin
+      (* the ParaDiGM configuration: one shared machine, schedulers
+         pinned round-robin to its CPUs, contending for one bus and one
+         logger *)
+      let kernel =
+        Lvm_vm.Kernel.create ?hw ~frames:(8192 * n_schedulers) ~cpus ()
+      in
+      Array.init n_schedulers (fun id ->
+          Scheduler.create ?hw ~kernel ~cpu:(id mod cpus) ~id ~n_schedulers
+            ~strategy ~app ~fresh_uid ())
+    end
   in
   { scheds; app; batch; next_uid; gvt = 0 }
 

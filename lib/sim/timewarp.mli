@@ -30,10 +30,19 @@ type result = {
 type t
 
 val create :
-  ?hw:Lvm_machine.Logger.hw -> ?batch:int -> n_schedulers:int ->
+  ?hw:Lvm_machine.Logger.hw -> ?batch:int -> ?cpus:int -> n_schedulers:int ->
   strategy:State_saving.t -> app:Scheduler.app -> unit -> t
 (** [batch] is the number of events a scheduler may process per round
-    before synchronizing (the optimism window, default 8). *)
+    before synchronizing (the optimism window, default 8).
+
+    [cpus] (default 1) selects the machine configuration. With 1, each
+    scheduler boots its own single-CPU kernel — independent machines, as
+    before. With more, all schedulers share one multi-CPU kernel and are
+    pinned round-robin to its processors (scheduler [i] on CPU
+    [i mod cpus]), so their memory traffic contends for the shared bus
+    and logger exactly as the paper's 4-processor prototype. Both
+    configurations are deterministic; their committed results are equal
+    but their cycle counts differ (the shared-bus run pays contention). *)
 
 val schedulers : t -> Scheduler.t array
 

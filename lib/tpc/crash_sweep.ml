@@ -30,8 +30,8 @@ type run_state = {
   in_commit : bool ref;
 }
 
-let build () =
-  let k = Kernel.create () in
+let build ?cpus () =
+  let k = Kernel.create ?cpus () in
   let sp = Kernel.create_space k in
   let b = bank () in
   let size = Bank.segment_bytes b in
@@ -101,8 +101,8 @@ let machine_of st = Kernel.machine (Lvm_rvm.Rlvm.kernel st.r)
 
 (* One run under one plan. Returns (trace line, failure option,
    crashed?, torn-tail-detected?). *)
-let run_one ~label ~seed ~txns plan =
-  let b, st = build () in
+let run_one ?cpus ~label ~seed ~txns plan =
+  let b, st = build ?cpus () in
   Lvm_machine.Machine.set_fault_plan (machine_of st) (Some plan);
   match run_workload b st ~seed ~txns with
   | () -> (
@@ -152,10 +152,11 @@ let torn_plan ~nth ~keep =
         trigger = Lvm_fault.Plan.At_count nth;
         fault = Lvm_fault.Fault.Torn_write { keep } } ]
 
-let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) () =
+let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
+    () =
   (* Reference run: how long the whole workload takes with no faults. *)
   let total =
-    let b, st = build () in
+    let b, st = build ?cpus () in
     run_workload b st ~seed ~txns;
     Kernel.time (Lvm_rvm.Rlvm.kernel st.r)
   in
@@ -174,13 +175,13 @@ let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) () =
   for i = 0 to points - 1 do
     let at = 1 + (i * (total - 1) / max 1 (points - 1)) in
     record
-      (run_one ~label:(Printf.sprintf "point=%d at=%d" i at) ~seed ~txns
+      (run_one ?cpus ~label:(Printf.sprintf "point=%d at=%d" i at) ~seed ~txns
          (crash_plan ~at))
   done;
   for j = 1 to torn_points do
     let keep = 1 + (j * 7 mod 23) in
     record
-      (run_one
+      (run_one ?cpus
          ~label:(Printf.sprintf "torn=%d keep=%d" j keep)
          ~seed ~txns (torn_plan ~nth:j ~keep))
   done;

@@ -27,8 +27,11 @@ type outcome = {
 }
 
 val run :
-  ?seed:int -> ?txns:int -> ?points:int -> ?torn_points:int -> unit -> outcome
+  ?seed:int -> ?txns:int -> ?points:int -> ?torn_points:int -> ?cpus:int ->
+  unit -> outcome
 (** [run ()] sweeps [points] (default 200) evenly-spaced crash cycles
     over a [txns]-transaction workload (default 12), then [torn_points]
     (default 24) torn-write crashes at successive WAL appends with
-    varying torn lengths. Each point builds a fresh machine. *)
+    varying torn lengths. Each point builds a fresh machine with [cpus]
+    processors (default 1; the workload itself runs on CPU 0 — the sweep
+    checks that crash consistency holds on a multi-CPU boot too). *)

@@ -4,7 +4,7 @@ type t = {
   machine : Machine.t;
   mutable next_id : int;
   mutable spaces : Address_space.t list;
-  mutable current : Address_space.t option;
+  currents : Address_space.t option array; (* current space, per CPU *)
   log_slots : Segment.t option array; (* logger log-table slot -> log seg *)
   pmt_loads : int list array; (* key pages loaded per slot, for eviction *)
   direct_slots : (int * int, int) Hashtbl.t;
@@ -29,6 +29,12 @@ let obs t = Machine.obs t.machine
 let snapshot t = Machine.snapshot t.machine
 let time t = Machine.time t.machine
 let compute t c = Machine.compute t.machine c
+
+(* Each CPU runs its own process, so "the current address space" is a
+   per-CPU notion; on a single-CPU kernel this degenerates to the
+   original single slot. *)
+let current t = t.currents.(Machine.current_cpu t.machine)
+let set_current t v = t.currents.(Machine.current_cpu t.machine) <- v
 
 let event t ev = Lvm_obs.Ctx.event (obs t) ~at:(Machine.time t.machine) ev
 
@@ -70,7 +76,7 @@ let evict_page t seg ~page =
             end)
           (Address_space.regions space))
       t.spaces;
-    L1_cache.invalidate_page (Machine.l1 t.machine) ~page:frame;
+    Machine.l1_invalidate_page t.machine ~page:frame;
     Hashtbl.remove t.frame_owner frame;
     Segment.clear_frame seg ~page;
     Physmem.free_frame (Machine.mem t.machine) frame
@@ -392,7 +398,7 @@ let handle_pmt_miss t ~addr =
           Logger.Fixed)))
   | Logger.On_chip -> (
     (* [addr] is virtual in the current space. *)
-    match t.current with
+    match current t with
     | None -> Logger.Drop
     | Some space -> (
       match Address_space.find_region space ~vaddr:addr with
@@ -451,9 +457,9 @@ let handle_log_addr_invalid t ~log_index =
 (* {1 Construction} *)
 
 let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
-    () =
+    ?cpus () =
   let machine =
-    Machine.create ?obs ?hw ?record_old_values ~frames ~log_entries ()
+    Machine.create ?obs ?hw ?record_old_values ~frames ~log_entries ?cpus ()
   in
   let ctx = Machine.obs machine in
   let default_log_frame = Physmem.alloc_frame (Machine.mem machine) in
@@ -462,7 +468,7 @@ let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
       machine;
       next_id = 1;
       spaces = [];
-      current = None;
+      currents = Array.make (Machine.cpus machine) None;
       log_slots = Array.make log_entries None;
       pmt_loads = Array.make log_entries [];
       direct_slots = Hashtbl.create 16;
@@ -487,16 +493,16 @@ let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
 let create_space t =
   let s = Address_space.make ~id:(fresh_id t) in
   t.spaces <- s :: t.spaces;
-  if t.current = None then t.current <- Some s;
+  if current t = None then set_current t (Some s);
   s
 
-let set_current_space t s = t.current <- Some s
-let current_space t = t.current
+let set_current_space t s = set_current t (Some s)
+let current_space t = current t
 
 let context_switch t space =
   Machine.compute t.machine Cycles.context_switch;
   Lvm_obs.Counter.incr t.c_switches;
-  t.current <- Some space;
+  set_current t (Some space);
   match Logger.hw (logger t) with
   | Logger.On_chip ->
     (* the on-chip tables live in the TLB: flush them wholesale *)
@@ -796,7 +802,7 @@ let remap_page t space region ~seg_page ~new_frame =
       | Some pte -> pte.Address_space.frame <- new_frame
       | None -> ())
     | Some _ | None -> ());
-    L1_cache.invalidate_page (Machine.l1 t.machine) ~page:old_frame;
+    Machine.l1_invalidate_page t.machine ~page:old_frame;
     Physmem.free_frame (Machine.mem t.machine) old_frame
 
 (* {1 Raw access} *)
@@ -813,7 +819,7 @@ let find_mapping t ~vaddr =
     | None -> None
   in
   let rest = List.filter_map in_space t.spaces in
-  match t.current with
+  match current t with
   | Some space -> (
     match in_space space with Some x -> Some x | None ->
       (match rest with x :: _ -> Some x | [] -> None))
@@ -830,3 +836,35 @@ let seg_read_raw t seg ~off ~size =
 let seg_write_raw t seg ~off ~size v =
   let paddr = paddr_of t seg ~off in
   Machine.write_raw t.machine ~paddr ~size v
+
+(* {1 Multi-CPU scheduling} *)
+
+let cpus t = Machine.cpus t.machine
+let current_cpu t = Machine.current_cpu t.machine
+let set_cpu t cpu = Machine.set_cpu t.machine cpu
+let cpu_time t ~cpu = Machine.cpu_time t.machine ~cpu
+let max_time t = Machine.max_time t.machine
+
+(* Deterministic round-robin: each pass gives every live task one step on
+   its CPU, in CPU order. Simulated time is carried per CPU by the
+   machine's clocks, so interleaving at step granularity — rather than
+   sorting by clock — keeps the schedule independent of the workloads'
+   relative speeds, which is what makes multi-CPU runs reproducible. *)
+let run_cpus t ~tasks =
+  let n = Array.length tasks in
+  if n = 0 || n > cpus t then
+    invalid_arg "Kernel.run_cpus: need 1 <= tasks <= cpus";
+  let live = Array.make n true in
+  let remaining = ref n in
+  while !remaining > 0 do
+    for i = 0 to n - 1 do
+      if live.(i) then begin
+        set_cpu t i;
+        if not (tasks.(i) ()) then begin
+          live.(i) <- false;
+          decr remaining
+        end
+      end
+    done
+  done;
+  set_cpu t 0

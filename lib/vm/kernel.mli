@@ -19,10 +19,13 @@ type t
 
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw ->
-  ?record_old_values:bool -> ?frames:int -> ?log_entries:int -> unit -> t
+  ?record_old_values:bool -> ?frames:int -> ?log_entries:int ->
+  ?cpus:int -> unit -> t
 (** Boot a kernel on a fresh machine. [record_old_values] enables the
     on-chip pre-image records of Section 4.6. [obs] is the observability
-    context shared with the machine (default: a fresh one). *)
+    context shared with the machine (default: a fresh one). [cpus]
+    (default 1) boots a multi-processor machine; see {!set_cpu} and
+    {!run_cpus}. *)
 
 val machine : t -> Lvm_machine.Machine.t
 val perf : t -> Lvm_machine.Perf.t
@@ -36,6 +39,34 @@ val snapshot : t -> Lvm_obs.Snapshot.t
 
 val time : t -> int
 val compute : t -> int -> unit
+
+(** {1 Processors}
+
+    The kernel runs one fault-handler context per CPU: the "current
+    address space" is per-CPU state, and all other kernel tables are
+    shared (one bus, one logger, one frame pool). Exactly one CPU
+    executes at a time; {!run_cpus} interleaves them deterministically. *)
+
+val cpus : t -> int
+
+val current_cpu : t -> int
+
+val set_cpu : t -> int -> unit
+(** Switch the kernel (and machine) to CPU [i]: subsequent accesses
+    charge its clock and cache and see its current address space. *)
+
+val cpu_time : t -> cpu:int -> int
+
+val max_time : t -> int
+(** Latest CPU clock — the wall-clock time of a multi-CPU phase. *)
+
+val run_cpus : t -> tasks:(unit -> bool) array -> unit
+(** Deterministic round-robin multi-CPU scheduler: [tasks.(i)] runs on
+    CPU [i]; each pass gives every unfinished task one step, in CPU
+    order, with the kernel switched to that CPU for the duration of the
+    step. A task returns [false] when finished. Returns with CPU 0
+    active once every task has finished. Raises [Invalid_argument] if
+    there are no tasks or more tasks than CPUs. *)
 
 (** {1 Objects} *)
 

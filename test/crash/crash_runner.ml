@@ -3,18 +3,34 @@
    Runs the fixed-seed crash sweep, fails on any invariant violation,
    then runs the identical sweep a second time and requires the two
    recovery traces to be byte-identical — the determinism guarantee of
-   the fault plan engine. Usage: crash_runner [points] [txns]. *)
+   the fault plan engine.
+
+   Usage: crash_runner [points] [txns] [cpus]
+   (or crash_runner --cpus N, keeping the point/txn defaults). *)
 
 let () =
-  let arg i default =
-    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  let rec parse pos cpus = function
+    | [] -> (List.rev pos, cpus)
+    | "--cpus" :: v :: rest -> parse pos (Some (int_of_string v)) rest
+    | a :: rest -> parse (a :: pos) cpus rest
   in
-  let points = arg 1 200 in
-  let txns = arg 2 12 in
-  let o = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns () in
+  let positional, cpus_flag =
+    parse [] None (List.tl (Array.to_list Sys.argv))
+  in
+  let arg i default =
+    match List.nth_opt positional i with
+    | Some v -> int_of_string v
+    | None -> default
+  in
+  let points = arg 0 200 in
+  let txns = arg 1 12 in
+  let cpus = match cpus_flag with Some v -> v | None -> arg 2 1 in
+  let o = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns ~cpus () in
   Printf.printf
-    "crash sweep: %d points (%d crashed, %d completed, %d torn tails), %d \
-     failures\n"
+    "crash sweep (%d cpu%s): %d points (%d crashed, %d completed, %d torn \
+     tails), %d failures\n"
+    cpus
+    (if cpus = 1 then "" else "s")
     o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
     o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
     (List.length o.Lvm_tpc.Crash_sweep.failures);
@@ -28,7 +44,7 @@ let () =
     print_endline "FAIL: no torn tail was ever detected";
     exit 1
   end;
-  let o2 = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns () in
+  let o2 = Lvm_tpc.Crash_sweep.run ~seed:42 ~points ~txns ~cpus () in
   if o.Lvm_tpc.Crash_sweep.trace <> o2.Lvm_tpc.Crash_sweep.trace then begin
     print_endline "FAIL: two identical sweeps produced different traces";
     exit 1

@@ -207,8 +207,10 @@ let test_experiments_registry () =
     (Lvm_experiments.Experiments.find "table2" <> None);
   check_bool "find misses" true
     (Lvm_experiments.Experiments.find "nope" = None);
-  check "twelve experiments" 12
-    (List.length Lvm_experiments.Experiments.all)
+  check "thirteen experiments" 13
+    (List.length Lvm_experiments.Experiments.all);
+  check_bool "multicpu registered" true
+    (Lvm_experiments.Experiments.find "multicpu" <> None)
 
 let test_report_table_alignment () =
   let out =

@@ -97,6 +97,93 @@ let test_trace_bit_identical () =
   Alcotest.(check bool) "traces are non-trivial" true
     (List.exists (fun s -> String.length s > 0) t1)
 
+(* Differential replay: the log is a complete record of every logged
+   write, so replaying it through [Lvm.Log_reader] onto a pre-execution
+   snapshot must reconstruct the final memory exactly — on one CPU and on
+   four, where each CPU runs its own logged workload under the
+   round-robin scheduler and the logger snoops them all. *)
+let test_replay_reconstructs ~cpus () =
+  let open Lvm_vm in
+  let page = Lvm_machine.Addr.page_size in
+  let seg_bytes = 2 * page in
+  let words = seg_bytes / 4 in
+  let k = Kernel.create ~cpus () in
+  let per_cpu =
+    Array.init cpus (fun cpu ->
+        Kernel.set_cpu k cpu;
+        let sp = Kernel.create_space k in
+        let seg = Kernel.create_segment k ~size:seg_bytes in
+        let region = Kernel.create_region k seg in
+        let ls = Kernel.create_log_segment k ~size:(8 * page) in
+        Kernel.set_region_log k region (Some ls);
+        let base = Kernel.bind k sp region in
+        (sp, seg, ls, base))
+  in
+  Kernel.set_cpu k 0;
+  let snapshot seg =
+    Array.init words (fun i -> Kernel.seg_read_raw k seg ~off:(i * 4) ~size:4)
+  in
+  let snaps = Array.map (fun (_, seg, _, _) -> snapshot seg) per_cpu in
+  let iters = Array.make cpus 0 in
+  let tasks =
+    Array.init cpus (fun i () ->
+        let sp, _, _, base = per_cpu.(i) in
+        let n = iters.(i) in
+        Kernel.compute k (n * (i + 3) mod 11);
+        Kernel.write_word k sp
+          (base + (n * 4 * (i + 1) mod seg_bytes))
+          (((n * 97) + i) land 0xFFFFFFFF);
+        iters.(i) <- n + 1;
+        iters.(i) < 150)
+  in
+  Kernel.run_cpus k ~tasks;
+  Array.iteri
+    (fun i (_, seg, ls, _) ->
+      let model = Array.copy snaps.(i) in
+      Lvm.Log_reader.iter k ls ~f:(fun ~off:_ r ->
+          if not r.Lvm_machine.Log_record.pre_image then begin
+            Alcotest.(check int) "word-sized record" 4
+              r.Lvm_machine.Log_record.size;
+            match Lvm.Log_reader.locate k r with
+            | Some (s, off) when s == seg ->
+              model.(off / 4) <- r.Lvm_machine.Log_record.value
+            | Some _ -> Alcotest.fail "record located to a foreign segment"
+            | None -> Alcotest.fail "record did not locate"
+          end);
+      Alcotest.(check (array int))
+        (Printf.sprintf "cpu %d replay reconstructs memory" i)
+        (snapshot seg) model)
+    per_cpu
+
+(* The multi-CPU configuration is deterministic end to end: two
+   identical 4-CPU shared-kernel runs produce byte-identical committed
+   states and byte-identical structured event traces. *)
+let test_timewarp_multicpu_deterministic () =
+  let run () =
+    let app = Phold.app ~objects:12 ~seed:9 () in
+    let (states, elapsed), collector =
+      Lvm_obs.Collector.with_collector (fun () ->
+          let engine =
+            Timewarp.create ~cpus:4 ~n_schedulers:4
+              ~strategy:State_saving.Lvm_based ~app ()
+          in
+          Phold.inject_population engine ~objects:12 ~population:8 ~seed:9;
+          let r = Timewarp.run engine ~end_time:250 in
+          (Timewarp.state_vector engine, r.Timewarp.elapsed_cycles))
+    in
+    let traces =
+      List.map
+        (Format.asprintf "%a" Lvm_obs.Trace.pp)
+        (Lvm_obs.Collector.traces collector)
+    in
+    (states, elapsed, traces)
+  in
+  let s1, e1, t1 = run () in
+  let s2, e2, t2 = run () in
+  Alcotest.(check (array int)) "identical states" s1 s2;
+  check "identical elapsed cycles" e1 e2;
+  Alcotest.(check (list string)) "identical traces" t1 t2
+
 (* TPC-A with negative balances: signed arithmetic must round-trip the
    32-bit storage *)
 let test_tpca_negative_balances () =
@@ -126,6 +213,12 @@ let suites =
           test_logs_bit_identical;
         Alcotest.test_case "traces bit-identical" `Quick
           test_trace_bit_identical;
+        Alcotest.test_case "replay reconstructs memory (1 cpu)" `Quick
+          (test_replay_reconstructs ~cpus:1);
+        Alcotest.test_case "replay reconstructs memory (4 cpus)" `Quick
+          (test_replay_reconstructs ~cpus:4);
+        Alcotest.test_case "timewarp 4-cpu deterministic" `Quick
+          test_timewarp_multicpu_deterministic;
         Alcotest.test_case "tpc-a negative balances" `Quick
           test_tpca_negative_balances;
       ] );

@@ -1,7 +1,24 @@
 (* Soak tests: longer randomized end-to-end runs exercising the whole
-   stack at once (marked Slow; they still finish in seconds). *)
+   stack at once (marked Slow; they still finish in seconds).
+
+   Every random choice derives from [LVM_TEST_SEED] (deterministic
+   default 77) through the repository's own splitmix64 stream — the
+   global [Random] state is never consulted — so a failure is replayed
+   exactly by exporting the seed it prints. *)
 
 open Lvm_sim
+module Sm = Lvm_fault.Splitmix
+
+let seed =
+  match Sys.getenv_opt "LVM_TEST_SEED" with
+  | Some v -> ( try int_of_string v with _ -> 77)
+  | None -> 77
+
+(* Announce the seed on any failure, then let Alcotest report it. *)
+let with_seed f () =
+  try f () with e ->
+    Printf.eprintf "soak failure: reproduce with LVM_TEST_SEED=%d\n%!" seed;
+    raise e
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -9,11 +26,11 @@ let check_bool = Alcotest.(check bool)
 let test_timewarp_soak () =
   (* a long mixed run: heavy optimism, both workloads, LVM saving, many
      CULTs, log recycling — everything must stay equivalent *)
-  let app = Phold.app ~objects:20 ~object_words:16 ~seed:99 () in
+  let app = Phold.app ~objects:20 ~object_words:16 ~seed () in
   let run n =
     let e = Timewarp.create ~n_schedulers:n
         ~strategy:State_saving.Lvm_based ~app () in
-    Phold.inject_population e ~objects:20 ~population:14 ~seed:99;
+    Phold.inject_population e ~objects:20 ~population:14 ~seed;
     let r = Timewarp.run e ~end_time:1500 in
     (Timewarp.state_vector e, r)
   in
@@ -28,11 +45,11 @@ let test_timewarp_soak () =
     (r5.Timewarp.total_rollbacks > 50)
 
 let test_queueing_soak () =
-  let app = Queueing.app ~stations:12 ~seed:4 in
+  let app = Queueing.app ~stations:12 ~seed:(seed + 1) in
   let run n =
     let e = Timewarp.create ~n_schedulers:n
         ~strategy:State_saving.Copy_based ~app () in
-    Queueing.inject_customers e ~stations:12 ~customers:10 ~seed:4;
+    Queueing.inject_customers e ~stations:12 ~customers:10 ~seed:(seed + 1);
     ignore (Timewarp.run e ~end_time:1200);
     Timewarp.state_vector e
   in
@@ -44,18 +61,18 @@ let test_rlvm_soak () =
   let sp = Lvm_vm.Kernel.create_space k in
   let r = Lvm_rvm.Rlvm.create k sp ~size:8192 in
   let model = Array.make 2048 0 in
-  let rng = Random.State.make [| 77 |] in
+  let rng = Sm.create ~seed:(seed + 2) in
   for txn = 1 to 400 do
     Lvm_rvm.Rlvm.begin_txn r;
-    let writes = 1 + Random.State.int rng 5 in
+    let writes = 1 + Sm.int rng ~bound:5 in
     let staged = ref [] in
     for _ = 1 to writes do
-      let w = Random.State.int rng 2048 in
-      let v = Random.State.int rng 100000 in
+      let w = Sm.int rng ~bound:2048 in
+      let v = Sm.int rng ~bound:100000 in
       Lvm_rvm.Rlvm.write_word r ~off:(w * 4) v;
       staged := (w, v) :: !staged
     done;
-    (match Random.State.int rng 3 with
+    (match Sm.int rng ~bound:3 with
     | 0 -> Lvm_rvm.Rlvm.abort r
     | 1 | _ ->
       Lvm_rvm.Rlvm.commit r;
@@ -73,9 +90,11 @@ let suites =
   [
     ( "soak",
       [
-        Alcotest.test_case "timewarp phold 1500vt" `Slow test_timewarp_soak;
+        Alcotest.test_case "timewarp phold 1500vt" `Slow
+          (with_seed test_timewarp_soak);
         Alcotest.test_case "timewarp queueing 1200vt" `Slow
-          test_queueing_soak;
-        Alcotest.test_case "rlvm 400 txns with crashes" `Slow test_rlvm_soak;
+          (with_seed test_queueing_soak);
+        Alcotest.test_case "rlvm 400 txns with crashes" `Slow
+          (with_seed test_rlvm_soak);
       ] );
   ]
