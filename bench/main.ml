@@ -28,8 +28,7 @@ let bench_table2 () =
          incr i;
          Kernel.write_word k sp (base + (!i * 4 mod 4096)) !i;
          if !i mod 200 = 0 then begin
-           Kernel.sync_log k ls;
-           Kernel.truncate_log_suffix k ls ~new_end:0
+           Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end:0
          end))
 
 let bench_table3 () =
@@ -59,6 +58,41 @@ let bench_table3 () =
            Lvm_rvm.Rlvm.commit rlvm))
   in
   [ rvm_test; rlvm_test ]
+
+(* Same transaction stream as table3/rlvm-txn, but the WAL is forced once
+   per four commits: measures what group commit shaves off the loop. *)
+let bench_group4 () =
+  let k = Kernel.create ~frames:512 () in
+  let sp = Kernel.create_space k in
+  let rlvm = Lvm_rvm.Rlvm.create ~group:4 k sp ~size:8192 in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"table3/rlvm-txn-group4"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         let off = !i * 8 mod 4096 in
+         Lvm_rvm.Rlvm.begin_txn rlvm;
+         Lvm_rvm.Rlvm.write_word rlvm ~off !i;
+         Lvm_rvm.Rlvm.commit rlvm))
+
+(* [Log_reader.fold] over a prebuilt log: the fold syncs the logger once
+   per call and caches one frame translation per page, so this scales
+   with record count, not with per-record kernel crossings. *)
+let bench_logreader_fold () =
+  let k = Kernel.create ~frames:256 () in
+  let sp = Kernel.create_space k in
+  let seg = Kernel.create_segment k ~size:4096 in
+  let region = Kernel.create_region k seg in
+  let ls = Kernel.create_log_segment k ~size:(8 * Addr.page_size) in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  for i = 0 to 1023 do
+    Kernel.write_word k sp (base + (i * 4 mod 4096)) i
+  done;
+  Kernel.sync_log k ls;
+  Bechamel.Test.make ~name:"logreader/fold-1024-records"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Lvm.Log_reader.fold k ls ~init:0 ~f:(fun acc ~off:_ _ -> acc + 1))))
 
 let bench_fig7 () =
   Bechamel.Test.make ~name:"fig7-8/synthetic-200-events"
@@ -116,8 +150,9 @@ let bench_consistency () =
 let bechamel_tests ~cpus () =
   Bechamel.Test.make_grouped ~name:"lvm"
     ([ bench_table2 () ] @ bench_table3 ()
-    @ [ bench_fig7 (); bench_fig9 (); bench_fig10 ();
-        bench_multicpu ~cpus (); bench_consistency () ])
+    @ [ bench_group4 (); bench_logreader_fold (); bench_fig7 ();
+        bench_fig9 (); bench_fig10 (); bench_multicpu ~cpus ();
+        bench_consistency () ])
 
 let run_bechamel ~cpus () =
   let open Bechamel in
@@ -143,6 +178,41 @@ let run_bechamel ~cpus () =
   Lvm_experiments.Report.table Format.std_formatter
     ~header:[ "benchmark"; "estimate" ]
     (List.sort compare !rows)
+
+(* {1 Group commit on vs off (simulated cycles)}
+
+   The identical transaction stream with the WAL forced on every commit
+   (group 1, the paper's RVM behavior) and once per four commits (group
+   4): the per-commit force cost amortizes across the batch. Run inside
+   the ambient collector, so both runs' counters — notably
+   [rvm.wal_forces] — land in the metrics blob. *)
+
+let group_commit_comparison ppf =
+  let point ~group =
+    let k = Kernel.create ~frames:256 () in
+    let sp = Kernel.create_space k in
+    let r = Lvm_rvm.Rlvm.create ~group k sp ~size:8192 in
+    let txns = 64 in
+    let t0 = Kernel.time k in
+    for i = 1 to txns do
+      Lvm_rvm.Rlvm.begin_txn r;
+      Lvm_rvm.Rlvm.write_word r ~off:(i * 8 mod 4096) i;
+      Lvm_rvm.Rlvm.commit r
+    done;
+    Lvm_rvm.Rlvm.flush_commits r;
+    let cycles = Kernel.time k - t0 in
+    let forces =
+      Lvm_obs.Snapshot.get (Machine.snapshot (Kernel.machine k))
+        "rvm.wal_forces"
+    in
+    (cycles / txns, forces)
+  in
+  let c1, f1 = point ~group:1 in
+  let c4, f4 = point ~group:4 in
+  Format.fprintf ppf
+    "group commit (64 txns): group=1 %d cycles/txn, %d WAL forces; \
+     group=4 %d cycles/txn, %d WAL forces@."
+    c1 f1 c4 f4
 
 (* {1 Entry point} *)
 
@@ -192,7 +262,9 @@ let () =
             | None ->
               Printf.eprintf "unknown experiment %s (try --list)\n" id;
               exit 1)
-          | None -> Lvm_experiments.Experiments.run_all ~quick ppf)
+          | None ->
+            Lvm_experiments.Experiments.run_all ~quick ppf;
+            group_commit_comparison ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

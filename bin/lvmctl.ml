@@ -308,22 +308,31 @@ let crashsweep_cmd =
          & info [ "cpus" ]
              ~doc:"Machine CPUs per swept run (workload runs on CPU 0).")
   in
+  let group =
+    Arg.(value & opt int 1
+         & info [ "group" ]
+             ~doc:"Group-commit batch size for the RLVM under test \
+                   (1 forces the WAL on every commit).")
+  in
   let show_trace =
     Arg.(value & flag
          & info [ "trace" ]
              ~doc:"Print the deterministic per-run recovery trace.")
   in
-  let run points torn txns seed cpus show_trace =
+  let run points torn txns seed cpus group show_trace =
     if cpus <= 0 then `Error (false, "--cpus must be positive")
+    else if group <= 0 then `Error (false, "--group must be positive")
     else begin
     let o =
-      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus ()
+      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus
+        ~group ()
     in
     Format.fprintf ppf
-      "crash sweep (%d cpu%s): %d points (%d crashed, %d completed, %d torn \
-       tails), %d failures@."
+      "crash sweep (%d cpu%s, group %d): %d points (%d crashed, %d \
+       completed, %d torn tails), %d failures@."
       cpus
       (if cpus = 1 then "" else "s")
+      group
       o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
       o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
       (List.length o.Lvm_tpc.Crash_sweep.failures);
@@ -340,7 +349,105 @@ let crashsweep_cmd =
     (Cmd.info "crashsweep"
        ~doc:"Crash a transactional RLVM workload at every swept point, \
              recover, and check crash-consistency invariants.")
-    Term.(ret (const run $ points $ torn $ txns $ seed $ cpus $ show_trace))
+    Term.(ret (const run $ points $ torn $ txns $ seed $ cpus $ group
+          $ show_trace))
+
+(* {1 logstats} *)
+
+(* A seeded, skewed logged-write workload: most writes hammer a small hot
+   set of words, the rest scatter — exactly the redundancy pattern the
+   Section 2.7 analysis exists to expose. *)
+let run_logstats ~writes ~hot ~seed ~limit ~json =
+  let page = Lvm_machine.Addr.page_size in
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+  let seg = Lvm_vm.Kernel.create_segment k ~size:(4 * page) in
+  let region = Lvm_vm.Kernel.create_region k seg in
+  let log = Lvm_log.create k ~size:(4 * page) in
+  let ls = Lvm_log.segment log in
+  Lvm_vm.Kernel.set_region_log k region (Some ls);
+  let base = Lvm_vm.Kernel.bind k sp region in
+  let words = 4 * page / 4 in
+  let rng = Random.State.make [| seed |] in
+  for i = 0 to writes - 1 do
+    Lvm_log.reserve log ~bytes:Lvm_machine.Log_record.bytes ~max_pages:max_int;
+    let off =
+      if Random.State.int rng 100 < 80 then 4 * Random.State.int rng hot
+      else 4 * Random.State.int rng words
+    in
+    Lvm_vm.Kernel.write_word k sp (base + off) i
+  done;
+  let s = Lvm_tools.Log_stats.summarize k ~watched:seg ~log:ls in
+  let top = Lvm_tools.Log_stats.top_rewritten ~limit k ~watched:seg ~log:ls in
+  let ring = Lvm_log.stats log in
+  if json then begin
+    Format.fprintf ppf
+      "{\"records\":%d,\"distinct_locations\":%d,\"redundant\":%d,\
+       \"redundancy_ratio\":%.4f,\"top_rewritten\":[%a],\
+       \"log\":{\"extents\":%d,\"extent_pages\":%d,\"write_pos\":%d,\
+       \"capacity\":%d,\"utilization_pct\":%d,\"switches\":%d}}@."
+      s.Lvm_tools.Log_stats.records s.Lvm_tools.Log_stats.distinct_locations
+      s.Lvm_tools.Log_stats.redundant s.Lvm_tools.Log_stats.redundancy_ratio
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         (fun ppf (off, n) ->
+           Format.fprintf ppf "{\"offset\":%d,\"writes\":%d}" off n))
+      top ring.Lvm_log.extents ring.Lvm_log.extent_pages
+      ring.Lvm_log.write_pos ring.Lvm_log.capacity
+      ring.Lvm_log.utilization_pct ring.Lvm_log.switches
+  end
+  else begin
+    Format.fprintf ppf
+      "log analysis: %d records, %d distinct locations, %d redundant \
+       (%.1f%%)@."
+      s.Lvm_tools.Log_stats.records s.Lvm_tools.Log_stats.distinct_locations
+      s.Lvm_tools.Log_stats.redundant
+      (100. *. s.Lvm_tools.Log_stats.redundancy_ratio);
+    Format.fprintf ppf
+      "log ring: %d extents of %d page(s), write_pos %d/%d (%d%% full), \
+       %d extent switch(es)@."
+      ring.Lvm_log.extents ring.Lvm_log.extent_pages ring.Lvm_log.write_pos
+      ring.Lvm_log.capacity ring.Lvm_log.utilization_pct
+      ring.Lvm_log.switches;
+    Format.fprintf ppf "top rewritten offsets:@.";
+    List.iter
+      (fun (off, n) -> Format.fprintf ppf "  +0x%04x  %4d writes@." off n)
+      top
+  end;
+  Format.pp_print_flush ppf ()
+
+let logstats_cmd =
+  let writes =
+    Arg.(value & opt int 2000
+         & info [ "writes" ] ~doc:"Logged writes to generate.")
+  in
+  let hot =
+    Arg.(value & opt int 32
+         & info [ "hot" ] ~doc:"Hot-set size in words (takes 80% of writes).")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let limit =
+    Arg.(value & opt int 10
+         & info [ "limit" ] ~doc:"Top rewritten offsets to report.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
+  in
+  let run writes hot seed limit json =
+    if writes <= 0 then `Error (false, "--writes must be positive")
+    else if hot <= 0 then `Error (false, "--hot must be positive")
+    else begin
+      run_logstats ~writes ~hot ~seed ~limit ~json;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "logstats"
+       ~doc:"Run a skewed logged-write workload and report the Section \
+             2.7 redundancy analysis plus the extent-ring state.")
+    Term.(ret (const run $ writes $ hot $ seed $ limit $ json))
 
 (* {1 trace} *)
 
@@ -430,6 +537,6 @@ let main =
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
     [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
-      crashsweep_cmd; trace_cmd ]
+      crashsweep_cmd; logstats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -40,7 +40,8 @@ let checkpoint k seg ls =
         Backing_store.write_word db_file ~off r.Lvm_machine.Log_record.value;
         incr applied
       | Some _ | None -> ());
-  Kernel.truncate_log k ls ~keep_from:(Lvm.Log_reader.length k ls);
+  Lvm_log.truncate (Lvm_log.of_segment k ls)
+    ~keep_from:(Lvm.Log_reader.length k ls);
   !applied
 
 let () =

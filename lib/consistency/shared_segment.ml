@@ -151,7 +151,7 @@ let propagate_log t =
         | Some _ | None -> ());
         `Continue)
   in
-  Kernel.truncate_log t.k ls ~keep_from:stop;
+  Lvm_log.truncate (Lvm_log.of_segment t.k ls) ~keep_from:stop;
   Kernel.compute t.k (message_overhead + (!words * wire_per_word));
   (!words, 1)
 
@@ -159,8 +159,8 @@ let propagate_log t =
    the consumed log records (no copying needed). *)
 let retire_log t =
   let ls = Option.get t.ls in
-  Kernel.sync_log t.k ls;
-  Kernel.truncate_log t.k ls ~keep_from:(Segment.write_pos ls);
+  let log = Lvm_log.of_segment t.k ls in
+  Lvm_log.truncate log ~keep_from:(Lvm_log.length log);
   (0, 0)
 
 let stream t =

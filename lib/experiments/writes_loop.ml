@@ -53,8 +53,7 @@ let run_single ?hw ~iterations ~c ~unlogged ~logged () =
       incr records
     done;
     if !records * Log_record.bytes >= recycle_at then begin
-      Kernel.sync_log k ls;
-      Kernel.truncate_log_suffix k ls ~new_end:0;
+      Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end:0;
       records := 0
     end
   done;
@@ -131,8 +130,7 @@ let run_multi ?hw ~cpus ~iterations ~c ~unlogged ~logged () =
       st.records <- st.records + 1
     done;
     if st.records * Log_record.bytes >= recycle_at then begin
-      Kernel.sync_log k st.ls;
-      Kernel.truncate_log_suffix k st.ls ~new_end:0;
+      Lvm_log.truncate_suffix (Lvm_log.of_segment k st.ls) ~new_end:0;
       st.records <- 0
     end;
     st.done_iters <- i + 1;

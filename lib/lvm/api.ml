@@ -28,15 +28,20 @@ let std_region ?seg_offset ?size k segment =
 let bind k space ?vaddr region = Kernel.bind k space ?vaddr region
 
 let log_segment ?mode ?(size = 16 * Lvm_machine.Addr.page_size) k =
-  Kernel.create_log_segment ?mode k ~size
+  (* Every log segment handed out by the API is lifecycle-managed. *)
+  Lvm_log.segment (Lvm_log.create ?mode k ~size)
 
 let log k region ls = Kernel.set_region_log k region (Some ls)
 let unlog k region = Kernel.set_region_log k region None
 let set_logging k region enabled = Kernel.set_logging_enabled k region enabled
-let extend_log k ls ~pages = Kernel.extend_log k ls ~pages
+let extend_log k ls ~pages = Lvm_log.extend (Lvm_log.of_segment k ls) ~pages
 let sync_log k ls = Kernel.sync_log k ls
-let truncate_log k ls ~keep_from = Kernel.truncate_log k ls ~keep_from
-let truncate_log_suffix k ls ~new_end = Kernel.truncate_log_suffix k ls ~new_end
+
+let truncate_log k ls ~keep_from =
+  Lvm_log.truncate (Lvm_log.of_segment k ls) ~keep_from
+
+let truncate_log_suffix k ls ~new_end =
+  Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end
 
 let source_segment ?(offset = 0) k ~dst ~src =
   Kernel.declare_source k ~dst ~src ~offset

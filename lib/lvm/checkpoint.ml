@@ -38,7 +38,7 @@ let rollback k ~space ~working ~working_region ~base ~log ~upto =
             `Continue
           | Some _ | None -> `Continue)
   in
-  Kernel.truncate_log_suffix k log ~new_end:stop;
+  Lvm_log.truncate_suffix (Lvm_log.of_segment k log) ~new_end:stop;
   Kernel.set_logging_enabled k working_region true
 
 let cult k ~working ~checkpoint ~log ~upto =
@@ -56,7 +56,9 @@ let cult k ~working ~checkpoint ~log ~upto =
           `Continue
         end)
   in
-  Kernel.truncate_log k log ~keep_from:stop;
+  (* checkpoint-driven compaction: CULT'd records are dead, so the
+     extents below [stop] are truncatable and get recycled *)
+  Lvm_log.truncate (Lvm_log.of_segment k log) ~keep_from:stop;
   !applied
 
 let cult_all k ~working ~checkpoint ~log =

@@ -37,10 +37,28 @@ let read_mapped k space ~base ~off =
   Log_record.decode_bytes buf ~pos:0
 
 let fold k ls ~init ~f =
+  (* One logger sync for the whole walk ([length]), one address
+     translation per page: records never straddle pages (the page size is
+     a multiple of [Log_record.bytes]), so a cached page base serves all
+     the records on it — including across extent boundaries, which are
+     ordinary page boundaries of the backing segment. *)
   let len = length k ls in
+  let mem = Machine.mem (Kernel.machine k) in
+  let page = ref (-1) in
+  let page_paddr = ref 0 in
   let rec go acc off =
     if off + Log_record.bytes > len then acc
-    else go (f acc ~off (read_at k ls ~off)) (off + Log_record.bytes)
+    else begin
+      let p = off / Addr.page_size in
+      if p <> !page then begin
+        page := p;
+        page_paddr := Kernel.paddr_of k ls ~off:(p * Addr.page_size)
+      end;
+      let paddr = !page_paddr + Addr.page_offset off in
+      go
+        (f acc ~off (Log_record.decode_from mem ~paddr))
+        (off + Log_record.bytes)
+    end
   in
   go init 0
 

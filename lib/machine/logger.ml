@@ -123,6 +123,13 @@ let set_log_entry t ~index ~mode ~addr =
   e.l_mode <- mode;
   e.next_addr <- addr
 
+let retarget_log_entry t ~index ~addr =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg "Logger.retarget_log_entry: bad index";
+  let e = t.table.(index) in
+  e.l_valid <- true;
+  e.next_addr <- addr
+
 let invalidate_log_entry t ~index =
   if index < 0 || index >= Array.length t.table then
     invalid_arg "Logger.invalidate_log_entry: bad index";

@@ -115,6 +115,12 @@ val set_log_entry : t -> index:int -> mode:mode -> addr:int -> unit
 (** Make log table entry [index] valid, writing its next record at
     physical address [addr]. *)
 
+val retarget_log_entry : t -> index:int -> addr:int -> unit
+(** Re-point a log table entry at a new next-record address without
+    touching its mode — how the log-lifecycle layer switches the logger
+    onto the next extent of a ring (the entry's mode was fixed when the
+    log segment was first armed). Marks the entry valid. *)
+
 val invalidate_log_entry : t -> index:int -> unit
 
 val log_entry : t -> index:int -> (mode * int) option

@@ -9,6 +9,7 @@ type t =
   | Dma_flush of { pending : int; drained_at : int }
   | Log_extend of { segment : int; pages : int; total_pages : int }
   | Log_absorb of { segment : int }
+  | Log_recycle of { segment : int; extents : int }
   | Dc_reset of { pages : int; dirty : int }
   | Rollback of { scheduler : int; target : int; undone : int }
   | Commit of { scheduler : int; gvt : int; events : int }
@@ -26,6 +27,7 @@ let label = function
   | Dma_flush _ -> "dma_flush"
   | Log_extend _ -> "log_extend"
   | Log_absorb _ -> "log_absorb"
+  | Log_recycle _ -> "log_recycle"
   | Dc_reset _ -> "dc_reset"
   | Rollback _ -> "rollback"
   | Commit _ -> "commit"
@@ -44,6 +46,8 @@ let fields = function
   | Log_extend { segment; pages; total_pages } ->
     [ ("segment", segment); ("pages", pages); ("total_pages", total_pages) ]
   | Log_absorb { segment } -> [ ("segment", segment) ]
+  | Log_recycle { segment; extents } ->
+    [ ("segment", segment); ("extents", extents) ]
   | Dc_reset { pages; dirty } -> [ ("pages", pages); ("dirty", dirty) ]
   | Rollback { scheduler; target; undone } ->
     [ ("scheduler", scheduler); ("target", target); ("undone", undone) ]

@@ -23,6 +23,7 @@ type t =
       (** An explicit logger flush: [pending] records were still queued. *)
   | Log_extend of { segment : int; pages : int; total_pages : int }
   | Log_absorb of { segment : int }
+  | Log_recycle of { segment : int; extents : int }
       (** The log ran off its end; records absorb into the default page. *)
   | Dc_reset of { pages : int; dirty : int }
       (** A deferred-copy reset over [pages] pages, [dirty] of them

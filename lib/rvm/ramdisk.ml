@@ -10,8 +10,11 @@ type t = {
   image : Bytes.t;
   mutable log : Bytes.t; (* serialized WAL, first [log_len] bytes live *)
   mutable log_len : int;
+  mutable forced_len : int; (* bytes known durable: forced to the disk *)
+  mutable volatile_tail : bool; (* crash discards bytes past forced_len *)
   mutable charged_bytes : int; (* legacy cost-model accounting *)
   mutable entries : int;
+  c_forces : Lvm_obs.Counter.counter;
 }
 
 let create k ~size =
@@ -19,7 +22,10 @@ let create k ~size =
     Error.raise_
       (Error.Invalid { op = "Ramdisk.create"; reason = "size must be positive" });
   { k; image = Bytes.make size '\000'; log = Bytes.create 4096; log_len = 0;
-    charged_bytes = 0; entries = 0 }
+    forced_len = 0; volatile_tail = false; charged_bytes = 0; entries = 0;
+    c_forces = Lvm_obs.Ctx.counter (Kernel.obs k) "rvm.wal_forces" }
+
+let set_volatile_tail t v = t.volatile_tail <- v
 
 let size t = Bytes.length t.image
 
@@ -90,6 +96,7 @@ let serialize entry =
   b
 
 let log_bytes t = t.log_len
+let forced_bytes t = t.forced_len
 
 let append_raw t src ~len =
   let need = t.log_len + len in
@@ -192,6 +199,10 @@ let wal_append t entry =
 
 let wal_force t =
   ignore (Machine.fault_check (machine t) ~site:Lvm_fault.Fault.Ramdisk_force);
+  (* The force is durable before its cycle cost is charged: a crash
+     injected during the charge finds the forced bytes on disk. *)
+  t.forced_len <- t.log_len;
+  Lvm_obs.Counter.incr t.c_forces;
   Kernel.compute t.k Rvm_costs.commit_force
 
 let should_truncate t = t.charged_bytes > Rvm_costs.truncate_threshold_bytes
@@ -225,7 +236,10 @@ let rebuild_log t entries =
       append_raw t record ~len:(Bytes.length record);
       t.charged_bytes <- t.charged_bytes + entry_bytes e;
       t.entries <- t.entries + 1)
-    entries
+    entries;
+  (* a rebuilt log is durable in full (truncation and recovery both force
+     their result) *)
+  t.forced_len <- t.log_len
 
 let truncate t =
   let s = scan t in
@@ -259,12 +273,24 @@ let recovery_to_string r =
     r.scanned r.committed r.replayed r.truncated_bytes
     (match r.torn with None -> "none" | Some s -> s)
 
+(* With a volatile tail (group commit), bytes appended since the last
+   force never reached the disk: a crash loses them, so recovery must not
+   see them. With [volatile_tail] off (group 1, the default) every append
+   is treated as durable, exactly the pre-group-commit semantics. *)
+let durable_len t =
+  if t.volatile_tail then min t.log_len t.forced_len else t.log_len
+
 let recovered_image t =
   let image = Bytes.copy t.image in
+  let saved = t.log_len in
+  t.log_len <- durable_len t;
   ignore (apply_committed image (scan t).s_entries);
+  t.log_len <- saved;
   image
 
 let recover t =
+  (* drop the unforced tail first: those bytes were never durable *)
+  t.log_len <- durable_len t;
   let s = scan t in
   let truncated = t.log_len - s.s_valid_end in
   (match s.s_torn with

@@ -48,7 +48,17 @@ val wal_append : t -> entry -> unit
     overhead and the copy at the cost model's record size. *)
 
 val wal_force : t -> unit
-(** Force the log: the fixed commit-synchronization cost. *)
+(** Force the log: the fixed commit-synchronization cost. Marks every
+    appended byte durable and bumps the ["rvm.wal_forces"] counter. *)
+
+val set_volatile_tail : t -> bool -> unit
+(** Group-commit crash semantics: when on, bytes appended since the last
+    {!wal_force} are {e not} durable — {!recover} and {!recovered_image}
+    discard them, replaying only to the last fully-forced batch. Off by
+    default, preserving the seed's every-append-durable behavior. *)
+
+val forced_bytes : t -> int
+(** Physical log bytes covered by the last force. *)
 
 val wal_bytes : t -> int
 (** Cost-model bytes of live log (the paper's record sizes). *)

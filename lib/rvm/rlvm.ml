@@ -11,9 +11,11 @@ type t = {
   committed : Segment.t;
   region : Region.t;
   ls : Segment.t;
+  log : Lvm_log.t; (* lifecycle handle over [ls] *)
   base : int;
   size : int; (* usable bytes; the txn cell lives at [size] *)
   disk : Ramdisk.t;
+  batcher : Lvm_log.Batcher.batcher;
   max_log_pages : int;
   mutable current : int option;
   mutable next_txn : int;
@@ -33,7 +35,8 @@ let worst_case_log_bytes ~size =
   ((size / Addr.word_size) * Lvm_machine.Log_record.bytes)
   + (2 * Lvm_machine.Log_record.bytes)
 
-let create ?(log_pages = default_log_pages) ?max_log_pages k space ~size =
+let create ?(log_pages = default_log_pages) ?max_log_pages ?(group = 1) k
+    space ~size =
   if size <= 0 || size mod Addr.word_size <> 0 then
     Error.raise_
       (Error.Invalid
@@ -43,6 +46,9 @@ let create ?(log_pages = default_log_pages) ?max_log_pages k space ~size =
     Error.raise_
       (Error.Out_of_range
          { op = "Rlvm.create"; what = "log_pages"; value = log_pages });
+  if group < 1 then
+    Error.raise_
+      (Error.Out_of_range { op = "Rlvm.create"; what = "group"; value = group });
   let max_log_pages =
     match max_log_pages with Some m -> max m log_pages | None -> 2 * log_pages
   in
@@ -56,19 +62,34 @@ let create ?(log_pages = default_log_pages) ?max_log_pages k space ~size =
   let committed = Kernel.create_segment k ~size:seg_size in
   Kernel.declare_source k ~dst:working ~src:committed ~offset:0;
   let region = Kernel.create_region k working in
-  let ls = Kernel.create_log_segment k ~size:capacity in
+  let log = Lvm_log.create k ~size:capacity in
+  let ls = Lvm_log.segment log in
   Kernel.set_region_log k region (Some ls);
   let base = Kernel.bind k space region in
-  { k; space; working; committed; region; ls; base; size;
-    disk = Ramdisk.create k ~size; max_log_pages; current = None;
-    next_txn = 1; txn_absorbed_base = 0 }
+  let disk = Ramdisk.create k ~size in
+  (* With group > 1 the WAL tail is volatile until the batcher forces it:
+     a crash loses the unforced commits, which is the deal group commit
+     makes. Group 1 (the default) forces every commit, exactly the
+     ungrouped behavior. *)
+  Ramdisk.set_volatile_tail disk (group > 1);
+  let batcher =
+    Lvm_log.Batcher.create ~obs:(Kernel.obs k) ~group
+      ~force:(fun () -> Ramdisk.wal_force disk)
+      ()
+  in
+  { k; space; working; committed; region; ls; log; base; size; disk; batcher;
+    max_log_pages; current = None; next_txn = 1; txn_absorbed_base = 0 }
 
 let kernel t = t.k
 let base t = t.base
 let size t = t.size
 let disk t = t.disk
 let log_segment t = t.ls
+let log t = t.log
 let in_txn t = t.current <> None
+let group t = Lvm_log.Batcher.group t.batcher
+let pending_commits t = Lvm_log.Batcher.pending t.batcher
+let flush_commits t = Lvm_log.Batcher.flush t.batcher
 
 (* Backpressure: before a logged store, make sure its record cannot run
    the log segment off its last page. [reserve_log_room] extends the
@@ -77,7 +98,7 @@ let in_txn t = t.current <> None
    absorbed into the default log page. [sync_log]-based, so it costs no
    cycles on the common path. *)
 let reserve t =
-  Kernel.reserve_log_room t.k t.ls ~bytes:Lvm_machine.Log_record.bytes
+  Lvm_log.reserve t.log ~bytes:Lvm_machine.Log_record.bytes
     ~max_pages:t.max_log_pages
 
 let begin_txn t =
@@ -140,14 +161,18 @@ let commit t =
           (Ramdisk.Data { txn = id; off; bytes = value_bytes r })
       | Some _ | None -> ());
   Ramdisk.wal_append t.disk (Ramdisk.Commit { txn = id });
-  Ramdisk.wal_force t.disk;
+  (* group commit: force once per batch (group 1 forces right here) *)
+  Lvm_log.Batcher.note_commit t.batcher;
   (* Fold the transaction into the committed image and truncate the log. *)
   ignore
     (Lvm.Checkpoint.cult_all t.k ~working:t.working ~checkpoint:t.committed
        ~log:t.ls);
   t.current <- None;
   Kernel.write_word t.k t.space (t.base + cell_off t) 0;
-  if Ramdisk.should_truncate t.disk then Ramdisk.truncate t.disk
+  (* WAL truncation applies records to the image, so it must not run past
+     an unforced tail: wait until the batch is flushed. *)
+  if Lvm_log.Batcher.pending t.batcher = 0 && Ramdisk.should_truncate t.disk
+  then Ramdisk.truncate t.disk
 
 let abort t =
   if t.current = None then raise No_transaction;
@@ -155,17 +180,18 @@ let abort t =
   Kernel.reset_deferred_copy t.k t.space ~start:t.base
     ~len:(Region.size t.region);
   (if Segment.absorbing t.ls then Segment.set_absorbing t.ls false);
-  Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
+  Lvm_log.truncate_suffix t.log ~new_end:0;
   Kernel.set_logging_enabled t.k t.region true;
   t.current <- None;
   Kernel.write_word t.k t.space (t.base + cell_off t) 0
 
 let recover t =
   t.current <- None;
+  Lvm_log.Batcher.reset t.batcher;
   let image, report = Ramdisk.recover t.disk in
   Kernel.set_logging_enabled t.k t.region false;
   (if Segment.absorbing t.ls then Segment.set_absorbing t.ls false);
-  Kernel.truncate_log_suffix t.k t.ls ~new_end:0;
+  Lvm_log.truncate_suffix t.log ~new_end:0;
   for off = 0 to t.size - 1 do
     let byte = Char.code (Bytes.get image off) in
     Kernel.seg_write_raw t.k t.committed ~off ~size:1 byte;

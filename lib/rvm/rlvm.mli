@@ -20,24 +20,43 @@ exception No_transaction
 exception Transaction_open
 
 val create :
-  ?log_pages:int -> ?max_log_pages:int ->
+  ?log_pages:int -> ?max_log_pages:int -> ?group:int ->
   Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
 (** Map a recoverable segment of [size] usable bytes. One extra word is
     reserved past [size] for the transaction-identifier cell. The log
-    segment is provisioned with [log_pages] pages (default 32) and may be
-    extended under backpressure up to [max_log_pages] (default
-    [2 * log_pages]). [size] is validated against the log provision:
-    if a single worst-case transaction (one record per word, plus the
-    transaction-cell writes) cannot fit, a typed
-    [Lvm_vm.Error.Log_capacity] is raised at creation rather than
-    records being silently absorbed at run time. *)
+    segment is provisioned with [log_pages] pages (default 32), managed
+    by [Lvm_log], and may be extended under backpressure up to
+    [max_log_pages] (default [2 * log_pages]). [size] is validated
+    against the log provision: if a single worst-case transaction (one
+    record per word, plus the transaction-cell writes) cannot fit, a
+    typed [Lvm_vm.Error.Log_capacity] is raised at creation rather than
+    records being silently absorbed at run time.
+
+    [group] (default 1) enables group commit: the RAM-disk WAL is forced
+    once per [group] commits instead of on every commit, amortizing the
+    force cost; a crash between forces loses the unforced commits (they
+    roll back cleanly — recovery replays to the last fully-forced
+    batch). [group = 1] forces every commit and is bit-identical to the
+    ungrouped implementation. Raises [Out_of_range] for [group < 1]. *)
 
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int
 val size : t -> int
 val disk : t -> Ramdisk.t
 val log_segment : t -> Lvm_vm.Segment.t
+
+val log : t -> Lvm_log.t
+(** The lifecycle handle over {!log_segment} (extent states, stats). *)
+
 val in_txn : t -> bool
+
+val group : t -> int
+
+val pending_commits : t -> int
+(** Commits enqueued but not yet forced (always 0 with [group = 1]). *)
+
+val flush_commits : t -> unit
+(** Force the WAL now if any commits are pending (group commit only). *)
 
 val begin_txn : t -> unit
 (** One logged write of the transaction id to the special cell. *)

@@ -212,7 +212,7 @@ let restore_lvm t ~target =
             `Continue
           | Some _ | None -> `Continue)
   in
-  Kernel.truncate_log_suffix t.k ls ~new_end:stop;
+  Lvm_log.truncate_suffix (Lvm_log.of_segment t.k ls) ~new_end:stop;
   Kernel.set_logging_enabled t.k t.region true
 
 let free_save_slot t p =
@@ -328,10 +328,9 @@ let ensure_log_capacity t =
   match t.ls with
   | None -> ()
   | Some ls ->
-    Kernel.sync_log t.k ls;
-    let capacity = Segment.size ls in
-    if capacity - Segment.write_pos ls < 2 * Addr.page_size then
-      Kernel.extend_log t.k ls ~pages:16
+    let log = Lvm_log.of_segment t.k ls in
+    if Lvm_log.room log < 2 * Addr.page_size then
+      Lvm_log.extend log ~pages:16
 
 (* Save slots are allocated from a free list so a slot is never reused
    while its entry is still live (a plain ring would wrap into live saves

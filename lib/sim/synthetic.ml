@@ -101,8 +101,7 @@ let run ?hw p strategy =
       records_since_recycle := !records_since_recycle + 1 + p.w;
       if !records_since_recycle >= recycle_records then begin
         let ls = Option.get ls in
-        Kernel.sync_log k ls;
-        Kernel.truncate_log_suffix k ls ~new_end:0;
+        Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end:0;
         records_since_recycle := 0
       end
     | State_saving.Page_protect ->

@@ -28,10 +28,16 @@ type outcome = {
 
 val run :
   ?seed:int -> ?txns:int -> ?points:int -> ?torn_points:int -> ?cpus:int ->
-  unit -> outcome
+  ?group:int -> unit -> outcome
 (** [run ()] sweeps [points] (default 200) evenly-spaced crash cycles
     over a [txns]-transaction workload (default 12), then [torn_points]
     (default 24) torn-write crashes at successive WAL appends with
     varying torn lengths. Each point builds a fresh machine with [cpus]
     processors (default 1; the workload itself runs on CPU 0 — the sweep
-    checks that crash consistency holds on a multi-CPU boot too). *)
+    checks that crash consistency holds on a multi-CPU boot too).
+
+    [group] (default 1) enables group commit in the RLVM under test. A
+    crash may then roll back commits whose batch was never forced; the
+    checker accepts the last fully-forced state for crashed runs. With
+    [group = 1] that extra acceptance is unreachable and the trace is
+    byte-identical to the ungrouped sweep. *)

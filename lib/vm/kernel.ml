@@ -1,5 +1,9 @@
 open Lvm_machine
 
+type ext = ..
+(* Extension slot: upper layers (the log-lifecycle subsystem) hang their
+   per-kernel state here without the kernel depending on them. *)
+
 type t = {
   machine : Machine.t;
   mutable next_id : int;
@@ -17,10 +21,12 @@ type t = {
   default_log_frame : int;
   mutable on_protect_fault :
     (Address_space.t -> Region.t -> vaddr:int -> unit) option;
+  mutable on_log_crossing :
+    (Segment.t -> next_page:int -> absorbed:bool -> unit) option;
+  mutable log_ext : ext option;
   c_materialized : Lvm_obs.Counter.counter;
   c_evicted : Lvm_obs.Counter.counter;
   c_switches : Lvm_obs.Counter.counter;
-  c_extends : Lvm_obs.Counter.counter;
 }
 
 let machine t = t.machine
@@ -421,6 +427,13 @@ let handle_log_addr_invalid t ~log_index =
     | Logger.Direct_mapped -> Logger.Drop
     | Logger.Normal | Logger.Indexed ->
       let next = Segment.active_page ls + 1 in
+      (* Tell the log-lifecycle subsystem (if attached) about the page
+         crossing; observers must be cycle-free. *)
+      let notify absorbed =
+        match t.on_log_crossing with
+        | None -> ()
+        | Some f -> f ls ~next_page:next ~absorbed
+      in
       (* A [Log_exhaust] injection makes this crossing behave as if the
          user had provided no further pages, forcing the absorption
          branch below (Section 3.2's failure mode, on demand). *)
@@ -437,6 +450,7 @@ let handle_log_addr_invalid t ~log_index =
       if have_page && not (Segment.absorbing ls) then begin
         Segment.set_write_pos ls (next * Addr.page_size);
         arm_log_entry t ls ~index:log_index;
+        notify false;
         Logger.Fixed
       end
       else begin
@@ -451,6 +465,7 @@ let handle_log_addr_invalid t ~log_index =
         Logger.set_log_entry (logger t) ~index:log_index
           ~mode:(Segment.log_mode ls)
           ~addr:(Addr.addr_of_page t.default_log_frame);
+        notify true;
         Logger.Fixed
       end)
 
@@ -478,12 +493,16 @@ let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
       dc_sources = Hashtbl.create 16;
       default_log_frame;
       on_protect_fault = None;
+      on_log_crossing = None;
+      log_ext = None;
       c_materialized = Lvm_obs.Ctx.counter ctx "kernel.pages_materialized";
       c_evicted = Lvm_obs.Ctx.counter ctx "kernel.pages_evicted";
       c_switches = Lvm_obs.Ctx.counter ctx "kernel.context_switches";
-      c_extends = Lvm_obs.Ctx.counter ctx "kernel.log_extends";
     }
   in
+  (* Registered here so the counter appears in every snapshot from boot,
+     even before any log is attached; Lvm_log increments it by name. *)
+  ignore (Lvm_obs.Ctx.counter ctx "kernel.log_extends");
   Logger.set_fault_handler (Machine.logger machine) (function
     | Logger.Pmt_miss { paddr } -> handle_pmt_miss t ~addr:paddr
     | Logger.Log_addr_invalid { log_index } ->
@@ -618,92 +637,42 @@ let set_logging_enabled t region enabled =
   Region.set_logging_enabled region enabled;
   refresh_region_ptes t region
 
-let extend_log t ls ~pages =
-  if Segment.kind ls <> Segment.Log then
-    Error.raise_
-      (Error.Not_a_log_segment { op = "extend_log"; segment = Segment.id ls });
-  let first_new = Segment.pages ls in
-  Segment.grow ls ~pages;
-  Lvm_obs.Counter.incr t.c_extends;
-  event t
-    (Lvm_obs.Event.Log_extend
-       { segment = Segment.id ls; pages; total_pages = Segment.pages ls });
-  for p = first_new to Segment.pages ls - 1 do
-    ignore (materialize_page t ls ~page:p)
-  done;
+(* {1 Log lifecycle hooks}
+
+   The lifecycle itself — extension, reservation, truncation, extent
+   accounting — lives in [Lvm_log] (lib/log); the kernel only exposes the
+   privileged mechanics it needs: re-arming the logger at the current
+   write position, a page-crossing observer, and an extension slot for
+   its per-kernel registry. *)
+
+let log_ext t = t.log_ext
+let set_log_ext t v = t.log_ext <- v
+let set_log_crossing_observer t f = t.on_log_crossing <- f
+
+(* Leave absorption mode: the lifecycle layer provided fresh capacity, so
+   logging resumes into the segment (records absorbed meanwhile are
+   lost). *)
+let leave_absorption t ls =
   if Segment.absorbing ls then begin
-    (* The user finally provided pages: resume logging into the segment.
-       Records absorbed meanwhile are lost. *)
     Segment.set_absorbing ls false;
     match Segment.log_index ls with
     | None -> ()
     | Some index -> arm_log_entry t ls ~index
   end
 
-let log_room t ls =
-  sync_log t ls;
-  Segment.size ls - Segment.write_pos ls
-
-let reserve_log_room t ls ~bytes ~max_pages =
-  if bytes < 0 then
-    Error.raise_
-      (Error.Out_of_range
-         { op = "reserve_log_room"; what = "bytes"; value = bytes });
-  sync_log t ls;
+(* Re-point the logger at the segment's current [write_pos] after the
+   lifecycle layer moved it (truncation, compaction). The table entry's
+   mode was fixed when the log was first armed, so a retarget suffices. *)
+let rearm_log t ls =
   let pos = Segment.write_pos ls in
-  let capacity = Segment.size ls in
-  if pos + bytes > capacity || Segment.absorbing ls then begin
-    let short = max 0 (pos + bytes - capacity) in
-    let need =
-      max (if Segment.absorbing ls then 1 else 0)
-        ((short + Addr.page_size - 1) / Addr.page_size)
-    in
-    if Segment.pages ls + need <= max_pages then extend_log t ls ~pages:need
-    else Error.raise_ (Error.Log_exhausted { segment = Segment.id ls; pos;
-                                             capacity })
-  end
-
-let truncate_log t ls ~keep_from =
-  sync_log t ls;
-  let pos = Segment.write_pos ls in
-  if keep_from < 0 || keep_from > pos then
-    Error.raise_
-      (Error.Out_of_range
-         { op = "truncate_log"; what = "keep_from"; value = keep_from });
-  let remaining = pos - keep_from in
-  if remaining > 0 then begin
-    (* Compact the kept suffix to the front, page by page. *)
-    let moved = ref 0 in
-    while !moved < remaining do
-      let src_off = keep_from + !moved in
-      let dst_off = !moved in
-      let chunk =
-        min
-          (min (Addr.page_size - Addr.page_offset src_off)
-             (Addr.page_size - Addr.page_offset dst_off))
-          (remaining - !moved)
-      in
-      let src = paddr_of t ls ~off:src_off in
-      let dst = paddr_of t ls ~off:dst_off in
-      Machine.bcopy t.machine ~src ~dst ~len:chunk;
-      moved := !moved + chunk
-    done
-  end;
-  Segment.set_write_pos ls remaining;
   match Segment.log_index ls with
-  | None -> Segment.set_active_page ls (remaining / Addr.page_size)
-  | Some index -> arm_log_entry t ls ~index
-
-let truncate_log_suffix t ls ~new_end =
-  sync_log t ls;
-  if new_end < 0 || new_end > Segment.write_pos ls then
-    Error.raise_
-      (Error.Out_of_range
-         { op = "truncate_log_suffix"; what = "new_end"; value = new_end });
-  Segment.set_write_pos ls new_end;
-  match Segment.log_index ls with
-  | None -> Segment.set_active_page ls (new_end / Addr.page_size)
-  | Some index -> arm_log_entry t ls ~index
+  | None -> Segment.set_active_page ls (pos / Addr.page_size)
+  | Some index ->
+    let page = pos / Addr.page_size in
+    Segment.set_active_page ls page;
+    let frame = materialize_page t ls ~page in
+    Logger.retarget_log_entry (logger t) ~index
+      ~addr:(Addr.addr_of_page frame + Addr.page_offset pos)
 
 (* {1 Deferred copy} *)
 

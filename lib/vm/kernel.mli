@@ -17,6 +17,11 @@
 
 type t
 
+type ext = ..
+(** Extension slot: upper layers (notably the [Lvm_log] log-lifecycle
+    subsystem) add a constructor and hang per-kernel state off
+    {!set_log_ext} without the kernel depending on them. *)
+
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw ->
   ?record_old_values:bool -> ?frames:int -> ?log_entries:int ->
@@ -132,37 +137,37 @@ val set_region_log : t -> Region.t -> Segment.t option -> unit
 val set_logging_enabled : t -> Region.t -> bool -> unit
 (** Dynamically enable or disable logging for a region (Section 2.7). *)
 
-val extend_log : t -> Segment.t -> pages:int -> unit
-(** Grow a log segment and materialize its new pages, normally called in
-    advance of the logger reaching the end (Section 3.2). Leaves
-    absorption mode if the logger was writing to the default page. *)
-
 val sync_log : t -> Segment.t -> unit
 (** Bring the log segment's [write_pos] up to date from the logger's log
     table entry. *)
 
-val log_room : t -> Segment.t -> int
-(** Bytes of log-segment capacity left past the (synchronized) write
-    position. *)
+(** {1 Log lifecycle hooks}
 
-val reserve_log_room : t -> Segment.t -> bytes:int -> max_pages:int -> unit
-(** Backpressure for writers that must not lose records: ensure the log
-    segment can absorb [bytes] more record traffic without falling off
-    its last page. If the (synchronized) write position leaves too little
-    room — or the segment is already absorbing into the default log page —
-    the segment is extended just enough ([extend_log]), the graceful
-    degradation path; if that would exceed [max_pages] total pages, a
-    typed [Error.Log_exhausted] is raised {e before} the caller issues
-    the writes, so no record is silently absorbed. *)
+    Extension, reservation, truncation and extent accounting live in the
+    [Lvm_log] subsystem (lib/log); the kernel exposes only the privileged
+    mechanics it needs. No caller outside lib/log should manipulate
+    log-table addresses directly. *)
 
-val truncate_log : t -> Segment.t -> keep_from:int -> unit
-(** Discard records before byte offset [keep_from], compacting the
-    remainder to the front of the segment (kernel copy, charged at bcopy
-    cost). [keep_from = write_pos] empties the log cheaply. *)
+val log_ext : t -> ext option
+val set_log_ext : t -> ext option -> unit
 
-val truncate_log_suffix : t -> Segment.t -> new_end:int -> unit
-(** Discard records at and after byte offset [new_end] (used after
-    rollback: replayed history beyond the target time is dead). *)
+val set_log_crossing_observer :
+  t -> (Segment.t -> next_page:int -> absorbed:bool -> unit) option -> unit
+(** Install a cycle-free observer invoked on every [Log_addr_invalid]
+    page crossing of a normal/indexed log, after the kernel has serviced
+    it: [next_page] is the page the logger advanced into, [absorbed]
+    whether the crossing fell into the default log page. *)
+
+val rearm_log : t -> Segment.t -> unit
+(** Re-point the logger's log-table entry (if the segment holds one) at
+    the segment's current [write_pos], materializing the page under it;
+    with no table entry, just resynchronizes the active page. Called by
+    the lifecycle layer after it moves [write_pos]. *)
+
+val leave_absorption : t -> Segment.t -> unit
+(** Resume logging into the segment after fresh capacity was provided
+    while it was absorbing into the default log page; no-op when not
+    absorbing. Records absorbed meanwhile are lost (Section 3.2). *)
 
 (** {1 Access} *)
 

@@ -184,6 +184,75 @@ let test_timewarp_multicpu_deterministic () =
   check "identical elapsed cycles" e1 e2;
   Alcotest.(check (list string)) "identical traces" t1 t2
 
+(* A log stream crossing several extent seams replays identically on a
+   1-CPU and a 4-CPU boot: extent switches ride the same fault path on
+   both, so the record stream (addresses, values, sizes — timestamps
+   differ with the machine configuration), the replayed memory and the
+   ring accounting all agree. *)
+let extent_stream ~cpus =
+  let open Lvm_vm in
+  let page = Lvm_machine.Addr.page_size in
+  let k = Kernel.create ~cpus () in
+  let sp = Kernel.create_space k in
+  let seg = Kernel.create_segment k ~size:page in
+  let region = Kernel.create_region k seg in
+  let log = Lvm_log.create ~extent_pages:1 k ~size:(4 * page) in
+  let ls = Lvm_log.segment log in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  let snapshot () =
+    Array.init (page / 4) (fun i ->
+        Kernel.seg_read_raw k seg ~off:(i * 4) ~size:4)
+  in
+  let initial = snapshot () in
+  let n = 900 (* 900 records span all four one-page extents: 3 seams *) in
+  let iters = Array.make cpus 0 in
+  let tasks =
+    Array.init cpus (fun i () ->
+        let j = iters.(i) in
+        iters.(i) <- j + 1;
+        (if i = 0 then
+           Kernel.write_word k sp
+             (base + (j * 28 mod page))
+             (((j * 131) + 17) land 0xFFFFFFFF)
+         else Kernel.compute k ((i + j) mod 5));
+        iters.(i) < n)
+  in
+  Kernel.run_cpus k ~tasks;
+  let records =
+    List.rev
+      (Lvm.Log_reader.fold k ls ~init:[] ~f:(fun acc ~off r ->
+           let loc =
+             match Lvm.Log_reader.locate k r with
+             | Some (_, o) -> o
+             | None -> -1
+           in
+           Printf.sprintf "off=%d loc=%d v=%d sz=%d pre=%b" off loc
+             r.Lvm_machine.Log_record.value r.Lvm_machine.Log_record.size
+             r.Lvm_machine.Log_record.pre_image
+           :: acc))
+  in
+  let model = Array.copy initial in
+  Lvm.Log_reader.iter k ls ~f:(fun ~off:_ r ->
+      if not r.Lvm_machine.Log_record.pre_image then
+        match Lvm.Log_reader.locate k r with
+        | Some (s, off) when s == seg ->
+          model.(off / 4) <- r.Lvm_machine.Log_record.value
+        | Some _ | None -> Alcotest.fail "record did not locate");
+  Alcotest.(check (array int))
+    (Printf.sprintf "%d-cpu replay reconstructs memory" cpus)
+    (snapshot ()) model;
+  let s = Lvm_log.stats log in
+  Alcotest.(check bool) "crossed at least three seams" true
+    (s.Lvm_log.switches >= 3);
+  (records, s.Lvm_log.switches)
+
+let test_extent_replay_cpus () =
+  let r1, sw1 = extent_stream ~cpus:1 in
+  let r4, sw4 = extent_stream ~cpus:4 in
+  check "same extent switches" sw1 sw4;
+  Alcotest.(check (list string)) "identical record streams" r1 r4
+
 (* TPC-A with negative balances: signed arithmetic must round-trip the
    32-bit storage *)
 let test_tpca_negative_balances () =
@@ -219,6 +288,8 @@ let suites =
           (test_replay_reconstructs ~cpus:4);
         Alcotest.test_case "timewarp 4-cpu deterministic" `Quick
           test_timewarp_multicpu_deterministic;
+        Alcotest.test_case "extent stream replays on 1 and 4 cpus" `Quick
+          test_extent_replay_cpus;
         Alcotest.test_case "tpc-a negative balances" `Quick
           test_tpca_negative_balances;
       ] );

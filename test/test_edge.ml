@@ -252,14 +252,13 @@ let test_log_grows_across_many_pages () =
   let seg = Kernel.create_segment k ~size:(64 * 1024) in
   let region = Kernel.create_region k seg in
   let ls = Kernel.create_log_segment k ~size:(2 * Addr.page_size) in
+  let log = Lvm_log.of_segment k ls in
   Kernel.set_region_log k region (Some ls);
   let base = Kernel.bind k sp region in
   let n = 2000 in
   for i = 0 to n - 1 do
     (* extend ahead of the logger, as the paper prescribes *)
-    Kernel.sync_log k ls;
-    if Segment.size ls - Segment.write_pos ls < Addr.page_size then
-      Kernel.extend_log k ls ~pages:4;
+    if Lvm_log.room log < Addr.page_size then Lvm_log.extend log ~pages:4;
     Kernel.write_word k sp (base + (i * 4 mod 32768)) i
   done;
   check "every record retained" n (Lvm.Log_reader.record_count k ls);

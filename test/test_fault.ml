@@ -375,6 +375,86 @@ let test_rlvm_forced_absorption_fails_commit () =
   check "store recovers after forced exhaustion" 5
     (Lvm_rvm.Rlvm.read_word r ~off:0)
 
+let test_rlvm_torn_at_extent_seam () =
+  (* a transaction whose redo stream crosses an extent seam mid-flight,
+     then a torn WAL write during commit: the crash rolls the whole
+     transaction back and the torn tail is truncated — the extent
+     machinery adds no new failure mode *)
+  let k, r = rlvm_fixture ~log_pages:8 ~max_log_pages:8 ~size:4096 () in
+  Lvm_rvm.Rlvm.begin_txn r;
+  for i = 0 to 1099 do
+    Lvm_rvm.Rlvm.write_word r ~off:((i mod 1024) * 4) (i + 1)
+  done;
+  let s = Lvm_log.stats (Lvm_rvm.Rlvm.log r) in
+  check_bool "stream crossed an extent seam" true (s.Lvm_log.switches >= 1);
+  Machine.set_fault_plan (Kernel.machine k)
+    (Some
+       (Plan.create
+          [ { Plan.site = Fault.Ramdisk_write; trigger = Plan.At_count 50;
+              fault = Fault.Torn_write { keep = 7 } } ]));
+  (match Lvm_rvm.Rlvm.commit r with
+  | () -> Alcotest.fail "torn write should crash the commit"
+  | exception Fault.Crashed { site; _ } ->
+    check_bool "crashed at ramdisk_write" true (site = Fault.Ramdisk_write));
+  Machine.set_fault_plan (Kernel.machine k) None;
+  let report = Lvm_rvm.Rlvm.recover r in
+  check_bool "torn tail truncated" true
+    (report.Lvm_rvm.Ramdisk.truncated_bytes > 0);
+  check "no transaction committed" 0 report.Lvm_rvm.Ramdisk.committed;
+  for i = 0 to 1023 do
+    if Lvm_rvm.Rlvm.read_word r ~off:(i * 4) <> 0 then
+      Alcotest.fail
+        (Printf.sprintf "uncommitted word %d visible after recovery" i)
+  done;
+  Lvm_rvm.Rlvm.begin_txn r;
+  Lvm_rvm.Rlvm.write_word r ~off:0 9;
+  Lvm_rvm.Rlvm.commit r;
+  check "store usable after seam crash" 9 (Lvm_rvm.Rlvm.read_word r ~off:0)
+
+let test_rlvm_group_commit_recovery () =
+  let k = Kernel.create () in
+  let sp = Kernel.create_space k in
+  let r = Lvm_rvm.Rlvm.create ~group:4 k sp ~size:4096 in
+  check "group recorded" 4 (Lvm_rvm.Rlvm.group r);
+  for i = 0 to 5 do
+    Lvm_rvm.Rlvm.begin_txn r;
+    Lvm_rvm.Rlvm.write_word r ~off:(i * 4) (100 + i);
+    Lvm_rvm.Rlvm.commit r
+  done;
+  check "two commits pending behind the force" 2
+    (Lvm_rvm.Rlvm.pending_commits r);
+  (* crash: the unforced batch rolls back to the last forced state *)
+  let report = Lvm_rvm.Rlvm.recover r in
+  check "only the forced batch replays" 4 report.Lvm_rvm.Ramdisk.committed;
+  for i = 0 to 3 do
+    check
+      (Printf.sprintf "forced commit %d durable" i)
+      (100 + i)
+      (Lvm_rvm.Rlvm.read_word r ~off:(i * 4))
+  done;
+  for i = 4 to 5 do
+    check
+      (Printf.sprintf "unforced commit %d rolled back" i)
+      0
+      (Lvm_rvm.Rlvm.read_word r ~off:(i * 4))
+  done;
+  (* redo the lost tail and flush: the whole batch becomes durable *)
+  for i = 4 to 5 do
+    Lvm_rvm.Rlvm.begin_txn r;
+    Lvm_rvm.Rlvm.write_word r ~off:(i * 4) (100 + i);
+    Lvm_rvm.Rlvm.commit r
+  done;
+  check_bool "commits pending again" true (Lvm_rvm.Rlvm.pending_commits r > 0);
+  Lvm_rvm.Rlvm.flush_commits r;
+  check "flush drains the batch" 0 (Lvm_rvm.Rlvm.pending_commits r);
+  ignore (Lvm_rvm.Rlvm.recover r);
+  for i = 0 to 5 do
+    check
+      (Printf.sprintf "word %d durable after flush" i)
+      (100 + i)
+      (Lvm_rvm.Rlvm.read_word r ~off:(i * 4))
+  done
+
 (* {1 Logger overload recovery (satellite)} *)
 
 let overload_events m =
@@ -487,6 +567,10 @@ let suites =
           test_rlvm_log_exhaustion_typed;
         Alcotest.test_case "forced absorption fails commit" `Quick
           test_rlvm_forced_absorption_fails_commit;
+        Alcotest.test_case "torn write at extent seam" `Quick
+          test_rlvm_torn_at_extent_seam;
+        Alcotest.test_case "group commit recovery" `Quick
+          test_rlvm_group_commit_recovery;
       ] );
     ( "fault.overload",
       [

@@ -329,6 +329,56 @@ let prop_wal rng size =
   expect (report''.Lvm_rvm.Ramdisk.torn = None) "repaired log still torn";
   expect (Bytes.equal image'' committed) "second recovery differs"
 
+(* {1 Extent-ring round-trip}
+
+   A log stream that crosses several extent seams must round-trip
+   through [Log_reader.fold] — every record, in order, transparently
+   across extent boundaries — and the ring accounting must agree with
+   the stream's geometry. One-page extents put a seam at every page
+   crossing, the worst case. *)
+
+let prop_extent_ring rng size =
+  let page = Addr.page_size in
+  let k = Lvm_vm.Kernel.create () in
+  let sp = Lvm_vm.Kernel.create_space k in
+  let seg = Lvm_vm.Kernel.create_segment k ~size:page in
+  let region = Lvm_vm.Kernel.create_region k seg in
+  let log = Lvm_log.create ~extent_pages:1 k ~size:(4 * page) in
+  let ls = Lvm_log.segment log in
+  Lvm_vm.Kernel.set_region_log k region (Some ls);
+  let base = Lvm_vm.Kernel.bind k sp region in
+  let per_extent = page / Log_record.bytes in
+  (* spans at least three of the ring's four extents, never overflows *)
+  let n =
+    (2 * per_extent) + 1
+    + Sm.int rng ~bound:(min (2 * per_extent) (max 1 (8 * size)))
+  in
+  let expected = ref [] in
+  for _ = 1 to n do
+    let off = 4 * Sm.int rng ~bound:(page / 4) in
+    let v = Int64.to_int (Int64.logand (Sm.next_u64 rng) 0xFFFFFFFFL) in
+    Lvm_vm.Kernel.write_word k sp (base + off) v;
+    expected := v :: !expected
+  done;
+  let expected = List.rev !expected in
+  let count, got =
+    Lvm_log.sync log;
+    Lvm.Log_reader.fold k ls ~init:(0, []) ~f:(fun (c, acc) ~off r ->
+        expect (off = c * Log_record.bytes) "record %d at offset %d" c off;
+        (c + 1, r.Log_record.value :: acc))
+  in
+  expect (count = n) "fold saw %d of %d records" count n;
+  expect (List.rev got = expected) "folded values differ from the stream";
+  let s = Lvm_log.stats log in
+  expect (s.Lvm_log.extents = 4) "ring has %d extents" s.Lvm_log.extents;
+  let crossings = ((n * Log_record.bytes) - 1) / page in
+  expect
+    (s.Lvm_log.switches = crossings)
+    "%d extent switches, geometry says %d" s.Lvm_log.switches crossings;
+  expect
+    (s.Lvm_log.write_pos = n * Log_record.bytes)
+    "write_pos %d after %d records" s.Lvm_log.write_pos n
+
 let prop name ?max_size p =
   Alcotest.test_case (Printf.sprintf "%s (%d cases)" name cases) `Quick
     (fun () -> check ?max_size name p)
@@ -342,6 +392,7 @@ let suites =
         prop "logger overload threshold" ~max_size:128 prop_logger_overload;
         prop "bus arbiter fairness" prop_bus_fairness;
         prop "wal round-trip + torn tail" ~max_size:128 prop_wal;
+        prop "extent ring fold round-trip" ~max_size:64 prop_extent_ring;
         Alcotest.test_case "saturation overloads" `Quick test_overload_fires;
       ] );
   ]

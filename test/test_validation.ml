@@ -65,16 +65,23 @@ let test_kernel_validation () =
   let seg = Kernel.create_segment k ~size:4096 in
   let ls = Kernel.create_log_segment k ~size:4096 in
   let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
-  err "extend_log on std segment"
-    (Error.Not_a_log_segment { op = "extend_log"; segment = Segment.id seg })
-    (fun () -> Kernel.extend_log k seg ~pages:1);
-  err "truncate_log keep_from"
+  err "Lvm_log.of_segment on std segment"
+    (Error.Not_a_log_segment
+       { op = "Lvm_log.of_segment"; segment = Segment.id seg })
+    (fun () -> ignore (Lvm_log.of_segment k seg));
+  err "truncate keep_from"
     (Error.Out_of_range { op = "truncate_log"; what = "keep_from"; value = 99 })
-    (fun () -> Kernel.truncate_log k ls ~keep_from:99);
-  err "truncate_log_suffix new_end"
+    (fun () -> Lvm_log.truncate (Lvm_log.of_segment k ls) ~keep_from:99);
+  err "truncate_suffix new_end"
     (Error.Out_of_range
        { op = "truncate_log_suffix"; what = "new_end"; value = 99 })
-    (fun () -> Kernel.truncate_log_suffix k ls ~new_end:99);
+    (fun () ->
+      Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end:99);
+  err "Batcher group out of range"
+    (Error.Out_of_range
+       { op = "Lvm_log.Batcher.create"; what = "group"; value = 0 })
+    (fun () ->
+      ignore (Lvm_log.Batcher.create ~group:0 ~force:(fun () -> ()) ()));
   err "declare_source unaligned offset"
     (Error.Invalid
        { op = "declare_source"; reason = "offset must be page-aligned" })

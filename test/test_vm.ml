@@ -233,7 +233,7 @@ let test_log_capacity_absorbs_then_extends () =
     (Lvm.Log_reader.record_count k ls);
   check_bool "crossings counted" true (Segment.absorbed_crossings ls >= 1);
   (* extending resumes logging into the segment *)
-  Kernel.extend_log k ls ~pages:2;
+  Lvm_log.extend (Lvm_log.of_segment k ls) ~pages:2;
   check_bool "no longer absorbing" false (Segment.absorbing ls);
   Kernel.write_word k sp base 4242;
   let n = Lvm.Log_reader.record_count k ls in
@@ -322,7 +322,8 @@ let test_truncate_log_prefix () =
   for i = 0 to 9 do
     Kernel.write_word k sp (base + (i * 4)) (i * 10)
   done;
-  Kernel.truncate_log k ls ~keep_from:(6 * Log_record.bytes);
+  Lvm_log.truncate (Lvm_log.of_segment k ls)
+    ~keep_from:(6 * Log_record.bytes);
   check "four records kept" 4 (Lvm.Log_reader.record_count k ls);
   Alcotest.(check (list int)) "kept tail compacted" [ 60; 70; 80; 90 ]
     (List.map (fun r -> r.Log_record.value) (Lvm.Log_reader.to_list k ls));
@@ -335,7 +336,8 @@ let test_truncate_log_suffix () =
   for i = 0 to 9 do
     Kernel.write_word k sp (base + (i * 4)) i
   done;
-  Kernel.truncate_log_suffix k ls ~new_end:(3 * Log_record.bytes);
+  Lvm_log.truncate_suffix (Lvm_log.of_segment k ls)
+    ~new_end:(3 * Log_record.bytes);
   Alcotest.(check (list int)) "prefix kept" [ 0; 1; 2 ]
     (List.map (fun r -> r.Log_record.value) (Lvm.Log_reader.to_list k ls));
   Kernel.write_word k sp base 555;
@@ -637,7 +639,8 @@ let prop_truncate_keeps_suffix =
       List.iteri (fun i v -> Kernel.write_word k sp (base + (i mod 256 * 4)) v)
         values;
       let cut = min cut (List.length values) in
-      Kernel.truncate_log k ls ~keep_from:(cut * Log_record.bytes);
+      Lvm_log.truncate (Lvm_log.of_segment k ls)
+        ~keep_from:(cut * Log_record.bytes);
       let kept =
         List.map (fun (r : Log_record.t) -> r.Log_record.value)
           (Lvm.Log_reader.to_list k ls)
