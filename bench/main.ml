@@ -4,7 +4,8 @@
    (host wall-clock, one Test.make per table/figure).
 
    Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list]
-                   [--metrics FILE] [--cpus N] *)
+                   [--metrics FILE] [--cpus N]
+                   [--store] [--store-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -35,7 +36,7 @@ let bench_table3 () =
   let k = Kernel.create ~frames:512 () in
   let sp = Kernel.create_space k in
   let rvm = Lvm_rvm.Rvm.create k sp ~size:8192 in
-  let rlvm = Lvm_rvm.Rlvm.create k sp ~size:8192 in
+  let rlvm = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:8192 in
   let i = ref 0 in
   let rvm_test =
     Bechamel.Test.make ~name:"table3/rvm-txn"
@@ -64,7 +65,7 @@ let bench_table3 () =
 let bench_group4 () =
   let k = Kernel.create ~frames:512 () in
   let sp = Kernel.create_space k in
-  let rlvm = Lvm_rvm.Rlvm.create ~group:4 k sp ~size:8192 in
+  let rlvm = Lvm_rvm.Rlvm.make { Lvm_rvm.Rlvm.Config.default with group = 4 } k sp ~size:8192 in
   let i = ref 0 in
   Bechamel.Test.make ~name:"table3/rlvm-txn-group4"
     (Bechamel.Staged.stage (fun () ->
@@ -191,7 +192,7 @@ let group_commit_comparison ppf =
   let point ~group =
     let k = Kernel.create ~frames:256 () in
     let sp = Kernel.create_space k in
-    let r = Lvm_rvm.Rlvm.create ~group k sp ~size:8192 in
+    let r = Lvm_rvm.Rlvm.make { Lvm_rvm.Rlvm.Config.default with group } k sp ~size:8192 in
     let txns = 64 in
     let t0 = Kernel.time k in
     for i = 1 to txns do
@@ -214,19 +215,62 @@ let group_commit_comparison ppf =
      group=4 %d cycles/txn, %d WAL forces@."
     c1 f1 c4 f4
 
+(* {1 Sharded-store scaling (simulated cycles)}
+
+   The same seeded transaction mix through [Lvm_store] at one shard and
+   at four: the figure shards are supposed to buy is cycles-per-
+   transaction wall-clock throughput, cross-shard two-phase commits and
+   all. [--store-json FILE] records both points and the speedup (the
+   BENCH_5.json blob). *)
+
+let store_point ~shards ~txns =
+  let st =
+    Lvm_store.Store.create { Lvm_store.Store.Config.default with shards }
+  in
+  Lvm_store.Workload.run st { Lvm_store.Workload.default with txns }
+
+let store_scaling_comparison ?json_file ppf =
+  let txns = 200 in
+  let r1 = store_point ~shards:1 ~txns in
+  let r4 = store_point ~shards:4 ~txns in
+  let speedup =
+    r1.Lvm_store.Workload.cycles_per_txn
+    /. r4.Lvm_store.Workload.cycles_per_txn
+  in
+  Format.fprintf ppf
+    "store scaling (%d txns): 1 shard %.1f cycles/txn; 4 shards %.1f \
+     cycles/txn (%d cross-shard, %d shed); speedup %.2fx@."
+    txns r1.Lvm_store.Workload.cycles_per_txn
+    r4.Lvm_store.Workload.cycles_per_txn r4.Lvm_store.Workload.cross
+    r4.Lvm_store.Workload.shed speedup;
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let point shards (r : Lvm_store.Workload.result) =
+      Obj
+        [ ("shards", Int shards); ("executed", Int r.executed);
+          ("cross", Int r.cross); ("shed", Int r.shed);
+          ("requeued", Int r.requeued); ("wall_cycles", Int r.wall_cycles);
+          ("cycles_per_txn", Float r.cycles_per_txn) ]
+    in
+    let line =
+      render ~kind:"store_scaling"
+        [ ("txns", Int txns); ("single", point 1 r1); ("sharded", point 4 r4);
+          ("speedup", Float speedup) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "store scaling written to %s\n%!" file
+
 (* {1 Entry point} *)
 
-(* Write a single JSON metrics blob (counters + histograms merged across
-   every machine the run created) to [file]. *)
+(* Write a single enveloped JSON metrics blob (counters + histograms
+   merged across every machine the run created) to [file]. *)
 let write_metrics file collector =
-  let oc = open_out file in
-  let ppf = Format.formatter_of_out_channel oc in
-  Format.fprintf ppf "%s@."
-    (Lvm_obs.Sink.blob_json ~label:"bench"
-       ~histograms:(Lvm_obs.Collector.histograms collector)
-       (Lvm_obs.Collector.snapshot collector));
-  Format.pp_print_flush ppf ();
-  close_out oc;
+  Lvm_tools.Metrics.write_file ~label:"bench" ~file collector;
   Printf.printf "metrics written to %s\n%!" file
 
 let () =
@@ -252,6 +296,9 @@ let () =
         Printf.printf "%-14s %s\n" e.Lvm_experiments.Experiments.id
           e.Lvm_experiments.Experiments.description)
       Lvm_experiments.Experiments.all
+  else if List.mem "--store" args then
+    (* The store scaling leg alone (what generates BENCH_5.json). *)
+    store_scaling_comparison ?json_file:(flag_value "--store-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -264,7 +311,9 @@ let () =
               exit 1)
           | None ->
             Lvm_experiments.Experiments.run_all ~quick ppf;
-            group_commit_comparison ppf)
+            group_commit_comparison ppf;
+            store_scaling_comparison ?json_file:(flag_value "--store-json")
+              ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

@@ -220,7 +220,7 @@ let run_tpca ~txns ~store =
     match store with
     | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.create k sp ~size))
     | `Rlvm ->
-      ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.create k sp ~size))
+      ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size))
   in
   Lvm_tpc.Tpca.setup s bank;
   let r = Lvm_tpc.Tpca.run s bank ~txns in
@@ -314,31 +314,58 @@ let crashsweep_cmd =
              ~doc:"Group-commit batch size for the RLVM under test \
                    (1 forces the WAL on every commit).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Sweep a sharded store with cross-shard two-phase \
+                   commits instead of the single-store TPC-A workload.")
+  in
   let show_trace =
     Arg.(value & flag
          & info [ "trace" ]
              ~doc:"Print the deterministic per-run recovery trace.")
   in
-  let run points torn txns seed cpus group show_trace =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
+  in
+  let run points torn txns seed cpus group shards show_trace json =
     if cpus <= 0 then `Error (false, "--cpus must be positive")
     else if group <= 0 then `Error (false, "--group must be positive")
+    else if shards <= 0 then `Error (false, "--shards must be positive")
     else begin
     let o =
       Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus
-        ~group ()
+        ~group ~shards ()
     in
-    Format.fprintf ppf
-      "crash sweep (%d cpu%s, group %d): %d points (%d crashed, %d \
-       completed, %d torn tails), %d failures@."
-      cpus
-      (if cpus = 1 then "" else "s")
-      group
-      o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
-      o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
-      (List.length o.Lvm_tpc.Crash_sweep.failures);
-    List.iter
-      (fun f -> Format.fprintf ppf "FAIL: %s@." f)
-      o.Lvm_tpc.Crash_sweep.failures;
+    if json then begin
+      let open Lvm_tools.Output_stream.Envelope in
+      emit ~kind:"crashsweep" ppf
+        [ ("seed", Int seed); ("txns", Int txns); ("cpus", Int cpus);
+          ("group", Int group); ("shards", Int shards);
+          ("points", Int o.Lvm_tpc.Crash_sweep.points);
+          ("crashed", Int o.Lvm_tpc.Crash_sweep.crashed);
+          ("completed", Int o.Lvm_tpc.Crash_sweep.completed);
+          ("torn", Int o.Lvm_tpc.Crash_sweep.torn);
+          ("failures",
+           List
+             (List.map (fun f -> String f) o.Lvm_tpc.Crash_sweep.failures))
+        ]
+    end
+    else begin
+      Format.fprintf ppf
+        "crash sweep (%d cpu%s, group %d%s): %d points (%d crashed, %d \
+         completed, %d torn tails), %d failures@."
+        cpus
+        (if cpus = 1 then "" else "s")
+        group
+        (if shards = 1 then "" else Printf.sprintf ", %d shards" shards)
+        o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
+        o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
+        (List.length o.Lvm_tpc.Crash_sweep.failures);
+      List.iter
+        (fun f -> Format.fprintf ppf "FAIL: %s@." f)
+        o.Lvm_tpc.Crash_sweep.failures
+    end;
     if show_trace then Format.fprintf ppf "%s" o.Lvm_tpc.Crash_sweep.trace;
     Format.pp_print_flush ppf ();
     if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1;
@@ -350,7 +377,7 @@ let crashsweep_cmd =
        ~doc:"Crash a transactional RLVM workload at every swept point, \
              recover, and check crash-consistency invariants.")
     Term.(ret (const run $ points $ torn $ txns $ seed $ cpus $ group
-          $ show_trace))
+          $ shards $ show_trace $ json))
 
 (* {1 logstats} *)
 
@@ -381,20 +408,28 @@ let run_logstats ~writes ~hot ~seed ~limit ~json =
   let top = Lvm_tools.Log_stats.top_rewritten ~limit k ~watched:seg ~log:ls in
   let ring = Lvm_log.stats log in
   if json then begin
-    Format.fprintf ppf
-      "{\"records\":%d,\"distinct_locations\":%d,\"redundant\":%d,\
-       \"redundancy_ratio\":%.4f,\"top_rewritten\":[%a],\
-       \"log\":{\"extents\":%d,\"extent_pages\":%d,\"write_pos\":%d,\
-       \"capacity\":%d,\"utilization_pct\":%d,\"switches\":%d}}@."
-      s.Lvm_tools.Log_stats.records s.Lvm_tools.Log_stats.distinct_locations
-      s.Lvm_tools.Log_stats.redundant s.Lvm_tools.Log_stats.redundancy_ratio
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-         (fun ppf (off, n) ->
-           Format.fprintf ppf "{\"offset\":%d,\"writes\":%d}" off n))
-      top ring.Lvm_log.extents ring.Lvm_log.extent_pages
-      ring.Lvm_log.write_pos ring.Lvm_log.capacity
-      ring.Lvm_log.utilization_pct ring.Lvm_log.switches
+    let open Lvm_tools.Output_stream.Envelope in
+    emit ~kind:"logstats" ppf
+      [ ("records", Int s.Lvm_tools.Log_stats.records);
+        ("distinct_locations",
+         Int s.Lvm_tools.Log_stats.distinct_locations);
+        ("redundant", Int s.Lvm_tools.Log_stats.redundant);
+        ("redundancy_ratio",
+         Float s.Lvm_tools.Log_stats.redundancy_ratio);
+        ("top_rewritten",
+         List
+           (List.map
+              (fun (off, n) ->
+                Obj [ ("offset", Int off); ("writes", Int n) ])
+              top));
+        ("log",
+         Obj
+           [ ("extents", Int ring.Lvm_log.extents);
+             ("extent_pages", Int ring.Lvm_log.extent_pages);
+             ("write_pos", Int ring.Lvm_log.write_pos);
+             ("capacity", Int ring.Lvm_log.capacity);
+             ("utilization_pct", Int ring.Lvm_log.utilization_pct);
+             ("switches", Int ring.Lvm_log.switches) ]) ]
   end
   else begin
     Format.fprintf ppf
@@ -457,7 +492,7 @@ let logstats_cmd =
 let trace_writes () =
   let open Lvm.Api in
   let page = Lvm_machine.Addr.page_size in
-  let k = boot () in
+  let k = create Config.default in
   let space = address_space k in
   let seg = std_segment k ~size:(4 * page) in
   let region = std_region k seg in
@@ -532,11 +567,109 @@ let trace_cmd =
        ~doc:"Run a workload and dump its structured event trace.")
     Term.(const run $ workload_arg $ format_arg $ metrics_arg)
 
+(* {1 store} *)
+
+let store_cmd =
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~doc:"RLVM shards (one worker CPU each).")
+  in
+  let txns =
+    Arg.(value & opt int 400 & info [ "txns" ] ~doc:"Transactions to run.")
+  in
+  let cross =
+    Arg.(value & opt int 20
+         & info [ "cross" ]
+             ~doc:"Percentage of transactions spanning two shards \
+                   (two-phase commit).")
+  in
+  let writes =
+    Arg.(value & opt int 4
+         & info [ "writes" ] ~doc:"Writes per transaction.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let group =
+    Arg.(value & opt int 1
+         & info [ "group" ] ~doc:"Per-shard group-commit batch size.")
+  in
+  let compute =
+    Arg.(value & opt int 400
+         & info [ "compute" ]
+             ~doc:"Application compute cycles per transaction.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
+  in
+  let run shards txns cross writes seed group compute json metrics =
+    if shards <= 0 then `Error (false, "--shards must be positive")
+    else if txns <= 0 then `Error (false, "--txns must be positive")
+    else if cross < 0 || cross > 100 then
+      `Error (false, "--cross must be a percentage")
+    else begin
+      with_metrics ~label:"store" metrics (fun () ->
+          let st =
+            Lvm_store.Store.create
+              { Lvm_store.Store.Config.default with shards; group; compute }
+          in
+          let r =
+            Lvm_store.Workload.run st
+              { Lvm_store.Workload.default with
+                txns; cross_pct = cross; writes_per_txn = writes; seed }
+          in
+          if json then begin
+            let open Lvm_tools.Output_stream.Envelope in
+            emit ~kind:"store" ppf
+              [ ("shards", Int shards); ("txns", Int txns);
+                ("cross_pct", Int cross); ("seed", Int seed);
+                ("group", Int group);
+                ("executed", Int r.Lvm_store.Workload.executed);
+                ("cross", Int r.Lvm_store.Workload.cross);
+                ("shed", Int r.Lvm_store.Workload.shed);
+                ("requeued", Int r.Lvm_store.Workload.requeued);
+                ("wall_cycles", Int r.Lvm_store.Workload.wall_cycles);
+                ("cycles_per_txn", Float r.Lvm_store.Workload.cycles_per_txn);
+                ("per_shard",
+                 List
+                   (Array.to_list
+                      (Array.mapi
+                         (fun i (s : Lvm_store.Workload.shard_stat) ->
+                           Obj
+                             [ ("shard", Int i); ("txns", Int s.txns);
+                               ("cycles", Int s.cycles) ])
+                         r.Lvm_store.Workload.per_shard))) ]
+          end
+          else begin
+            Format.fprintf ppf
+              "store: %d shard(s), %d txns executed (%d cross-shard), %d \
+               shed, %d requeued@."
+              shards r.Lvm_store.Workload.executed r.Lvm_store.Workload.cross
+              r.Lvm_store.Workload.shed r.Lvm_store.Workload.requeued;
+            Format.fprintf ppf "wall %d cycles, %.1f cycles/txn@."
+              r.Lvm_store.Workload.wall_cycles
+              r.Lvm_store.Workload.cycles_per_txn;
+            Array.iteri
+              (fun i (s : Lvm_store.Workload.shard_stat) ->
+                Format.fprintf ppf "  shard %d: %d txns, %d cpu cycles@." i
+                  s.txns s.cycles)
+              r.Lvm_store.Workload.per_shard
+          end);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:"Run the sharded transactional store under a seeded \
+             closed-loop workload and report per-shard throughput.")
+    Term.(ret (const run $ shards $ txns $ cross $ writes $ seed $ group
+          $ compute $ json $ metrics_arg))
+
 let main =
   Cmd.group
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
     [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
-      crashsweep_cmd; logstats_cmd; trace_cmd ]
+      crashsweep_cmd; logstats_cmd; store_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

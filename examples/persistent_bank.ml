@@ -12,7 +12,7 @@ let account_off i = i * 4
 let () =
   let k = Lvm_vm.Kernel.create () in
   let sp = Lvm_vm.Kernel.create_space k in
-  let bank = Lvm_rvm.Rlvm.create k sp ~size:4096 in
+  let bank = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:4096 in
   let balance i = Lvm_rvm.Rlvm.read_word bank ~off:(account_off i) in
   let set i v = Lvm_rvm.Rlvm.write_word bank ~off:(account_off i) v in
   let transfer ~from_ ~to_ ~amount =

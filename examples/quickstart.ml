@@ -7,7 +7,7 @@
 
 let () =
   (* Boot a machine and its VM kernel. *)
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
 
   (* Segment * seg_a = new StdSegment(size);

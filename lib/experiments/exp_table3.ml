@@ -22,7 +22,7 @@ let single_writes () =
   Rvm.write_word rvm ~off:4 2;
   let rvm_cost = Kernel.time k - t0 in
   Rvm.commit rvm;
-  let rlvm = Rlvm.create k sp ~size:8192 in
+  let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:8192 in
   Rlvm.begin_txn rlvm;
   Rlvm.write_word rlvm ~off:0 1;
   Kernel.compute k 200;
@@ -68,7 +68,7 @@ let measure ?(txns = 500) () =
       ~txns
   in
   let r_rlvm, f_rlvm =
-    tpca_with_split (Lvm_tpc.Tpca.rlvm_store (Rlvm.create k sp ~size)) bank
+    tpca_with_split (Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size)) bank
       ~txns
   in
   {

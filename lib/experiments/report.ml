@@ -41,15 +41,7 @@ let fi = string_of_int
 let ff ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
 
 let metrics ?label ppf ~format collector =
-  match format with
-  | None -> ()
-  | Some fmt ->
-    Lvm_obs.Sink.emit ?label
-      ~histograms:(Lvm_obs.Collector.histograms collector)
-      fmt ppf
-      (Lvm_obs.Collector.snapshot collector)
+  Lvm_tools.Metrics.emit ?label ~format ppf collector
 
 let with_metrics ?label ppf ~format f =
-  let result, collector = Lvm_obs.Collector.with_collector f in
-  metrics ?label ppf ~format collector;
-  result
+  Lvm_tools.Metrics.with_ambient ?label ~format ppf f

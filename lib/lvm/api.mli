@@ -37,20 +37,64 @@ exception Lvm_error of Error.t
 (** The one exception the API raises on invalid requests (an alias of
     [Lvm_vm.Error.Lvm_error], so handlers work at either layer). *)
 
+(** Boot-time machine configuration.
+
+    One record replaces the optional-argument sprawl of the original
+    [boot]/[with_kernel] signatures; override the defaults with the
+    functional-update syntax:
+
+    {[
+      let k = Api.create { Api.Config.default with frames = 256; cpus = 4 }
+    ]} *)
+module Config : sig
+  type t = {
+    obs : Lvm_obs.Ctx.t option;
+        (** Observability context to share (default: a fresh one,
+            announced to any attached [Lvm_obs.Collector]). *)
+    hw : Lvm_machine.Logger.hw;
+        (** Prototype bus logger (default) or the on-chip design of
+            Section 4.6. *)
+    record_old_values : bool;
+        (** On-chip pre-image records (Section 4.6); requires
+            [hw = On_chip]. *)
+    frames : int;  (** Physical memory frames. *)
+    log_entries : int;  (** Logger log-table entries. *)
+    cpus : int;
+        (** Processors sharing the bus, logger and frame pool
+            (default 1). *)
+  }
+
+  val default : t
+  (** [{ obs = None; hw = Prototype; record_old_values = false;
+        frames = 4096; log_entries = 64; cpus = 1 }] — exactly the
+      machine every pre-redesign [boot ()] call produced. *)
+end
+
+val create : Config.t -> kernel
+(** Bring up a machine and its VM kernel as described by the
+    configuration. [create Config.default] is the common case. *)
+
+val run : Config.t -> (kernel -> 'a) -> 'a * Lvm_obs.Snapshot.t
+(** [run config f] boots a kernel, runs [f] on it and returns [f]'s
+    result together with the final counter snapshot — the convenient
+    shape for measured one-shot workloads. *)
+
 val boot :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
   ?log_entries:int -> unit -> kernel
-(** Bring up a machine and its VM kernel. [hw] selects the prototype bus
-    logger (default) or the on-chip design of Section 4.6. [obs] supplies
-    an observability context to share (default: a fresh one, announced to
-    any attached [Lvm_obs.Collector]). *)
+[@@ocaml.deprecated
+  "use Api.create { Api.Config.default with ... } (config records replace \
+   the optional-argument form)"]
+(** Deprecated thin wrapper over {!create}; pre-redesign call sites
+    compile unchanged. *)
 
 val with_kernel :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
   ?log_entries:int -> (kernel -> 'a) -> 'a * Lvm_obs.Snapshot.t
-(** [with_kernel f] boots a kernel, runs [f] on it and returns [f]'s
-    result together with the final counter snapshot — the convenient
-    shape for measured one-shot workloads. *)
+[@@ocaml.deprecated
+  "use Api.run { Api.Config.default with ... } (config records replace \
+   the optional-argument form)"]
+(** Deprecated thin wrapper over {!run}. *)
 
 val address_space : kernel -> address_space
 (** Create an address space ([thisProcess()->addressSpace()] analogue). *)

@@ -27,7 +27,15 @@ type t = {
 
 let cell_off t = t.size
 
-let default_log_pages = 32
+module Config = struct
+  type t = {
+    log_pages : int;
+    max_log_pages : int option;
+    group : int;
+  }
+
+  let default = { log_pages = 32; max_log_pages = None; group = 1 }
+end
 
 (* Worst case a single transaction can log: one 16-byte record per word
    of the segment, plus the begin/end writes of the transaction cell. *)
@@ -35,8 +43,8 @@ let worst_case_log_bytes ~size =
   ((size / Addr.word_size) * Lvm_machine.Log_record.bytes)
   + (2 * Lvm_machine.Log_record.bytes)
 
-let create ?(log_pages = default_log_pages) ?max_log_pages ?(group = 1) k
-    space ~size =
+let make (config : Config.t) k space ~size =
+  let { Config.log_pages; max_log_pages; group } = config in
   if size <= 0 || size mod Addr.word_size <> 0 then
     Error.raise_
       (Error.Invalid
@@ -79,6 +87,15 @@ let create ?(log_pages = default_log_pages) ?max_log_pages ?(group = 1) k
   in
   { k; space; working; committed; region; ls; log; base; size; disk; batcher;
     max_log_pages; current = None; next_txn = 1; txn_absorbed_base = 0 }
+
+(* Deprecated optional-argument wrapper over [make]. *)
+let create ?log_pages ?max_log_pages ?group k space ~size =
+  let d = Config.default in
+  make
+    { Config.log_pages = Option.value log_pages ~default:d.Config.log_pages;
+      max_log_pages;
+      group = Option.value group ~default:d.Config.group }
+    k space ~size
 
 let kernel t = t.k
 let base t = t.base
@@ -134,7 +151,7 @@ let value_bytes (r : Log_record.t) =
   | _ -> Bytes.set_int32_le b 0 (Int32.of_int r.Log_record.value));
   b
 
-let commit t =
+let commit ?(pace = fun () -> ()) t =
   let id = match t.current with None -> raise No_transaction | Some i -> i in
   (* If the logger fell back to absorbing records into the default log
      page, part of this transaction's redo information is already lost:
@@ -152,6 +169,7 @@ let commit t =
   (* Build redo records for the write-ahead log straight from the LVM
      log — the records are already there; no set_range bookkeeping. *)
   Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
+      pace ();
       match
         if r.Log_record.pre_image then None else Lvm.Log_reader.locate t.k r
       with
@@ -163,6 +181,9 @@ let commit t =
   Ramdisk.wal_append t.disk (Ramdisk.Commit { txn = id });
   (* group commit: force once per batch (group 1 forces right here) *)
   Lvm_log.Batcher.note_commit t.batcher;
+  (* The force is a large pure-compute charge; yield before the CULT's
+     timed accesses so a concurrent scheduler can keep event order. *)
+  pace ();
   (* Fold the transaction into the committed image and truncate the log. *)
   ignore
     (Lvm.Checkpoint.cult_all t.k ~working:t.working ~checkpoint:t.committed

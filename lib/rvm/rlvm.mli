@@ -19,25 +19,56 @@ type t
 exception No_transaction
 exception Transaction_open
 
-val create :
-  ?log_pages:int -> ?max_log_pages:int -> ?group:int ->
-  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+(** Creation-time configuration, replacing the optional-argument form of
+    the deprecated {!create}; override {!Config.default} with the
+    functional-update syntax:
+
+    {[
+      let r = Rlvm.make { Rlvm.Config.default with group = 4 } k sp ~size
+    ]} *)
+module Config : sig
+  type t = {
+    log_pages : int;
+        (** Initial LVM log provision, pages (default 32). *)
+    max_log_pages : int option;
+        (** Backpressure ceiling for log extension; [None] means
+            [2 * log_pages]. *)
+    group : int;
+        (** Group-commit batch size: the RAM-disk WAL is forced once per
+            [group] commits (default 1 — force every commit,
+            bit-identical to the ungrouped implementation). *)
+  }
+
+  val default : t
+  (** [{ log_pages = 32; max_log_pages = None; group = 1 }]. *)
+end
+
+val make : Config.t -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t ->
+  size:int -> t
 (** Map a recoverable segment of [size] usable bytes. One extra word is
     reserved past [size] for the transaction-identifier cell. The log
-    segment is provisioned with [log_pages] pages (default 32), managed
-    by [Lvm_log], and may be extended under backpressure up to
-    [max_log_pages] (default [2 * log_pages]). [size] is validated
-    against the log provision: if a single worst-case transaction (one
-    record per word, plus the transaction-cell writes) cannot fit, a
-    typed [Lvm_vm.Error.Log_capacity] is raised at creation rather than
+    segment is provisioned with [Config.log_pages] pages, managed by
+    [Lvm_log], and may be extended under backpressure up to
+    [Config.max_log_pages]. [size] is validated against the log
+    provision: if a single worst-case transaction (one record per word,
+    plus the transaction-cell writes) cannot fit, a typed
+    [Lvm_vm.Error.Log_capacity] is raised at creation rather than
     records being silently absorbed at run time.
 
-    [group] (default 1) enables group commit: the RAM-disk WAL is forced
+    [Config.group > 1] enables group commit: the RAM-disk WAL is forced
     once per [group] commits instead of on every commit, amortizing the
     force cost; a crash between forces loses the unforced commits (they
     roll back cleanly — recovery replays to the last fully-forced
-    batch). [group = 1] forces every commit and is bit-identical to the
-    ungrouped implementation. Raises [Out_of_range] for [group < 1]. *)
+    batch). Raises [Out_of_range] for [group < 1]. *)
+
+val create :
+  ?log_pages:int -> ?max_log_pages:int -> ?group:int ->
+  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+[@@ocaml.deprecated
+  "use Rlvm.make { Rlvm.Config.default with ... } (config records replace \
+   the optional-argument form)"]
+(** Deprecated thin wrapper over {!make}; pre-redesign call sites
+    compile unchanged. *)
 
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int
@@ -66,9 +97,19 @@ val read_word : t -> off:int -> int
 val write_word : t -> off:int -> int -> unit
 (** A plain logged store — no annotation, no old-value copy. *)
 
-val commit : t -> unit
+val commit : ?pace:(unit -> unit) -> t -> unit
 (** Fold the transaction into the committed image, force its redo records
     to the RAM-disk WAL and truncate the LVM log.
+
+    [pace] (default: no-op) is called at the commit's internal stage
+    boundaries — before the WAL build and again after the force, before
+    the CULT's timed accesses. A multi-CPU driver (see
+    [Lvm_store.Workload]) yields to its scheduler there: the force is a
+    single large compute charge, and without the yield the timed
+    accesses that follow it would reach the shared bus far ahead of the
+    other CPUs' clocks, which the bus model would misprice as
+    contention. [pace] must leave the kernel on the same CPU it was
+    called on (re-establish it before returning if it switches).
     @raise Lvm_vm.Error.Lvm_error [Log_exhausted] if the log segment fell
     into default-page absorption during the transaction — redo records
     were lost, so the transaction cannot be made durable. Abort instead. *)

@@ -1,0 +1,462 @@
+open Lvm_vm
+module Rlvm = Lvm_rvm.Rlvm
+module Ramdisk = Lvm_rvm.Ramdisk
+
+module Config = struct
+  type admission = Shed | Queue
+
+  type t = {
+    shards : int;
+    keys : int;
+    group : int;
+    log_pages : int;
+    max_log_pages : int option;
+    admission : admission;
+    max_txn_writes : int;
+    compute : int;
+    frames : int;
+    obs : Lvm_obs.Ctx.t option;
+  }
+
+  let default =
+    { shards = 4; keys = 1024; group = 1; log_pages = 32;
+      max_log_pages = None; admission = Queue; max_txn_writes = 32;
+      compute = 400; frames = 4096; obs = None }
+end
+
+type error =
+  | Overloaded of { shard : int }
+  | Txn_too_large of { writes : int; limit : int }
+  | Invalid_key of { key : int }
+
+let error_to_string = function
+  | Overloaded { shard } -> Printf.sprintf "overloaded(shard %d)" shard
+  | Txn_too_large { writes; limit } ->
+    Printf.sprintf "txn too large (%d writes, limit %d)" writes limit
+  | Invalid_key { key } -> Printf.sprintf "invalid key %d" key
+
+type t = {
+  k : Kernel.t;
+  config : Config.t;
+  shards : Rlvm.t array;
+  coord : Ramdisk.t;
+  txns_c : Lvm_obs.Counter.counter;
+  cross_c : Lvm_obs.Counter.counter;
+  redo_c : Lvm_obs.Counter.counter;
+  overloaded_c : Lvm_obs.Counter.counter;
+  shard_txns : Lvm_obs.Counter.counter array;
+  commit_hist : Lvm_obs.Histogram.t;
+  mutable next_gid : int;
+}
+
+let range op what value =
+  Error.raise_ (Error.Out_of_range { op; what; value })
+
+(* Coordinator intent image: word 0 = state (1 decided, 0 retired),
+   word 1 = gid, word 2 = write count, then (key, value) word pairs.
+   One Data record carries the whole image, so it is durable atomically
+   (the WAL checksum truncates a torn prefix). *)
+let intent_off_state = 0
+let intent_off_gid = 4
+let intent_off_count = 8
+let intent_off_pairs = 12
+let intent_size max_writes = intent_off_pairs + (8 * max_writes)
+
+let set32 b off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let create (config : Config.t) =
+  if config.Config.shards < 1 then
+    range "Store.create" "shards" config.Config.shards;
+  if config.Config.keys < config.Config.shards then
+    range "Store.create" "keys" config.Config.keys;
+  if config.Config.max_txn_writes < 1 then
+    range "Store.create" "max_txn_writes" config.Config.max_txn_writes;
+  if config.Config.compute < 0 then
+    range "Store.create" "compute" config.Config.compute;
+  let k =
+    Lvm.Api.create
+      { Lvm.Api.Config.default with
+        cpus = config.Config.shards;
+        frames = config.Config.frames;
+        obs = config.Config.obs }
+  in
+  let slots =
+    (config.Config.keys + config.Config.shards - 1) / config.Config.shards
+  in
+  let shards =
+    Array.init config.Config.shards (fun s ->
+        Kernel.set_cpu k s;
+        let sp = Kernel.create_space k in
+        Rlvm.make
+          { Rlvm.Config.log_pages = config.Config.log_pages;
+            max_log_pages = config.Config.max_log_pages;
+            group = config.Config.group }
+          k sp ~size:(slots * Lvm_machine.Addr.word_size))
+  in
+  Kernel.set_cpu k 0;
+  let coord =
+    Ramdisk.create k ~size:(intent_size config.Config.max_txn_writes)
+  in
+  let ctx = Kernel.obs k in
+  { k; config; shards; coord;
+    txns_c = Lvm_obs.Ctx.counter ctx "store.txns";
+    cross_c = Lvm_obs.Ctx.counter ctx "store.txns_cross";
+    redo_c = Lvm_obs.Ctx.counter ctx "store.redo";
+    overloaded_c = Lvm_obs.Ctx.counter ctx "store.overloaded";
+    shard_txns =
+      Array.init config.Config.shards (fun s ->
+          Lvm_obs.Ctx.counter ctx (Printf.sprintf "store.shard%d.txns" s));
+    commit_hist =
+      Lvm_obs.Ctx.histogram ctx ~name:"store.commit_cycles"
+        ~bounds:(Lvm_obs.Histogram.pow2_bounds ~max_exp:24);
+    next_gid = 1 }
+
+let kernel t = t.k
+let config t = t.config
+let shard_of_key t key = key mod t.config.Config.shards
+let shard t s = t.shards.(s)
+let off_of_key t key = key / t.config.Config.shards * Lvm_machine.Addr.word_size
+
+let read t key =
+  let s = shard_of_key t key in
+  Kernel.set_cpu t.k s;
+  Rlvm.read_word t.shards.(s) ~off:(off_of_key t key)
+
+(* Group writes by owning shard, ascending shard order, original write
+   order preserved within a shard (last write to a key wins). *)
+let partition t writes =
+  let by = Array.make t.config.Config.shards [] in
+  List.iter
+    (fun (key, v) ->
+      let s = shard_of_key t key in
+      by.(s) <- (key, v land 0xFFFFFFFF) :: by.(s))
+    writes;
+  Array.to_list (Array.mapi (fun s ws -> (s, List.rev ws)) by)
+  |> List.filter (fun (_, ws) -> ws <> [])
+
+let no_pace ~cpu:_ = ()
+
+let apply_writes ?(sync = fun () -> ()) t r ws =
+  List.iter
+    (fun (key, v) ->
+      sync ();
+      Rlvm.write_word r ~off:(off_of_key t key) v)
+    ws
+
+(* {1 Single-shard commit} *)
+
+let exec_local ~pace t s ws =
+  (* Yield to the driver's scheduler between operations, then take the
+     shard's CPU back (the scheduler runs other transactions' operations
+     on other CPUs while we are suspended). *)
+  let sync () =
+    pace ~cpu:s;
+    Kernel.set_cpu t.k s
+  in
+  sync ();
+  let r = t.shards.(s) in
+  match
+    Kernel.compute t.k t.config.Config.compute;
+    sync ();
+    Rlvm.begin_txn r;
+    apply_writes ~sync t r ws;
+    sync ();
+    Rlvm.commit ~pace:sync r
+  with
+  | () -> Ok ()
+  | exception Error.Lvm_error (Error.Log_exhausted _) ->
+    (* Backpressure: the shard's log cannot make this transaction
+       durable. Abort cleanly and report it as admission-control
+       pressure rather than failing. *)
+    if Rlvm.in_txn r then Rlvm.abort r;
+    Error (Overloaded { shard = s })
+
+(* {1 Two-phase commit} *)
+
+let intent_bytes gid pairs =
+  let n = List.length pairs in
+  let b = Bytes.make (intent_size n) '\000' in
+  set32 b intent_off_state 1;
+  set32 b intent_off_gid gid;
+  set32 b intent_off_count n;
+  List.iteri
+    (fun i (key, v) ->
+      set32 b (intent_off_pairs + (8 * i)) key;
+      set32 b (intent_off_pairs + (8 * i) + 4) v)
+    pairs;
+  b
+
+(* The decision point: once this force returns, the transaction is
+   committed in full — recovery rolls it forward from the intent. The
+   coordinator log is a shared disk, not a CPU-pinned service: the
+   decision runs on whatever CPU is driving the transaction (its home
+   shard's worker; CPU 0 during recovery). *)
+let decide t gid pairs =
+  Ramdisk.wal_append t.coord
+    (Ramdisk.Data { txn = gid; off = 0; bytes = intent_bytes gid pairs });
+  Ramdisk.wal_append t.coord (Ramdisk.Commit { txn = gid });
+  Ramdisk.wal_force t.coord
+
+(* Retire the intent (state word back to 0). [gid] is already in the
+   coordinator log's committed set, so the marker needs no force of its
+   own: if it is lost, recovery merely redoes the transaction, which is
+   idempotent (absolute values). *)
+let retire t gid ~force =
+  Ramdisk.wal_append t.coord
+    (Ramdisk.Data { txn = gid; off = intent_off_state;
+                    bytes = Bytes.make 4 '\000' });
+  if force then Ramdisk.wal_force t.coord;
+  if Ramdisk.should_truncate t.coord then Ramdisk.truncate t.coord
+
+(* Phase-2 commit of one participant. The decision is already durable,
+   so a commit that hits log exhaustion (its redo records were absorbed)
+   must roll forward, never abort: reset the shard's log and re-apply
+   the writes as a fresh transaction. *)
+let commit_participant ~sync t s ws =
+  sync s;
+  let r = t.shards.(s) in
+  let pace_here () = sync s in
+  match Rlvm.commit ~pace:pace_here r with
+  | () -> ()
+  | exception Error.Lvm_error (Error.Log_exhausted _) ->
+    if Rlvm.in_txn r then Rlvm.abort r;
+    Lvm_obs.Counter.incr t.redo_c;
+    Rlvm.begin_txn r;
+    apply_writes ~sync:pace_here t r ws;
+    Rlvm.commit ~pace:pace_here r
+
+let exec_cross ~pace ~detach t parts writes =
+  let gid = t.next_gid in
+  t.next_gid <- gid + 1;
+  let share = max 1 (t.config.Config.compute / List.length parts) in
+  (* The transaction is one logical thread hopping between the
+     participant CPUs and the coordinator, and its clock must be
+     monotone across the hops: each stage happens after the previous one
+     (the 2PC messages impose that order), so a hop onto a CPU whose
+     local clock lags the thread advances it — the participant waits for
+     the coordinator's message, not the other way round. Without this,
+     the thread would issue timed accesses "in the past" after returning
+     from a fast CPU to a slow one, which the shared-bus cursor would
+     misprice as arbitration waits. [tt] is the thread's clock floor. *)
+  let sync_with ~pace tt started s =
+    if !started then
+      tt :=
+        max !tt (Kernel.cpu_time t.k ~cpu:(Kernel.current_cpu t.k));
+    started := true;
+    Kernel.set_cpu t.k s;
+    let lag = !tt - Kernel.cpu_time t.k ~cpu:s in
+    if lag > 0 then Kernel.compute t.k lag;
+    pace ~cpu:s;
+    Kernel.set_cpu t.k s
+  in
+  let tt = ref 0 in
+  let started = ref false in
+  let sync s = sync_with ~pace tt started s in
+  (* Phase 1: open a transaction on every participant (ascending shard
+     order), apply its slice of the writes. Nothing is durable yet. *)
+  let rec phase1 = function
+    | [] -> None
+    | (s, ws) :: rest -> (
+      sync s;
+      let r = t.shards.(s) in
+      match
+        Kernel.compute t.k share;
+        sync s;
+        Rlvm.begin_txn r;
+        apply_writes ~sync:(fun () -> sync s) t r ws
+      with
+      | () -> phase1 rest
+      | exception Error.Lvm_error (Error.Log_exhausted _) -> Some s)
+  in
+  match phase1 parts with
+  | Some s ->
+    (* Pre-decision overload: abort every opened participant — the
+       transaction leaves no trace anywhere. *)
+    List.iter
+      (fun (p, _) ->
+        let r = t.shards.(p) in
+        if Rlvm.in_txn r then begin
+          Kernel.set_cpu t.k p;
+          Rlvm.abort r
+        end)
+      parts;
+    Error (Overloaded { shard = s })
+  | None ->
+    let home, home_ws, others =
+      match parts with
+      | (home, ws) :: others -> (home, ws, others)
+      | [] -> assert false
+    in
+    (* Decide on the home worker's CPU (it drives the 2PC). Once the
+       force returns the outcome is fixed, so the participants apply
+       independently: the home slice commits on this thread, and every
+       other participant's phase-2 commit is handed to [detach] — in the
+       driver, that is the participant shard's own worker picking up the
+       decision and applying it while the home worker moves on
+       (presumed-commit 2PC with asynchronous acknowledgements). The
+       last participant to finish retires the intent. Each detached
+       branch gets its own thread-clock floored at the decision time:
+       the branches are causally ordered after the decision but not
+       after each other. *)
+    sync home;
+    decide t gid writes;
+    let decided = max !tt (Kernel.cpu_time t.k ~cpu:home) in
+    let remaining = ref (List.length parts) in
+    (* Whichever participant commits last retires the intent — after
+       every sibling's commit, so its clock is floored at the latest of
+       their completion times. *)
+    let retire_if_last btt bsync s =
+      decr remaining;
+      if !remaining = 0 then begin
+        List.iter
+          (fun (p, _) -> btt := max !btt (Kernel.cpu_time t.k ~cpu:p))
+          parts;
+        bsync s;
+        retire t gid ~force:false
+      end
+    in
+    List.iter
+      (fun (s, ws) ->
+        detach ~shard:s (fun ~pace ->
+            let btt = ref decided in
+            let bstarted = ref false in
+            let bsync p = sync_with ~pace btt bstarted p in
+            commit_participant ~sync:bsync t s ws;
+            bsync s;
+            Rlvm.flush_commits t.shards.(s);
+            retire_if_last btt bsync s))
+      others;
+    commit_participant ~sync t home home_ws;
+    sync home;
+    Rlvm.flush_commits t.shards.(home);
+    retire_if_last tt sync home;
+    Ok ()
+
+(* {1 The front door} *)
+
+let validate t writes =
+  let n = List.length writes in
+  if n > t.config.Config.max_txn_writes then
+    Some (Txn_too_large { writes = n; limit = t.config.Config.max_txn_writes })
+  else
+    match
+      List.find_opt
+        (fun (key, _) -> key < 0 || key >= t.config.Config.keys)
+        writes
+    with
+    | Some (key, _) -> Some (Invalid_key { key })
+    | None -> None
+
+let exec ?(pace = no_pace) ?detach t ~writes =
+  (* Without a driver-supplied [detach], detached phase-2 branches run
+     inline, right here — the synchronous behavior (crash sweeps and
+     direct callers see every commit applied before [exec] returns). *)
+  let detach =
+    match detach with Some d -> d | None -> fun ~shard:_ f -> f ~pace
+  in
+  match writes with
+  | [] -> Ok ()
+  | writes -> (
+    match validate t writes with
+    | Some e -> Error e
+    | None ->
+      let parts = partition t writes in
+      let before =
+        List.map (fun (c, _) -> (c, Kernel.cpu_time t.k ~cpu:c)) parts
+      in
+      let result =
+        match parts with
+        | [ (s, ws) ] -> exec_local ~pace t s ws
+        | parts -> exec_cross ~pace ~detach t parts writes
+      in
+      (match result with
+      | Ok () ->
+        let cycles =
+          List.fold_left
+            (fun acc (c, t0) -> acc + (Kernel.cpu_time t.k ~cpu:c - t0))
+            0 before
+        in
+        Lvm_obs.Histogram.observe t.commit_hist cycles;
+        Lvm_obs.Counter.incr t.txns_c;
+        (match parts with
+        | [ (s, _) ] -> Lvm_obs.Counter.incr t.shard_txns.(s)
+        | (home, _) :: _ ->
+          Lvm_obs.Counter.incr t.cross_c;
+          Lvm_obs.Counter.incr t.shard_txns.(home)
+        | [] -> ())
+      | Error _ -> Lvm_obs.Counter.incr t.overloaded_c);
+      result)
+
+let flush t =
+  Array.iteri
+    (fun s r ->
+      Kernel.set_cpu t.k s;
+      Rlvm.flush_commits r)
+    t.shards;
+  Kernel.set_cpu t.k 0
+
+(* {1 Crash recovery} *)
+
+type recovery = {
+  shard_reports : Ramdisk.recovery array;
+  coordinator : Ramdisk.recovery;
+  redone : (int * int) option;
+}
+
+let recover t =
+  let shard_reports =
+    Array.mapi
+      (fun s r ->
+        Kernel.set_cpu t.k s;
+        Rlvm.recover r)
+      t.shards
+  in
+  Kernel.set_cpu t.k 0;
+  let image, coordinator = Ramdisk.recover t.coord in
+  let redone =
+    if get32 image intent_off_state = 1 then begin
+      (* A decided cross-shard transaction never retired: roll it
+         forward. Redo as fresh committed transactions per participant —
+         absolute values, so replaying over an already-applied shard is
+         idempotent. *)
+      let gid = get32 image intent_off_gid in
+      let n = get32 image intent_off_count in
+      let pairs =
+        List.init n (fun i ->
+            ( get32 image (intent_off_pairs + (8 * i)),
+              get32 image (intent_off_pairs + (8 * i) + 4) ))
+      in
+      List.iter
+        (fun (s, ws) ->
+          Kernel.set_cpu t.k s;
+          let r = t.shards.(s) in
+          Rlvm.begin_txn r;
+          apply_writes t r ws;
+          Rlvm.commit r;
+          Rlvm.flush_commits r)
+        (partition t pairs);
+      Lvm_obs.Counter.incr t.redo_c;
+      Kernel.set_cpu t.k 0;
+      retire t gid ~force:true;
+      Some (gid, n)
+    end
+    else None
+  in
+  Kernel.set_cpu t.k 0;
+  { shard_reports; coordinator; redone }
+
+let recovery_to_string r =
+  let shards =
+    String.concat "; "
+      (Array.to_list
+         (Array.mapi
+            (fun s rep ->
+              Printf.sprintf "shard%d %s" s (Ramdisk.recovery_to_string rep))
+            r.shard_reports))
+  in
+  Printf.sprintf "%s | coord %s | redone=%s" shards
+    (Ramdisk.recovery_to_string r.coordinator)
+    (match r.redone with
+    | None -> "none"
+    | Some (gid, n) -> Printf.sprintf "gid=%d writes=%d" gid n)

@@ -1,0 +1,155 @@
+(** A sharded, recoverable transactional store over RLVM.
+
+    The keyspace is the dense integer range [0, keys); key [i] lives on
+    shard [i mod shards], each shard an independent {!Lvm_rvm.Rlvm}
+    instance with its own LVM log extent ring, RAM-disk write-ahead log
+    and group-commit batcher. The machine boots one worker CPU per
+    shard; a transaction's work is charged to the CPUs of the shards it
+    touches, so disjoint transactions scale across shards.
+
+    Transactions confined to one shard commit through that shard's WAL
+    exactly as a plain RLVM transaction. Cross-shard transactions run a
+    two-phase commit driven through the per-shard WALs plus a
+    coordinator decision log (its own RAM disk): phase 1 opens a
+    transaction on every participant and applies its writes; the
+    decision point is the forced append of an intent record — the
+    complete redo image of the transaction — to the coordinator log;
+    phase 2 commits each participant and flushes its batcher, then a
+    done marker retires the intent. Crash recovery ({!recover}) first
+    recovers every shard, then scans the coordinator log: a decided but
+    not retired transaction is rolled forward by re-applying its intent
+    writes as fresh committed transactions (absolute values, so the redo
+    is idempotent); an intent that never became durable — torn or never
+    appended — leaves every participant rolled back. Either way the
+    transaction is all-or-nothing.
+
+    Backpressure rides the typed {!Lvm_vm.Error.Log_exhausted} path: a
+    transaction whose redo records cannot be made durable is cleanly
+    aborted and reported as [Overloaded] instead of raising, so
+    admission control (see {!Workload}) can shed or requeue it. *)
+
+type t
+
+(** Store configuration; override {!Config.default} with the
+    functional-update syntax:
+
+    {[
+      let st = Store.create { Store.Config.default with shards = 4 }
+    ]} *)
+module Config : sig
+  (** What to do with a transaction the log cannot absorb right now:
+      drop it ([Shed]) or hand it back for retry ([Queue] — the
+      workload driver requeues it with a retry budget). *)
+  type admission = Shed | Queue
+
+  type t = {
+    shards : int;  (** Independent RLVM shards, one worker CPU each. *)
+    keys : int;  (** Dense keyspace size; key [i] lives on shard
+                     [i mod shards]. *)
+    group : int;  (** Per-shard group-commit batch size. *)
+    log_pages : int;  (** Per-shard LVM log provision, pages. *)
+    max_log_pages : int option;
+        (** Per-shard backpressure ceiling; [None] means
+            [2 * log_pages]. *)
+    admission : admission;
+    max_txn_writes : int;
+        (** Largest transaction accepted (bounds the coordinator's
+            intent record). *)
+    compute : int;
+        (** Application compute cycles charged per transaction on the
+            CPUs of the shards it touches — the work the shards
+            parallelize. *)
+    frames : int;  (** Physical memory frames for the machine. *)
+    obs : Lvm_obs.Ctx.t option;
+        (** Observability context to share (default: a fresh one). *)
+  }
+
+  val default : t
+  (** [{ shards = 4; keys = 1024; group = 1; log_pages = 32;
+        max_log_pages = None; admission = Queue; max_txn_writes = 32;
+        compute = 400; frames = 4096; obs = None }]. *)
+end
+
+(** Why a transaction was not executed. *)
+type error =
+  | Overloaded of { shard : int }
+      (** The shard's log could not make the transaction durable
+          (typed [Log_exhausted] underneath); the transaction was
+          cleanly aborted and may be retried. *)
+  | Txn_too_large of { writes : int; limit : int }
+  | Invalid_key of { key : int }
+
+val error_to_string : error -> string
+
+val create : Config.t -> t
+(** Boot a machine with [Config.shards] CPUs and one RLVM shard per
+    CPU, plus the coordinator decision log. Raises
+    [Lvm_vm.Error.Lvm_error] ([Out_of_range]) on a non-positive shard,
+    key or compute count, and [Log_capacity] if a shard's keyspace
+    slice cannot fit its log provision. *)
+
+val kernel : t -> Lvm_vm.Kernel.t
+val config : t -> Config.t
+
+val shard_of_key : t -> int -> int
+(** [key mod shards]; raises nothing (validation happens in {!exec}). *)
+
+val shard : t -> int -> Lvm_rvm.Rlvm.t
+(** The shard's underlying RLVM instance (tests and the crash sweep). *)
+
+val read : t -> int -> int
+(** Committed-state read of one key, charged to its shard's CPU. *)
+
+val exec :
+  ?pace:(cpu:int -> unit) ->
+  ?detach:(shard:int -> (pace:(cpu:int -> unit) -> unit) -> unit) ->
+  t -> writes:(int * int) list -> (unit, error) result
+(** Execute one transaction writing [(key, value)] pairs. All keys on
+    one shard: a local RLVM transaction on that shard's CPU. Keys on
+    several shards: a two-phase commit — the transaction is durable
+    (all of it) once the coordinator intent is forced, and never
+    partially. [Error] means the transaction left no trace.
+
+    [pace ~cpu] is called between the transaction's operations (before
+    each write, around each commit stage), with [cpu] the CPU the next
+    operation will run on. The {!Workload} driver suspends the
+    transaction there and yields to its scheduler, so concurrent
+    transactions interleave at operation granularity — the grain the
+    shared-bus timing model prices correctly — using [cpu]'s clock as
+    the scheduling key. The store re-establishes its own CPU binding
+    after every call, so [pace] may switch CPUs freely. Default: no-op.
+
+    [detach ~shard f] hands a non-home participant's phase-2 commit to
+    the driver once the decision is durable: [f ~pace] commits that
+    participant's slice (and, on the last participant, retires the
+    intent), pacing on [shard]'s CPU. A driver runs it as the shard
+    worker's own work item so the home worker moves on immediately —
+    presumed-commit 2PC with asynchronous acknowledgements. The shard
+    stays claimed until [f] completes. Default: run [f] inline, which
+    makes [exec] fully synchronous.
+
+    Two in-flight transactions must never touch the same shard: a
+    driver that paces concurrent transactions has to hold each one off
+    until every shard it writes is free — including shards whose
+    detached phase-2 is still running (see {!Workload}'s per-shard
+    admission). *)
+
+val flush : t -> unit
+(** Force every shard's pending group-commit batch. *)
+
+(** What {!recover} found. *)
+type recovery = {
+  shard_reports : Lvm_rvm.Ramdisk.recovery array;
+  coordinator : Lvm_rvm.Ramdisk.recovery;
+  redone : (int * int) option;
+      (** [(gid, writes)] of the in-doubt cross-shard transaction that
+          was rolled forward, if there was one. *)
+}
+
+val recover : t -> recovery
+(** Crash recovery: recover every shard from its WAL, then scan the
+    coordinator decision log and roll any decided-but-unretired
+    cross-shard transaction forward. Idempotent. *)
+
+val recovery_to_string : recovery -> string
+(** Deterministic one-line summary (crash-sweep traces). *)

@@ -1,0 +1,264 @@
+open Lvm_vm
+
+type spec = {
+  txns : int;
+  cross_pct : int;
+  writes_per_txn : int;
+  seed : int;
+  retries : int;
+}
+
+let default =
+  { txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7; retries = 2 }
+
+type shard_stat = { txns : int; cycles : int }
+
+type result = {
+  executed : int;
+  cross : int;
+  shed : int;
+  requeued : int;
+  wall_cycles : int;
+  cycles_per_txn : float;
+  per_shard : shard_stat array;
+}
+
+type entry = {
+  writes : (int * int) list;
+  is_cross : bool;
+  mutable tries : int;
+}
+
+(* Keys living on shard [s]: s, s + shards, s + 2*shards, ... *)
+let slot_count ~keys ~shards s = (keys - s + shards - 1) / shards
+
+let key_on ~keys ~shards rng s =
+  s + (shards * Lvm_fault.Splitmix.int rng ~bound:(slot_count ~keys ~shards s))
+
+let generate store spec =
+  let cfg = Store.config store in
+  let shards = cfg.Store.Config.shards in
+  let keys = cfg.Store.Config.keys in
+  let rng = Lvm_fault.Splitmix.create ~seed:spec.seed in
+  let queues = Array.init shards (fun _ -> Queue.create ()) in
+  for _ = 1 to spec.txns do
+    let cross =
+      shards > 1 && Lvm_fault.Splitmix.int rng ~bound:100 < spec.cross_pct
+    in
+    let value () = Lvm_fault.Splitmix.int rng ~bound:0x3FFFFFFF in
+    if cross then begin
+      let a = Lvm_fault.Splitmix.int rng ~bound:shards in
+      let b = (a + 1 + Lvm_fault.Splitmix.int rng ~bound:(shards - 1))
+              mod shards in
+      let half = max 1 (spec.writes_per_txn / 2) in
+      let writes =
+        List.init half (fun _ -> (key_on ~keys ~shards rng a, value ()))
+        @ List.init
+            (max 1 (spec.writes_per_txn - half))
+            (fun _ -> (key_on ~keys ~shards rng b, value ()))
+      in
+      Queue.add
+        { writes; is_cross = true; tries = 0 }
+        queues.(min a b)
+    end
+    else begin
+      let s = Lvm_fault.Splitmix.int rng ~bound:shards in
+      let writes =
+        List.init
+          (max 1 spec.writes_per_txn)
+          (fun _ -> (key_on ~keys ~shards rng s, value ()))
+      in
+      Queue.add { writes; is_cross = false; tries = 0 } queues.(s)
+    end
+  done;
+  queues
+
+(* {1 The scheduler}
+
+   One coroutine per home shard, suspended at [Store.exec]'s pace
+   points via an effect handler. Every scheduler step resumes the
+   coroutine whose next operation runs on the lowest-clock CPU, so the
+   shared bus sees accesses in timestamp order — at whole-transaction
+   granularity (the old round-robin driver) the tens-of-kilocycle
+   commit charge of the leading CPU lands on the bus cursor first and
+   every other CPU's next access is billed the skew as phantom
+   contention, which erases the scaling shards buy. *)
+
+type _ Effect.t += Yield : int -> unit Effect.t
+(** Performed by the store's [pace ~cpu] hook: suspend this transaction;
+    its next operation runs on CPU [cpu]. *)
+
+type outcome =
+  | Suspended of int * (unit, outcome) Effect.Deep.continuation
+  | Done of (unit, Store.error) Stdlib.result
+
+(* What an in-flight coroutine is doing: a whole transaction, or the
+   detached phase-2 tail of a cross-shard transaction (it holds the
+   claim on one participant shard until it completes). *)
+type job = Txn of entry | Phase2 of int
+
+type task_state =
+  | Idle
+  | Running of job * int * (unit, outcome) Effect.Deep.continuation
+
+let yield ~cpu = Effect.perform (Yield cpu)
+
+(* Start a unit of work as a coroutine: runs until the first pace point
+   (or to completion if it never paces). *)
+let start_coroutine f =
+  Effect.Deep.match_with f ()
+    { Effect.Deep.retc = (fun r -> Done r);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield cpu ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                Suspended (cpu, k))
+          | _ -> None) }
+
+let shards_of_entry ~shards entry =
+  List.sort_uniq compare (List.map (fun (key, _) -> key mod shards) entry.writes)
+
+(* What a shard CPU burns per scheduler step while its next transaction
+   waits for a shard a cross-shard transaction holds — 2PC blocking,
+   priced as a busy-wait. *)
+let blocked_spin_cycles = 200
+
+let run store spec =
+  let k = Store.kernel store in
+  let cfg = Store.config store in
+  let shards = cfg.Store.Config.shards in
+  let queues = generate store spec in
+  let executed = ref 0 and cross = ref 0 in
+  let shed = ref 0 and requeued = ref 0 in
+  let txn_counts = Array.make shards 0 in
+  let cpu0 = Array.init shards (fun i -> Kernel.cpu_time k ~cpu:i) in
+  let wall0 = Kernel.max_time k in
+  let states = Array.make shards Idle in
+  (* A shard with a transaction in flight: in-flight transactions must
+     never share a shard (two open RLVM transactions on one instance). *)
+  let busy = Array.make shards false in
+  (* Shards whose claim a cross-shard transaction handed to a detached
+     phase-2 item: the transaction's own [finish] must not release them;
+     the phase-2 item does when it completes. *)
+  let transferred = Array.make shards false in
+  (* Detached phase-2 work, queued for the participant shard's worker
+     (at most one per shard — the shard is claimed throughout). *)
+  let phase2s = Array.make shards [] in
+  let detach ~shard run =
+    transferred.(shard) <- true;
+    phase2s.(shard) <- phase2s.(shard) @ [ run ]
+  in
+  let finish i job result =
+    match job with
+    | Phase2 s ->
+      busy.(s) <- false;
+      transferred.(s) <- false
+    | Txn entry -> (
+      List.iter
+        (fun s -> if not transferred.(s) then busy.(s) <- false)
+        (shards_of_entry ~shards entry);
+      match result with
+      | Ok () ->
+        incr executed;
+        txn_counts.(i) <- txn_counts.(i) + 1;
+        if entry.is_cross then incr cross
+      | Error (Store.Overloaded _)
+        when cfg.Store.Config.admission = Store.Config.Queue
+             && entry.tries < spec.retries ->
+        entry.tries <- entry.tries + 1;
+        incr requeued;
+        Queue.add entry queues.(i)
+      | Error _ -> incr shed)
+  in
+  let live i =
+    states.(i) <> Idle
+    || phase2s.(i) <> []
+    || not (Queue.is_empty queues.(i))
+  in
+  (* Scheduling key: the clock of the CPU the task's next operation
+     runs on (its own CPU while idle). *)
+  let next_cpu i = match states.(i) with
+    | Running (_, cpu, _) -> cpu
+    | Idle -> i
+  in
+  let launch i job outcome =
+    match outcome with
+    | Suspended (cpu, cont) -> states.(i) <- Running (job, cpu, cont)
+    | Done r -> finish i job r
+  in
+  let step i =
+    match states.(i) with
+    | Running (job, _, cont) -> (
+      match Effect.Deep.continue cont () with
+      | Suspended (cpu, cont') -> states.(i) <- Running (job, cpu, cont')
+      | Done r ->
+        states.(i) <- Idle;
+        finish i job r)
+    | Idle -> (
+      match phase2s.(i) with
+      | run :: rest ->
+        (* A decided cross-shard transaction's commit on this shard:
+           always runnable — the shard claim came with it. *)
+        phase2s.(i) <- rest;
+        launch i (Phase2 i)
+          (start_coroutine (fun () -> run ~pace:yield; Ok ()))
+      | [] ->
+        let entry = Queue.peek queues.(i) in
+        let parts = shards_of_entry ~shards entry in
+        if List.exists (fun s -> busy.(s)) parts then begin
+          (* A shard this transaction needs is held (by a cross-shard
+             transaction, or this is a cross-shard transaction and a
+             participant is mid-commit): spin until it frees up. *)
+          Kernel.set_cpu k i;
+          Kernel.compute k blocked_spin_cycles
+        end
+        else begin
+          ignore (Queue.pop queues.(i));
+          List.iter (fun s -> busy.(s) <- true) parts;
+          launch i (Txn entry)
+            (start_coroutine (fun () ->
+                 Store.exec store ~pace:yield ~detach ~writes:entry.writes))
+        end)
+  in
+  (* Lowest clock first; on ties an in-flight transaction beats an idle
+     worker, and then the lowest index wins. The in-flight preference is
+     load-bearing: a worker blocked on shard admission spins on the very
+     CPU a parked cross-shard transaction is keyed on (the coordinator),
+     so their keys stay tied forever — the spinner must lose the tie or
+     the transaction holding the shard never runs again. *)
+  let better i best =
+    let ki = Kernel.cpu_time k ~cpu:(next_cpu i) in
+    let kb = Kernel.cpu_time k ~cpu:(next_cpu best) in
+    ki < kb
+    || ki = kb
+       && (match (states.(i), states.(best)) with
+          | Running _, Idle -> true
+          | _ -> false)
+  in
+  let rec loop () =
+    let best = ref (-1) in
+    for i = 0 to shards - 1 do
+      if live i && (!best < 0 || better i !best) then best := i
+    done;
+    if !best >= 0 then begin
+      step !best;
+      loop ()
+    end
+  in
+  loop ();
+  Kernel.set_cpu k 0;
+  Store.flush store;
+  let wall = Kernel.max_time k - wall0 in
+  { executed = !executed;
+    cross = !cross;
+    shed = !shed;
+    requeued = !requeued;
+    wall_cycles = wall;
+    cycles_per_txn = float_of_int wall /. float_of_int (max 1 !executed);
+    per_shard =
+      Array.init shards (fun i ->
+          { txns = txn_counts.(i);
+            cycles = Kernel.cpu_time k ~cpu:i - cpu0.(i) }) }

@@ -1,0 +1,59 @@
+(** Closed-loop workload driver for the sharded store.
+
+    Generates a seeded transaction mix (single-shard and cross-shard),
+    queues each transaction on its home shard, and drives one worker
+    task per shard CPU with a deterministic clock-ordered scheduler, so
+    disjoint shards make progress in parallel. Each in-flight
+    transaction is an effect-handler coroutine suspended at
+    {!Store.exec}'s [pace] points: every scheduler step runs one store
+    operation on the CPU whose clock is lowest, so bus traffic arrives
+    in timestamp order — the shared-bus model's contract — and measured
+    contention is genuine. Per-shard admission keeps two transactions
+    from ever sharing a shard: a worker whose next transaction needs a
+    shard a cross-shard transaction is holding spins (a small compute
+    charge — the 2PC blocking cost) until it frees up.
+
+    A cross-shard transaction's detached phase-2 commits (see
+    {!Store.exec}'s [detach]) are queued as high-priority work items on
+    each participant shard's own worker: once the decision is durable
+    the home worker moves on, and the participants apply the commit in
+    parallel — the shard claim travels with the work item and is
+    released when it completes.
+
+    A transaction the store reports [Overloaded] is requeued (admission
+    [Queue], up to [retries] times) or dropped (admission [Shed]);
+    either way the run completes and reports what was shed. *)
+
+type spec = {
+  txns : int;  (** Transactions to generate. *)
+  cross_pct : int;  (** Percentage touching two shards (0–100). *)
+  writes_per_txn : int;
+  seed : int;  (** Splitmix seed; same seed, same run. *)
+  retries : int;  (** Requeue budget per transaction (admission
+                      [Queue]). *)
+}
+
+val default : spec
+(** [{ txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7;
+      retries = 2 }]. *)
+
+type shard_stat = {
+  txns : int;  (** Transactions this shard was home for. *)
+  cycles : int;  (** Cycles its CPU spent over the run. *)
+}
+
+type result = {
+  executed : int;
+  cross : int;
+  shed : int;
+  requeued : int;
+  wall_cycles : int;  (** Wall-clock cycles of the whole run: the
+                          latest CPU clock delta. *)
+  cycles_per_txn : float;  (** [wall_cycles / executed] — the
+                               throughput figure shards improve. *)
+  per_shard : shard_stat array;
+}
+
+val run : Store.t -> spec -> result
+(** Generate, enqueue and execute the whole mix; deterministic for a
+    given store configuration and spec. *)

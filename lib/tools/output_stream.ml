@@ -62,3 +62,74 @@ let mirror_word t ~off =
     invalid_arg "Output_stream.mirror_word: direct-mapped mode only";
   Kernel.sync_log t.k t.ls;
   Kernel.seg_read_raw t.k t.ls ~off ~size:4
+
+module Envelope = struct
+  let schema_version = 1
+
+  type json =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of json list
+    | Obj of (string * json) list
+    | Raw of string
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (Printf.sprintf "%.4f" v)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape name);
+          Buffer.add_string b "\": ";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+    | Raw s -> Buffer.add_string b s
+
+  let render ~kind fields =
+    let b = Buffer.create 256 in
+    write b
+      (Obj
+         (("schema_version", Int schema_version)
+          :: ("kind", String kind) :: fields));
+    Buffer.contents b
+
+  let emit ~kind ppf fields =
+    Format.fprintf ppf "%s@." (render ~kind fields)
+end

@@ -32,3 +32,35 @@ val consume : t -> int list
 
 val mirror_word : t -> off:int -> int
 (** Consumer view of a direct-mapped output device at [off]. *)
+
+(** {1 The tool-output envelope}
+
+    Every JSON document the command-line tools emit ([lvmctl --metrics],
+    [logstats --json], [crashsweep --json], [store --json], the
+    [BENCH_*.json] blobs) is wrapped in one versioned envelope so
+    downstream tooling parses a single shape:
+
+    {v {"schema_version": 1, "kind": "<kind>", ...fields} v} *)
+module Envelope : sig
+  val schema_version : int
+  (** Currently [1]; bumped on any incompatible field change. *)
+
+  (** A minimal JSON tree — no external dependency. [Raw] embeds an
+      already-rendered JSON fragment verbatim (e.g. an
+      [Lvm_obs.Sink.blob_json] blob). *)
+  type json =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** rendered with four decimals *)
+    | String of string
+    | List of json list
+    | Obj of (string * json) list
+    | Raw of string
+
+  val render : kind:string -> (string * json) list -> string
+  (** One-line JSON object: the envelope header followed by [fields]. *)
+
+  val emit : kind:string -> Format.formatter -> (string * json) list -> unit
+  (** [render] followed by a newline on the formatter. *)
+end

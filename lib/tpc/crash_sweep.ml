@@ -36,7 +36,12 @@ let build ?cpus ?group () =
   let sp = Kernel.create_space k in
   let b = bank () in
   let size = Bank.segment_bytes b in
-  let r = Lvm_rvm.Rlvm.create ?group k sp ~size in
+  let r =
+    Lvm_rvm.Rlvm.make
+      { Lvm_rvm.Rlvm.Config.default with
+        group = Option.value group ~default:1 }
+      k sp ~size
+  in
   let base = Tpca.rlvm_store r in
   let model = Array.make (size / 4) 0 in
   let forced = Array.make (size / 4) 0 in
@@ -166,8 +171,178 @@ let torn_plan ~nth ~keep =
         trigger = Lvm_fault.Plan.At_count nth;
         fault = Lvm_fault.Fault.Torn_write { keep } } ]
 
-let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
-    ?(group = 1) () =
+(* {1 Sharded-store sweep}
+
+   With [shards > 1] the subject is an [Lvm_store] sharded store: the
+   workload mixes single-shard transactions with cross-shard two-phase
+   commits (every third transaction), keys chosen so each transaction's
+   writes are distinct words. The host-side model tracks committed
+   transactions; the in-flight transaction's writes are the [staged]
+   set, and a crashed run must recover to the model exactly, or to the
+   model plus the whole staged set — all-or-nothing across every shard
+   the transaction touched. Group commit is not swept here (the store
+   runs with group 1), so the committed prefix is always durable. *)
+
+module Store = Lvm_store.Store
+
+type store_state = {
+  st : Store.t;
+  model : int array; (* committed key values, host-side truth *)
+  staged : (int * int) list ref; (* the in-flight transaction's writes *)
+}
+
+let store_slots = 8 (* keys per shard *)
+
+let build_store ~shards () =
+  let st =
+    Store.create
+      { Store.Config.default with
+        shards;
+        keys = shards * store_slots;
+        group = 1;
+        log_pages = 4;
+        compute = 40 }
+  in
+  { st; model = Array.make (shards * store_slots) 0; staged = ref [] }
+
+(* Transaction [j] of the seeded workload: every third is cross-shard
+   (two participants, two writes each), the rest single-shard (two
+   writes). Slot indices 2j and 2j+1 keep each transaction's writes on
+   distinct words. *)
+let store_txn ~shards ~seed j =
+  let value idx = ((seed * 31) + (j * 97) + (idx * 13) + 5) land 0xFFFFFF in
+  let key s slot = s + (shards * (slot mod store_slots)) in
+  let cross = shards > 1 && j mod 3 = 2 in
+  if cross then
+    let a = j mod shards and b = (j + 1) mod shards in
+    [ (key a (2 * j), value 0); (key a ((2 * j) + 1), value 1);
+      (key b (2 * j), value 2); (key b ((2 * j) + 1), value 3) ]
+  else
+    let s = j mod shards in
+    [ (key s (2 * j), value 0); (key s ((2 * j) + 1), value 1) ]
+
+let run_store_workload ss ~shards ~seed ~txns =
+  for j = 0 to txns - 1 do
+    let writes = store_txn ~shards ~seed j in
+    ss.staged := writes;
+    (match Store.exec ss.st ~writes with
+    | Ok () ->
+      List.iter (fun (key, v) -> ss.model.(key) <- v) writes;
+      ss.staged := []
+    | Error e -> failwith ("store sweep exec: " ^ Store.error_to_string e));
+  done
+
+let check_store_state ss =
+  let n = Array.length ss.model in
+  let actual = Array.init n (fun key -> Store.read ss.st key) in
+  let plus_staged =
+    let m = Array.copy ss.model in
+    List.iter (fun (key, v) -> m.(key) <- v) !(ss.staged);
+    m
+  in
+  if actual = ss.model then Ok "committed"
+  else if !(ss.staged) <> [] && actual = plus_staged then Ok "committed+txn"
+  else
+    let rec find k =
+      if k = n then "?"
+      else if actual.(k) <> ss.model.(k) && actual.(k) <> plus_staged.(k)
+      then
+        Printf.sprintf "key %d: got %d model %d staged %d" k actual.(k)
+          ss.model.(k) plus_staged.(k)
+      else find (k + 1)
+    in
+    Error (find 0)
+
+let store_machine ss = Kernel.machine (Store.kernel ss.st)
+
+let store_snapshot ss =
+  Array.init (Array.length ss.model) (fun key -> Store.read ss.st key)
+
+let run_one_store ~shards ~label ~seed ~txns plan =
+  let ss = build_store ~shards () in
+  Lvm_machine.Machine.set_fault_plan (store_machine ss) (Some plan);
+  match run_store_workload ss ~shards ~seed ~txns with
+  | () -> (
+    Lvm_machine.Machine.set_fault_plan (store_machine ss) None;
+    match check_store_state ss with
+    | Ok _ -> (Printf.sprintf "%s completed state=ok\n" label, None, false,
+               false)
+    | Error d ->
+      ( Printf.sprintf "%s completed state=FAIL %s\n" label d,
+        Some (label ^ ": " ^ d), false, false ))
+  | exception Lvm_fault.Fault.Crashed { cycle; site } -> (
+    Lvm_machine.Machine.set_fault_plan (store_machine ss) None;
+    let report = Store.recover ss.st in
+    let torn =
+      report.Store.coordinator.Lvm_rvm.Ramdisk.truncated_bytes > 0
+      || Array.exists
+           (fun (r : Lvm_rvm.Ramdisk.recovery) -> r.truncated_bytes > 0)
+           report.Store.shard_reports
+    in
+    let base =
+      Printf.sprintf "%s crashed cycle=%d site=%s %s" label cycle
+        (Lvm_fault.Fault.site_name site)
+        (Store.recovery_to_string report)
+    in
+    (* Replay idempotence: a second recovery must land on the same
+       state (the first one's roll-forward included). *)
+    let first = store_snapshot ss in
+    ignore (Store.recover ss.st);
+    let second = store_snapshot ss in
+    match check_store_state ss with
+    | Ok which when first = second ->
+      (Printf.sprintf "%s state=ok(%s)\n" base which, None, true, torn)
+    | Ok _ ->
+      ( Printf.sprintf "%s state=FAIL not idempotent\n" base,
+        Some (label ^ ": recovery not idempotent"), true, torn )
+    | Error d ->
+      ( Printf.sprintf "%s state=FAIL %s\n" base d,
+        Some (label ^ ": " ^ d), true, torn ))
+
+let run_store_sweep ~seed ~txns ~points ~torn_points ~shards =
+  let total =
+    let ss = build_store ~shards () in
+    run_store_workload ss ~shards ~seed ~txns;
+    Kernel.max_time (Store.kernel ss.st)
+  in
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let crashed = ref 0 and completed = ref 0 and torn = ref 0 in
+  let record (line, failure, did_crash, did_torn) =
+    Buffer.add_string buf line;
+    (match failure with Some f -> failures := f :: !failures | None -> ());
+    if did_crash then incr crashed else incr completed;
+    if did_torn then incr torn
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "crashsweep seed=%d txns=%d total_cycles=%d shards=%d\n" seed txns
+       total shards);
+  for i = 0 to points - 1 do
+    let at = 1 + (i * (total - 1) / max 1 (points - 1)) in
+    record
+      (run_one_store ~shards
+         ~label:(Printf.sprintf "point=%d at=%d" i at) ~seed ~txns
+         (crash_plan ~at))
+  done;
+  for j = 1 to torn_points do
+    let keep = 1 + (j * 7 mod 23) in
+    record
+      (run_one_store ~shards
+         ~label:(Printf.sprintf "torn=%d keep=%d" j keep)
+         ~seed ~txns (torn_plan ~nth:j ~keep))
+  done;
+  {
+    points = points + torn_points;
+    crashed = !crashed;
+    completed = !completed;
+    torn = !torn;
+    failures = List.rev !failures;
+    trace = Buffer.contents buf;
+  }
+
+let run_single ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24)
+    ?cpus ?(group = 1) () =
   let group_opt = if group = 1 then None else Some group in
   (* Reference run: how long the whole workload takes with no faults. *)
   let total =
@@ -210,3 +385,8 @@ let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
     failures = List.rev !failures;
     trace = Buffer.contents buf;
   }
+
+let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
+    ?(group = 1) ?(shards = 1) () =
+  if shards > 1 then run_store_sweep ~seed ~txns ~points ~torn_points ~shards
+  else run_single ?cpus ~seed ~txns ~points ~torn_points ~group ()

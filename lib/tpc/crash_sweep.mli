@@ -28,7 +28,7 @@ type outcome = {
 
 val run :
   ?seed:int -> ?txns:int -> ?points:int -> ?torn_points:int -> ?cpus:int ->
-  ?group:int -> unit -> outcome
+  ?group:int -> ?shards:int -> unit -> outcome
 (** [run ()] sweeps [points] (default 200) evenly-spaced crash cycles
     over a [txns]-transaction workload (default 12), then [torn_points]
     (default 24) torn-write crashes at successive WAL appends with
@@ -40,4 +40,15 @@ val run :
     crash may then roll back commits whose batch was never forced; the
     checker accepts the last fully-forced state for crashed runs. With
     [group = 1] that extra acceptance is unreachable and the trace is
-    byte-identical to the ungrouped sweep. *)
+    byte-identical to the ungrouped sweep.
+
+    [shards] (default 1) switches the subject from the single TPC-A
+    store to an [Lvm_store] sharded store whose workload mixes
+    single-shard and cross-shard (two-phase-commit) transactions with
+    disjoint per-transaction key sets. The checker then enforces
+    all-or-nothing across shards: a crashed run must recover to the
+    committed prefix, plus the in-flight transaction either applied in
+    full on every shard it touched or on none — a torn write landing
+    between the two phases (e.g. tearing the coordinator's intent
+    record) must roll the whole transaction back. [cpus] is ignored
+    when [shards > 1]: the store boots one CPU per shard. *)

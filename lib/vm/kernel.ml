@@ -837,3 +837,28 @@ let run_cpus t ~tasks =
     done
   done;
   set_cpu t 0
+
+let run_cpus_clocked t ~tasks =
+  let n = Array.length tasks in
+  if n = 0 || n > cpus t then
+    invalid_arg "Kernel.run_cpus_clocked: need 1 <= tasks <= cpus";
+  let live = Array.make n true in
+  let remaining = ref n in
+  while !remaining > 0 do
+    (* Conservative event order: of the unfinished tasks, step the one
+       whose CPU clock is lowest; scanning downwards with [<=] makes
+       ties land on the lowest CPU index. *)
+    let next = ref (-1) in
+    for i = n - 1 downto 0 do
+      if live.(i)
+         && (!next = -1 || cpu_time t ~cpu:i <= cpu_time t ~cpu:!next)
+      then next := i
+    done;
+    let i = !next in
+    set_cpu t i;
+    if not (tasks.(i) ()) then begin
+      live.(i) <- false;
+      decr remaining
+    end
+  done;
+  set_cpu t 0

@@ -73,6 +73,16 @@ val run_cpus : t -> tasks:(unit -> bool) array -> unit
     active once every task has finished. Raises [Invalid_argument] if
     there are no tasks or more tasks than CPUs. *)
 
+val run_cpus_clocked : t -> tasks:(unit -> bool) array -> unit
+(** Deterministic clock-ordered multi-CPU scheduler: like {!run_cpus},
+    but each iteration steps the unfinished task whose CPU clock is
+    lowest (ties to the lowest CPU index) — conservative event order.
+    Round-robin order charges a lagging CPU's next bus access with the
+    whole clock skew accumulated by the leaders, which mis-prices
+    coarse task steps (e.g. a step that commits a transaction);
+    clock-ordered scheduling keeps the skew bounded by one step, so bus
+    waits reflect genuine contention. Same determinism guarantee. *)
+
 (** {1 Objects} *)
 
 val create_space : t -> Address_space.t

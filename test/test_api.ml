@@ -11,7 +11,7 @@ let check_bool = Alcotest.(check bool)
 
 let test_api_section_2_2_sequence () =
   (* the exact code sequence of Section 2.2 *)
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let seg_a = Lvm.Api.std_segment k ~size:8192 in
   let reg_r = Lvm.Api.std_region k seg_a in
@@ -23,7 +23,7 @@ let test_api_section_2_2_sequence () =
   check "write logged" 1 (Lvm.Log_reader.record_count k ls)
 
 let test_api_source_segment_and_reset () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let working = Lvm.Api.std_segment k ~size:4096 in
   let ckpt = Lvm.Api.std_segment k ~size:4096 in
@@ -35,7 +35,7 @@ let test_api_source_segment_and_reset () =
   check "reset restored source" 0 (Lvm.Api.read_word k space ~vaddr:base)
 
 let test_api_unlog_and_set_logging () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let seg = Lvm.Api.std_segment k ~size:4096 in
   let reg = Lvm.Api.std_region k seg in
@@ -52,7 +52,7 @@ let test_api_unlog_and_set_logging () =
     (Lvm.Log_reader.record_count k ls)
 
 let test_api_manager_hook () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let filled = ref 0 in
   let seg =
@@ -65,7 +65,7 @@ let test_api_manager_hook () =
   check "manager called per page" 2 !filled
 
 let test_api_compute_and_time () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let t0 = Lvm.Api.time k in
   Lvm.Api.compute k 123;
   check "compute advances time" (t0 + 123) (Lvm.Api.time k)
@@ -80,7 +80,7 @@ let prop_log_totality =
       list_of_size (Gen.int_range 1 120)
         (pair (int_bound 511) (int_bound 0xFFFF)))
     (fun writes ->
-      let k = Lvm.Api.boot () in
+      let k = Lvm.Api.create Lvm.Api.Config.default in
       let space = Lvm.Api.address_space k in
       let seg = Lvm.Api.std_segment k ~size:4096 in
       let reg = Lvm.Api.std_region k seg in
@@ -108,7 +108,7 @@ let prop_log_replay_reconstructs =
       list_of_size (Gen.int_range 1 80)
         (pair (int_bound 255) (int_bound 0xFFFF)))
     (fun writes ->
-      let k = Lvm.Api.boot () in
+      let k = Lvm.Api.create Lvm.Api.Config.default in
       let space = Lvm.Api.address_space k in
       let seg = Lvm.Api.std_segment k ~size:4096 in
       let reg = Lvm.Api.std_region k seg in
@@ -136,7 +136,7 @@ let prop_log_timestamps_monotone =
     QCheck.(
       list_of_size (Gen.int_range 2 60) (pair (int_bound 100) (int_bound 50)))
     (fun ops ->
-      let k = Lvm.Api.boot () in
+      let k = Lvm.Api.create Lvm.Api.Config.default in
       let space = Lvm.Api.address_space k in
       let seg = Lvm.Api.std_segment k ~size:4096 in
       let reg = Lvm.Api.std_region k seg in
@@ -234,7 +234,7 @@ let test_bank_layout_offsets () =
   check "teller striping" 1 (Lvm_tpc.Bank.teller_branch b 1)
 
 let test_address_trace_write_rate () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let seg = Lvm.Api.std_segment k ~size:4096 in
   let reg = Lvm.Api.std_region k seg in
@@ -251,7 +251,7 @@ let test_address_trace_write_rate () =
   | None -> Alcotest.fail "expected a rate")
 
 let test_watchpoint_empty_log () =
-  let k = Lvm.Api.boot () in
+  let k = Lvm.Api.create Lvm.Api.Config.default in
   let space = Lvm.Api.address_space k in
   let seg = Lvm.Api.std_segment k ~size:4096 in
   let reg = Lvm.Api.std_region k seg in
@@ -262,6 +262,30 @@ let test_watchpoint_empty_log () =
   Alcotest.(check int) "no hits in empty log" 0
     (List.length (Lvm_tools.Watchpoint.hits k ~log:ls ~watched:seg ~off:0
                     ~len:4096))
+
+(* The deprecated optional-argument wrappers must keep compiling the
+   pre-redesign call sites unchanged, and must build the same machine the
+   config-record form does. Only this module may use them. *)
+module Deprecated_compat = struct
+  [@@@alert "-deprecated"]
+
+  let exercise () =
+    let k = Lvm.Api.boot ~frames:64 ~log_entries:32 () in
+    let sp = Lvm.Api.address_space k in
+    let r = Lvm_rvm.Rlvm.create ~log_pages:16 ~group:2 k sp ~size:1024 in
+    Lvm_rvm.Rlvm.begin_txn r;
+    Lvm_rvm.Rlvm.write_word r ~off:0 7;
+    Lvm_rvm.Rlvm.commit r;
+    Lvm_rvm.Rlvm.flush_commits r;
+    let v, _snap = Lvm.Api.with_kernel (fun k2 -> Lvm.Api.time k2) in
+    (Lvm_rvm.Rlvm.read_word r ~off:0, Lvm_rvm.Rlvm.group r, v)
+end
+
+let test_deprecated_wrappers () =
+  let read0, group, t0 = Deprecated_compat.exercise () in
+  check "wrapper-built rlvm commits" 7 read0;
+  check "wrapper threads group" 2 group;
+  check "with_kernel wrapper boots at cycle 0" 0 t0
 
 let test_rvm_abort_overlapping_ranges () =
   let k = Lvm_vm.Kernel.create () in
@@ -318,5 +342,7 @@ let suites =
           test_watchpoint_empty_log;
         Alcotest.test_case "rvm overlapping ranges" `Quick
           test_rvm_abort_overlapping_ranges;
+        Alcotest.test_case "deprecated wrappers" `Quick
+          test_deprecated_wrappers;
       ] );
   ]

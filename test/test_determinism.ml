@@ -41,7 +41,7 @@ let test_tpca_deterministic () =
     in
     let store =
       Lvm_tpc.Tpca.rlvm_store
-        (Lvm_rvm.Rlvm.create k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
+        (Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
     in
     Lvm_tpc.Tpca.setup store bank;
     let r = Lvm_tpc.Tpca.run ~seed:11 store bank ~txns:60 in

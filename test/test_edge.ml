@@ -232,7 +232,7 @@ let test_anti_for_queued_event () =
 let test_rvm_rlvm_share_kernel () =
   let k, sp = boot () in
   let rvm = Lvm_rvm.Rvm.create k sp ~size:4096 in
-  let rlvm = Lvm_rvm.Rlvm.create k sp ~size:4096 in
+  let rlvm = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:4096 in
   Lvm_rvm.Rvm.begin_txn rvm;
   Lvm_rvm.Rlvm.begin_txn rlvm;
   Lvm_rvm.Rvm.set_range rvm ~off:0 ~len:4;
@@ -434,7 +434,7 @@ let test_timewarp_on_chip_matches_prototype () =
 let test_rlvm_on_chip_kernel () =
   let k = Kernel.create ~hw:Logger.On_chip () in
   let sp = Kernel.create_space k in
-  let r = Lvm_rvm.Rlvm.create k sp ~size:4096 in
+  let r = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:4096 in
   Lvm_rvm.Rlvm.begin_txn r;
   Lvm_rvm.Rlvm.write_word r ~off:0 77;
   Lvm_rvm.Rlvm.commit r;

@@ -282,7 +282,14 @@ let test_wal_failed_write_lost () =
 let rlvm_fixture ?log_pages ?max_log_pages ~size () =
   let k = Kernel.create () in
   let sp = Kernel.create_space k in
-  let r = Lvm_rvm.Rlvm.create ?log_pages ?max_log_pages k sp ~size in
+  let d = Lvm_rvm.Rlvm.Config.default in
+  let config =
+    { d with
+      Lvm_rvm.Rlvm.Config.log_pages =
+        Option.value log_pages ~default:d.Lvm_rvm.Rlvm.Config.log_pages;
+      max_log_pages }
+  in
+  let r = Lvm_rvm.Rlvm.make config k sp ~size in
   (k, r)
 
 let test_rlvm_crash_mid_txn () =
@@ -414,7 +421,7 @@ let test_rlvm_torn_at_extent_seam () =
 let test_rlvm_group_commit_recovery () =
   let k = Kernel.create () in
   let sp = Kernel.create_space k in
-  let r = Lvm_rvm.Rlvm.create ~group:4 k sp ~size:4096 in
+  let r = Lvm_rvm.Rlvm.make { Lvm_rvm.Rlvm.Config.default with group = 4 } k sp ~size:4096 in
   check "group recorded" 4 (Lvm_rvm.Rlvm.group r);
   for i = 0 to 5 do
     Lvm_rvm.Rlvm.begin_txn r;

@@ -135,7 +135,7 @@ let test_rvm_wal_truncation_under_load () =
 
 let test_rlvm_commit_persists () =
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:8192 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:8192 in
   Rlvm.begin_txn r;
   Rlvm.write_word r ~off:0 11;
   Rlvm.write_word r ~off:4 22;
@@ -146,7 +146,7 @@ let test_rlvm_commit_persists () =
 
 let test_rlvm_abort_restores () =
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:4096 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:4096 in
   Rlvm.begin_txn r;
   Rlvm.write_word r ~off:8 5;
   Rlvm.commit r;
@@ -160,7 +160,7 @@ let test_rlvm_abort_restores () =
 
 let test_rlvm_crash_discards_uncommitted () =
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:4096 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:4096 in
   Rlvm.begin_txn r;
   Rlvm.write_word r ~off:0 41;
   Rlvm.commit r;
@@ -172,7 +172,7 @@ let test_rlvm_crash_discards_uncommitted () =
 let test_rlvm_no_annotations_needed () =
   (* every write inside a transaction is recovered — no set_range *)
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:4096 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:4096 in
   Rlvm.begin_txn r;
   for i = 0 to 63 do
     Rlvm.write_word r ~off:(i * 4) (i * i)
@@ -187,7 +187,7 @@ let test_rlvm_no_annotations_needed () =
 
 let test_rlvm_write_outside_txn_rejected () =
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:4096 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:4096 in
   Alcotest.check_raises "write outside txn" Rlvm.No_transaction (fun () ->
       Rlvm.write_word r ~off:0 1)
 
@@ -195,7 +195,7 @@ let test_rlvm_repeated_writes_ordered () =
   (* multiple writes to one location: the last committed value wins after
      recovery (records replay in order) *)
   let k, sp = boot () in
-  let r = Rlvm.create k sp ~size:4096 in
+  let r = Rlvm.make Rlvm.Config.default k sp ~size:4096 in
   Rlvm.begin_txn r;
   Rlvm.write_word r ~off:0 1;
   Rlvm.write_word r ~off:0 2;
@@ -230,7 +230,7 @@ let prop_rvm_rlvm_equivalent =
     (QCheck.make ~print gen) (fun txns ->
       let k, sp = boot () in
       let rvm = Rvm.create k sp ~size:(words * 4) in
-      let rlvm = Rlvm.create k sp ~size:(words * 4) in
+      let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:(words * 4) in
       List.iter
         (fun (ws, commit) ->
           Rvm.begin_txn rvm;
@@ -272,7 +272,7 @@ let test_single_write_costs () =
   Rvm.write_word rvm ~off:4 2;
   let rvm_cost = Lvm_vm.Kernel.time k - t0 in
   Rvm.commit rvm;
-  let rlvm = Rlvm.create k sp ~size:8192 in
+  let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:8192 in
   Rlvm.begin_txn rlvm;
   Rlvm.write_word rlvm ~off:0 1;
   Lvm_vm.Kernel.compute k 200;
@@ -303,7 +303,7 @@ let test_tpca_invariants_rvm () =
 
 let test_tpca_invariants_rlvm () =
   let k, sp, bank, size = tpc_fixture () in
-  let store = Lvm_tpc.Tpca.rlvm_store (Rlvm.create k sp ~size) in
+  let store = Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup store bank;
   ignore (Lvm_tpc.Tpca.run store bank ~txns:100);
   check_bool "balances consistent" true
@@ -312,7 +312,7 @@ let test_tpca_invariants_rlvm () =
 let test_tpca_same_results_both_stores () =
   let k, sp, bank, size = tpc_fixture () in
   let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size) in
-  let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.create k sp ~size) in
+  let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup s_rvm bank;
   Lvm_tpc.Tpca.setup s_rlvm bank;
   ignore (Lvm_tpc.Tpca.run ~seed:3 s_rvm bank ~txns:80);
@@ -323,7 +323,7 @@ let test_tpca_same_results_both_stores () =
 let test_tpca_rlvm_faster () =
   let k, sp, bank, size = tpc_fixture () in
   let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size) in
-  let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.create k sp ~size) in
+  let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup s_rvm bank;
   Lvm_tpc.Tpca.setup s_rlvm bank;
   let r_rvm = Lvm_tpc.Tpca.run s_rvm bank ~txns:150 in
@@ -336,7 +336,7 @@ let test_tpca_rlvm_faster () =
 
 let test_tpca_survives_crash () =
   let k, sp, bank, size = tpc_fixture () in
-  let rlvm = Rlvm.create k sp ~size in
+  let rlvm = Rlvm.make Rlvm.Config.default k sp ~size in
   let store = Lvm_tpc.Tpca.rlvm_store rlvm in
   Lvm_tpc.Tpca.setup store bank;
   ignore (Lvm_tpc.Tpca.run store bank ~txns:60);
@@ -422,7 +422,7 @@ let prop_crash_point_recovery =
     (QCheck.make ~print gen) (fun (txns, crash_after) ->
       let k, sp = boot () in
       let rvm = Rvm.create k sp ~size:(words * 4) in
-      let rlvm = Rlvm.create k sp ~size:(words * 4) in
+      let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:(words * 4) in
       let expect = Array.make words 0 in
       List.iteri
         (fun i writes ->

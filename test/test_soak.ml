@@ -59,7 +59,7 @@ let test_rlvm_soak () =
   (* hundreds of transactions with periodic crashes *)
   let k = Lvm_vm.Kernel.create () in
   let sp = Lvm_vm.Kernel.create_space k in
-  let r = Lvm_rvm.Rlvm.create k sp ~size:8192 in
+  let r = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:8192 in
   let model = Array.make 2048 0 in
   let rng = Sm.create ~seed:(seed + 2) in
   for txn = 1 to 400 do

@@ -1,0 +1,200 @@
+(* Tests for the sharded transactional store: local and cross-shard
+   (two-phase-commit) execution, in-doubt recovery, backpressure, the
+   workload driver's scheduling invariants and the shard-scaling
+   figure. *)
+
+module Store = Lvm_store.Store
+module Workload = Lvm_store.Workload
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make ?(shards = 2) ?(keys = 32) ?(admission = Store.Config.Queue) () =
+  Store.create
+    { Store.Config.default with shards; keys; admission; compute = 40 }
+
+(* {1 Local and cross-shard transactions} *)
+
+let test_local_txns () =
+  let st = make () in
+  (match Store.exec st ~writes:[ (0, 11); (2, 13) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.exec st ~writes:[ (1, 17) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "key 0" 11 (Store.read st 0);
+  check "key 2" 13 (Store.read st 2);
+  check "key 1" 17 (Store.read st 1);
+  check "untouched key" 0 (Store.read st 3)
+
+let test_cross_txn () =
+  let st = make () in
+  (* Keys 4 and 7 live on different shards: a two-phase commit. *)
+  check "distinct shards" 1
+    (abs (Store.shard_of_key st 4 - Store.shard_of_key st 7));
+  (match Store.exec st ~writes:[ (4, 44); (7, 77) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "shard-a key" 44 (Store.read st 4);
+  check "shard-b key" 77 (Store.read st 7)
+
+let test_empty_and_invalid () =
+  let st = make () in
+  check_bool "empty writes ok" true (Store.exec st ~writes:[] = Ok ());
+  (match Store.exec st ~writes:[ (99, 1) ] with
+  | Error (Store.Invalid_key { key }) -> check "bad key reported" 99 key
+  | _ -> Alcotest.fail "expected Invalid_key");
+  let too_many = List.init 40 (fun i -> (i mod 8, i)) in
+  (match Store.exec st ~writes:too_many with
+  | Error (Store.Txn_too_large { writes; limit }) ->
+    check "size reported" 40 writes;
+    check "limit reported" 32 limit
+  | _ -> Alcotest.fail "expected Txn_too_large");
+  check "failed txns left no trace" 0 (Store.read st 3)
+
+(* {1 Crash recovery} *)
+
+(* An in-doubt cross-shard transaction: capture the detached phase-2
+   commit instead of running it, so the decision is durable but one
+   participant never applied — then crash. Recovery must roll the whole
+   transaction forward from the coordinator intent. *)
+let test_in_doubt_roll_forward () =
+  let st = make () in
+  let captured = ref [] in
+  (match
+     Store.exec st
+       ~detach:(fun ~shard:_ f -> captured := f :: !captured)
+       ~writes:[ (4, 91); (7, 92) ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "one phase-2 branch captured" 1 (List.length !captured);
+  (* Crash: volatile state is lost, the captured commit never runs. *)
+  let report = Store.recover st in
+  (match report.Store.redone with
+  | Some (_, n) -> check "redone writes" 2 n
+  | None -> Alcotest.fail "expected an in-doubt transaction to roll forward");
+  check "home slice" 91 (Store.read st 4);
+  check "in-doubt slice" 92 (Store.read st 7);
+  (* Idempotence: a second recovery finds nothing to redo. *)
+  let report2 = Store.recover st in
+  check_bool "second recovery redoes nothing" true
+    (report2.Store.redone = None);
+  check "home slice stable" 91 (Store.read st 4);
+  check "in-doubt slice stable" 92 (Store.read st 7)
+
+let test_recover_clean () =
+  let st = make () in
+  (match Store.exec st ~writes:[ (0, 5); (1, 6) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  let report = Store.recover st in
+  check_bool "nothing in doubt" true (report.Store.redone = None);
+  check "shard 0 durable" 5 (Store.read st 0);
+  check "shard 1 durable" 6 (Store.read st 1)
+
+(* {1 Backpressure} *)
+
+(* Force the log-exhaustion path with a fault plan: the next log-segment
+   page crossing behaves as if no pages were left, so the transaction's
+   redo records are absorbed and commit must refuse — surfaced as a
+   typed [Overloaded], never an exception, and aborted cleanly. The
+   transaction is big enough (hundreds of logged stores) to actually
+   cross a log page. *)
+let test_overloaded () =
+  let st =
+    Store.create
+      { Store.Config.default with
+        shards = 2; keys = 1024; max_txn_writes = 300; compute = 40 }
+  in
+  let m = Lvm_vm.Kernel.machine (Store.kernel st) in
+  let plan =
+    Lvm_fault.Plan.create
+      [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Log_segment;
+          trigger = Lvm_fault.Plan.Every 1;
+          fault = Lvm_fault.Fault.Log_exhaust } ]
+  in
+  Lvm_machine.Machine.set_fault_plan m (Some plan);
+  (* 280 writes, all on shard 0. *)
+  let big = List.init 280 (fun i -> (2 * i, i + 1)) in
+  (match Store.exec st ~writes:big with
+  | Error (Store.Overloaded { shard }) -> check "overloaded shard" 0 shard
+  | Ok () -> Alcotest.fail "expected Overloaded, got Ok"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "aborted txn left no trace" 0 (Store.read st 0);
+  Lvm_machine.Machine.set_fault_plan m None;
+  (match Store.exec st ~writes:[ (0, 123) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "store recovered after backpressure" 123 (Store.read st 0)
+
+(* {1 Workload driver} *)
+
+let run_spec ~shards ~txns () =
+  let st =
+    Store.create { Store.Config.default with shards; keys = 1024 }
+  in
+  Workload.run st { Workload.default with txns }
+
+let test_workload_basic () =
+  let r = run_spec ~shards:4 ~txns:60 () in
+  check "all txns executed" 60 (r.Workload.executed + r.Workload.shed);
+  check_bool "cross-shard txns ran" true (r.Workload.cross > 0);
+  check "nothing shed at this load" 0 r.Workload.shed;
+  let homes =
+    Array.fold_left (fun acc (s : Workload.shard_stat) -> acc + s.txns) 0
+      r.Workload.per_shard
+  in
+  check "per-shard counts sum to executed" r.Workload.executed homes
+
+let test_workload_deterministic () =
+  let r1 = run_spec ~shards:4 ~txns:40 () in
+  let r2 = run_spec ~shards:4 ~txns:40 () in
+  check "wall cycles reproduce" r1.Workload.wall_cycles
+    r2.Workload.wall_cycles;
+  check "executed reproduces" r1.Workload.executed r2.Workload.executed;
+  check "cross reproduces" r1.Workload.cross r2.Workload.cross
+
+(* The tentpole figure: four shards must buy at least twice the
+   single-shard transaction throughput on the same mix (the committed
+   BENCH_5.json point uses 200 transactions; this is the same check at
+   test-sized load). *)
+let test_workload_scaling () =
+  let r1 = run_spec ~shards:1 ~txns:200 () in
+  let r4 = run_spec ~shards:4 ~txns:200 () in
+  check_bool
+    (Printf.sprintf "4-shard %.0f vs 1-shard %.0f cycles/txn: >= 2x"
+       r4.Workload.cycles_per_txn r1.Workload.cycles_per_txn)
+    true
+    (r4.Workload.cycles_per_txn *. 2.0 <= r1.Workload.cycles_per_txn)
+
+(* {1 Crash sweep over the sharded store} *)
+
+let test_store_sweep () =
+  let sweep () =
+    Lvm_tpc.Crash_sweep.run ~seed:5 ~txns:6 ~points:40 ~torn_points:8
+      ~shards:2 ()
+  in
+  let o = sweep () in
+  Alcotest.(check (list string)) "no atomicity violations" [] o.failures;
+  check_bool "every point ran" true (o.points >= 48);
+  let o2 = sweep () in
+  Alcotest.(check string) "sweep deterministic" o.trace o2.trace
+
+let suites =
+  [ ( "store",
+      [ Alcotest.test_case "local transactions" `Quick test_local_txns;
+        Alcotest.test_case "cross-shard 2pc" `Quick test_cross_txn;
+        Alcotest.test_case "validation" `Quick test_empty_and_invalid;
+        Alcotest.test_case "clean recovery" `Quick test_recover_clean;
+        Alcotest.test_case "in-doubt roll-forward" `Quick
+          test_in_doubt_roll_forward;
+        Alcotest.test_case "backpressure overloaded" `Quick test_overloaded ] );
+    ( "store.workload",
+      [ Alcotest.test_case "closed loop" `Quick test_workload_basic;
+        Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+        Alcotest.test_case "4-shard >= 2x scaling" `Slow test_workload_scaling ]
+    );
+    ( "store.crash",
+      [ Alcotest.test_case "sharded sweep" `Slow test_store_sweep ] ) ]

@@ -151,7 +151,7 @@ let test_rvm_validation () =
   err "Rlvm.create: size must be a positive word multiple"
     (Error.Invalid
        { op = "Rlvm.create"; reason = "size must be a positive word multiple" })
-    (fun () -> ignore (Lvm_rvm.Rlvm.create k sp ~size:30));
+    (fun () -> ignore (Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:30));
   err "Ramdisk.create: size must be positive"
     (Error.Invalid { op = "Ramdisk.create"; reason = "size must be positive" })
     (fun () -> ignore (Lvm_rvm.Ramdisk.create k ~size:0));
@@ -162,7 +162,7 @@ let test_rvm_validation () =
        { op = "Rlvm.create";
          requested = (65536 / 4 * 16) + 32;
          capacity = 4096 })
-    (fun () -> ignore (Lvm_rvm.Rlvm.create ~log_pages:1 k sp ~size:65536))
+    (fun () -> ignore (Lvm_rvm.Rlvm.make { Lvm_rvm.Rlvm.Config.default with log_pages = 1 } k sp ~size:65536))
 
 let test_consistency_validation () =
   let k, sp = boot () in
