@@ -40,6 +40,13 @@ type t = {
   config : Config.t;
   shards : Rlvm.t array;
   coord : Ramdisk.t;
+  (* One intent slot per shard in the coordinator image, [slot_busy.(i)]
+     while slot [i] holds a decided-but-unretired intent. Every
+     transaction in its decide->retire window holds a claim on at least
+     one shard (each non-home participant stays claimed until its
+     phase-2 commit completes, and the last participant retires), so at
+     most [shards] transactions are ever in that window at once. *)
+  slot_busy : bool array;
   txns_c : Lvm_obs.Counter.counter;
   cross_c : Lvm_obs.Counter.counter;
   redo_c : Lvm_obs.Counter.counter;
@@ -52,10 +59,14 @@ type t = {
 let range op what value =
   Error.raise_ (Error.Out_of_range { op; what; value })
 
-(* Coordinator intent image: word 0 = state (1 decided, 0 retired),
+(* Coordinator intent slot: word 0 = state (1 decided, 0 retired),
    word 1 = gid, word 2 = write count, then (key, value) word pairs.
-   One Data record carries the whole image, so it is durable atomically
-   (the WAL checksum truncates a torn prefix). *)
+   The coordinator image holds one such slot per shard, so concurrent
+   cross-shard transactions in their decide->retire windows keep
+   disjoint intents — a decide never overwrites a live sibling, and a
+   retire zeroes only its own slot's state word. One Data record
+   carries a whole slot, so each intent is durable atomically (the WAL
+   checksum truncates a torn prefix). *)
 let intent_off_state = 0
 let intent_off_gid = 4
 let intent_off_count = 8
@@ -96,10 +107,12 @@ let create (config : Config.t) =
   in
   Kernel.set_cpu k 0;
   let coord =
-    Ramdisk.create k ~size:(intent_size config.Config.max_txn_writes)
+    Ramdisk.create k
+      ~size:(config.Config.shards * intent_size config.Config.max_txn_writes)
   in
   let ctx = Kernel.obs k in
   { k; config; shards; coord;
+    slot_busy = Array.make config.Config.shards false;
     txns_c = Lvm_obs.Ctx.counter ctx "store.txns";
     cross_c = Lvm_obs.Ctx.counter ctx "store.txns_cross";
     redo_c = Lvm_obs.Ctx.counter ctx "store.redo";
@@ -119,6 +132,7 @@ let shard t s = t.shards.(s)
 let off_of_key t key = key / t.config.Config.shards * Lvm_machine.Addr.word_size
 
 let read t key =
+  if key < 0 || key >= t.config.Config.keys then range "Store.read" "key" key;
   let s = shard_of_key t key in
   Kernel.set_cpu t.k s;
   Rlvm.read_word t.shards.(s) ~off:(off_of_key t key)
@@ -187,27 +201,48 @@ let intent_bytes gid pairs =
     pairs;
   b
 
+let slot_off t slot = slot * intent_size t.config.Config.max_txn_writes
+
+(* Claim a free intent slot. The shard-claim discipline bounds
+   concurrent decide->retire windows by the shard count (see
+   [slot_busy]), so a driver that respects it never exhausts the
+   slots. *)
+let alloc_slot t =
+  let n = Array.length t.slot_busy in
+  let rec go i =
+    if i >= n then range "Store.exec" "in-flight cross-shard txns" n
+    else if t.slot_busy.(i) then go (i + 1)
+    else begin
+      t.slot_busy.(i) <- true;
+      i
+    end
+  in
+  go 0
+
 (* The decision point: once this force returns, the transaction is
    committed in full — recovery rolls it forward from the intent. The
    coordinator log is a shared disk, not a CPU-pinned service: the
    decision runs on whatever CPU is driving the transaction (its home
    shard's worker; CPU 0 during recovery). *)
-let decide t gid pairs =
+let decide t gid ~slot pairs =
   Ramdisk.wal_append t.coord
-    (Ramdisk.Data { txn = gid; off = 0; bytes = intent_bytes gid pairs });
+    (Ramdisk.Data
+       { txn = gid; off = slot_off t slot; bytes = intent_bytes gid pairs });
   Ramdisk.wal_append t.coord (Ramdisk.Commit { txn = gid });
   Ramdisk.wal_force t.coord
 
-(* Retire the intent (state word back to 0). [gid] is already in the
-   coordinator log's committed set, so the marker needs no force of its
-   own: if it is lost, recovery merely redoes the transaction, which is
-   idempotent (absolute values). *)
-let retire t gid ~force =
+(* Retire the intent (its slot's state word back to 0) and free the
+   slot. [gid] is already in the coordinator log's committed set, so the
+   marker needs no force of its own: if it is lost, recovery merely
+   redoes the transaction, which is idempotent (absolute values). *)
+let retire t gid ~slot ~force =
   Ramdisk.wal_append t.coord
-    (Ramdisk.Data { txn = gid; off = intent_off_state;
-                    bytes = Bytes.make 4 '\000' });
+    (Ramdisk.Data
+       { txn = gid; off = slot_off t slot + intent_off_state;
+         bytes = Bytes.make 4 '\000' });
   if force then Ramdisk.wal_force t.coord;
-  if Ramdisk.should_truncate t.coord then Ramdisk.truncate t.coord
+  if Ramdisk.should_truncate t.coord then Ramdisk.truncate t.coord;
+  t.slot_busy.(slot) <- false
 
 (* Phase-2 commit of one participant. The decision is already durable,
    so a commit that hits log exhaustion (its redo records were absorbed)
@@ -226,7 +261,7 @@ let commit_participant ~sync t s ws =
     apply_writes ~sync:pace_here t r ws;
     Rlvm.commit ~pace:pace_here r
 
-let exec_cross ~pace ~detach t parts writes =
+let exec_cross ~pace ~detach ~observe t parts writes =
   let gid = t.next_gid in
   t.next_gid <- gid + 1;
   let share = max 1 (t.config.Config.compute / List.length parts) in
@@ -299,13 +334,16 @@ let exec_cross ~pace ~detach t parts writes =
        branch gets its own thread-clock floored at the decision time:
        the branches are causally ordered after the decision but not
        after each other. *)
+    let slot = alloc_slot t in
     sync home;
-    decide t gid writes;
+    decide t gid ~slot writes;
     let decided = max !tt (Kernel.cpu_time t.k ~cpu:home) in
     let remaining = ref (List.length parts) in
     (* Whichever participant commits last retires the intent — after
        every sibling's commit, so its clock is floored at the latest of
-       their completion times. *)
+       their completion times. The commit-latency histogram is observed
+       here too: with detached phase-2 branches the transaction is not
+       complete when [exec] returns, only when the intent retires. *)
     let retire_if_last btt bsync s =
       decr remaining;
       if !remaining = 0 then begin
@@ -313,7 +351,8 @@ let exec_cross ~pace ~detach t parts writes =
           (fun (p, _) -> btt := max !btt (Kernel.cpu_time t.k ~cpu:p))
           parts;
         bsync s;
-        retire t gid ~force:false
+        retire t gid ~slot ~force:false;
+        observe ()
       end
     in
     List.iter
@@ -365,22 +404,31 @@ let exec ?(pace = no_pace) ?detach t ~writes =
       let before =
         List.map (fun (c, _) -> (c, Kernel.cpu_time t.k ~cpu:c)) parts
       in
-      let result =
-        match parts with
-        | [ (s, ws) ] -> exec_local ~pace t s ws
-        | parts -> exec_cross ~pace ~detach t parts writes
-      in
-      (match result with
-      | Ok () ->
+      (* Commit latency: CPU cycles burned on the participant shards
+         between admission and completion. For a local transaction that
+         is when [exec_local] returns; for a cross-shard transaction it
+         is when the last participant retires the intent — possibly in
+         a detached phase-2 branch, after [exec] has returned. *)
+      let observe () =
         let cycles =
           List.fold_left
             (fun acc (c, t0) -> acc + (Kernel.cpu_time t.k ~cpu:c - t0))
             0 before
         in
-        Lvm_obs.Histogram.observe t.commit_hist cycles;
+        Lvm_obs.Histogram.observe t.commit_hist cycles
+      in
+      let result =
+        match parts with
+        | [ (s, ws) ] -> exec_local ~pace t s ws
+        | parts -> exec_cross ~pace ~detach ~observe t parts writes
+      in
+      (match result with
+      | Ok () ->
         Lvm_obs.Counter.incr t.txns_c;
         (match parts with
-        | [ (s, _) ] -> Lvm_obs.Counter.incr t.shard_txns.(s)
+        | [ (s, _) ] ->
+          observe ();
+          Lvm_obs.Counter.incr t.shard_txns.(s)
         | (home, _) :: _ ->
           Lvm_obs.Counter.incr t.cross_c;
           Lvm_obs.Counter.incr t.shard_txns.(home)
@@ -401,7 +449,7 @@ let flush t =
 type recovery = {
   shard_reports : Ramdisk.recovery array;
   coordinator : Ramdisk.recovery;
-  redone : (int * int) option;
+  redone : (int * int) list;
 }
 
 let recover t =
@@ -414,34 +462,50 @@ let recover t =
   in
   Kernel.set_cpu t.k 0;
   let image, coordinator = Ramdisk.recover t.coord in
-  let redone =
-    if get32 image intent_off_state = 1 then begin
-      (* A decided cross-shard transaction never retired: roll it
-         forward. Redo as fresh committed transactions per participant —
-         absolute values, so replaying over an already-applied shard is
-         idempotent. *)
-      let gid = get32 image intent_off_gid in
-      let n = get32 image intent_off_count in
+  (* The crash lost every in-flight transaction; whatever slots they
+     held are reconstructed from the recovered image alone. *)
+  Array.fill t.slot_busy 0 (Array.length t.slot_busy) false;
+  (* Every decided cross-shard transaction that never retired must roll
+     forward. Concurrent in-flight transactions touch disjoint shards
+     (the driver's claim discipline), so their redo sets are disjoint;
+     replay in gid order anyway, for determinism. *)
+  let decided = ref [] in
+  for slot = Array.length t.slot_busy - 1 downto 0 do
+    let base = slot_off t slot in
+    if get32 image (base + intent_off_state) = 1 then begin
+      let gid = get32 image (base + intent_off_gid) in
+      let n = get32 image (base + intent_off_count) in
       let pairs =
         List.init n (fun i ->
-            ( get32 image (intent_off_pairs + (8 * i)),
-              get32 image (intent_off_pairs + (8 * i) + 4) ))
+            ( get32 image (base + intent_off_pairs + (8 * i)),
+              get32 image (base + intent_off_pairs + (8 * i) + 4) ))
       in
-      List.iter
-        (fun (s, ws) ->
-          Kernel.set_cpu t.k s;
-          let r = t.shards.(s) in
-          Rlvm.begin_txn r;
-          apply_writes t r ws;
-          Rlvm.commit r;
-          Rlvm.flush_commits r)
-        (partition t pairs);
-      Lvm_obs.Counter.incr t.redo_c;
-      Kernel.set_cpu t.k 0;
-      retire t gid ~force:true;
-      Some (gid, n)
+      decided := (gid, slot, pairs) :: !decided
     end
-    else None
+  done;
+  let decided =
+    List.sort (fun (g1, _, _) (g2, _, _) -> compare g1 g2) !decided
+  in
+  let redone =
+    List.map
+      (fun (gid, slot, pairs) ->
+        (* Redo as fresh committed transactions per participant —
+           absolute values, so replaying over an already-applied shard
+           is idempotent. *)
+        List.iter
+          (fun (s, ws) ->
+            Kernel.set_cpu t.k s;
+            let r = t.shards.(s) in
+            Rlvm.begin_txn r;
+            apply_writes t r ws;
+            Rlvm.commit r;
+            Rlvm.flush_commits r)
+          (partition t pairs);
+        Lvm_obs.Counter.incr t.redo_c;
+        Kernel.set_cpu t.k 0;
+        retire t gid ~slot ~force:true;
+        (gid, List.length pairs))
+      decided
   in
   Kernel.set_cpu t.k 0;
   { shard_reports; coordinator; redone }
@@ -458,5 +522,7 @@ let recovery_to_string r =
   Printf.sprintf "%s | coord %s | redone=%s" shards
     (Ramdisk.recovery_to_string r.coordinator)
     (match r.redone with
-    | None -> "none"
-    | Some (gid, n) -> Printf.sprintf "gid=%d writes=%d" gid n)
+    | [] -> "none"
+    | l ->
+      String.concat ","
+        (List.map (fun (gid, n) -> Printf.sprintf "gid=%d writes=%d" gid n) l))

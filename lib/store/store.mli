@@ -15,13 +15,17 @@
     decision point is the forced append of an intent record — the
     complete redo image of the transaction — to the coordinator log;
     phase 2 commits each participant and flushes its batcher, then a
-    done marker retires the intent. Crash recovery ({!recover}) first
-    recovers every shard, then scans the coordinator log: a decided but
-    not retired transaction is rolled forward by re-applying its intent
-    writes as fresh committed transactions (absolute values, so the redo
-    is idempotent); an intent that never became durable — torn or never
-    appended — leaves every participant rolled back. Either way the
-    transaction is all-or-nothing.
+    done marker retires the intent. The coordinator image holds one
+    intent slot per shard, so several cross-shard transactions (on
+    disjoint shard sets) may be between decision and retirement at
+    once without clobbering each other's intents. Crash recovery
+    ({!recover}) first recovers every shard, then scans every
+    coordinator slot: each decided but not retired transaction is
+    rolled forward by re-applying its intent writes as fresh committed
+    transactions (absolute values, so the redo is idempotent); an
+    intent that never became durable — torn or never appended — leaves
+    every participant rolled back. Either way each transaction is
+    all-or-nothing.
 
     Backpressure rides the typed {!Lvm_vm.Error.Log_exhausted} path: a
     transaction whose redo records cannot be made durable is cleanly
@@ -98,7 +102,9 @@ val shard : t -> int -> Lvm_rvm.Rlvm.t
 (** The shard's underlying RLVM instance (tests and the crash sweep). *)
 
 val read : t -> int -> int
-(** Committed-state read of one key, charged to its shard's CPU. *)
+(** Committed-state read of one key, charged to its shard's CPU.
+    Raises [Lvm_vm.Error.Lvm_error] ([Out_of_range]) if the key is
+    outside [0, keys). *)
 
 val exec :
   ?pace:(cpu:int -> unit) ->
@@ -141,15 +147,16 @@ val flush : t -> unit
 type recovery = {
   shard_reports : Lvm_rvm.Ramdisk.recovery array;
   coordinator : Lvm_rvm.Ramdisk.recovery;
-  redone : (int * int) option;
-      (** [(gid, writes)] of the in-doubt cross-shard transaction that
-          was rolled forward, if there was one. *)
+  redone : (int * int) list;
+      (** [(gid, writes)] of every in-doubt cross-shard transaction
+          that was rolled forward, in ascending gid order. *)
 }
 
 val recover : t -> recovery
-(** Crash recovery: recover every shard from its WAL, then scan the
-    coordinator decision log and roll any decided-but-unretired
-    cross-shard transaction forward. Idempotent. *)
+(** Crash recovery: recover every shard from its WAL, then scan every
+    slot of the coordinator decision log and roll each
+    decided-but-unretired cross-shard transaction forward (ascending
+    gid order). Idempotent. *)
 
 val recovery_to_string : recovery -> string
 (** Deterministic one-line summary (crash-sweep traces). *)

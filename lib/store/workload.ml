@@ -92,10 +92,12 @@ type outcome =
   | Suspended of int * (unit, outcome) Effect.Deep.continuation
   | Done of (unit, Store.error) Stdlib.result
 
-(* What an in-flight coroutine is doing: a whole transaction, or the
+(* What an in-flight coroutine is doing: a whole transaction (carrying
+   the shards whose claim it handed to detached phase-2 items — those
+   are released by the phase-2 item, not by the transaction), or the
    detached phase-2 tail of a cross-shard transaction (it holds the
    claim on one participant shard until it completes). *)
-type job = Txn of entry | Phase2 of int
+type job = Txn of entry * int list ref | Phase2 of int
 
 type task_state =
   | Idle
@@ -140,25 +142,27 @@ let run store spec =
   (* A shard with a transaction in flight: in-flight transactions must
      never share a shard (two open RLVM transactions on one instance). *)
   let busy = Array.make shards false in
-  (* Shards whose claim a cross-shard transaction handed to a detached
-     phase-2 item: the transaction's own [finish] must not release them;
-     the phase-2 item does when it completes. *)
-  let transferred = Array.make shards false in
   (* Detached phase-2 work, queued for the participant shard's worker
      (at most one per shard — the shard is claimed throughout). *)
   let phase2s = Array.make shards [] in
+  (* [detach] is called from inside [Store.exec] while its coroutine
+     runs, so the scheduler installs the running transaction's detached
+     set here before each resume. The set must be per-transaction, not
+     per-shard: a completed phase-2 frees its shard for a new claimant,
+     and the detaching transaction's own [finish] — which may come
+     later — must still skip exactly the shards it handed off. *)
+  let detached_of_current = ref (ref []) in
   let detach ~shard run =
-    transferred.(shard) <- true;
+    let d = !detached_of_current in
+    d := shard :: !d;
     phase2s.(shard) <- phase2s.(shard) @ [ run ]
   in
   let finish i job result =
     match job with
-    | Phase2 s ->
-      busy.(s) <- false;
-      transferred.(s) <- false
-    | Txn entry -> (
+    | Phase2 s -> busy.(s) <- false
+    | Txn (entry, detached) -> (
       List.iter
-        (fun s -> if not transferred.(s) then busy.(s) <- false)
+        (fun s -> if not (List.mem s !detached) then busy.(s) <- false)
         (shards_of_entry ~shards entry);
       match result with
       | Ok () ->
@@ -192,6 +196,9 @@ let run store spec =
   let step i =
     match states.(i) with
     | Running (job, _, cont) -> (
+      (match job with
+      | Txn (_, detached) -> detached_of_current := detached
+      | Phase2 _ -> ());
       match Effect.Deep.continue cont () with
       | Suspended (cpu, cont') -> states.(i) <- Running (job, cpu, cont')
       | Done r ->
@@ -218,7 +225,9 @@ let run store spec =
         else begin
           ignore (Queue.pop queues.(i));
           List.iter (fun s -> busy.(s) <- true) parts;
-          launch i (Txn entry)
+          let detached = ref [] in
+          detached_of_current := detached;
+          launch i (Txn (entry, detached))
             (start_coroutine (fun () ->
                  Store.exec store ~pace:yield ~detach ~writes:entry.writes))
         end)

@@ -73,16 +73,42 @@ let test_in_doubt_roll_forward () =
   (* Crash: volatile state is lost, the captured commit never runs. *)
   let report = Store.recover st in
   (match report.Store.redone with
-  | Some (_, n) -> check "redone writes" 2 n
-  | None -> Alcotest.fail "expected an in-doubt transaction to roll forward");
+  | [ (_, n) ] -> check "redone writes" 2 n
+  | _ -> Alcotest.fail "expected an in-doubt transaction to roll forward");
   check "home slice" 91 (Store.read st 4);
   check "in-doubt slice" 92 (Store.read st 7);
   (* Idempotence: a second recovery finds nothing to redo. *)
   let report2 = Store.recover st in
-  check_bool "second recovery redoes nothing" true
-    (report2.Store.redone = None);
+  check_bool "second recovery redoes nothing" true (report2.Store.redone = []);
   check "home slice stable" 91 (Store.read st 4);
   check "in-doubt slice stable" 92 (Store.read st 7)
+
+(* Two cross-shard transactions on disjoint shard sets, both in their
+   decide->retire window at the crash (each one's detached phase-2
+   captured, never run). The coordinator must keep both intents live —
+   per-gid slots, neither decide overwriting the other, neither retire
+   zeroing the other — and recovery must roll BOTH forward. *)
+let test_two_in_doubt_roll_forward () =
+  let st = make ~shards:4 () in
+  let captured = ref [] in
+  let detach ~shard:_ f = captured := f :: !captured in
+  (* Keys 0,1 -> shards 0,1; keys 2,3 -> shards 2,3. *)
+  (match Store.exec st ~detach ~writes:[ (0, 10); (1, 11) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.exec st ~detach ~writes:[ (2, 20); (3, 21) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "two phase-2 branches captured" 2 (List.length !captured);
+  let report = Store.recover st in
+  check "both in-doubt transactions rolled forward" 2
+    (List.length report.Store.redone);
+  check "txn A home slice" 10 (Store.read st 0);
+  check "txn A in-doubt slice" 11 (Store.read st 1);
+  check "txn B home slice" 20 (Store.read st 2);
+  check "txn B in-doubt slice" 21 (Store.read st 3);
+  let report2 = Store.recover st in
+  check "second recovery redoes nothing" 0 (List.length report2.Store.redone)
 
 let test_recover_clean () =
   let st = make () in
@@ -90,7 +116,7 @@ let test_recover_clean () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Store.error_to_string e));
   let report = Store.recover st in
-  check_bool "nothing in doubt" true (report.Store.redone = None);
+  check_bool "nothing in doubt" true (report.Store.redone = []);
   check "shard 0 durable" 5 (Store.read st 0);
   check "shard 1 durable" 6 (Store.read st 1)
 
@@ -190,6 +216,8 @@ let suites =
         Alcotest.test_case "clean recovery" `Quick test_recover_clean;
         Alcotest.test_case "in-doubt roll-forward" `Quick
           test_in_doubt_roll_forward;
+        Alcotest.test_case "two concurrent in-doubt roll-forward" `Quick
+          test_two_in_doubt_roll_forward;
         Alcotest.test_case "backpressure overloaded" `Quick test_overloaded ] );
     ( "store.workload",
       [ Alcotest.test_case "closed loop" `Quick test_workload_basic;
