@@ -5,7 +5,8 @@
 
    Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list]
                    [--metrics FILE] [--cpus N]
-                   [--store] [--store-json FILE] *)
+                   [--store] [--store-json FILE]
+                   [--fams] [--fams-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -35,7 +36,7 @@ let bench_table2 () =
 let bench_table3 () =
   let k = Kernel.create ~frames:512 () in
   let sp = Kernel.create_space k in
-  let rvm = Lvm_rvm.Rvm.create k sp ~size:8192 in
+  let rvm = Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size:8192 in
   let rlvm = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:8192 in
   let i = ref 0 in
   let rvm_test =
@@ -74,6 +75,32 @@ let bench_group4 () =
          Lvm_rvm.Rlvm.begin_txn rlvm;
          Lvm_rvm.Rlvm.write_word rlvm ~off !i;
          Lvm_rvm.Rlvm.commit rlvm))
+
+(* Plain writes + snapshot through the failure-atomic snapshot API: the
+   per-batch cost the fams_comparison measures in simulated cycles, here
+   as host ns/op. Snapshots recycle the log and truncate the WAL, so the
+   closure is safe to run indefinitely. *)
+let bench_fams () =
+  let k = Kernel.create ~frames:512 () in
+  let sp = Kernel.create_space k in
+  let f =
+    match Lvm_fams.map Lvm_fams.Config.default k sp ~size:8192 with
+    | Ok f -> f
+    | Error e -> failwith (Lvm.Lvm_error.to_string e)
+  in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"fams/8-writes+snapshot"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         for w = 0 to 7 do
+           match Lvm_fams.write_word f ~off:(((!i * 8) + w) * 8 mod 4096) !i
+           with
+           | Ok () -> ()
+           | Error e -> failwith (Lvm.Lvm_error.to_string e)
+         done;
+         match Lvm_fams.snapshot f with
+         | Ok _ -> ()
+         | Error e -> failwith (Lvm.Lvm_error.to_string e)))
 
 (* [Log_reader.fold] over a prebuilt log: the fold syncs the logger once
    per call and caches one frame translation per page, so this scales
@@ -151,9 +178,9 @@ let bench_consistency () =
 let bechamel_tests ~cpus () =
   Bechamel.Test.make_grouped ~name:"lvm"
     ([ bench_table2 () ] @ bench_table3 ()
-    @ [ bench_group4 (); bench_logreader_fold (); bench_fig7 ();
-        bench_fig9 (); bench_fig10 (); bench_multicpu ~cpus ();
-        bench_consistency () ])
+    @ [ bench_group4 (); bench_fams (); bench_logreader_fold ();
+        bench_fig7 (); bench_fig9 (); bench_fig10 ();
+        bench_multicpu ~cpus (); bench_consistency () ])
 
 let run_bechamel ~cpus () =
   let open Bechamel in
@@ -265,6 +292,107 @@ let store_scaling_comparison ?json_file ppf =
     close_out oc;
     Printf.printf "store scaling written to %s\n%!" file
 
+(* {1 FAMS vs RVM vs RLVM (simulated cycles)}
+
+   The headline comparison for the failure-atomic snapshot API: the same
+   durable-batch workload — [batches] batches of [writes] word stores to
+   the same deterministic offsets over an 8 KiB region, each batch made
+   durable — through the three programming models:
+
+   - RVM: begin / per-write [set_range] annotation + write / commit;
+   - RLVM: begin / plain writes / commit (hardware log builds the redo);
+   - FAMS: plain writes / [snapshot] (no bracketing at all).
+
+   [--fams-json FILE] records all three points and the ratios (the
+   BENCH_6.json blob). *)
+
+let fams_comparison ?json_file ppf =
+  let batches = 64 and writes = 8 and size = 8192 in
+  let off b w = ((b * writes) + w) * 8 mod (size / 2) in
+  let measure point =
+    let k = Kernel.create ~frames:256 () in
+    let sp = Kernel.create_space k in
+    let run = point k sp in
+    let t0 = Kernel.time k in
+    for b = 0 to batches - 1 do
+      run b
+    done;
+    Kernel.time k - t0
+  in
+  let fams_unwrap what = function
+    | Ok v -> v
+    | Error e -> failwith (what ^ ": " ^ Lvm.Lvm_error.to_string e)
+  in
+  let rvm_cycles =
+    measure (fun k sp ->
+        let r = Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size in
+        fun b ->
+          Lvm_rvm.Rvm.begin_txn r;
+          for w = 0 to writes - 1 do
+            Lvm_rvm.Rvm.set_range r ~off:(off b w) ~len:4;
+            Lvm_rvm.Rvm.write_word r ~off:(off b w) ((b * 97) + w)
+          done;
+          Lvm_rvm.Rvm.commit r)
+  in
+  let rlvm_cycles =
+    measure (fun k sp ->
+        let r = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size in
+        fun b ->
+          Lvm_rvm.Rlvm.begin_txn r;
+          for w = 0 to writes - 1 do
+            Lvm_rvm.Rlvm.write_word r ~off:(off b w) ((b * 97) + w)
+          done;
+          Lvm_rvm.Rlvm.commit r)
+  in
+  let fams_spans = ref 0 and fams_bytes = ref 0 in
+  let fams_cycles =
+    measure (fun k sp ->
+        let f =
+          fams_unwrap "map" (Lvm_fams.map Lvm_fams.Config.default k sp ~size)
+        in
+        fun b ->
+          for w = 0 to writes - 1 do
+            fams_unwrap "write"
+              (Lvm_fams.write_word f ~off:(off b w) ((b * 97) + w))
+          done;
+          let rep = fams_unwrap "snapshot" (Lvm_fams.snapshot f) in
+          fams_spans := !fams_spans + rep.Lvm_fams.spans;
+          fams_bytes := !fams_bytes + rep.Lvm_fams.bytes)
+  in
+  let per c = float_of_int c /. float_of_int batches in
+  Format.fprintf ppf
+    "fams (%d batches x %d writes): rvm %.0f cycles/batch; rlvm %.0f \
+     cycles/batch; fams %.0f cycles/batch (%.2fx vs rvm, %.2fx vs rlvm)@."
+    batches writes (per rvm_cycles) (per rlvm_cycles) (per fams_cycles)
+    (per rvm_cycles /. per fams_cycles)
+    (per rlvm_cycles /. per fams_cycles);
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let point cycles extra =
+      Obj
+        ([ ("wall_cycles", Int cycles);
+           ("cycles_per_batch", Float (per cycles)) ]
+        @ extra)
+    in
+    let line =
+      render ~kind:"fams_comparison"
+        [ ("batches", Int batches); ("writes", Int writes);
+          ("size", Int size); ("rvm", point rvm_cycles []);
+          ("rlvm", point rlvm_cycles []);
+          ("fams",
+           point fams_cycles
+             [ ("spans", Int !fams_spans); ("bytes", Int !fams_bytes) ]);
+          ("speedup_vs_rvm", Float (per rvm_cycles /. per fams_cycles));
+          ("speedup_vs_rlvm", Float (per rlvm_cycles /. per fams_cycles)) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "fams comparison written to %s\n%!" file
+
 (* {1 Entry point} *)
 
 (* Write a single enveloped JSON metrics blob (counters + histograms
@@ -299,6 +427,9 @@ let () =
   else if List.mem "--store" args then
     (* The store scaling leg alone (what generates BENCH_5.json). *)
     store_scaling_comparison ?json_file:(flag_value "--store-json") ppf
+  else if List.mem "--fams" args then
+    (* The FAMS three-way leg alone (what generates BENCH_6.json). *)
+    fams_comparison ?json_file:(flag_value "--fams-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -313,7 +444,8 @@ let () =
             Lvm_experiments.Experiments.run_all ~quick ppf;
             group_commit_comparison ppf;
             store_scaling_comparison ?json_file:(flag_value "--store-json")
-              ppf)
+              ppf;
+            fams_comparison ?json_file:(flag_value "--fams-json") ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

@@ -218,7 +218,7 @@ let run_tpca ~txns ~store =
   let size = Lvm_tpc.Bank.segment_bytes bank in
   let name, s =
     match store with
-    | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.create k sp ~size))
+    | `Rvm -> ("RVM", Lvm_tpc.Tpca.rvm_store (Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size))
     | `Rlvm ->
       ("RLVM", Lvm_tpc.Tpca.rlvm_store (Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size))
   in
@@ -665,11 +665,102 @@ let store_cmd =
     Term.(ret (const run $ shards $ txns $ cross $ writes $ seed $ group
           $ compute $ json $ metrics_arg))
 
+(* {1 fams} *)
+
+let fams_cmd =
+  let size =
+    Arg.(value & opt int 8192
+         & info [ "size" ] ~doc:"Mapped region size in bytes.")
+  in
+  let snaps =
+    Arg.(value & opt int 32 & info [ "snaps" ] ~doc:"Snapshots to take.")
+  in
+  let writes =
+    Arg.(value & opt int 8
+         & info [ "writes" ] ~doc:"Plain word writes per snapshot.")
+  in
+  let group =
+    Arg.(value & opt int 1
+         & info [ "group" ] ~doc:"Snapshot-boundary group-commit batch.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
+  in
+  let run size snaps writes group seed json metrics =
+    if size <= 0 || size mod 8 <> 0 then
+      `Error (false, "--size must be a positive multiple of 8")
+    else if snaps <= 0 then `Error (false, "--snaps must be positive")
+    else if writes <= 0 then `Error (false, "--writes must be positive")
+    else if group <= 0 then `Error (false, "--group must be positive")
+    else begin
+      let module Fams = Lvm_fams in
+      let exception Failed of Lvm.Lvm_error.t in
+      let check = function Ok v -> v | Error e -> raise (Failed e) in
+      match
+        with_metrics ~label:"fams" metrics (fun () ->
+            let k = Lvm_vm.Kernel.create ~frames:512 () in
+            let sp = Lvm_vm.Kernel.create_space k in
+            let f =
+              check (Fams.map { Fams.Config.default with group } k sp ~size)
+            in
+            let words = size / 8 in
+            let spans = ref 0 and bytes = ref 0 and forces = ref 0 in
+            let t0 = Lvm_vm.Kernel.time k in
+            for s = 0 to snaps - 1 do
+              for w = 0 to writes - 1 do
+                let off = (((s * writes) + w) * 7 + seed) mod words * 8 in
+                check (Fams.write_word f ~off ((s * writes) + w))
+              done;
+              let rep = check (Fams.snapshot f) in
+              spans := !spans + rep.Fams.spans;
+              bytes := !bytes + rep.Fams.bytes;
+              if rep.Fams.forced then incr forces
+            done;
+            check (Fams.flush f);
+            let wall = Lvm_vm.Kernel.time k - t0 in
+            if json then begin
+              let open Lvm_tools.Output_stream.Envelope in
+              emit ~kind:"fams" ppf
+                [ ("size", Int size); ("snaps", Int snaps);
+                  ("writes", Int writes); ("group", Int group);
+                  ("seed", Int seed); ("wall_cycles", Int wall);
+                  ("cycles_per_snapshot",
+                   Float (float_of_int wall /. float_of_int snaps));
+                  ("spans", Int !spans); ("bytes", Int !bytes);
+                  ("forces", Int !forces) ]
+            end
+            else begin
+              Format.fprintf ppf
+                "fams: %d snapshot(s) of %d write(s) over %d bytes \
+                 (group %d)@."
+                snaps writes size group;
+              Format.fprintf ppf
+                "wall %d cycles, %.1f cycles/snapshot; %d span(s), %d \
+                 byte(s) persisted, %d force(s)@."
+                wall
+                (float_of_int wall /. float_of_int snaps)
+                !spans !bytes !forces
+            end)
+      with
+      | () -> `Ok ()
+      | exception Failed e -> `Error (false, Lvm.Lvm_error.to_string e)
+    end
+  in
+  Cmd.v
+    (Cmd.info "fams"
+       ~doc:"Run a plain-write + snapshot workload through the \
+             failure-atomic snapshot API and report persistence costs.")
+    Term.(ret (const run $ size $ snaps $ writes $ group $ seed $ json
+          $ metrics_arg))
+
 let main =
   Cmd.group
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
     [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
-      crashsweep_cmd; logstats_cmd; store_cmd; trace_cmd ]
+      crashsweep_cmd; logstats_cmd; store_cmd; fams_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -13,7 +13,7 @@ type results = {
 let single_writes () =
   let k = Kernel.create () in
   let sp = Kernel.create_space k in
-  let rvm = Rvm.create k sp ~size:8192 in
+  let rvm = Rvm.make Rvm.Config.default k sp ~size:8192 in
   Rvm.begin_txn rvm;
   Rvm.set_range rvm ~off:0 ~len:4;
   Rvm.write_word rvm ~off:0 1 (* warm the page *);
@@ -64,7 +64,7 @@ let measure ?(txns = 500) () =
   let k = Kernel.create () in
   let sp = Kernel.create_space k in
   let r_rvm, f_rvm =
-    tpca_with_split (Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size)) bank
+    tpca_with_split (Lvm_tpc.Tpca.rvm_store (Rvm.make Rvm.Config.default k sp ~size)) bank
       ~txns
   in
   let r_rlvm, f_rlvm =

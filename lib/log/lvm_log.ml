@@ -282,6 +282,12 @@ let truncate t ~keep_from =
   mark_truncatable t ~upto:keep_from;
   compact t
 
+let seal t =
+  sync t;
+  let sealed = Segment.write_pos t.seg in
+  truncate t ~keep_from:sealed;
+  sealed
+
 let truncate_suffix t ~new_end =
   sync t;
   if new_end < 0 || new_end > Segment.write_pos t.seg then

@@ -123,6 +123,14 @@ val truncate_suffix : t -> new_end:int -> unit
 (** Discard records at and after byte [new_end] (rollback: replayed
     history beyond the target time is dead). *)
 
+val seal : t -> int
+(** Seal the log's entire current span: sync, then truncate everything
+    written so far ([truncate ~keep_from:length]), recycling every full
+    extent and re-arming the logger at the front. Returns the number of
+    record bytes sealed. A failure-atomic snapshot calls this once its
+    boundary record is durable — the hardware log's job for those records
+    is done, and the extent ring starts the next snapshot epoch empty. *)
+
 (** {1 Group commit} *)
 
 module Batcher : sig

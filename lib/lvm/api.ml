@@ -83,6 +83,8 @@ let source_segment ?(offset = 0) k ~dst ~src =
 let reset_deferred_copy k space ~start ~len =
   Kernel.reset_deferred_copy k space ~start ~len
 
+let dirty_spans k seg = Kernel.dirty_spans k seg
+
 let read_word k space ~vaddr = Kernel.read_word k space vaddr
 let write_word k space ~vaddr v = Kernel.write_word k space vaddr v
 let read k space ~vaddr ~size = Kernel.read k space ~vaddr ~size

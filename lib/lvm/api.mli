@@ -145,6 +145,18 @@ val reset_deferred_copy : kernel -> address_space -> start:int -> len:int ->
   unit
 (** [AddressSpace::resetDeferredCopy(start, end)]. *)
 
+(** {1 Extensions for failure-atomic snapshots (beyond the paper)} *)
+
+val dirty_spans : kernel -> segment -> (int * int) list
+(** Byte [(off, len)] runs of a deferred-copy destination segment
+    modified since its deferred-copy state was last reset, ascending and
+    coalesced — the modification set at the line granularity the
+    second-level cache tracks. This is the enumeration hook the
+    failure-atomic snapshot layer ([Lvm_fams]) builds its redo records
+    from; [Lvm_fams] itself lives above this library (it also needs the
+    RVM write-ahead log) and is the intended entry point for
+    applications. *)
+
 (** {1 Access}
 
     All access functions name the virtual address with [~vaddr]; sizes

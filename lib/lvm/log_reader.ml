@@ -41,13 +41,25 @@ let fold k ls ~init ~f =
      translation per page: records never straddle pages (the page size is
      a multiple of [Log_record.bytes]), so a cached page base serves all
      the records on it — including across extent boundaries, which are
-     ordinary page boundaries of the backing segment. *)
-  let len = length k ls in
+     ordinary page boundaries of the backing segment. If [f] truncates or
+     compacts the log mid-walk ([Kernel.rearm_log] bumps the segment
+     generation), both the cached translation and the captured length are
+     stale: records may have been bcopied to other pages and the tail
+     recycled. On a generation change the walk re-reads [write_pos]
+     (clamping the remaining span) and drops the page cache, so it never
+     reads through a recycled extent's old mapping. *)
+  let len = ref (length k ls) in
   let mem = Machine.mem (Kernel.machine k) in
+  let generation = ref (Segment.generation ls) in
   let page = ref (-1) in
   let page_paddr = ref 0 in
   let rec go acc off =
-    if off + Log_record.bytes > len then acc
+    if Segment.generation ls <> !generation then begin
+      generation := Segment.generation ls;
+      page := -1;
+      len := min !len (Segment.write_pos ls)
+    end;
+    if off + Log_record.bytes > !len then acc
     else begin
       let p = off / Addr.page_size in
       if p <> !page then begin

@@ -39,7 +39,12 @@ val read_mapped :
 val fold :
   kernel -> segment -> init:'a ->
   f:('a -> off:int -> Lvm_machine.Log_record.t -> 'a) -> 'a
-(** Untimed fold over all records in log order. *)
+(** Untimed fold over all records in log order. Safe against concurrent
+    truncation: if [f] compacts or truncates the log mid-fold, the walk
+    detects the segment's layout-generation change, invalidates its
+    cached page translation and re-clamps the remaining span to the new
+    [write_pos] instead of reading stale bytes through a recycled
+    extent's old mapping. *)
 
 val iter :
   kernel -> segment -> f:(off:int -> Lvm_machine.Log_record.t -> unit) -> unit

@@ -1,0 +1,19 @@
+type t =
+  | Vm of Lvm_vm.Error.t
+  | Overloaded of { shard : int }
+  | Txn_too_large of { writes : int; limit : int }
+  | Invalid_key of { key : int }
+
+let of_vm e = Vm e
+
+let to_string = function
+  | Vm e -> Lvm_vm.Error.to_string e
+  | Overloaded { shard } -> Printf.sprintf "overloaded(shard %d)" shard
+  | Txn_too_large { writes; limit } ->
+    Printf.sprintf "txn too large (%d writes, limit %d)" writes limit
+  | Invalid_key { key } -> Printf.sprintf "invalid key %d" key
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let guard f =
+  try Ok (f ()) with Lvm_vm.Error.Lvm_error e -> Error (Vm e)

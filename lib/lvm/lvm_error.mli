@@ -1,0 +1,32 @@
+(** The unified error surface of the result-typed public APIs.
+
+    The repo grew two error vocabularies: the kernel's typed exception
+    payloads ({!Lvm_vm.Error.t} — address faults, log exhaustion, range
+    errors) and per-facility variants like [Lvm_store.Store.error]
+    (admission control, transaction limits). Result-typed entry points
+    ({!Lvm_fams}, [Lvm_store.Store]) return this one type instead, so a
+    caller matches a single scheme — and can still drill into the typed
+    VM payload when it needs to (e.g. [Error (Vm (Log_exhausted _))] as
+    a backpressure signal). *)
+
+type t =
+  | Vm of Lvm_vm.Error.t
+      (** A kernel/VM error surfaced through a result-typed API. *)
+  | Overloaded of { shard : int }
+      (** Admission control shed the request (store shard busy). *)
+  | Txn_too_large of { writes : int; limit : int }
+  | Invalid_key of { key : int }
+
+val of_vm : Lvm_vm.Error.t -> t
+
+val to_string : t -> string
+(** Human-readable rendering; for the store constructors this reproduces
+    [Lvm_store.Store.error_to_string]'s exact strings. *)
+
+val pp : Format.formatter -> t -> unit
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run [f], catching {e only} [Lvm_vm.Error.Lvm_error] and reflecting
+    its payload as [Error (Vm _)]. Injected crash faults
+    ([Lvm_fault.Fault.Crashed]) and programming errors propagate — a
+    simulated machine death must never be swallowed into a result. *)

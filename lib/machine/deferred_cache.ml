@@ -84,5 +84,15 @@ let reset_page t ~dst_page ~was_dirty =
     end
     else Cycles.dc_reset_per_page
 
+let modified_lines t ~dst_page =
+  match Hashtbl.find_opt t.pages dst_page with
+  | None -> []
+  | Some st ->
+    let lines = ref [] in
+    for li = Addr.lines_per_page - 1 downto 0 do
+      if Bytes.get st.modified li <> '\000' then lines := li :: !lines
+    done;
+    !lines
+
 let mapped_pages t =
   Hashtbl.fold (fun pn _ acc -> pn :: acc) t.pages [] |> List.sort compare

@@ -50,5 +50,11 @@ val reset_page : t -> dst_page:int -> was_dirty:bool ref -> int
     per-line source-address reset and invalidation sweep. Sets [was_dirty]
     so the caller can also invalidate first-level lines. *)
 
+val modified_lines : t -> dst_page:int -> int list
+(** Line indices of destination frame [dst_page] written since it was
+    mapped (or last reset), ascending; empty when the frame is not a
+    deferred-copy destination. The modification set a failure-atomic
+    snapshot must persist. *)
+
 val mapped_pages : t -> int list
 (** Destination pages currently mapped (ascending, for tests). *)

@@ -4,6 +4,7 @@ open Lvm_vm
 type entry =
   | Data of { txn : int; off : int; bytes : Bytes.t }
   | Commit of { txn : int }
+  | Snapshot of { snap : int }
 
 type t = {
   k : Kernel.t;
@@ -43,7 +44,7 @@ let words bytes = (bytes + 3) / 4
    the on-disk serialization below. *)
 let entry_bytes = function
   | Data { bytes; _ } -> Bytes.length bytes + 12
-  | Commit _ -> 8
+  | Commit _ | Snapshot _ -> 8
 
 (* {1 On-disk serialization}
 
@@ -83,6 +84,7 @@ let serialize entry =
     match entry with
     | Data { txn; off; bytes } -> (0, txn, off, bytes)
     | Commit { txn } -> (1, txn, 0, Bytes.empty)
+    | Snapshot { snap } -> (2, snap, 0, Bytes.empty)
   in
   let len = Bytes.length payload in
   let b = Bytes.create (header_bytes + len) in
@@ -140,6 +142,7 @@ let scan t =
             match kind with
             | 0 -> Some (Data { txn; off; bytes = payload })
             | 1 -> Some (Commit { txn })
+            | 2 -> Some (Snapshot { snap = txn })
             | _ -> None
           in
           match entry with
@@ -164,7 +167,7 @@ let wal_append t entry =
       Error.raise_
         (Error.Out_of_range { op = "Ramdisk.wal_append"; what = "offset";
                               value = off })
-  | Commit _ -> ());
+  | Commit _ | Snapshot _ -> ());
   let legacy = entry_bytes entry in
   Kernel.compute t.k (Rvm_costs.disk_op_overhead
                       + (words legacy * Rvm_costs.disk_per_word));
@@ -207,9 +210,15 @@ let wal_force t =
 
 let should_truncate t = t.charged_bytes > Rvm_costs.truncate_threshold_bytes
 
+(* A Snapshot boundary is the commit marker of its snapshot id: Data
+   records written under a snapshot id whose boundary never hit the disk
+   are a torn snapshot and are never applied. *)
 let committed_txns entries =
   List.filter_map
-    (function Commit { txn } -> Some txn | Data _ -> None)
+    (function
+      | Commit { txn } -> Some txn
+      | Snapshot { snap } -> Some snap
+      | Data _ -> None)
     entries
 
 (* Apply committed Data records in append order. Records carry absolute
@@ -222,7 +231,7 @@ let apply_committed image entries =
       | Data { txn; off; bytes } when List.mem txn committed ->
         incr applied;
         Bytes.blit bytes 0 image off (Bytes.length bytes)
-      | Data _ | Commit _ -> ())
+      | Data _ | Commit _ | Snapshot _ -> ())
     entries;
   !applied
 
@@ -252,7 +261,7 @@ let truncate t =
   let uncommitted =
     List.filter
       (function Data { txn; _ } -> not (List.mem txn committed)
-              | Commit _ -> false)
+              | Commit _ | Snapshot _ -> false)
       s.s_entries
   in
   ignore (apply_committed t.image s.s_entries);

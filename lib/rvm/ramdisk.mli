@@ -9,7 +9,8 @@
     serialization.
 
     On disk each record is little-endian words — magic ["WAL1"], kind
-    (0 data / 1 commit), transaction id, image offset, payload length,
+    (0 data / 1 commit / 2 snapshot boundary), transaction id, image
+    offset, payload length,
     an FNV-1a checksum over (kind, txn, off, len, payload) — followed by
     the payload. Recovery fail-stops at the first record whose header or
     checksum does not parse, so a torn or corrupted tail is detected and
@@ -34,6 +35,12 @@ type entry =
   | Data of { txn : int; off : int; bytes : Bytes.t }
       (** Redo record: new value of [bytes] at image offset [off]. *)
   | Commit of { txn : int }
+  | Snapshot of { snap : int }
+      (** Failure-atomic snapshot boundary (kind 2): commits every [Data]
+          record carrying [snap] as its transaction id. A snapshot whose
+          boundary never reached the disk is torn — its data records are
+          never applied, and recovery truncates back to the last intact
+          boundary exactly as it does for an uncommitted transaction. *)
 
 val create : Lvm_vm.Kernel.t -> size:int -> t
 (** An all-zero image of [size] bytes. *)

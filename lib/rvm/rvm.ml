@@ -19,12 +19,25 @@ type t = {
   mutable next_txn : int;
 }
 
-let create ?(strict = true) k space ~size =
+module Config = struct
+  type t = { strict : bool }
+
+  let default = { strict = true }
+end
+
+let make (config : Config.t) k space ~size =
   let seg = Kernel.create_segment k ~size in
   let region = Kernel.create_region k seg in
   let base = Kernel.bind k space region in
-  { k; space; seg; base; size; disk = Ramdisk.create k ~size; strict;
-    current = None; next_txn = 1 }
+  { k; space; seg; base; size; disk = Ramdisk.create k ~size;
+    strict = config.Config.strict; current = None; next_txn = 1 }
+
+(* Deprecated optional-argument wrapper over [make]. *)
+let create ?strict k space ~size =
+  make
+    { Config.strict =
+        Option.value strict ~default:Config.default.Config.strict }
+    k space ~size
 
 let kernel t = t.k
 let base t = t.base

@@ -17,9 +17,29 @@ exception Unannotated_write of { off : int }
 exception No_transaction
 exception Transaction_open
 
+(** Configuration record; override {!Config.default} with the
+    functional-update syntax. *)
+module Config : sig
+  type t = {
+    strict : bool;
+        (** Reject writes not covered by a {!set_range} (the library's
+            contract); [false] reproduces the missed-annotation bug. *)
+  }
+
+  val default : t
+  (** [{ strict = true }]. *)
+end
+
+val make :
+  Config.t -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
+(** Map a recoverable segment of [size] bytes backed by a fresh RAM disk. *)
+
 val create :
   ?strict:bool -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
-(** Map a recoverable segment of [size] bytes backed by a fresh RAM disk. *)
+  [@@ocaml.deprecated
+    "Use Rvm.make { Rvm.Config.default with ... } — optional-argument \
+     construction is being retired (PR 5 config-record migration)."]
+(** @deprecated Alias for {!make} with an optional-argument surface. *)
 
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int

@@ -29,11 +29,13 @@ type error =
   | Txn_too_large of { writes : int; limit : int }
   | Invalid_key of { key : int }
 
-let error_to_string = function
-  | Overloaded { shard } -> Printf.sprintf "overloaded(shard %d)" shard
+let to_error : error -> Lvm.Lvm_error.t = function
+  | Overloaded { shard } -> Lvm.Lvm_error.Overloaded { shard }
   | Txn_too_large { writes; limit } ->
-    Printf.sprintf "txn too large (%d writes, limit %d)" writes limit
-  | Invalid_key { key } -> Printf.sprintf "invalid key %d" key
+    Lvm.Lvm_error.Txn_too_large { writes; limit }
+  | Invalid_key { key } -> Lvm.Lvm_error.Invalid_key { key }
+
+let error_to_string e = Lvm.Lvm_error.to_string (to_error e)
 
 type t = {
   k : Kernel.t;

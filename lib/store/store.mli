@@ -83,7 +83,15 @@ type error =
   | Txn_too_large of { writes : int; limit : int }
   | Invalid_key of { key : int }
 
+val to_error : error -> Lvm.Lvm_error.t
+(** Inject into the unified error scheme of the result-typed APIs: the
+    store's variants map onto {!Lvm.Lvm_error.t}'s constructors of the
+    same names, so callers mixing the store with {!Lvm_fams} (or any
+    [Lvm_error]-typed facility) match one type. *)
+
 val error_to_string : error -> string
+(** [to_error] composed with {!Lvm.Lvm_error.to_string} — same strings
+    the per-module renderer always produced. *)
 
 val create : Config.t -> t
 (** Boot a machine with [Config.shards] CPUs and one RLVM shard per

@@ -390,3 +390,237 @@ let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
     ?(group = 1) ?(shards = 1) () =
   if shards > 1 then run_store_sweep ~seed ~txns ~points ~torn_points ~shards
   else run_single ?cpus ~seed ~txns ~points ~torn_points ~group ()
+
+(* {1 FAMS sweep}
+
+   The subject is one or more [Lvm_fams] snapshot regions on one machine:
+   plain writes accumulate, [snapshot] persists the modification set
+   atomically. The host-side model per region is the sequence of boundary
+   states (region content at each completed snapshot, starting from the
+   all-zero state) plus the in-flight snapshot image while [snapshot] is
+   executing. A crashed run must recover each region to exactly one of:
+
+   - a registered boundary no older than the last {e forced} one (group
+     commit may roll back unforced boundaries, never forced ones);
+   - the in-flight image, when the crash landed inside [snapshot] and the
+     boundary record made it to disk.
+
+   Nothing else is acceptable — in particular, no state containing plain
+   writes issued after the newest boundary (never made durable), and no
+   mixture of two boundaries (torn snapshot). *)
+
+module Fams = Lvm_fams
+
+type fams_region = {
+  f : Fams.t;
+  current : int array; (* host model of the working view *)
+  mutable boundaries : int array list; (* newest first; last = zeros *)
+  mutable completed : int; (* snapshots registered *)
+  mutable forced_idx : int; (* newest boundary known forced *)
+  mutable in_flight : int array option; (* image [snapshot] is persisting *)
+}
+
+type fams_state = { fk : Kernel.t; rs : fams_region array }
+
+let fams_words = 64
+let fams_size = fams_words * 4
+
+let fams_unwrap what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ Lvm.Lvm_error.to_string e)
+
+let build_fams ~group ~regions () =
+  let k = Kernel.create () in
+  let sp = Kernel.create_space k in
+  let rs =
+    Array.init regions (fun _ ->
+        let f =
+          fams_unwrap "fams sweep map"
+            (Fams.map
+               { Fams.Config.default with log_pages = 4; group }
+               k sp ~size:fams_size)
+        in
+        { f; current = Array.make fams_words 0;
+          boundaries = [ Array.make fams_words 0 ];
+          completed = 0; forced_idx = 0; in_flight = None })
+  in
+  { fk = k; rs }
+
+let fams_value ~seed ~epoch ~region i =
+  ((seed * 31) + (epoch * 97) + (region * 389) + (i * 13) + 5) land 0xFFFFFF
+
+(* Epoch [e]: every region takes [writes] plain writes (distinct words
+   per epoch, wrapping), then region [e mod regions] snapshots. Regions
+   snapshot in turn, so with [regions > 1] a crash always finds some
+   region with un-snapshotted writes. *)
+let run_fams_workload fs ~seed ~snaps ~writes =
+  let regions = Array.length fs.rs in
+  for epoch = 0 to snaps - 1 do
+    Array.iteri
+      (fun ri r ->
+        for w = 0 to writes - 1 do
+          let i = ((epoch * writes) + w + (ri * 7)) mod fams_words in
+          let v = fams_value ~seed ~epoch ~region:ri i in
+          fams_unwrap "fams sweep write" (Fams.write_word r.f ~off:(i * 4) v);
+          r.current.(i) <- v
+        done)
+      fs.rs;
+    let r = fs.rs.(epoch mod regions) in
+    r.in_flight <- Some (Array.copy r.current);
+    let rep = fams_unwrap "fams sweep snapshot" (Fams.snapshot r.f) in
+    r.boundaries <- Array.copy r.current :: r.boundaries;
+    r.completed <- r.completed + 1;
+    if rep.Fams.forced then r.forced_idx <- r.completed;
+    r.in_flight <- None
+  done
+
+let fams_actual r =
+  Array.init fams_words (fun i ->
+      fams_unwrap "fams sweep read" (Fams.read_word r.f ~off:(i * 4)))
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let check_fams_region ~crashed ri r =
+  let actual = fams_actual r in
+  if not crashed then
+    if actual = r.current then Ok "working"
+    else Error (Printf.sprintf "region %d: completed run lost writes" ri)
+  else
+    let reachable = take (r.completed - r.forced_idx + 1) r.boundaries in
+    if (match r.in_flight with Some a -> actual = a | None -> false) then
+      Ok "in-flight"
+    else
+      match List.mapi (fun j b -> (r.completed - j, b)) reachable
+            |> List.find_opt (fun (_, b) -> b = actual)
+      with
+      | Some (j, _) ->
+        Ok (if j = r.completed then "boundary" else
+              Printf.sprintf "boundary-%d" (r.completed - j))
+      | None ->
+        let newest = List.hd r.boundaries in
+        let rec diff i =
+          if i = fams_words then "?"
+          else if actual.(i) <> newest.(i) then
+            Printf.sprintf "word %d: got %d newest boundary %d" i actual.(i)
+              newest.(i)
+          else diff (i + 1)
+        in
+        Error
+          (Printf.sprintf
+             "region %d: not a reachable snapshot state (completed=%d \
+              forced=%d): %s"
+             ri r.completed r.forced_idx (diff 0))
+
+let check_fams ~crashed fs =
+  let results =
+    Array.to_list (Array.mapi (check_fams_region ~crashed) fs.rs)
+  in
+  match List.find_opt (function Error _ -> true | Ok _ -> false) results with
+  | Some (Error _ as e) -> e
+  | _ ->
+    Ok
+      (String.concat ","
+         (List.map (function Ok w -> w | Error _ -> "?") results))
+
+let force_plan ~nth =
+  Lvm_fault.Plan.create
+    [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Ramdisk_force;
+        trigger = Lvm_fault.Plan.At_count nth;
+        fault = Lvm_fault.Fault.Crash } ]
+
+let run_one_fams ~group ~regions ~label ~seed ~snaps ~writes plan =
+  let fs = build_fams ~group ~regions () in
+  let m = Kernel.machine fs.fk in
+  Lvm_machine.Machine.set_fault_plan m (Some plan);
+  match run_fams_workload fs ~seed ~snaps ~writes with
+  | () -> (
+    Lvm_machine.Machine.set_fault_plan m None;
+    match check_fams ~crashed:false fs with
+    | Ok _ -> (Printf.sprintf "%s completed state=ok\n" label, None, false,
+               false)
+    | Error d ->
+      ( Printf.sprintf "%s completed state=FAIL %s\n" label d,
+        Some (label ^ ": " ^ d), false, false ))
+  | exception Lvm_fault.Fault.Crashed { cycle; site } -> (
+    Lvm_machine.Machine.set_fault_plan m None;
+    let torn = ref false in
+    Array.iter
+      (fun r ->
+        let rep = fams_unwrap "fams sweep recover" (Fams.recover r.f) in
+        if rep.Lvm_rvm.Ramdisk.truncated_bytes > 0 then torn := true)
+      fs.rs;
+    let base =
+      Printf.sprintf "%s crashed cycle=%d site=%s completed=%s" label cycle
+        (Lvm_fault.Fault.site_name site)
+        (String.concat ","
+           (Array.to_list
+              (Array.map (fun r -> string_of_int r.completed) fs.rs)))
+    in
+    (* Replay idempotence: a second recovery must land on the same state. *)
+    let first = Array.map fams_actual fs.rs in
+    Array.iter
+      (fun r -> ignore (fams_unwrap "fams sweep recover" (Fams.recover r.f)))
+      fs.rs;
+    let second = Array.map fams_actual fs.rs in
+    match check_fams ~crashed:true fs with
+    | Ok which when first = second ->
+      (Printf.sprintf "%s state=ok(%s)\n" base which, None, true, !torn)
+    | Ok _ ->
+      ( Printf.sprintf "%s state=FAIL not idempotent\n" base,
+        Some (label ^ ": recovery not idempotent"), true, !torn )
+    | Error d ->
+      ( Printf.sprintf "%s state=FAIL %s\n" base d,
+        Some (label ^ ": " ^ d), true, !torn ))
+
+let run_fams ?(seed = 42) ?(snaps = 10) ?(writes = 8) ?(points = 120)
+    ?(torn_points = 16) ?(force_points = 8) ?(group = 1) ?(regions = 1) () =
+  (* Reference run: how long the whole workload takes with no faults. *)
+  let total =
+    let fs = build_fams ~group ~regions () in
+    run_fams_workload fs ~seed ~snaps ~writes;
+    Kernel.time fs.fk
+  in
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let crashed = ref 0 and completed = ref 0 and torn = ref 0 in
+  let record (line, failure, did_crash, did_torn) =
+    Buffer.add_string buf line;
+    (match failure with Some f -> failures := f :: !failures | None -> ());
+    if did_crash then incr crashed else incr completed;
+    if did_torn then incr torn
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "famssweep seed=%d snaps=%d writes=%d total_cycles=%d group=%d \
+        regions=%d\n"
+       seed snaps writes total group regions);
+  for i = 0 to points - 1 do
+    let at = 1 + (i * (total - 1) / max 1 (points - 1)) in
+    record
+      (run_one_fams ~group ~regions
+         ~label:(Printf.sprintf "point=%d at=%d" i at)
+         ~seed ~snaps ~writes (crash_plan ~at))
+  done;
+  for j = 1 to torn_points do
+    let keep = 1 + (j * 7 mod 23) in
+    record
+      (run_one_fams ~group ~regions
+         ~label:(Printf.sprintf "torn=%d keep=%d" j keep)
+         ~seed ~snaps ~writes (torn_plan ~nth:j ~keep))
+  done;
+  for j = 1 to force_points do
+    record
+      (run_one_fams ~group ~regions
+         ~label:(Printf.sprintf "force=%d" j)
+         ~seed ~snaps ~writes (force_plan ~nth:j))
+  done;
+  {
+    points = points + torn_points + force_points;
+    crashed = !crashed;
+    completed = !completed;
+    torn = !torn;
+    failures = List.rev !failures;
+    trace = Buffer.contents buf;
+  }

@@ -52,3 +52,23 @@ val run :
     between the two phases (e.g. tearing the coordinator's intent
     record) must roll the whole transaction back. [cpus] is ignored
     when [shards > 1]: the store boots one CPU per shard. *)
+
+val run_fams :
+  ?seed:int -> ?snaps:int -> ?writes:int -> ?points:int ->
+  ?torn_points:int -> ?force_points:int -> ?group:int -> ?regions:int ->
+  unit -> outcome
+(** Torn-snapshot sweep over the failure-atomic snapshot API
+    ([Lvm_fams]): a workload of [snaps] epochs — [writes] plain writes
+    per region per epoch, then one region snapshots — swept with
+    [points] (default 120) evenly-spaced crash cycles (crashes before,
+    inside and after the snapshot's WAL phase), [torn_points] (default
+    16) torn WAL writes (tearing data records and boundary records
+    alike) and [force_points] (default 8) crashes injected inside the
+    boundary's force itself. Each crashed run recovers every region
+    (twice — replay must be idempotent) and checks prefix consistency:
+    the recovered region equals a registered snapshot boundary no older
+    than the last forced one, or the in-flight snapshot image when its
+    boundary made it to disk — never a mixture, and never un-snapshotted
+    plain writes. [group] (default 1) batches boundary forces; [regions]
+    (default 1) maps several independently-snapshotting regions on one
+    machine. *)

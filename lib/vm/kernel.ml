@@ -664,6 +664,10 @@ let leave_absorption t ls =
    lifecycle layer moved it (truncation, compaction). The table entry's
    mode was fixed when the log was first armed, so a retarget suffices. *)
 let rearm_log t ls =
+  (* The lifecycle layer only calls this after moving [write_pos]
+     (compaction, truncation): already-written records moved or died, so
+     cached reader views of the record area are stale. *)
+  Segment.bump_generation ls;
   let pos = Segment.write_pos ls in
   match Segment.log_index ls with
   | None -> Segment.set_active_page ls (pos / Addr.page_size)
@@ -728,6 +732,32 @@ let reset_deferred_segment t seg =
     (Lvm_obs.Event.Dc_reset
        { pages = (perf t).Perf.dc_pages_scanned - scanned0;
          dirty = (perf t).Perf.dc_pages_dirty - dirty0 })
+
+(* Enumerate the modified byte runs of a deferred-copy destination
+   segment, at the line granularity the second-level cache tracks:
+   exactly the modification set a failure-atomic snapshot must persist.
+   Adjacent dirty lines coalesce into one span. Cycle-free — the dirty
+   bits are already in the cache's line maps. *)
+let dirty_spans t seg =
+  let dc = Machine.deferred t.machine in
+  let spans = ref [] (* newest first *) in
+  let add off len =
+    match !spans with
+    | (o, l) :: rest when o + l = off -> spans := (o, l + len) :: rest
+    | _ -> spans := (off, len) :: !spans
+  in
+  for page = 0 to Segment.pages seg - 1 do
+    match Segment.frame_of_page seg page with
+    | None -> ()
+    | Some frame ->
+      List.iter
+        (fun line ->
+          add
+            ((page * Addr.page_size) + (line * Addr.line_size))
+            Addr.line_size)
+        (Lvm_machine.Deferred_cache.modified_lines dc ~dst_page:frame)
+  done;
+  List.rev !spans
 
 (* {1 Write protection} *)
 

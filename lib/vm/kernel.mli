@@ -201,6 +201,15 @@ val reset_deferred_copy : t -> Address_space.t -> start:int -> len:int -> unit
 val reset_deferred_segment : t -> Segment.t -> unit
 (** Reset every deferred-copy page of a destination segment. *)
 
+val dirty_spans : t -> Segment.t -> (int * int) list
+(** Byte [(off, len)] runs of [seg] modified since its deferred-copy
+    state was last reset, ascending, with adjacent runs coalesced — the
+    modification set at the line granularity the second-level cache
+    tracks. [seg] must be a deferred-copy destination (otherwise the
+    list is empty: nothing tracks its writes). Cycle-free; this is the
+    dirty-span enumeration hook the failure-atomic snapshot layer
+    ([Lvm_fams]) builds its redo records from. *)
+
 (** {1 Write protection (page-protect baseline)} *)
 
 val protect_region : t -> Region.t -> unit

@@ -17,6 +17,7 @@ type t = {
   mutable absorbed_crossings : int;
   mutable logged_via : int option;
   mutable backing : Backing_store.t option;
+  mutable generation : int;
 }
 
 let make ~id ~kind ~size =
@@ -38,6 +39,7 @@ let make ~id ~kind ~size =
     absorbed_crossings = 0;
     logged_via = None;
     backing = None;
+    generation = 0;
   }
 
 let id t = t.id
@@ -99,6 +101,9 @@ let absorbed_crossings t = log_only t "absorbed_crossings";
 let note_absorbed_crossing t =
   log_only t "note_absorbed_crossing";
   t.absorbed_crossings <- t.absorbed_crossings + 1
+
+let generation t = t.generation
+let bump_generation t = t.generation <- t.generation + 1
 
 let logged_via t = t.logged_via
 let set_logged_via t r = t.logged_via <- r

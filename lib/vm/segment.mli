@@ -79,6 +79,16 @@ val set_absorbing : t -> bool -> unit
 val absorbed_crossings : t -> int
 val note_absorbed_crossing : t -> unit
 
+val generation : t -> int
+(** Layout generation of a log segment's record area: bumped every time
+    already-written records move or disappear (compaction recycling
+    extents, suffix truncation — anything that re-arms the logger at a
+    moved write position). Readers holding cached translations or a
+    cached length ({!Lvm.Log_reader.fold}) compare generations to detect
+    that their view went stale. Plain appends do not bump it. *)
+
+val bump_generation : t -> unit
+
 val logged_via : t -> int option
 (** In prototype hardware, the single region id whose log applies to this
     segment (the per-segment restriction of Section 3.1.2). *)

@@ -278,19 +278,27 @@ module Deprecated_compat = struct
     Lvm_rvm.Rlvm.commit r;
     Lvm_rvm.Rlvm.flush_commits r;
     let v, _snap = Lvm.Api.with_kernel (fun k2 -> Lvm.Api.time k2) in
-    (Lvm_rvm.Rlvm.read_word r ~off:0, Lvm_rvm.Rlvm.group r, v)
+    let rvm = Lvm_rvm.Rvm.create ~strict:false k sp ~size:1024 in
+    Lvm_rvm.Rvm.begin_txn rvm;
+    Lvm_rvm.Rvm.write_word rvm ~off:0 9;
+    Lvm_rvm.Rvm.commit rvm;
+    ( Lvm_rvm.Rlvm.read_word r ~off:0,
+      Lvm_rvm.Rlvm.group r,
+      v,
+      Lvm_rvm.Rvm.read_word rvm ~off:0 )
 end
 
 let test_deprecated_wrappers () =
-  let read0, group, t0 = Deprecated_compat.exercise () in
+  let read0, group, t0, rvm0 = Deprecated_compat.exercise () in
   check "wrapper-built rlvm commits" 7 read0;
   check "wrapper threads group" 2 group;
-  check "with_kernel wrapper boots at cycle 0" 0 t0
+  check "with_kernel wrapper boots at cycle 0" 0 t0;
+  check "wrapper-built rvm threads strict" 9 rvm0
 
 let test_rvm_abort_overlapping_ranges () =
   let k = Lvm_vm.Kernel.create () in
   let sp = Lvm_vm.Kernel.create_space k in
-  let r = Lvm_rvm.Rvm.create k sp ~size:4096 in
+  let r = Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size:4096 in
   Lvm_rvm.Rvm.begin_txn r;
   Lvm_rvm.Rvm.set_range r ~off:0 ~len:8;
   Lvm_rvm.Rvm.write_word r ~off:0 1;

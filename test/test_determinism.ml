@@ -263,7 +263,7 @@ let test_tpca_negative_balances () =
   in
   let store =
     Lvm_tpc.Tpca.rvm_store
-      (Lvm_rvm.Rvm.create k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
+      (Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size:(Lvm_tpc.Bank.segment_bytes bank))
   in
   Lvm_tpc.Tpca.setup store bank;
   ignore (Lvm_tpc.Tpca.run ~seed:2 store bank ~txns:40);

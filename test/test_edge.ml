@@ -231,7 +231,7 @@ let test_anti_for_queued_event () =
 
 let test_rvm_rlvm_share_kernel () =
   let k, sp = boot () in
-  let rvm = Lvm_rvm.Rvm.create k sp ~size:4096 in
+  let rvm = Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size:4096 in
   let rlvm = Lvm_rvm.Rlvm.make Lvm_rvm.Rlvm.Config.default k sp ~size:4096 in
   Lvm_rvm.Rvm.begin_txn rvm;
   Lvm_rvm.Rlvm.begin_txn rlvm;

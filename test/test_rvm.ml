@@ -45,7 +45,7 @@ let test_ramdisk_bounds () =
 
 let test_rvm_commit_persists () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:8192 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:8192 in
   Rvm.begin_txn r;
   Rvm.set_range r ~off:0 ~len:8;
   Rvm.write_word r ~off:0 11;
@@ -57,7 +57,7 @@ let test_rvm_commit_persists () =
 
 let test_rvm_abort_restores () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:4096 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:4096 in
   Rvm.begin_txn r;
   Rvm.set_range r ~off:0 ~len:4;
   Rvm.write_word r ~off:0 5;
@@ -71,7 +71,7 @@ let test_rvm_abort_restores () =
 
 let test_rvm_crash_discards_uncommitted () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:4096 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:4096 in
   Rvm.begin_txn r;
   Rvm.set_range r ~off:0 ~len:4;
   Rvm.write_word r ~off:0 41;
@@ -85,7 +85,7 @@ let test_rvm_crash_discards_uncommitted () =
 
 let test_rvm_unannotated_write_rejected () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:4096 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:4096 in
   Rvm.begin_txn r;
   check_bool "unannotated write raises" true
     (try
@@ -97,7 +97,7 @@ let test_rvm_missed_annotation_corrupts () =
   (* The classic Coda RVM bug (Section 2.5): in non-strict mode a missed
      set_range "commits" but the write is not recovered after a crash. *)
   let k, sp = boot () in
-  let r = Rvm.create ~strict:false k sp ~size:4096 in
+  let r = Rvm.make { Rvm.Config.strict = false } k sp ~size:4096 in
   Rvm.begin_txn r;
   Rvm.set_range r ~off:0 ~len:4;
   Rvm.write_word r ~off:0 1;
@@ -110,7 +110,7 @@ let test_rvm_missed_annotation_corrupts () =
 
 let test_rvm_txn_discipline () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:4096 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:4096 in
   Alcotest.check_raises "set_range outside txn" Rvm.No_transaction (fun () ->
       Rvm.set_range r ~off:0 ~len:4);
   Rvm.begin_txn r;
@@ -119,7 +119,7 @@ let test_rvm_txn_discipline () =
 
 let test_rvm_wal_truncation_under_load () =
   let k, sp = boot () in
-  let r = Rvm.create k sp ~size:8192 in
+  let r = Rvm.make Rvm.Config.default k sp ~size:8192 in
   for i = 0 to 199 do
     Rvm.begin_txn r;
     Rvm.set_range r ~off:(i * 8 mod 4096) ~len:8;
@@ -229,7 +229,7 @@ let prop_rvm_rlvm_equivalent =
   QCheck.Test.make ~name:"rvm and rlvm agree after crash" ~count:40
     (QCheck.make ~print gen) (fun txns ->
       let k, sp = boot () in
-      let rvm = Rvm.create k sp ~size:(words * 4) in
+      let rvm = Rvm.make Rvm.Config.default k sp ~size:(words * 4) in
       let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:(words * 4) in
       List.iter
         (fun (ws, commit) ->
@@ -263,7 +263,7 @@ let prop_rvm_rlvm_equivalent =
 
 let test_single_write_costs () =
   let k, sp = boot () in
-  let rvm = Rvm.create k sp ~size:8192 in
+  let rvm = Rvm.make Rvm.Config.default k sp ~size:8192 in
   Rvm.begin_txn rvm;
   Rvm.set_range rvm ~off:0 ~len:4;
   Rvm.write_word rvm ~off:0 1;
@@ -294,7 +294,7 @@ let tpc_fixture () =
 
 let test_tpca_invariants_rvm () =
   let k, sp, bank, size = tpc_fixture () in
-  let store = Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size) in
+  let store = Lvm_tpc.Tpca.rvm_store (Rvm.make Rvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup store bank;
   let r = Lvm_tpc.Tpca.run store bank ~txns:100 in
   check "txns" 100 r.Lvm_tpc.Tpca.txns;
@@ -311,7 +311,7 @@ let test_tpca_invariants_rlvm () =
 
 let test_tpca_same_results_both_stores () =
   let k, sp, bank, size = tpc_fixture () in
-  let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size) in
+  let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.make Rvm.Config.default k sp ~size) in
   let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup s_rvm bank;
   Lvm_tpc.Tpca.setup s_rlvm bank;
@@ -322,7 +322,7 @@ let test_tpca_same_results_both_stores () =
 
 let test_tpca_rlvm_faster () =
   let k, sp, bank, size = tpc_fixture () in
-  let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.create k sp ~size) in
+  let s_rvm = Lvm_tpc.Tpca.rvm_store (Rvm.make Rvm.Config.default k sp ~size) in
   let s_rlvm = Lvm_tpc.Tpca.rlvm_store (Rlvm.make Rlvm.Config.default k sp ~size) in
   Lvm_tpc.Tpca.setup s_rvm bank;
   Lvm_tpc.Tpca.setup s_rlvm bank;
@@ -421,7 +421,7 @@ let prop_crash_point_recovery =
   QCheck.Test.make ~name:"crash after k commits recovers k commits" ~count:30
     (QCheck.make ~print gen) (fun (txns, crash_after) ->
       let k, sp = boot () in
-      let rvm = Rvm.create k sp ~size:(words * 4) in
+      let rvm = Rvm.make Rvm.Config.default k sp ~size:(words * 4) in
       let rlvm = Rlvm.make Rlvm.Config.default k sp ~size:(words * 4) in
       let expect = Array.make words 0 in
       List.iteri

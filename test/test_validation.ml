@@ -143,7 +143,7 @@ let test_sim_validation () =
 let test_rvm_validation () =
   let k, sp = boot () in
   let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
-  let r = Lvm_rvm.Rvm.create k sp ~size:4096 in
+  let r = Lvm_rvm.Rvm.make Lvm_rvm.Rvm.Config.default k sp ~size:4096 in
   Lvm_rvm.Rvm.begin_txn r;
   err "Rvm.set_range: out of segment"
     (Error.Out_of_segment { segment = 2; off = 4000 })
