@@ -6,7 +6,8 @@
    Usage: main.exe [--quick] [--no-bechamel] [--only ID] [--list]
                    [--metrics FILE] [--cpus N]
                    [--store] [--store-json FILE]
-                   [--fams] [--fams-json FILE] *)
+                   [--fams] [--fams-json FILE]
+                   [--repl] [--repl-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -393,6 +394,106 @@ let fams_comparison ?json_file ppf =
     close_out oc;
     Printf.printf "fams comparison written to %s\n%!" file
 
+(* {1 Replication failover and catch-up (simulated ticks)}
+
+   Two scenario measurements over an [Lvm_repl] cluster on a clean
+   transport:
+
+   - failover: replicate half the workload, fail-stop the primary with
+     frames still in flight, promote the furthest-ahead standby and
+     finish the workload on it — reporting the kill-to-serving latency
+     and the ticks for the survivors to reconverge;
+   - catch-up: fully partition one standby, commit the second half of
+     the workload without it, heal, and report the bytes it was behind
+     over the ticks it took to drain them.
+
+   [--repl-json FILE] records both (the BENCH_7.json blob). *)
+
+let repl_comparison ?json_file ppf =
+  let module Repl = Lvm_repl in
+  let txns = 64 and replicas = 2 in
+  let commit ?(gap = 3) cl j =
+    let keys = Repl.keys cl in
+    (match
+       Repl.exec cl
+         ~writes:[ (j mod keys, (j * 100) + 1);
+                   (((j * 5) + 2) mod keys, (j * 100) + 2) ]
+     with
+    | Ok () -> ()
+    | Error e -> failwith (Lvm.Lvm_error.to_string e));
+    Repl.step ~ticks:gap cl
+  in
+  (* failover: kill mid-stream, promote, finish on the new primary *)
+  let cl = Repl.create { Repl.Config.default with replicas } in
+  for j = 0 to (txns / 2) - 1 do
+    commit cl j
+  done;
+  Repl.kill_primary cl;
+  Repl.step ~ticks:4 cl;
+  let promo = Repl.promote cl in
+  let t0 = Repl.now cl in
+  for j = txns / 2 to txns - 1 do
+    commit cl j
+  done;
+  if not (Repl.sync cl) then failwith "repl bench: failover did not converge";
+  let reconverge_ticks = Repl.now cl - t0 in
+  (* catch-up: partition standby 0, commit without it, heal, drain *)
+  let drop_everything =
+    Lvm_fault.Plan.create
+      [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Net_frame;
+          trigger = Lvm_fault.Plan.Every 1; fault = Lvm_fault.Fault.Net_drop };
+        { Lvm_fault.Plan.site = Lvm_fault.Fault.Net_ack;
+          trigger = Lvm_fault.Plan.Every 1; fault = Lvm_fault.Fault.Net_drop }
+      ]
+  in
+  let cl2 = Repl.create { Repl.Config.default with replicas } in
+  for j = 0 to (txns / 2) - 1 do
+    commit cl2 j
+  done;
+  if not (Repl.sync cl2) then failwith "repl bench: baseline did not converge";
+  Repl.set_net_plan cl2 (Some drop_everything);
+  for j = txns / 2 to txns - 1 do
+    commit ~gap:1 cl2 j
+  done;
+  let behind = Repl.stream_end cl2 - Repl.replica_applied cl2 0 in
+  Repl.set_net_plan cl2 None;
+  let t1 = Repl.now cl2 in
+  if not (Repl.sync cl2) then failwith "repl bench: catch-up did not converge";
+  let catchup_ticks = max 1 (Repl.now cl2 - t1) in
+  let throughput = float_of_int behind /. float_of_int catchup_ticks in
+  Format.fprintf ppf
+    "repl (%d txns, %d replicas): failover %d ticks (r%d serving at epoch \
+     %d), reconverge %d ticks; catch-up %d bytes in %d ticks (%.1f \
+     bytes/tick)@."
+    txns replicas promo.Repl.failover_ticks promo.Repl.new_primary
+    promo.Repl.new_epoch reconverge_ticks behind catchup_ticks throughput;
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let line =
+      render ~kind:"repl"
+        [ ("txns", Int txns); ("replicas", Int replicas);
+          ("failover",
+           Obj
+             [ ("new_primary", Int promo.Repl.new_primary);
+               ("new_epoch", Int promo.Repl.new_epoch);
+               ("applied_bytes", Int promo.Repl.applied_bytes);
+               ("folded_bytes", Int promo.Repl.folded_bytes);
+               ("failover_ticks", Int promo.Repl.failover_ticks);
+               ("reconverge_ticks", Int reconverge_ticks) ]);
+          ("catchup",
+           Obj
+             [ ("behind_bytes", Int behind);
+               ("ticks", Int catchup_ticks);
+               ("bytes_per_tick", Float throughput) ]) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "repl failover/catch-up written to %s\n%!" file
+
 (* {1 Entry point} *)
 
 (* Write a single enveloped JSON metrics blob (counters + histograms
@@ -430,6 +531,9 @@ let () =
   else if List.mem "--fams" args then
     (* The FAMS three-way leg alone (what generates BENCH_6.json). *)
     fams_comparison ?json_file:(flag_value "--fams-json") ppf
+  else if List.mem "--repl" args then
+    (* The replication leg alone (what generates BENCH_7.json). *)
+    repl_comparison ?json_file:(flag_value "--repl-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -445,7 +549,8 @@ let () =
             group_commit_comparison ppf;
             store_scaling_comparison ?json_file:(flag_value "--store-json")
               ppf;
-            fams_comparison ?json_file:(flag_value "--fams-json") ppf)
+            fams_comparison ?json_file:(flag_value "--fams-json") ppf;
+            repl_comparison ?json_file:(flag_value "--repl-json") ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

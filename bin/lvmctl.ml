@@ -756,11 +756,244 @@ let fams_cmd =
     Term.(ret (const run $ size $ snaps $ writes $ group $ seed $ json
           $ metrics_arg))
 
+(* {1 repl} *)
+
+(* Seeded transport-fault profiles for the replication scenario. *)
+let repl_profile ~seed name =
+  let open Lvm_fault in
+  let inj site trigger fault = { Plan.site; trigger; fault } in
+  let frame = Fault.Net_frame and ack = Fault.Net_ack in
+  let injections =
+    match name with
+    | `None -> []
+    | `Drop ->
+      [ inj frame (Plan.With_probability 0.15) Fault.Net_drop;
+        inj ack (Plan.With_probability 0.10) Fault.Net_drop ]
+    | `Delay ->
+      [ inj frame (Plan.With_probability 0.15) (Fault.Net_delay { ticks = 3 });
+        inj frame (Plan.With_probability 0.08) Fault.Net_dup;
+        inj ack (Plan.With_probability 0.10) (Fault.Net_delay { ticks = 2 }) ]
+    | `Reorder ->
+      [ inj frame (Plan.With_probability 0.15) Fault.Net_reorder;
+        inj frame (Plan.With_probability 0.05) Fault.Net_dup;
+        inj ack (Plan.With_probability 0.08) Fault.Net_reorder ]
+    | `Chaos ->
+      [ inj frame (Plan.With_probability 0.08) Fault.Net_drop;
+        inj frame (Plan.With_probability 0.08) (Fault.Net_delay { ticks = 2 });
+        inj frame (Plan.With_probability 0.05) Fault.Net_dup;
+        inj frame (Plan.With_probability 0.05) Fault.Net_reorder;
+        inj ack (Plan.With_probability 0.08) Fault.Net_drop ]
+  in
+  if injections = [] then None else Some (Plan.create ~seed injections)
+
+let repl_cmd =
+  let module Repl = Lvm_repl in
+  let replicas =
+    Arg.(value & opt int 2
+         & info [ "replicas" ] ~doc:"Standby replicas shipped to.")
+  in
+  let txns =
+    Arg.(value & opt int 24
+         & info [ "txns" ] ~doc:"Transactions committed on the primary.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Workload and fault-plan seed.")
+  in
+  let profile =
+    Arg.(value
+         & opt
+             (enum
+                [ ("none", `None); ("drop", `Drop); ("delay", `Delay);
+                  ("reorder", `Reorder); ("chaos", `Chaos) ])
+             `Chaos
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Transport-fault profile: none, drop, delay, reorder \
+                   or chaos.")
+  in
+  let kill_at =
+    Arg.(value & opt (some int) None
+         & info [ "kill-at" ] ~docv:"K"
+             ~doc:"Fail-stop the primary after transaction $(docv) \
+                   (default: txns/2) and promote a standby.")
+  in
+  let no_kill =
+    Arg.(value & flag
+         & info [ "no-kill" ]
+             ~doc:"Skip the failover: just replicate the workload and \
+                   converge.")
+  in
+  let sweep =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"Run the seeded replication crash sweep instead of one \
+                   scenario (see also $(b,--kill-points), \
+                   $(b,--fault-only)).")
+  in
+  let kill_points =
+    Arg.(value & opt int 84
+         & info [ "kill-points" ]
+             ~doc:"Sweep schedules that fail-stop the primary mid-stream.")
+  in
+  let fault_only =
+    Arg.(value & opt int 16
+         & info [ "fault-only" ]
+             ~doc:"Sweep schedules that only stress the transport.")
+  in
+  let show_trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the deterministic per-schedule sweep trace.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
+  in
+  let run_sweep ~seed ~txns ~kill_points ~fault_only ~replicas ~show_trace
+      ~json =
+    let o =
+      Lvm_tpc.Crash_sweep.run_repl ~seed ~txns ~kill_points ~fault_only
+        ~replicas ()
+    in
+    if json then begin
+      let open Lvm_tools.Output_stream.Envelope in
+      emit ~kind:"replsweep" ppf
+        [ ("seed", Int seed); ("txns", Int txns);
+          ("replicas", Int replicas);
+          ("points", Int o.Lvm_tpc.Crash_sweep.points);
+          ("failovers", Int o.Lvm_tpc.Crash_sweep.crashed);
+          ("fault_only", Int o.Lvm_tpc.Crash_sweep.completed);
+          ("resynced", Int o.Lvm_tpc.Crash_sweep.torn);
+          ("failures",
+           List
+             (List.map (fun f -> String f) o.Lvm_tpc.Crash_sweep.failures))
+        ]
+    end
+    else begin
+      Format.fprintf ppf
+        "repl sweep (%d replica%s): %d schedules (%d failovers, %d \
+         fault-only, %d resynced), %d failures@."
+        replicas
+        (if replicas = 1 then "" else "s")
+        o.Lvm_tpc.Crash_sweep.points o.Lvm_tpc.Crash_sweep.crashed
+        o.Lvm_tpc.Crash_sweep.completed o.Lvm_tpc.Crash_sweep.torn
+        (List.length o.Lvm_tpc.Crash_sweep.failures);
+      List.iter
+        (fun f -> Format.fprintf ppf "FAIL: %s@." f)
+        o.Lvm_tpc.Crash_sweep.failures
+    end;
+    if show_trace then Format.fprintf ppf "%s" o.Lvm_tpc.Crash_sweep.trace;
+    Format.pp_print_flush ppf ();
+    if o.Lvm_tpc.Crash_sweep.failures <> [] then exit 1
+  in
+  let run_scenario ~replicas ~txns ~seed ~profile ~kill_at ~no_kill ~json
+      ~metrics =
+    with_metrics ~label:"repl" metrics (fun () ->
+        let plan = repl_profile ~seed profile in
+        let cl = Repl.create ?plan { Repl.Config.default with replicas } in
+        let keys = Repl.keys cl in
+        let rng = Random.State.make [| seed |] in
+        let commit j =
+          let k1 = Random.State.int rng keys in
+          let k2 = Random.State.int rng keys in
+          match
+            Repl.exec cl
+              ~writes:[ (k1, (j * 100) + 1); (k2, (j * 100) + 2) ]
+          with
+          | Ok () -> Repl.step ~ticks:3 cl
+          | Error e -> failwith (Lvm.Lvm_error.to_string e)
+        in
+        let kill = if no_kill then None
+          else Some (match kill_at with Some k -> k | None -> txns / 2) in
+        let promo = ref None in
+        for j = 0 to txns - 1 do
+          commit j;
+          match kill with
+          | Some k when j = k ->
+            Repl.step ~ticks:2 cl;
+            Repl.kill_primary cl;
+            Repl.step ~ticks:4 cl;
+            promo := Some (Repl.promote cl)
+          | _ -> ()
+        done;
+        let converged = Repl.sync cl in
+        let s = Repl.stats cl in
+        if json then begin
+          let open Lvm_tools.Output_stream.Envelope in
+          let promo_fields =
+            match !promo with
+            | None -> [ ("failover", Obj [ ("killed", Int 0) ]) ]
+            | Some p ->
+              [ ("failover",
+                 Obj
+                   [ ("killed", Int 1);
+                     ("new_primary", Int p.Repl.new_primary);
+                     ("new_epoch", Int p.Repl.new_epoch);
+                     ("applied_bytes", Int p.Repl.applied_bytes);
+                     ("folded_bytes", Int p.Repl.folded_bytes);
+                     ("failover_ticks", Int p.Repl.failover_ticks) ]) ]
+          in
+          emit ~kind:"repl" ppf
+            ([ ("replicas", Int replicas); ("txns", Int txns);
+               ("seed", Int seed); ("converged", Int (Bool.to_int converged));
+               ("epoch", Int s.Repl.s_epoch);
+               ("stream_end", Int s.Repl.s_stream_end);
+               ("base", Int s.Repl.s_base);
+               ("min_acked", Int s.Repl.s_min_acked);
+               ("frames_sent", Int s.Repl.frames_sent);
+               ("frames_dropped", Int s.Repl.frames_dropped);
+               ("retransmits", Int s.Repl.retransmits);
+               ("resyncs", Int s.Repl.resyncs);
+               ("fenced", Int s.Repl.fenced) ]
+            @ promo_fields)
+        end
+        else begin
+          Format.fprintf ppf "repl: %d replica(s), %d txns, seed %d@."
+            replicas txns seed;
+          (match !promo with
+          | None -> ()
+          | Some p ->
+            Format.fprintf ppf "failover: %s@." (Repl.promotion_to_string p));
+          Format.fprintf ppf "%s@." (Repl.stats_to_string s);
+          Format.fprintf ppf "converged: %b@." converged
+        end;
+        Format.pp_print_flush ppf ();
+        if not converged then exit 1)
+  in
+  let run replicas txns seed profile kill_at no_kill sweep kill_points
+      fault_only show_trace json metrics =
+    if replicas <= 0 then `Error (false, "--replicas must be positive")
+    else if txns <= 0 then `Error (false, "--txns must be positive")
+    else if sweep then begin
+      if kill_points < 0 || fault_only < 0 || kill_points + fault_only = 0
+      then `Error (false, "--kill-points/--fault-only must cover >= 1 \
+                           schedule")
+      else begin
+        run_sweep ~seed ~txns ~kill_points ~fault_only ~replicas ~show_trace
+          ~json;
+        `Ok ()
+      end
+    end
+    else begin
+      run_scenario ~replicas ~txns ~seed ~profile ~kill_at ~no_kill ~json
+        ~metrics;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Replicate a transactional workload to hot standbys over a \
+             faulty transport, optionally failing over mid-stream; \
+             $(b,--sweep) runs the seeded failover crash sweep.")
+    Term.(ret (const run $ replicas $ txns $ seed $ profile $ kill_at
+          $ no_kill $ sweep $ kill_points $ fault_only $ show_trace $ json
+          $ metrics_arg))
+
 let main =
   Cmd.group
     (Cmd.info "lvmctl" ~version:"1.0.0"
        ~doc:"Logged Virtual Memory (SOSP '95) reproduction driver.")
     [ list_cmd; exp_cmd; all_cmd; sim_cmd; tpca_cmd; synthetic_cmd;
-      crashsweep_cmd; logstats_cmd; store_cmd; fams_cmd; trace_cmd ]
+      crashsweep_cmd; logstats_cmd; store_cmd; fams_cmd; repl_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

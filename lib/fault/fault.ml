@@ -5,6 +5,8 @@ type site =
   | Log_dma
   | Logger_admit
   | Log_segment
+  | Net_frame
+  | Net_ack
 
 type kind =
   | Crash
@@ -14,11 +16,16 @@ type kind =
   | Dma_fail
   | Fifo_overrun
   | Log_exhaust
+  | Net_drop
+  | Net_delay of { ticks : int }
+  | Net_dup
+  | Net_reorder
 
 exception Crashed of { cycle : int; site : site }
 
 let all_sites =
-  [ Cpu; Ramdisk_write; Ramdisk_force; Log_dma; Logger_admit; Log_segment ]
+  [ Cpu; Ramdisk_write; Ramdisk_force; Log_dma; Logger_admit; Log_segment;
+    Net_frame; Net_ack ]
 
 let site_code = function
   | Cpu -> 0
@@ -27,6 +34,8 @@ let site_code = function
   | Log_dma -> 3
   | Logger_admit -> 4
   | Log_segment -> 5
+  | Net_frame -> 6
+  | Net_ack -> 7
 
 let kind_code = function
   | Crash -> 0
@@ -36,6 +45,10 @@ let kind_code = function
   | Dma_fail -> 4
   | Fifo_overrun -> 5
   | Log_exhaust -> 6
+  | Net_drop -> 7
+  | Net_delay _ -> 8
+  | Net_dup -> 9
+  | Net_reorder -> 10
 
 let site_name = function
   | Cpu -> "cpu"
@@ -44,6 +57,8 @@ let site_name = function
   | Log_dma -> "log_dma"
   | Logger_admit -> "logger_admit"
   | Log_segment -> "log_segment"
+  | Net_frame -> "net_frame"
+  | Net_ack -> "net_ack"
 
 let kind_name = function
   | Crash -> "crash"
@@ -53,6 +68,10 @@ let kind_name = function
   | Dma_fail -> "dma_fail"
   | Fifo_overrun -> "fifo_overrun"
   | Log_exhaust -> "log_exhaust"
+  | Net_drop -> "net_drop"
+  | Net_delay { ticks } -> Printf.sprintf "net_delay(%d)" ticks
+  | Net_dup -> "net_dup"
+  | Net_reorder -> "net_reorder"
 
 let pp_site ppf s = Format.pp_print_string ppf (site_name s)
 let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)

@@ -23,7 +23,13 @@
       overload interrupt.
     - [Log_exhaust] applies to [Log_segment]: the kernel's
       log-address-invalid handler behaves as if the log segment had no
-      pages left, forcing default-page absorption. *)
+      pages left, forcing default-page absorption.
+    - [Net_drop], [Net_delay], [Net_dup] and [Net_reorder] apply to the
+      transport sites [Net_frame] (primary-to-replica replication
+      frames) and [Net_ack] (replica-to-primary acks and hellos): the
+      frame being sent is lost, delayed by [ticks], delivered twice, or
+      delivered ahead of frames already in flight on the same link (see
+      [Lvm_repl.Transport]). *)
 
 type site =
   | Cpu  (** Instruction-stream boundary: every read/write/compute. *)
@@ -32,6 +38,8 @@ type site =
   | Log_dma  (** The logger forming and DMA-ing one log record. *)
   | Logger_admit  (** FIFO admission of a snooped write. *)
   | Log_segment  (** Log-segment page provisioning in the kernel. *)
+  | Net_frame  (** A replication frame leaving the primary. *)
+  | Net_ack  (** An ack/hello frame leaving a replica. *)
 
 type kind =
   | Crash
@@ -41,6 +49,10 @@ type kind =
   | Dma_fail
   | Fifo_overrun
   | Log_exhaust
+  | Net_drop
+  | Net_delay of { ticks : int }
+  | Net_dup
+  | Net_reorder
 
 exception Crashed of { cycle : int; site : site }
 (** The injected machine crash. Volatile state (segments, caches, the

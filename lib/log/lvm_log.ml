@@ -285,8 +285,17 @@ let truncate t ~keep_from =
 let seal t =
   sync t;
   let sealed = Segment.write_pos t.seg in
-  truncate t ~keep_from:sealed;
-  sealed
+  (* Sealing an empty active extent — including a second seal in the
+     same epoch, which finds the ring already compacted to zero — is a
+     no-op: no bytes move, no extents recycle, stats stay put. Without
+     the early-out the ring would still run a zero-byte compaction and
+     re-arm the logger, so a double seal perturbed gauges and charged
+     a pointless rearm. *)
+  if sealed = 0 then 0
+  else begin
+    truncate t ~keep_from:sealed;
+    sealed
+  end
 
 let truncate_suffix t ~new_end =
   sync t;

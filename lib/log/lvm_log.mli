@@ -129,7 +129,11 @@ val seal : t -> int
     extent and re-arming the logger at the front. Returns the number of
     record bytes sealed. A failure-atomic snapshot calls this once its
     boundary record is durable — the hardware log's job for those records
-    is done, and the extent ring starts the next snapshot epoch empty. *)
+    is done, and the extent ring starts the next snapshot epoch empty.
+
+    Sealing an empty active extent — and hence sealing twice in one
+    epoch — is a guaranteed no-op returning [0]: nothing is compacted or
+    recycled, {!stats} are unchanged, and the ring stays consistent. *)
 
 (** {1 Group commit} *)
 

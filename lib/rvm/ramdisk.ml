@@ -15,6 +15,12 @@ type t = {
   mutable volatile_tail : bool; (* crash discards bytes past forced_len *)
   mutable charged_bytes : int; (* legacy cost-model accounting *)
   mutable entries : int;
+  mutable truncate_gate : (unit -> bool) option;
+      (* replication low-water mark: recycling the WAL is forbidden
+         while an attached replica has not acked its bytes *)
+  mutable on_truncate : (removed:int -> unit) option;
+      (* observer of physical bytes consumed by truncation, so a
+         log-shipping layer can keep its cumulative stream offsets *)
   c_forces : Lvm_obs.Counter.counter;
 }
 
@@ -24,9 +30,12 @@ let create k ~size =
       (Error.Invalid { op = "Ramdisk.create"; reason = "size must be positive" });
   { k; image = Bytes.make size '\000'; log = Bytes.create 4096; log_len = 0;
     forced_len = 0; volatile_tail = false; charged_bytes = 0; entries = 0;
+    truncate_gate = None; on_truncate = None;
     c_forces = Lvm_obs.Ctx.counter (Kernel.obs k) "rvm.wal_forces" }
 
 let set_volatile_tail t v = t.volatile_tail <- v
+let set_truncate_gate t g = t.truncate_gate <- g
+let set_on_truncate t f = t.on_truncate <- f
 
 let size t = Bytes.length t.image
 
@@ -156,6 +165,59 @@ let scan t =
 let entry_count t = List.length (scan t).s_entries
 let wal_bytes t = t.charged_bytes
 
+(* {1 Log shipping}
+
+   Raw, untimed access to the serialized log for the replication layer:
+   the WAL byte stream is the replication stream, shipped in units of
+   whole records and applied verbatim on a replica's disk. Cycle costs
+   are not charged — the transport simulation has its own clock. *)
+
+let log_read t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.log_len then
+    Error.raise_
+      (Error.Out_of_range { op = "Ramdisk.log_read"; what = "offset";
+                            value = off });
+  Bytes.sub t.log off len
+
+(* Recompute [entries]/[charged_bytes] for bytes received from a peer:
+   the payload is whole serialized records, so a header walk suffices. *)
+let charge_parsed t ~from =
+  let rec go pos =
+    if t.log_len - pos >= header_bytes && get32 t.log pos = wal_magic then begin
+      let kind = get32 t.log (pos + 4) in
+      let len = get32 t.log (pos + 16) in
+      if len <= t.log_len - pos - header_bytes then begin
+        t.entries <- t.entries + 1;
+        t.charged_bytes <-
+          t.charged_bytes + (if kind = 0 then len + 12 else 8);
+        go (pos + header_bytes + len)
+      end
+    end
+  in
+  go from
+
+let log_append_raw t payload =
+  let from = t.log_len in
+  append_raw t payload ~len:(Bytes.length payload);
+  charge_parsed t ~from;
+  (* received bytes are durable on arrival: the replica's disk plays the
+     role of the primary's forced log *)
+  t.forced_len <- t.log_len
+
+let load_state t ~image ~log =
+  if Bytes.length image <> size t then
+    Error.raise_
+      (Error.Invalid
+         { op = "Ramdisk.load_state";
+           reason = "image size must match the disk" });
+  Bytes.blit image 0 t.image 0 (size t);
+  t.log_len <- 0;
+  t.entries <- 0;
+  t.charged_bytes <- 0;
+  append_raw t log ~len:(Bytes.length log);
+  charge_parsed t ~from:0;
+  t.forced_len <- t.log_len
+
 (* {1 The write path, with fault injection} *)
 
 let machine t = Kernel.machine t.k
@@ -208,7 +270,9 @@ let wal_force t =
   Lvm_obs.Counter.incr t.c_forces;
   Kernel.compute t.k Rvm_costs.commit_force
 
-let should_truncate t = t.charged_bytes > Rvm_costs.truncate_threshold_bytes
+let should_truncate t =
+  t.charged_bytes > Rvm_costs.truncate_threshold_bytes
+  && (match t.truncate_gate with None -> true | Some g -> g ())
 
 (* A Snapshot boundary is the commit marker of its snapshot id: Data
    records written under a snapshot id whose boundary never hit the disk
@@ -265,7 +329,11 @@ let truncate t =
       s.s_entries
   in
   ignore (apply_committed t.image s.s_entries);
-  rebuild_log t uncommitted
+  let before = t.log_len in
+  rebuild_log t uncommitted;
+  match t.on_truncate with
+  | Some f -> f ~removed:(before - t.log_len)
+  | None -> ()
 
 (* {1 Recovery} *)
 

@@ -108,3 +108,36 @@ val recovery_to_string : recovery -> string
 
 val entry_count : t -> int
 (** Intact records currently in the log. *)
+
+(** {1 Log shipping}
+
+    The serialized WAL byte stream doubles as the replication stream
+    (see [Lvm_repl]): a primary ships whole records to replicas, which
+    append them verbatim with {!log_append_raw} and recover committed
+    state through the ordinary {!recover} path. All of these are
+    untimed — the transport simulation keeps its own clock. *)
+
+val log_read : t -> off:int -> len:int -> Bytes.t
+(** Raw serialized log bytes, for shipping. *)
+
+val log_append_raw : t -> Bytes.t -> unit
+(** Append bytes received from a peer. The payload must be whole
+    serialized records; they count into {!entry_count}/{!wal_bytes} and
+    are durable on arrival ({!forced_bytes} advances with them). *)
+
+val load_state : t -> image:Bytes.t -> log:Bytes.t -> unit
+(** Full-state resync: replace the image and the log wholesale (a
+    replica that fell behind a recycled stream, or a freshly promoted
+    primary folding its log into the image). [image] must be exactly
+    {!size} bytes; [log] must be whole serialized records. *)
+
+val set_truncate_gate : t -> (unit -> bool) option -> unit
+(** Install a low-water gate consulted by {!should_truncate}: while the
+    gate returns [false], the WAL is never recycled — the replication
+    layer's "never recycle bytes an attached replica hasn't acked"
+    rule. [None] (the default) restores unconditional truncation. *)
+
+val set_on_truncate : t -> (removed:int -> unit) option -> unit
+(** Observe every {!truncate} with the count of physical log bytes it
+    consumed, so a shipping layer can maintain cumulative logical
+    stream offsets across recycling. *)

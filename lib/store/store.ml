@@ -87,6 +87,19 @@ let create (config : Config.t) =
     range "Store.create" "max_txn_writes" config.Config.max_txn_writes;
   if config.Config.compute < 0 then
     range "Store.create" "compute" config.Config.compute;
+  (* Validate the whole config up front with typed errors: without these
+     a nonsensical group/log_pages/frames surfaced as a late crash deep
+     inside shard or kernel creation (or not until first use). *)
+  if config.Config.group < 1 then
+    range "Store.create" "group" config.Config.group;
+  if config.Config.log_pages < 1 then
+    range "Store.create" "log_pages" config.Config.log_pages;
+  (match config.Config.max_log_pages with
+  | Some m when m < config.Config.log_pages ->
+    range "Store.create" "max_log_pages" m
+  | Some _ | None -> ());
+  if config.Config.frames < 1 then
+    range "Store.create" "frames" config.Config.frames;
   let k =
     Lvm.Api.create
       { Lvm.Api.Config.default with

@@ -391,6 +391,254 @@ let run ?(seed = 42) ?(txns = 12) ?(points = 200) ?(torn_points = 24) ?cpus
   if shards > 1 then run_store_sweep ~seed ~txns ~points ~torn_points ~shards
   else run_single ?cpus ~seed ~txns ~points ~torn_points ~group ()
 
+(* {1 Replication sweep}
+
+   The subject is an [Lvm_repl] cluster: a primary streaming its WAL to
+   hot standbys over the faulty transport, every schedule driven by a
+   distinct seeded net-fault plan (drop/delay/duplicate/reorder at the
+   [Net_frame]/[Net_ack] sites). Kill schedules fail-stop the primary
+   after transaction [k] plus a few sub-ticks — frames still in flight —
+   let the survivors drain, promote, and check prefix consistency
+   against the host-side model:
+
+   - the promoted replica serves exactly [models.(jstar)], where [jstar]
+     is the last transaction whose stream bytes it had applied — committed
+     transactions are never half-applied and the dead primary's
+     uncommitted tail is dropped;
+   - [j*] is at least the last transaction the primary had seen acked
+     by that replica — nothing acknowledged is ever lost;
+   - a second recovery on the promoted node is a no-op (idempotence:
+     any re-sent unacked tail re-applies harmlessly);
+   - the new primary then serves more transactions and every surviving
+     standby converges to it (catch-up/resync under the same faults).
+
+   Fault-only schedules skip the kill and check that the cluster
+   converges to the full workload despite the transport faults. *)
+
+module Repl = Lvm_repl
+
+let repl_value ~seed ~j ~idx =
+  ((seed * 31) + (j * 97) + (idx * 13) + 5) land 0xFFFFFF
+
+let repl_writes ~keys ~seed j =
+  [ (j mod keys, repl_value ~seed ~j ~idx:0);
+    (((j * 7) + 3) mod keys, repl_value ~seed ~j ~idx:1) ]
+
+(* Schedule [i]'s transport profile: every kind is represented across
+   the sweep, probabilities rotate so no two schedules see the same
+   fault stream, and the PRNG seed differs per schedule. *)
+let repl_net_plan ~seed i =
+  let open Lvm_fault in
+  let p base k = base +. (float_of_int ((i * k) mod 5) /. 50.0) in
+  let inj site trigger fault = { Plan.site; trigger; fault } in
+  let frame = Fault.Net_frame and ack = Fault.Net_ack in
+  let injections =
+    match i mod 4 with
+    | 0 ->
+      (* drop-heavy *)
+      [ inj frame (Plan.With_probability (p 0.15 3)) Fault.Net_drop;
+        inj ack (Plan.With_probability (p 0.10 7)) Fault.Net_drop ]
+    | 1 ->
+      (* delay + duplicate *)
+      [ inj frame
+          (Plan.With_probability (p 0.15 5))
+          (Fault.Net_delay { ticks = 2 + (i mod 4) });
+        inj frame (Plan.With_probability (p 0.08 7)) Fault.Net_dup;
+        inj ack
+          (Plan.With_probability (p 0.10 11))
+          (Fault.Net_delay { ticks = 1 + (i mod 3) }) ]
+    | 2 ->
+      (* reorder-heavy *)
+      [ inj frame (Plan.With_probability (p 0.15 7)) Fault.Net_reorder;
+        inj frame (Plan.With_probability (p 0.05 3)) Fault.Net_dup;
+        inj ack (Plan.With_probability (p 0.08 5)) Fault.Net_reorder ]
+    | _ ->
+      (* everything at once *)
+      [ inj frame (Plan.With_probability (p 0.08 3)) Fault.Net_drop;
+        inj frame
+          (Plan.With_probability (p 0.08 5))
+          (Fault.Net_delay { ticks = 1 + (i mod 4) });
+        inj frame (Plan.With_probability (p 0.05 7)) Fault.Net_dup;
+        inj frame (Plan.With_probability (p 0.05 11)) Fault.Net_reorder;
+        inj ack (Plan.With_probability (p 0.08 13)) Fault.Net_drop;
+        inj ack (Plan.With_probability (p 0.05 17)) Fault.Net_dup ]
+  in
+  Plan.create ~seed:((seed * 1000) + i) injections
+
+let repl_snapshot cl =
+  Array.init (Repl.keys cl) (fun key -> Repl.read cl key)
+
+(* One schedule. [kill = Some (k, s)]: fail-stop the primary [s] ticks
+   after transaction [k] committed, promote, verify, then serve
+   [post_txns] more transactions and require convergence. [kill = None]:
+   run the whole workload and require convergence. Returns
+   (trace line, failure option, killed?, resynced?). *)
+let run_one_repl ~seed ~txns ~replicas ~post_txns ~gap ~label ~index kill =
+  let plan = repl_net_plan ~seed index in
+  let cl =
+    Repl.create ~plan
+      { Repl.Config.default with replicas; timeout = 8; heartbeat_every = 3 }
+  in
+  let keys = Repl.keys cl in
+  let model = Array.make keys 0 in
+  let models = Array.make (txns + 1) [||] in
+  let ends = Array.make (txns + 1) 0 in
+  models.(0) <- Array.copy model;
+  ends.(0) <- Repl.stream_end cl;
+  let fail = ref None in
+  let note d = if !fail = None then fail := Some (label ^ ": " ^ d) in
+  let run_txn j =
+    (match Repl.exec cl ~writes:(repl_writes ~keys ~seed j) with
+    | Ok () ->
+      List.iter (fun (k, v) -> model.(k) <- v) (repl_writes ~keys ~seed j)
+    | Error e -> note ("exec: " ^ Lvm.Lvm_error.to_string e));
+    models.(j + 1) <- Array.copy model;
+    ends.(j + 1) <- Repl.stream_end cl;
+    Repl.step ~ticks:gap cl
+  in
+  let check_standbys ~what target =
+    for i = 0 to replicas - 1 do
+      if Repl.replica_alive cl i && Repl.promoted cl <> Some i then
+        for key = 0 to keys - 1 do
+          if Repl.replica_read cl i key <> target.(key) then
+            note
+              (Printf.sprintf "%s: replica %d key %d: got %d want %d" what i
+                 key
+                 (Repl.replica_read cl i key)
+                 target.(key))
+        done
+    done
+  in
+  let finish ~resynced extra =
+    let s = Repl.stats cl in
+    let line =
+      Printf.sprintf
+        "%s %s epoch=%d sent=%d dropped=%d duped=%d reordered=%d \
+         retrans=%d resyncs=%d fenced=%d state=%s\n"
+        label extra s.Repl.s_epoch s.Repl.frames_sent s.Repl.frames_dropped
+        s.Repl.frames_duped s.Repl.frames_reordered s.Repl.retransmits
+        s.Repl.resyncs s.Repl.fenced
+        (match !fail with None -> "ok" | Some _ -> "FAIL")
+    in
+    (line, !fail, kill <> None, resynced)
+  in
+  match kill with
+  | None ->
+    for j = 0 to txns - 1 do
+      run_txn j
+    done;
+    if not (Repl.sync cl) then note "no convergence"
+    else begin
+      if repl_snapshot cl <> models.(txns) then note "primary state drifted";
+      check_standbys ~what:"converged" model;
+      if Repl.epoch cl <> 1 then note "unexpected failover"
+    end;
+    finish
+      ~resynced:((Repl.stats cl).Repl.resyncs > 0)
+      (Printf.sprintf "completed txns=%d" txns)
+  | Some (k, s) ->
+    for j = 0 to k do
+      run_txn j
+    done;
+    Repl.step ~ticks:s cl;
+    let committed = k + 1 in
+    let acked_at_kill =
+      Array.init replicas (fun i -> Repl.replica_acked cl i)
+    in
+    Repl.kill_primary cl;
+    (* the dead window: in-flight frames drain, detectors fire *)
+    Repl.step ~ticks:(4 + (index mod 5)) cl;
+    let p = Repl.promote cl in
+    let win = p.Repl.new_primary in
+    let jstar =
+      let rec go j =
+        if j >= 0 && ends.(j) <= p.Repl.applied_bytes then j
+        else if j < 0 then 0
+        else go (j - 1)
+      in
+      go committed
+    in
+    let jack =
+      let rec go j =
+        if j >= 0 && ends.(j) <= acked_at_kill.(win) then j
+        else if j < 0 then 0
+        else go (j - 1)
+      in
+      go committed
+    in
+    if jstar < jack then
+      note
+        (Printf.sprintf "acked txn lost: applied prefix %d < acked prefix %d"
+           jstar jack);
+    let served = repl_snapshot cl in
+    if served <> models.(jstar) then
+      note
+        (Printf.sprintf
+           "promoted state is not the committed prefix %d (applied=%d)" jstar
+           p.Repl.applied_bytes);
+    (* double recovery must change nothing *)
+    Repl.rerecover cl;
+    if repl_snapshot cl <> served then note "second recovery not idempotent";
+    (* life goes on: new primary serves, survivors converge *)
+    let model2 = Array.copy models.(jstar) in
+    for j = 0 to post_txns - 1 do
+      let writes = repl_writes ~keys ~seed:(seed + 7919) (txns + j) in
+      (match Repl.exec cl ~writes with
+      | Ok () -> List.iter (fun (key, v) -> model2.(key) <- v) writes
+      | Error e -> note ("post exec: " ^ Lvm.Lvm_error.to_string e));
+      Repl.step ~ticks:gap cl
+    done;
+    if replicas > 1 then begin
+      if not (Repl.sync cl) then note "no post-failover convergence"
+      else check_standbys ~what:"post-failover" model2
+    end;
+    if repl_snapshot cl <> model2 then note "post-failover primary drifted";
+    finish
+      ~resynced:((Repl.stats cl).Repl.resyncs > 0)
+      (Printf.sprintf "killed after=%d sub=%d promoted=%d jstar=%d \
+                       failover_ticks=%d"
+         k s win jstar p.Repl.failover_ticks)
+
+let run_repl ?(seed = 42) ?(txns = 10) ?(kill_points = 84) ?(fault_only = 16)
+    ?(replicas = 2) ?(post_txns = 3) () =
+  let gap = 3 in
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let killed = ref 0 and completed = ref 0 and resynced = ref 0 in
+  let record (line, failure, did_kill, did_resync) =
+    Buffer.add_string buf line;
+    (match failure with Some f -> failures := f :: !failures | None -> ());
+    if did_kill then incr killed else incr completed;
+    if did_resync then incr resynced
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "replsweep seed=%d txns=%d kill_points=%d fault_only=%d replicas=%d\n"
+       seed txns kill_points fault_only replicas);
+  for i = 0 to kill_points - 1 do
+    let k = i mod txns in
+    let s = i * 3 mod 7 in
+    record
+      (run_one_repl ~seed ~txns ~replicas ~post_txns ~gap
+         ~label:(Printf.sprintf "kill=%d after=%d sub=%d" i k s)
+         ~index:i
+         (Some (k, s)))
+  done;
+  for i = 0 to fault_only - 1 do
+    record
+      (run_one_repl ~seed ~txns ~replicas ~post_txns ~gap
+         ~label:(Printf.sprintf "faults=%d" i)
+         ~index:(kill_points + i) None)
+  done;
+  {
+    points = kill_points + fault_only;
+    crashed = !killed;
+    completed = !completed;
+    torn = !resynced;
+    failures = List.rev !failures;
+    trace = Buffer.contents buf;
+  }
+
 (* {1 FAMS sweep}
 
    The subject is one or more [Lvm_fams] snapshot regions on one machine:

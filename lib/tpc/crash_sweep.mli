@@ -72,3 +72,31 @@ val run_fams :
     plain writes. [group] (default 1) batches boundary forces; [regions]
     (default 1) maps several independently-snapshotting regions on one
     machine. *)
+
+val run_repl :
+  ?seed:int -> ?txns:int -> ?kill_points:int -> ?fault_only:int ->
+  ?replicas:int -> ?post_txns:int -> unit -> outcome
+(** Replication failover sweep over an [Lvm_repl] cluster. Every
+    schedule gets its own seeded transport-fault plan (drop / delay /
+    duplicate / reorder at the [Net_frame]/[Net_ack] sites, profile and
+    PRNG seed rotating per schedule). [kill_points] (default 84)
+    schedules fail-stop the primary a few ticks after transaction [k]
+    committed — replication frames still in flight — drain the dead
+    window, promote the furthest-ahead standby and check against the
+    host-side model:
+
+    - the promoted replica serves exactly the committed-transaction
+      prefix its applied watermark covers (the dead primary's
+      uncommitted tail is dropped, nothing is half-applied);
+    - that prefix includes every transaction the primary had seen the
+      winner acknowledge — no acked transaction is ever lost;
+    - a second recovery on the promoted node changes nothing
+      (idempotence: a re-sent unacked tail re-applies harmlessly);
+    - the new primary serves [post_txns] more transactions and every
+      surviving standby converges to it under the same faults.
+
+    [fault_only] (default 16) schedules skip the kill and require the
+    cluster to converge on the full workload despite the faults. In the
+    {!outcome}, [crashed] counts kill schedules, [completed] fault-only
+    schedules, and [torn] schedules that needed at least one full-state
+    resync. Deterministic: same parameters, byte-identical [trace]. *)

@@ -82,6 +82,79 @@ let test_plan_probability_deterministic () =
   check_bool "some firings at p=0.3" true (List.length a > 10);
   check_bool "different seed, different firings" true (a <> c)
 
+(* Satellite: occurrence accounting on the replication transport sites.
+   Every transport fault kind is schedulable at [Net_frame]/[Net_ack],
+   observable through [Plan.injected] with the right site and kind, and
+   the probabilistic mix is deterministic under a fixed seed. *)
+let test_plan_transport_sites () =
+  let p =
+    Plan.create
+      [ { Plan.site = Fault.Net_frame; trigger = Plan.At_count 1;
+          fault = Fault.Net_drop };
+        { Plan.site = Fault.Net_frame; trigger = Plan.At_count 2;
+          fault = Fault.Net_delay { ticks = 3 } };
+        { Plan.site = Fault.Net_frame; trigger = Plan.At_count 3;
+          fault = Fault.Net_dup };
+        { Plan.site = Fault.Net_frame; trigger = Plan.At_count 4;
+          fault = Fault.Net_reorder };
+        { Plan.site = Fault.Net_ack; trigger = Plan.At_count 2;
+          fault = Fault.Net_drop } ]
+  in
+  check_bool "frame occurrence 1 drops" true
+    (hit p Fault.Net_frame 10 = Some Fault.Net_drop);
+  check_bool "frame occurrence 2 delays" true
+    (hit p Fault.Net_frame 11 = Some (Fault.Net_delay { ticks = 3 }));
+  check_bool "ack occurrence 1 clean" true (hit p Fault.Net_ack 11 = None);
+  check_bool "frame occurrence 3 duplicates" true
+    (hit p Fault.Net_frame 12 = Some Fault.Net_dup);
+  check_bool "frame occurrence 4 reorders" true
+    (hit p Fault.Net_frame 13 = Some Fault.Net_reorder);
+  check_bool "ack occurrence 2 drops" true
+    (hit p Fault.Net_ack 14 = Some Fault.Net_drop);
+  check "frame occurrences counted" 4
+    (Plan.occurrences p ~site:Fault.Net_frame);
+  check "ack occurrences counted" 2 (Plan.occurrences p ~site:Fault.Net_ack);
+  check "five injections recorded" 5 (Plan.injected_count p);
+  let sites = List.map (fun r -> r.Plan.at_site) (Plan.injected p) in
+  check "frame injections attributed" 4
+    (List.length (List.filter (( = ) Fault.Net_frame) sites));
+  check "ack injections attributed" 1
+    (List.length (List.filter (( = ) Fault.Net_ack) sites));
+  check_str "site names" "net_frame/net_ack"
+    (Fault.site_name Fault.Net_frame ^ "/" ^ Fault.site_name Fault.Net_ack)
+
+let test_plan_transport_probability_deterministic () =
+  let drive seed =
+    let p =
+      Plan.create ~seed
+        [ { Plan.site = Fault.Net_frame; trigger = Plan.With_probability 0.25;
+            fault = Fault.Net_drop };
+          { Plan.site = Fault.Net_ack; trigger = Plan.With_probability 0.25;
+            fault = Fault.Net_dup } ]
+    in
+    let log = Buffer.create 256 in
+    for i = 1 to 300 do
+      let site = if i mod 2 = 0 then Fault.Net_frame else Fault.Net_ack in
+      match Plan.check p ~site ~cycle:i with
+      | Some k -> Buffer.add_string log
+          (Printf.sprintf "%d:%s " i (Fault.kind_name k))
+      | None -> ()
+    done;
+    Buffer.contents log
+  in
+  check_str "same seed, same transport fault stream" (drive 424242)
+    (drive 424242);
+  check_bool "different seed, different stream" true
+    (drive 424242 <> drive 424243);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let s = drive 424242 in
+  check_bool "drops fire" true (contains s "net_drop");
+  check_bool "dups fire" true (contains s "net_dup")
+
 let test_plan_validation () =
   Alcotest.check_raises "non-positive threshold"
     (Invalid_argument "Plan.create: trigger threshold must be > 0") (fun () ->
@@ -547,6 +620,10 @@ let suites =
           test_plan_declaration_order;
         Alcotest.test_case "seeded probability deterministic" `Quick
           test_plan_probability_deterministic;
+        Alcotest.test_case "transport sites accounted" `Quick
+          test_plan_transport_sites;
+        Alcotest.test_case "transport probability deterministic" `Quick
+          test_plan_transport_probability_deterministic;
         Alcotest.test_case "validation" `Quick test_plan_validation;
         Alcotest.test_case "trace and obs" `Quick test_plan_trace_and_obs;
       ] );

@@ -177,6 +177,32 @@ let test_consistency_validation () =
   inv "Shared_segment.write_word" (fun () ->
       Lvm_consistency.Shared_segment.write_word t ~off:4096 1)
 
+(* Satellite: [Store.create] validates the whole config record with
+   typed errors — not just shards/keys but the per-shard log provision
+   and machine sizing too. *)
+let test_store_validation () =
+  let module Store = Lvm_store.Store in
+  let err name e f = Alcotest.check_raises name (Error.Lvm_error e) f in
+  let mk cfg = ignore (Store.create cfg) in
+  let range what value =
+    Error.Out_of_range { op = "Store.create"; what; value }
+  in
+  err "Store.create: group" (range "group" 0) (fun () ->
+      mk { Store.Config.default with group = 0 });
+  err "Store.create: log_pages" (range "log_pages" 0) (fun () ->
+      mk { Store.Config.default with log_pages = 0 });
+  err "Store.create: max_log_pages below log_pages" (range "max_log_pages" 2)
+    (fun () ->
+      mk { Store.Config.default with log_pages = 4; max_log_pages = Some 2 });
+  err "Store.create: frames" (range "frames" (-1)) (fun () ->
+      mk { Store.Config.default with frames = -1 });
+  (* the ceiling equal to the provision is legal: backpressure just
+     never extends *)
+  ignore
+    (Store.create
+       { Store.Config.default with
+         shards = 1; keys = 8; log_pages = 32; max_log_pages = Some 32 })
+
 let test_tools_validation () =
   let k, sp = boot () in
   let out = Lvm_tools.Output_stream.create_indexed k sp ~size:4096
@@ -202,6 +228,8 @@ let suites =
         Alcotest.test_case "simulation" `Quick test_sim_validation;
         Alcotest.test_case "recoverable memory" `Quick test_rvm_validation;
         Alcotest.test_case "consistency" `Quick test_consistency_validation;
+        Alcotest.test_case "sharded store config" `Quick
+          test_store_validation;
         Alcotest.test_case "tools" `Quick test_tools_validation;
       ] );
   ]
