@@ -7,7 +7,8 @@
                    [--metrics FILE] [--cpus N]
                    [--store] [--store-json FILE]
                    [--fams] [--fams-json FILE]
-                   [--repl] [--repl-json FILE] *)
+                   [--repl] [--repl-json FILE]
+                   [--hotshard] [--hotshard-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -494,6 +495,121 @@ let repl_comparison ?json_file ppf =
     close_out oc;
     Printf.printf "repl failover/catch-up written to %s\n%!" file
 
+(* {1 Hot-shard survival (simulated cycles)}
+
+   The same seeded single-shard transaction count at 1/2/4/8 shards
+   under three key distributions: uniform, Zipfian(1.2) with the hot
+   ranks clustered on shard 0, and the same Zipfian mix with the
+   dynamic splitter enabled. Skew serializes the run on the hot shard;
+   the splitter's job is to buy the lost throughput back by fanning the
+   hot buckets out mid-run. The headline figure is the 4-shard recovery
+   ratio — Zipfian-with-split cycles/txn against uniform — which the
+   issue pins at >= 0.70. [--hotshard-json FILE] records the whole
+   matrix plus that ratio (the BENCH_8.json blob). *)
+
+let hotshard_point ~shards ~txns ~dist ~split =
+  let st =
+    Lvm_store.Store.create { Lvm_store.Store.Config.default with shards }
+  in
+  (* Single-write transactions: the classic hot-key mix. A multi-write
+     Zipfian transaction is nearly always cross-shard (independent
+     draws land on different shards), and no routing change can buy
+     back 2PC — splitting addresses queue imbalance, so that is what
+     the matrix isolates. *)
+  Lvm_store.Workload.run st
+    { Lvm_store.Workload.default with
+      txns; cross_pct = 0; writes_per_txn = 1; dist; split }
+
+let hotshard_comparison ?json_file ppf =
+  let txns = 1200 and theta = 1.1 in
+  (* Eager advisor: at one write per transaction a [check_every] round
+     must clear the [min_delta] write gate, the default 1.6x imbalance
+     trigger would stop after one move (still ~1.4x above average),
+     and the default merge threshold would send the hot buckets home
+     again mid-run — so split down to 1.2x and never merge. *)
+  let split_spec =
+    { Lvm_store.Workload.check_every = 40; batch = 32; max_moves = 8;
+      advisor =
+        { Lvm_store.Splitter.Config.default with
+          min_delta = 24; imbalance = 1.2; merge_below = 0.0 } }
+  in
+  let rows =
+    List.map
+      (fun shards ->
+        let uniform =
+          hotshard_point ~shards ~txns ~dist:Lvm_store.Workload.Uniform
+            ~split:None
+        in
+        let zipf =
+          hotshard_point ~shards ~txns
+            ~dist:(Lvm_store.Workload.Zipfian { theta }) ~split:None
+        in
+        let zipf_split =
+          hotshard_point ~shards ~txns
+            ~dist:(Lvm_store.Workload.Zipfian { theta })
+            ~split:(Some split_spec)
+        in
+        (shards, uniform, zipf, zipf_split))
+      [ 1; 2; 4; 8 ]
+  in
+  let recovery (u : Lvm_store.Workload.result)
+      (zs : Lvm_store.Workload.result) =
+    u.cycles_per_txn /. zs.cycles_per_txn
+  in
+  List.iter
+    (fun (shards, u, z, zs) ->
+      Format.fprintf ppf
+        "hotshard (%d txns, %d shard%s): uniform %.1f c/txn; zipf(%.1f) \
+         %.1f c/txn; zipf+split %.1f c/txn (%d split%s, %d merge%s, %d \
+         moved) — recovery %.2f@."
+        txns shards
+        (if shards = 1 then "" else "s")
+        u.Lvm_store.Workload.cycles_per_txn theta
+        z.Lvm_store.Workload.cycles_per_txn
+        zs.Lvm_store.Workload.cycles_per_txn zs.Lvm_store.Workload.splits
+        (if zs.Lvm_store.Workload.splits = 1 then "" else "s")
+        zs.Lvm_store.Workload.merges
+        (if zs.Lvm_store.Workload.merges = 1 then "" else "s")
+        zs.Lvm_store.Workload.moved (recovery u zs))
+    rows;
+  let _, u4, _, zs4 =
+    List.find (fun (shards, _, _, _) -> shards = 4) rows
+  in
+  let recovery4 = recovery u4 zs4 in
+  Format.fprintf ppf "hotshard 4-shard recovery: %.2f (target >= 0.70)@."
+    recovery4;
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let point (r : Lvm_store.Workload.result) =
+      Obj
+        [ ("executed", Int r.executed); ("shed", Int r.shed);
+          ("failed", Int r.failed); ("moved", Int r.moved);
+          ("splits", Int r.splits); ("merges", Int r.merges);
+          ("wall_cycles", Int r.wall_cycles);
+          ("cycles_per_txn", Float r.cycles_per_txn) ]
+    in
+    let line =
+      render ~kind:"hotshard"
+        [ ("txns", Int txns); ("theta", Float theta);
+          ("rows",
+           List
+             (List.map
+                (fun (shards, u, z, zs) ->
+                  Obj
+                    [ ("shards", Int shards); ("uniform", point u);
+                      ("zipf", point z); ("zipf_split", point zs);
+                      ("recovery", Float (recovery u zs)) ])
+                rows));
+          ("recovery_at_4", Float recovery4) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "hotshard matrix written to %s\n%!" file
+
 (* {1 Entry point} *)
 
 (* Write a single enveloped JSON metrics blob (counters + histograms
@@ -534,6 +650,9 @@ let () =
   else if List.mem "--repl" args then
     (* The replication leg alone (what generates BENCH_7.json). *)
     repl_comparison ?json_file:(flag_value "--repl-json") ppf
+  else if List.mem "--hotshard" args then
+    (* The hot-shard matrix alone (what generates BENCH_8.json). *)
+    hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -550,7 +669,8 @@ let () =
             store_scaling_comparison ?json_file:(flag_value "--store-json")
               ppf;
             fams_comparison ?json_file:(flag_value "--fams-json") ppf;
-            repl_comparison ?json_file:(flag_value "--repl-json") ppf)
+            repl_comparison ?json_file:(flag_value "--repl-json") ppf;
+            hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

@@ -325,23 +325,45 @@ let crashsweep_cmd =
          & info [ "trace" ]
              ~doc:"Print the deterministic per-run recovery trace.")
   in
+  let split =
+    Arg.(value & flag
+         & info [ "split" ]
+             ~doc:"Sweep the shard-move (split/merge) protocol instead: a \
+                   scripted split + merge schedule crashed at every point, \
+                   including inside the cutover force itself.")
+  in
+  let cutover =
+    Arg.(value & opt int 2
+         & info [ "cutover" ]
+             ~doc:"With $(b,--split): crash points injected at the \
+                   split-cutover fault site.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
   in
-  let run points torn txns seed cpus group shards show_trace json =
+  let run points torn txns seed cpus group shards split cutover show_trace
+      json =
     if cpus <= 0 then `Error (false, "--cpus must be positive")
     else if group <= 0 then `Error (false, "--group must be positive")
     else if shards <= 0 then `Error (false, "--shards must be positive")
     else begin
+    (* the split sweep needs a move target; default to two shards *)
+    let shards = if split && shards = 1 then 2 else shards in
     let o =
-      Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus
-        ~group ~shards ()
+      if split then
+        Lvm_tpc.Crash_sweep.run_split ~seed ~points ~torn_points:torn
+          ~cutover_points:cutover ~shards ()
+      else
+        Lvm_tpc.Crash_sweep.run ~seed ~txns ~points ~torn_points:torn ~cpus
+          ~group ~shards ()
     in
+    let kind = if split then "splitsweep" else "crashsweep" in
     if json then begin
       let open Lvm_tools.Output_stream.Envelope in
-      emit ~kind:"crashsweep" ppf
+      emit ~kind ppf
         [ ("seed", Int seed); ("txns", Int txns); ("cpus", Int cpus);
           ("group", Int group); ("shards", Int shards);
+          ("split", Int (Bool.to_int split));
           ("points", Int o.Lvm_tpc.Crash_sweep.points);
           ("crashed", Int o.Lvm_tpc.Crash_sweep.crashed);
           ("completed", Int o.Lvm_tpc.Crash_sweep.completed);
@@ -353,8 +375,9 @@ let crashsweep_cmd =
     end
     else begin
       Format.fprintf ppf
-        "crash sweep (%d cpu%s, group %d%s): %d points (%d crashed, %d \
+        "%s (%d cpu%s, group %d%s): %d points (%d crashed, %d \
          completed, %d torn tails), %d failures@."
+        (if split then "split sweep" else "crash sweep")
         cpus
         (if cpus = 1 then "" else "s")
         group
@@ -377,7 +400,7 @@ let crashsweep_cmd =
        ~doc:"Crash a transactional RLVM workload at every swept point, \
              recover, and check crash-consistency invariants.")
     Term.(ret (const run $ points $ torn $ txns $ seed $ cpus $ group
-          $ shards $ show_trace $ json))
+          $ shards $ split $ cutover $ show_trace $ json))
 
 (* {1 logstats} *)
 
@@ -599,24 +622,74 @@ let store_cmd =
          & info [ "compute" ]
              ~doc:"Application compute cycles per transaction.")
   in
+  let zipf =
+    Arg.(value & opt (some float) None
+         & info [ "zipf" ] ~docv:"THETA"
+             ~doc:"Draw keys from a Zipf($(docv)) distribution, hottest \
+                   ranks clustered on shard 0, instead of uniformly.")
+  in
+  let split =
+    Arg.(value & flag
+         & info [ "split" ]
+             ~doc:"Enable dynamic shard splitting: the driver consults the \
+                   load-aware splitter and moves hot buckets mid-run.")
+  in
+  let rate =
+    Arg.(value & opt float 0.
+         & info [ "rate" ] ~docv:"TOKENS"
+             ~doc:"Token-bucket admission: $(docv) transactions admitted \
+                   per thousand shard-CPU cycles (0 disables the gate).")
+  in
+  let open_gap =
+    Arg.(value & opt (some int) None
+         & info [ "open" ] ~docv:"GAP"
+             ~doc:"Open-loop arrivals with mean inter-arrival gap $(docv) \
+                   cycles and periodic bursts, instead of the closed loop.")
+  in
+  let queue_cap =
+    Arg.(value & opt (some int) None
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"With $(b,--open): drop an arrival whose home shard \
+                   already queues $(docv) transactions.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
   in
-  let run shards txns cross writes seed group compute json metrics =
+  let run shards txns cross writes seed group compute zipf split rate
+      open_gap queue_cap json metrics =
     if shards <= 0 then `Error (false, "--shards must be positive")
     else if txns <= 0 then `Error (false, "--txns must be positive")
     else if cross < 0 || cross > 100 then
       `Error (false, "--cross must be a percentage")
+    else if rate < 0. then `Error (false, "--rate must be non-negative")
     else begin
       with_metrics ~label:"store" metrics (fun () ->
           let st =
             Lvm_store.Store.create
-              { Lvm_store.Store.Config.default with shards; group; compute }
+              { Lvm_store.Store.Config.default with
+                shards; group; compute; admission_rate = rate }
+          in
+          let dist =
+            match zipf with
+            | Some theta -> Lvm_store.Workload.Zipfian { theta }
+            | None -> Lvm_store.Workload.Uniform
+          in
+          let arrival =
+            match open_gap with
+            | Some mean_gap ->
+              Lvm_store.Workload.Open
+                { mean_gap; burst_every = 64; burst_len = 16;
+                  burst_gap = max 1 (mean_gap / 8) }
+            | None -> Lvm_store.Workload.Closed
           in
           let r =
             Lvm_store.Workload.run st
               { Lvm_store.Workload.default with
-                txns; cross_pct = cross; writes_per_txn = writes; seed }
+                txns; cross_pct = cross; writes_per_txn = writes; seed;
+                dist; arrival; queue_cap;
+                split =
+                  (if split then Some Lvm_store.Workload.default_split
+                   else None) }
           in
           if json then begin
             let open Lvm_tools.Output_stream.Envelope in
@@ -624,10 +697,17 @@ let store_cmd =
               [ ("shards", Int shards); ("txns", Int txns);
                 ("cross_pct", Int cross); ("seed", Int seed);
                 ("group", Int group);
+                ("zipf", Float (Option.value zipf ~default:0.));
+                ("rate", Float rate);
                 ("executed", Int r.Lvm_store.Workload.executed);
                 ("cross", Int r.Lvm_store.Workload.cross);
                 ("shed", Int r.Lvm_store.Workload.shed);
+                ("failed", Int r.Lvm_store.Workload.failed);
                 ("requeued", Int r.Lvm_store.Workload.requeued);
+                ("moved", Int r.Lvm_store.Workload.moved);
+                ("dropped", Int r.Lvm_store.Workload.dropped);
+                ("splits", Int r.Lvm_store.Workload.splits);
+                ("merges", Int r.Lvm_store.Workload.merges);
                 ("wall_cycles", Int r.Lvm_store.Workload.wall_cycles);
                 ("cycles_per_txn", Float r.Lvm_store.Workload.cycles_per_txn);
                 ("per_shard",
@@ -643,9 +723,19 @@ let store_cmd =
           else begin
             Format.fprintf ppf
               "store: %d shard(s), %d txns executed (%d cross-shard), %d \
-               shed, %d requeued@."
+               shed, %d failed, %d requeued@."
               shards r.Lvm_store.Workload.executed r.Lvm_store.Workload.cross
-              r.Lvm_store.Workload.shed r.Lvm_store.Workload.requeued;
+              r.Lvm_store.Workload.shed r.Lvm_store.Workload.failed
+              r.Lvm_store.Workload.requeued;
+            if r.Lvm_store.Workload.moved > 0
+               || r.Lvm_store.Workload.dropped > 0
+               || r.Lvm_store.Workload.splits > 0
+               || r.Lvm_store.Workload.merges > 0 then
+              Format.fprintf ppf
+                "splits %d, merges %d, %d moved-key requeues, %d arrivals \
+                 dropped@."
+                r.Lvm_store.Workload.splits r.Lvm_store.Workload.merges
+                r.Lvm_store.Workload.moved r.Lvm_store.Workload.dropped;
             Format.fprintf ppf "wall %d cycles, %.1f cycles/txn@."
               r.Lvm_store.Workload.wall_cycles
               r.Lvm_store.Workload.cycles_per_txn;
@@ -660,10 +750,12 @@ let store_cmd =
   in
   Cmd.v
     (Cmd.info "store"
-       ~doc:"Run the sharded transactional store under a seeded \
-             closed-loop workload and report per-shard throughput.")
+       ~doc:"Run the sharded transactional store under a seeded workload \
+             (closed or open loop, uniform or Zipfian, optionally with \
+             dynamic shard splitting) and report per-shard throughput.")
     Term.(ret (const run $ shards $ txns $ cross $ writes $ seed $ group
-          $ compute $ json $ metrics_arg))
+          $ compute $ zipf $ split $ rate $ open_gap $ queue_cap $ json
+          $ metrics_arg))
 
 (* {1 fams} *)
 

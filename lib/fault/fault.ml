@@ -7,6 +7,7 @@ type site =
   | Log_segment
   | Net_frame
   | Net_ack
+  | Split_cutover
 
 type kind =
   | Crash
@@ -25,7 +26,7 @@ exception Crashed of { cycle : int; site : site }
 
 let all_sites =
   [ Cpu; Ramdisk_write; Ramdisk_force; Log_dma; Logger_admit; Log_segment;
-    Net_frame; Net_ack ]
+    Net_frame; Net_ack; Split_cutover ]
 
 let site_code = function
   | Cpu -> 0
@@ -36,6 +37,7 @@ let site_code = function
   | Log_segment -> 5
   | Net_frame -> 6
   | Net_ack -> 7
+  | Split_cutover -> 8
 
 let kind_code = function
   | Crash -> 0
@@ -59,6 +61,7 @@ let site_name = function
   | Log_segment -> "log_segment"
   | Net_frame -> "net_frame"
   | Net_ack -> "net_ack"
+  | Split_cutover -> "split_cutover"
 
 let kind_name = function
   | Crash -> "crash"

@@ -40,6 +40,12 @@ type site =
   | Log_segment  (** Log-segment page provisioning in the kernel. *)
   | Net_frame  (** A replication frame leaving the primary. *)
   | Net_ack  (** An ack/hello frame leaving a replica. *)
+  | Split_cutover
+      (** The sharded store's shard-split cutover point: consulted just
+          before the coordinator transaction that atomically flips the
+          routing table is forced (see [Lvm_store.Store]). A [Crash]
+          here dies with the copy complete but the route flip not yet
+          durable — the canonical split-protocol crash window. *)
 
 type kind =
   | Crash

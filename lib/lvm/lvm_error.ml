@@ -3,6 +3,8 @@ type t =
   | Overloaded of { shard : int }
   | Txn_too_large of { writes : int; limit : int }
   | Invalid_key of { key : int }
+  | Shed of { shard : int }
+  | Moved of { key : int; shard : int }
 
 let of_vm e = Vm e
 
@@ -12,6 +14,8 @@ let to_string = function
   | Txn_too_large { writes; limit } ->
     Printf.sprintf "txn too large (%d writes, limit %d)" writes limit
   | Invalid_key { key } -> Printf.sprintf "invalid key %d" key
+  | Shed { shard } -> Printf.sprintf "shed(shard %d)" shard
+  | Moved { key; shard } -> Printf.sprintf "moved(key %d -> shard %d)" key shard
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -16,6 +16,15 @@ type t =
       (** Admission control shed the request (store shard busy). *)
   | Txn_too_large of { writes : int; limit : int }
   | Invalid_key of { key : int }
+  | Shed of { shard : int }
+      (** The shard's token-bucket admission gate refused the request
+          outright (overload shedding — retrying immediately will shed
+          again; back off instead). Distinct from [Overloaded], which
+          reports log-room backpressure on an admitted transaction. *)
+  | Moved of { key : int; shard : int }
+      (** The key's bucket is mid-handoff to [shard] (a shard split or
+          merge is draining): the transaction was not started and should
+          be requeued — the route flips as soon as the cutover commits. *)
 
 val of_vm : Lvm_vm.Error.t -> t
 

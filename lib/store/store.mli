@@ -1,11 +1,16 @@
 (** A sharded, recoverable transactional store over RLVM.
 
-    The keyspace is the dense integer range [0, keys); key [i] lives on
-    shard [i mod shards], each shard an independent {!Lvm_rvm.Rlvm}
-    instance with its own LVM log extent ring, RAM-disk write-ahead log
-    and group-commit batcher. The machine boots one worker CPU per
-    shard; a transaction's work is charged to the CPUs of the shards it
-    touches, so disjoint transactions scale across shards.
+    The keyspace is the dense integer range [0, keys); key [i] hashes
+    to bucket [i mod buckets] (where [buckets = shards *
+    buckets_per_shard]) and a routing table maps each bucket to its
+    owning shard — initially [bucket mod shards], which makes the
+    initial placement exactly the classic [key mod shards]. Each shard
+    is an independent {!Lvm_rvm.Rlvm} instance with its own LVM log
+    extent ring, RAM-disk write-ahead log and group-commit batcher,
+    spanning the whole keyspace so a key's segment offset never depends
+    on its owner. The machine boots one worker CPU per shard; a
+    transaction's work is charged to the CPUs of the shards it touches,
+    so disjoint transactions scale across shards.
 
     Transactions confined to one shard commit through that shard's WAL
     exactly as a plain RLVM transaction. Cross-shard transactions run a
@@ -26,6 +31,31 @@
     intent that never became durable — torn or never appended — leaves
     every participant rolled back. Either way each transaction is
     all-or-nothing.
+
+    {2 Hot-shard survival}
+
+    Three mechanisms added for skewed and bursty workloads:
+
+    - {b Shard moves} ({!move_begin} .. {!move_retire}): hand a set of
+      buckets from one shard to another through a crash-safe
+      three-phase protocol — a forced split intent, an incremental
+      resumable copy (writes to moved keys keep landing on the old
+      owner and are tracked in a dirty set), a drain that re-copies the
+      dirty set while new moved-key transactions are refused with the
+      typed [Moved] result, and finally one forced coordinator
+      transaction that atomically flips the moved buckets' route words.
+      A crash before the cutover recovers by abandoning the move; a
+      crash after it recovers to the new route. Either way every key
+      has exactly one owner.
+    - {b Admission control}: an optional per-shard token bucket
+      ([admission_rate] tokens per thousand shard-CPU cycles, burst
+      [admission_burst]) gates the front door and sheds with the typed
+      [Shed] result before overload can wedge the log-room
+      backpressure path.
+    - {b Load signals}: per-bucket committed-write counters
+      ({!bucket_write_counts}) and per-shard commit-latency EWMAs
+      ({!commit_latency_ewma}) feed the {!Splitter}'s split/merge
+      policy and the driver's load-aware routing.
 
     Backpressure rides the typed {!Lvm_vm.Error.Log_exhausted} path: a
     transaction whose redo records cannot be made durable is cleanly
@@ -48,8 +78,8 @@ module Config : sig
 
   type t = {
     shards : int;  (** Independent RLVM shards, one worker CPU each. *)
-    keys : int;  (** Dense keyspace size; key [i] lives on shard
-                     [i mod shards]. *)
+    keys : int;  (** Dense keyspace size; key [i] hashes to bucket
+                     [i mod buckets]. *)
     group : int;  (** Per-shard group-commit batch size. *)
     log_pages : int;  (** Per-shard LVM log provision, pages. *)
     max_log_pages : int option;
@@ -64,6 +94,15 @@ module Config : sig
             CPUs of the shards it touches — the work the shards
             parallelize. *)
     frames : int;  (** Physical memory frames for the machine. *)
+    buckets_per_shard : int;
+        (** Routing granularity: the keyspace hashes into
+            [shards * buckets_per_shard] buckets, the unit a shard
+            move hands over. *)
+    admission_rate : float;
+        (** Token-bucket admission: tokens granted per thousand
+            shard-CPU cycles. [0.] (the default) disables the gate. *)
+    admission_burst : int;
+        (** Token-bucket capacity (and initial fill). *)
     obs : Lvm_obs.Ctx.t option;
         (** Observability context to share (default: a fresh one). *)
   }
@@ -71,7 +110,8 @@ module Config : sig
   val default : t
   (** [{ shards = 4; keys = 1024; group = 1; log_pages = 32;
         max_log_pages = None; admission = Queue; max_txn_writes = 32;
-        compute = 400; frames = 4096; obs = None }]. *)
+        compute = 400; frames = 4096; buckets_per_shard = 8;
+        admission_rate = 0.; admission_burst = 8; obs = None }]. *)
 end
 
 (** Why a transaction was not executed. *)
@@ -82,6 +122,15 @@ type error =
           cleanly aborted and may be retried. *)
   | Txn_too_large of { writes : int; limit : int }
   | Invalid_key of { key : int }
+  | Shed of { shard : int }
+      (** The shard's token-bucket admission gate refused the
+          transaction at the front door — no log room, CPU time or
+          intent slot was consumed. Retrying immediately will shed
+          again; back off instead. *)
+  | Moved of { key : int; shard : int }
+      (** [key]'s bucket is mid-handoff to [shard] (a draining shard
+          move): the transaction was not started. Requeue it — the
+          route flips as soon as the cutover commits. *)
 
 val to_error : error -> Lvm.Lvm_error.t
 (** Inject into the unified error scheme of the result-typed APIs: the
@@ -97,22 +146,114 @@ val create : Config.t -> t
 (** Boot a machine with [Config.shards] CPUs and one RLVM shard per
     CPU, plus the coordinator decision log. Raises
     [Lvm_vm.Error.Lvm_error] ([Out_of_range]) on a non-positive shard,
-    key or compute count, and [Log_capacity] if a shard's keyspace
-    slice cannot fit its log provision. *)
+    key or compute count, and [Log_capacity] if the keyspace cannot
+    fit a shard's log provision. *)
 
 val kernel : t -> Lvm_vm.Kernel.t
 val config : t -> Config.t
 
+(** {2 Routing} *)
+
+val buckets : t -> int
+(** [shards * buckets_per_shard]. *)
+
+val bucket_of_key : t -> int -> int
+(** [key mod buckets]; raises nothing (validation happens in {!exec}). *)
+
 val shard_of_key : t -> int -> int
-(** [key mod shards]; raises nothing (validation happens in {!exec}). *)
+(** The key's current owner under the routing table. Initially
+    [key mod shards]; shard moves change it. *)
+
+val owner_of_bucket : t -> int -> int
+
+val default_owner : t -> int -> int
+(** [bucket mod shards] — the owner before any moves. *)
+
+val route_table : t -> int array
+(** A copy of the bucket->shard routing table. *)
+
+val shard_buckets : t -> int -> int list
+(** The buckets currently routed to a shard, ascending. *)
 
 val shard : t -> int -> Lvm_rvm.Rlvm.t
 (** The shard's underlying RLVM instance (tests and the crash sweep). *)
 
 val read : t -> int -> int
-(** Committed-state read of one key, charged to its shard's CPU.
-    Raises [Lvm_vm.Error.Lvm_error] ([Out_of_range]) if the key is
-    outside [0, keys). *)
+(** Committed-state read of one key, charged to its owning shard's
+    CPU. Raises [Lvm_vm.Error.Lvm_error] ([Out_of_range]) if the key
+    is outside [0, keys). *)
+
+(** {2 Load signals} *)
+
+val bucket_write_counts : t -> int array
+(** Committed writes per bucket since creation (or the last
+    {!recover}) — the splitter's skew signal. *)
+
+val commit_latency_ewma : t -> int -> float
+(** The shard's commit-latency EWMA in CPU cycles (1/8 sample
+    weight). *)
+
+(** {2 Shard moves (split / merge)} *)
+
+val move_begin : t -> from_:int -> to_:int -> int list -> unit
+(** Start moving the listed buckets (all currently owned by [from_])
+    to [to_]: forces the split intent and enters the copy phase. At
+    most one move may be active. Raises [Out_of_range] on an active
+    move, bad shards, or a bucket not owned by [from_]. *)
+
+val move_copy_step : t -> batch:int -> int
+(** Copy up to [batch] moved keys to the target as one committed
+    target-shard transaction, advancing the resumable cursor; returns
+    the number of moved keys still uncopied. Raises [Log_exhausted]
+    (after aborting cleanly, cursor unmoved) if the target's log
+    cannot absorb the batch — back off and retry. *)
+
+val move_enter_drain : t -> unit
+(** Stop accepting transactions on moved keys (they get [Moved] and
+    are requeued by the driver) so the dirty set stops growing. *)
+
+val move_drain : t -> unit
+(** Finish the copy: the uncopied tail plus every dirtied key,
+    re-read from the source. After this the target holds every moved
+    key's latest committed value. *)
+
+val move_cutover : t -> unit
+(** The decision point: one forced coordinator transaction atomically
+    rewrites the moved buckets' route words and advances the intent
+    state. Consults the {!Lvm_fault.Fault.Split_cutover} fault site
+    just before forcing — the canonical split-protocol crash window.
+    Raises [Out_of_range] if the copy is incomplete. *)
+
+val move_retire : t -> unit
+(** Clear the (already durable) cutover intent; unforced — a lost
+    clear just makes recovery re-retire. Ends the move. *)
+
+val move_abort : t -> unit
+(** Cancel a move before its cutover: ownership never changed, the
+    target's partial copy is unreachable garbage. *)
+
+val move : t -> from_:int -> to_:int -> ?batch:int -> int list -> unit
+(** The whole lifecycle in one synchronous call (tests, lvmctl):
+    begin, copy to completion, drain, cut over, retire. *)
+
+val active_move : t -> (int * int) option
+(** [(from_, to_)] of the move in progress, if any. *)
+
+val move_draining : t -> bool
+
+val move_remaining : t -> int
+(** Moved keys the copy cursor has not reached yet (0 if no move). *)
+
+val move_dirty_count : t -> int
+(** Moved keys written since the copy started and not yet re-copied. *)
+
+val blocked_by_move : t -> (int * int) list -> (int * int) option
+(** [(key, new_owner)] of the first write a draining move would refuse
+    with [Moved], or [None]. Drivers consult this before claiming
+    shards so a queued transaction that hit the handoff window
+    requeues instead of spinning. *)
+
+(** {2 Execution} *)
 
 val exec :
   ?pace:(cpu:int -> unit) ->
@@ -151,6 +292,17 @@ val exec :
 val flush : t -> unit
 (** Force every shard's pending group-commit batch. *)
 
+(** {2 Crash recovery} *)
+
+(** What recovery did about an in-flight shard move. *)
+type split_recovery =
+  | Split_aborted of { from_ : int; to_ : int }
+      (** The crash hit before the cutover became durable: the move is
+          abandoned, the route unchanged. *)
+  | Split_completed of { from_ : int; to_ : int }
+      (** The cutover was durable: the new route is live; recovery
+          just retired the intent. *)
+
 (** What {!recover} found. *)
 type recovery = {
   shard_reports : Lvm_rvm.Ramdisk.recovery array;
@@ -158,13 +310,16 @@ type recovery = {
   redone : (int * int) list;
       (** [(gid, writes)] of every in-doubt cross-shard transaction
           that was rolled forward, in ascending gid order. *)
+  split : split_recovery option;
 }
 
 val recover : t -> recovery
-(** Crash recovery: recover every shard from its WAL, then scan every
-    slot of the coordinator decision log and roll each
-    decided-but-unretired cross-shard transaction forward (ascending
-    gid order). Idempotent. *)
+(** Crash recovery: recover every shard from its WAL, resolve any
+    in-flight shard move (abandon before cutover, retire after), load
+    the durable routing table, then scan every slot of the coordinator
+    decision log and roll each decided-but-unretired cross-shard
+    transaction forward (ascending gid order) under that route.
+    Idempotent. *)
 
 val recovery_to_string : recovery -> string
 (** Deterministic one-line summary (crash-sweep traces). *)

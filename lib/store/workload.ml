@@ -1,4 +1,89 @@
 open Lvm_vm
+module Splitmix = Lvm_fault.Splitmix
+
+(* {1 Zipfian sampler} *)
+
+module Zipf = struct
+  type t = { n : int; theta : float; cdf : float array }
+
+  let create ~n ~theta =
+    if n < 1 then
+      Error.raise_ (Error.Out_of_range { op = "Zipf.create"; what = "n"; value = n });
+    if not (Float.is_finite theta) || theta < 0.0 then
+      Error.raise_
+        (Error.Out_of_range { op = "Zipf.create"; what = "theta"; value = 0 });
+    (* Exact CDF over the ranks: O(n) to build, O(log n) to sample, any
+       theta >= 0 (0 degenerates to uniform). *)
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for r = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (r + 1) ** theta));
+      cdf.(r) <- !acc
+    done;
+    let total = !acc in
+    for r = 0 to n - 1 do
+      cdf.(r) <- cdf.(r) /. total
+    done;
+    { n; theta; cdf }
+
+  let n t = t.n
+  let theta t = t.theta
+
+  let pmf t r =
+    if r < 0 || r >= t.n then
+      Error.raise_ (Error.Out_of_range { op = "Zipf.pmf"; what = "rank"; value = r });
+    if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)
+
+  let sample t rng =
+    let u = Splitmix.unit_float rng in
+    (* Smallest rank whose CDF exceeds the draw. *)
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if u < t.cdf.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+end
+
+(* Rank -> key, owner-major: the hottest [buckets_per_shard] ranks land
+   on distinct buckets of shard 0, the next batch on shard 1's buckets,
+   and so on, wrapping round the keyspace. A skewed rank distribution
+   therefore concentrates on the low shards — the hot-shard scenario a
+   split must fix — while still spreading within the hot shard's
+   buckets, so a split can actually peel load off. A bijection of
+   [0, keys) when [shards * buckets_per_shard] divides [keys]. *)
+let clustered_key ~shards ~buckets_per_shard ~keys rank =
+  let buckets = shards * buckets_per_shard in
+  let i = rank mod buckets in
+  let bucket = ((i mod buckets_per_shard) * shards) + (i / buckets_per_shard) in
+  (bucket + (buckets * (rank / buckets))) mod keys
+
+(* {1 The spec} *)
+
+type dist =
+  | Uniform
+  | Zipfian of { theta : float }
+  | Hot of { pct : int; hot_keys : int }
+
+type arrival =
+  | Closed
+  | Open of {
+      mean_gap : int;
+      burst_every : int;
+      burst_len : int;
+      burst_gap : int;
+    }
+
+type split_spec = {
+  check_every : int;
+  batch : int;
+  max_moves : int;
+  advisor : Splitter.Config.t;
+}
+
+let default_split =
+  { check_every = 32; batch = 32; max_moves = 8;
+    advisor = Splitter.Config.default }
 
 type spec = {
   txns : int;
@@ -6,10 +91,15 @@ type spec = {
   writes_per_txn : int;
   seed : int;
   retries : int;
+  dist : dist;
+  arrival : arrival;
+  queue_cap : int option;
+  split : split_spec option;
 }
 
 let default =
-  { txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7; retries = 2 }
+  { txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7; retries = 2;
+    dist = Uniform; arrival = Closed; queue_cap = None; split = None }
 
 type shard_stat = { txns : int; cycles : int }
 
@@ -17,7 +107,12 @@ type result = {
   executed : int;
   cross : int;
   shed : int;
+  failed : int;
   requeued : int;
+  moved : int;
+  dropped : int;
+  splits : int;
+  merges : int;
   wall_cycles : int;
   cycles_per_txn : float;
   per_shard : shard_stat array;
@@ -27,51 +122,98 @@ type entry = {
   writes : (int * int) list;
   is_cross : bool;
   mutable tries : int;
+  arrive : int;
 }
 
-(* Keys living on shard [s]: s, s + shards, s + 2*shards, ... *)
+(* Keys living on shard [s] under the default route: s, s + shards, ... *)
 let slot_count ~keys ~shards s = (keys - s + shards - 1) / shards
 
 let key_on ~keys ~shards rng s =
-  s + (shards * Lvm_fault.Splitmix.int rng ~bound:(slot_count ~keys ~shards s))
+  s + (shards * Splitmix.int rng ~bound:(slot_count ~keys ~shards s))
 
 let generate store spec =
   let cfg = Store.config store in
   let shards = cfg.Store.Config.shards in
   let keys = cfg.Store.Config.keys in
-  let rng = Lvm_fault.Splitmix.create ~seed:spec.seed in
-  let queues = Array.init shards (fun _ -> Queue.create ()) in
-  for _ = 1 to spec.txns do
-    let cross =
-      shards > 1 && Lvm_fault.Splitmix.int rng ~bound:100 < spec.cross_pct
+  let bps = cfg.Store.Config.buckets_per_shard in
+  let rng = Splitmix.create ~seed:spec.seed in
+  let zipf =
+    match spec.dist with
+    | Zipfian { theta } -> Some (Zipf.create ~n:keys ~theta)
+    | Uniform | Hot _ -> None
+  in
+  let value () = Splitmix.int rng ~bound:0x3FFFFFFF in
+  let skewed_key () =
+    match (spec.dist, zipf) with
+    | Zipfian _, Some z ->
+      clustered_key ~shards ~buckets_per_shard:bps ~keys (Zipf.sample z rng)
+    | Hot { pct; hot_keys }, _ ->
+      if Splitmix.int rng ~bound:100 < pct then
+        clustered_key ~shards ~buckets_per_shard:bps ~keys
+          (Splitmix.int rng ~bound:(max 1 hot_keys))
+      else Splitmix.int rng ~bound:keys
+    | _ -> assert false
+  in
+  let clock = ref 0 in
+  let entries = ref [] in
+  for i = 0 to spec.txns - 1 do
+    let writes, is_cross =
+      match spec.dist with
+      | Uniform ->
+        (* The seeded uniform mix, draw-for-draw the stream earlier
+           versions produced: same seed, same transactions. *)
+        let is_cross =
+          shards > 1 && Splitmix.int rng ~bound:100 < spec.cross_pct
+        in
+        if is_cross then begin
+          let a = Splitmix.int rng ~bound:shards in
+          let b = (a + 1 + Splitmix.int rng ~bound:(shards - 1)) mod shards in
+          let half = max 1 (spec.writes_per_txn / 2) in
+          ( List.init half (fun _ -> (key_on ~keys ~shards rng a, value ()))
+            @ List.init
+                (max 1 (spec.writes_per_txn - half))
+                (fun _ -> (key_on ~keys ~shards rng b, value ())),
+            true )
+        end
+        else begin
+          let s = Splitmix.int rng ~bound:shards in
+          ( List.init
+              (max 1 spec.writes_per_txn)
+              (fun _ -> (key_on ~keys ~shards rng s, value ())),
+            false )
+        end
+      | Zipfian _ | Hot _ ->
+        (* Skewed mixes draw every key from the distribution; whether
+           the transaction is cross-shard falls out of where the keys
+           land ([cross_pct] does not apply). *)
+        let ws = ref [] in
+        for _ = 1 to max 1 spec.writes_per_txn do
+          ws := (skewed_key (), value ()) :: !ws
+        done;
+        let ws = List.rev !ws in
+        let owners =
+          List.sort_uniq compare
+            (List.map (fun (key, _) -> Store.shard_of_key store key) ws)
+        in
+        (ws, List.length owners > 1)
     in
-    let value () = Lvm_fault.Splitmix.int rng ~bound:0x3FFFFFFF in
-    if cross then begin
-      let a = Lvm_fault.Splitmix.int rng ~bound:shards in
-      let b = (a + 1 + Lvm_fault.Splitmix.int rng ~bound:(shards - 1))
-              mod shards in
-      let half = max 1 (spec.writes_per_txn / 2) in
-      let writes =
-        List.init half (fun _ -> (key_on ~keys ~shards rng a, value ()))
-        @ List.init
-            (max 1 (spec.writes_per_txn - half))
-            (fun _ -> (key_on ~keys ~shards rng b, value ()))
+    (match spec.arrival with
+    | Closed -> ()
+    | Open { mean_gap; burst_every; burst_len; burst_gap } ->
+      (* Open-loop Poisson arrivals: exponential inter-arrival gaps,
+         with the first [burst_len] arrivals of every [burst_every]
+         stretch drawn at the (much smaller) burst gap — a periodic
+         traffic spike. *)
+      let in_burst =
+        burst_every > 0 && burst_len > 0 && i mod burst_every < burst_len
       in
-      Queue.add
-        { writes; is_cross = true; tries = 0 }
-        queues.(min a b)
-    end
-    else begin
-      let s = Lvm_fault.Splitmix.int rng ~bound:shards in
-      let writes =
-        List.init
-          (max 1 spec.writes_per_txn)
-          (fun _ -> (key_on ~keys ~shards rng s, value ()))
-      in
-      Queue.add { writes; is_cross = false; tries = 0 } queues.(s)
-    end
+      let mean = max 1 (if in_burst then burst_gap else mean_gap) in
+      let u = Splitmix.unit_float rng in
+      let gap = int_of_float (-.float_of_int mean *. Float.log (1.0 -. u)) in
+      clock := !clock + max 0 gap);
+    entries := { writes; is_cross; tries = 0; arrive = !clock } :: !entries
   done;
-  queues
+  Array.of_list (List.rev !entries)
 
 (* {1 The scheduler}
 
@@ -120,21 +262,43 @@ let start_coroutine f =
                 Suspended (cpu, k))
           | _ -> None) }
 
-let shards_of_entry ~shards entry =
-  List.sort_uniq compare (List.map (fun (key, _) -> key mod shards) entry.writes)
+(* Route-aware: a moved bucket changes which worker claims the key. *)
+let shards_of_entry store entry =
+  List.sort_uniq compare
+    (List.map (fun (key, _) -> Store.shard_of_key store key) entry.writes)
 
 (* What a shard CPU burns per scheduler step while its next transaction
    waits for a shard a cross-shard transaction holds — 2PC blocking,
    priced as a busy-wait. *)
 let blocked_spin_cycles = 200
 
+(* The driver's view of the move lifecycle it is running: the store
+   holds the protocol state, this is just which step comes next. *)
+type mv = { mv_from : int; mv_to : int; mv_merge : bool }
+
+type mv_stage =
+  | Mv_none
+  | Mv_begin of mv * int list
+  | Mv_copy of mv
+  | Mv_drain of mv
+  | Mv_cut of mv
+
 let run store spec =
   let k = Store.kernel store in
   let cfg = Store.config store in
   let shards = cfg.Store.Config.shards in
-  let queues = generate store spec in
+  let entries = generate store spec in
+  let n_entries = Array.length entries in
+  let next_arrival = ref 0 in
+  let queues = Array.init shards (fun _ -> Queue.create ()) in
   let executed = ref 0 and cross = ref 0 in
-  let shed = ref 0 and requeued = ref 0 in
+  let shed = ref 0 and failed = ref 0 and requeued = ref 0 in
+  let moved = ref 0 and dropped = ref 0 in
+  let splits = ref 0 and merges = ref 0 in
+  (* Transactions refused with [Moved] (their keys are mid-handoff):
+     parked until the cutover commits, then re-queued under the new
+     route. *)
+  let parked = ref [] in
   let txn_counts = Array.make shards 0 in
   let cpu0 = Array.init shards (fun i -> Kernel.cpu_time k ~cpu:i) in
   let wall0 = Kernel.max_time k in
@@ -157,36 +321,147 @@ let run store spec =
     d := shard :: !d;
     phase2s.(shard) <- phase2s.(shard) @ [ run ]
   in
+  let home_of entry =
+    List.fold_left
+      (fun acc (key, _) -> min acc (Store.shard_of_key store key))
+      (shards - 1) entry.writes
+  in
+  let enqueue entry =
+    let h = home_of entry in
+    match spec.queue_cap with
+    | Some cap when Queue.length queues.(h) >= cap ->
+      (* Front-door drop: the home worker's queue is over its cap. *)
+      incr dropped
+    | _ -> Queue.add entry queues.(h)
+  in
+  let transfer_arrivals () =
+    let wall = Kernel.max_time k in
+    while !next_arrival < n_entries && entries.(!next_arrival).arrive <= wall do
+      enqueue entries.(!next_arrival);
+      incr next_arrival
+    done
+  in
+  (* {2 The split engine} *)
+  let splitter =
+    match spec.split with
+    | Some sc -> Some (Splitter.create ~config:sc.advisor store)
+    | None -> None
+  in
+  let stage = ref Mv_none in
+  let moves_done = ref 0 in
+  let completions = ref 0 in
+  let maybe_advise () =
+    match (splitter, spec.split) with
+    | Some sp, Some scfg
+      when !stage = Mv_none
+           && !moves_done < scfg.max_moves
+           && !completions >= scfg.check_every -> (
+      completions := 0;
+      match
+        Splitter.advise sp ~queue_depths:(Array.map Queue.length queues)
+      with
+      | Splitter.Split { from_; to_; buckets } ->
+        stage :=
+          Mv_begin ({ mv_from = from_; mv_to = to_; mv_merge = false }, buckets)
+      | Splitter.Merge { from_; to_; buckets } ->
+        stage :=
+          Mv_begin ({ mv_from = from_; mv_to = to_; mv_merge = true }, buckets)
+      | Splitter.Steady -> ())
+    | _ -> ()
+  in
+  let unpark () =
+    let ps = List.rev !parked in
+    parked := [];
+    (* Re-queued, not re-admitted: they passed the front door once. *)
+    List.iter (fun e -> Queue.add e queues.(home_of e)) ps
+  in
+  (* One move step, run inline between scheduler steps whenever both
+     endpoint shards are free — the copy interleaves with transaction
+     execution at batch granularity instead of stopping the world. *)
+  let drive_move () =
+    let free m = (not busy.(m.mv_from)) && not busy.(m.mv_to) in
+    match !stage with
+    | Mv_none -> ()
+    | Mv_begin (m, buckets) when free m ->
+      Store.move_begin store ~from_:m.mv_from ~to_:m.mv_to buckets;
+      stage := Mv_copy m
+    | Mv_copy m when free m -> (
+      let scfg = Option.get spec.split in
+      match Store.move_copy_step store ~batch:(max 1 scfg.batch) with
+      | 0 ->
+        Store.move_enter_drain store;
+        stage := Mv_drain m
+      | _ -> ()
+      | exception Error.Lvm_error (Error.Log_exhausted _) ->
+        (* Target log saturated: the cursor did not move; retry next
+           round once the batcher drains. *)
+        ())
+    | Mv_drain m when free m ->
+      Store.move_drain store;
+      stage := Mv_cut m
+    | Mv_cut m when free m ->
+      Store.move_cutover store;
+      Store.move_retire store;
+      incr moves_done;
+      if m.mv_merge then incr merges else incr splits;
+      stage := Mv_none;
+      (* The cutover changed the routing table: entries queued under
+         the old route would otherwise drain serially behind a worker
+         that no longer owns their keys — the split would move the
+         data and none of the load. Re-deal every queue by the new
+         table (FIFO order per queue preserved). *)
+      let backlog =
+        Array.map
+          (fun q ->
+            let l = List.of_seq (Queue.to_seq q) in
+            Queue.clear q; l)
+          queues
+      in
+      Array.iter
+        (List.iter (fun e -> Queue.add e queues.(home_of e)))
+        backlog;
+      unpark ()
+    | _ -> ()
+  in
   let finish i job result =
     match job with
     | Phase2 s -> busy.(s) <- false
     | Txn (entry, detached) -> (
       List.iter
         (fun s -> if not (List.mem s !detached) then busy.(s) <- false)
-        (shards_of_entry ~shards entry);
+        (shards_of_entry store entry);
       match result with
       | Ok () ->
         incr executed;
+        incr completions;
         txn_counts.(i) <- txn_counts.(i) + 1;
         if entry.is_cross then incr cross
+      | Error (Store.Moved _) ->
+        (* The handoff window: park until the cutover commits. *)
+        incr moved;
+        parked := entry :: !parked
+      | Error (Store.Shed _) -> incr shed
       | Error (Store.Overloaded _)
         when cfg.Store.Config.admission = Store.Config.Queue
              && entry.tries < spec.retries ->
         entry.tries <- entry.tries + 1;
         incr requeued;
-        Queue.add entry queues.(i)
-      | Error _ -> incr shed)
+        Queue.add entry queues.(home_of entry)
+      | Error (Store.Overloaded _)
+        when cfg.Store.Config.admission = Store.Config.Shed ->
+        incr shed
+      | Error _ ->
+        (* Retry budget exhausted (or a validation error): a distinct
+           failure, never folded into the deliberate-shed count. *)
+        incr failed)
   in
   let live i =
-    states.(i) <> Idle
-    || phase2s.(i) <> []
-    || not (Queue.is_empty queues.(i))
+    states.(i) <> Idle || phase2s.(i) <> [] || not (Queue.is_empty queues.(i))
   in
   (* Scheduling key: the clock of the CPU the task's next operation
      runs on (its own CPU while idle). *)
-  let next_cpu i = match states.(i) with
-    | Running (_, cpu, _) -> cpu
-    | Idle -> i
+  let next_cpu i =
+    match states.(i) with Running (_, cpu, _) -> cpu | Idle -> i
   in
   let launch i job outcome =
     match outcome with
@@ -211,26 +486,38 @@ let run store spec =
            always runnable — the shard claim came with it. *)
         phase2s.(i) <- rest;
         launch i (Phase2 i)
-          (start_coroutine (fun () -> run ~pace:yield; Ok ()))
-      | [] ->
+          (start_coroutine (fun () ->
+               run ~pace:yield;
+               Ok ()))
+      | [] -> (
         let entry = Queue.peek queues.(i) in
-        let parts = shards_of_entry ~shards entry in
-        if List.exists (fun s -> busy.(s)) parts then begin
-          (* A shard this transaction needs is held (by a cross-shard
-             transaction, or this is a cross-shard transaction and a
-             participant is mid-commit): spin until it frees up. *)
-          Kernel.set_cpu k i;
-          Kernel.compute k blocked_spin_cycles
-        end
-        else begin
+        match Store.blocked_by_move store entry.writes with
+        | Some _ ->
+          (* This transaction's keys are draining to a new owner.
+             Park it now — claiming shards and running it would only
+             bounce off the store's [Moved] refusal. *)
           ignore (Queue.pop queues.(i));
-          List.iter (fun s -> busy.(s) <- true) parts;
-          let detached = ref [] in
-          detached_of_current := detached;
-          launch i (Txn (entry, detached))
-            (start_coroutine (fun () ->
-                 Store.exec store ~pace:yield ~detach ~writes:entry.writes))
-        end)
+          incr moved;
+          parked := entry :: !parked
+        | None ->
+          let parts = shards_of_entry store entry in
+          if List.exists (fun s -> busy.(s)) parts then begin
+            (* A shard this transaction needs is held (by a cross-shard
+               transaction, or this is a cross-shard transaction and a
+               participant is mid-commit): spin until it frees up. *)
+            Kernel.set_cpu k i;
+            Kernel.compute k blocked_spin_cycles
+          end
+          else begin
+            ignore (Queue.pop queues.(i));
+            List.iter (fun s -> busy.(s) <- true) parts;
+            let detached = ref [] in
+            detached_of_current := detached;
+            launch i
+              (Txn (entry, detached))
+              (start_coroutine (fun () ->
+                   Store.exec store ~pace:yield ~detach ~writes:entry.writes))
+          end))
   in
   (* Lowest clock first; on ties an in-flight transaction beats an idle
      worker, and then the lowest index wins. The in-flight preference is
@@ -247,24 +534,62 @@ let run store spec =
           | Running _, Idle -> true
           | _ -> false)
   in
-  let rec loop () =
+  let rec loop stalled =
+    transfer_arrivals ();
+    maybe_advise ();
+    drive_move ();
     let best = ref (-1) in
     for i = 0 to shards - 1 do
       if live i && (!best < 0 || better i !best) then best := i
     done;
     if !best >= 0 then begin
       step !best;
-      loop ()
+      loop 0
     end
+    else if !next_arrival < n_entries then begin
+      (* Open-loop idle gap: nothing queued, nothing in flight — spin
+         the next arrival's home CPU forward to its arrival time. *)
+      let e = entries.(!next_arrival) in
+      let h = home_of e in
+      Kernel.set_cpu k h;
+      let now = Kernel.cpu_time k ~cpu:h in
+      if e.arrive > now then Kernel.compute k (e.arrive - now)
+      else begin
+        (* Another CPU's clock already covers the arrival. *)
+        enqueue e;
+        incr next_arrival
+      end;
+      loop 0
+    end
+    else if !stage <> Mv_none then begin
+      (* Only the move is left; [drive_move] at the loop top advances
+         it one step per round. A copy that cannot progress with the
+         whole system idle never will. *)
+      if stalled > 10_000 then
+        failwith "Workload.run: shard move cannot make progress";
+      loop (stalled + 1)
+    end
+    else if !parked <> [] then begin
+      (* Defensive: parked entries with no move in flight (the move
+         completed between checks). *)
+      unpark ();
+      loop 0
+    end
+    else ()
   in
-  loop ();
+  loop 0;
   Kernel.set_cpu k 0;
   Store.flush store;
   let wall = Kernel.max_time k - wall0 in
   { executed = !executed;
     cross = !cross;
     shed = !shed;
+    failed = !failed;
     requeued = !requeued;
+    moved = !moved;
+    dropped = !dropped;
+    splits = !splits;
+    merges = !merges;
     wall_cycles = wall;
     cycles_per_txn = float_of_int wall /. float_of_int (max 1 !executed);
     per_shard =

@@ -1,17 +1,18 @@
-(** Closed-loop workload driver for the sharded store.
+(** Workload driver for the sharded store: closed- or open-loop,
+    uniform or skewed, with optional dynamic shard splitting.
 
-    Generates a seeded transaction mix (single-shard and cross-shard),
-    queues each transaction on its home shard, and drives one worker
-    task per shard CPU with a deterministic clock-ordered scheduler, so
-    disjoint shards make progress in parallel. Each in-flight
-    transaction is an effect-handler coroutine suspended at
-    {!Store.exec}'s [pace] points: every scheduler step runs one store
-    operation on the CPU whose clock is lowest, so bus traffic arrives
-    in timestamp order — the shared-bus model's contract — and measured
-    contention is genuine. Per-shard admission keeps two transactions
-    from ever sharing a shard: a worker whose next transaction needs a
-    shard a cross-shard transaction is holding spins (a small compute
-    charge — the 2PC blocking cost) until it frees up.
+    Generates a seeded transaction mix, queues each transaction on its
+    home shard, and drives one worker task per shard CPU with a
+    deterministic clock-ordered scheduler, so disjoint shards make
+    progress in parallel. Each in-flight transaction is an
+    effect-handler coroutine suspended at {!Store.exec}'s [pace]
+    points: every scheduler step runs one store operation on the CPU
+    whose clock is lowest, so bus traffic arrives in timestamp order —
+    the shared-bus model's contract — and measured contention is
+    genuine. Per-shard admission keeps two transactions from ever
+    sharing a shard: a worker whose next transaction needs a shard a
+    cross-shard transaction is holding spins (a small compute charge —
+    the 2PC blocking cost) until it frees up.
 
     A cross-shard transaction's detached phase-2 commits (see
     {!Store.exec}'s [detach]) are queued as high-priority work items on
@@ -20,22 +21,110 @@
     parallel — the shard claim travels with the work item and is
     released when it completes.
 
+    {2 Skew, bursts and splits}
+
+    - [dist] picks the key distribution: [Uniform] (the classic
+      seeded mix, unchanged draw-for-draw), [Zipfian] (every key drawn
+      from an exact Zipf CDF over the ranks, mapped owner-major by
+      {!clustered_key} so the hot ranks pile onto shard 0), or [Hot]
+      (a fixed percentage of writes over a small clustered hot set).
+    - [arrival] picks the loop: [Closed] (a worker starts the next
+      transaction the moment the previous finishes) or [Open]
+      (exponential inter-arrival gaps with periodic bursts; the driver
+      releases arrivals by simulated clock and [queue_cap] drops
+      arrivals whose home queue is full).
+    - [split] enables the {!Splitter}: every [check_every] commits the
+      driver asks for advice and, on a [Split]/[Merge], runs the
+      store's move lifecycle incrementally between transactions —
+      [batch]-key copy steps whenever both endpoint shards are free, a
+      drain, then the atomic cutover. Transactions that hit a draining
+      key are requeued (counted in [moved]) and re-routed under the
+      new table once the cutover commits.
+
     A transaction the store reports [Overloaded] is requeued (admission
-    [Queue], up to [retries] times) or dropped (admission [Shed]);
-    either way the run completes and reports what was shed. *)
+    [Queue], up to [retries] times) or dropped (admission [Shed]).
+    Exhausting the retry budget counts in [failed] — never in [shed],
+    which only counts deliberate drops (admission policy or the
+    token-bucket gate's typed [Shed]). *)
+
+(** An exact Zipf(theta) sampler over ranks [0, n): O(n) to build,
+    O(log n) per sample, deterministic from the caller's
+    {!Lvm_fault.Splitmix} stream. Rank 0 is the hottest. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> theta:float -> t
+  (** Raises [Out_of_range] on [n < 1] or [theta < 0]; [theta = 0] is
+      the uniform distribution. *)
+
+  val n : t -> int
+  val theta : t -> float
+
+  val pmf : t -> int -> float
+  (** The exact probability of a rank — the theory curve property
+      tests compare empirical frequencies against. *)
+
+  val sample : t -> Lvm_fault.Splitmix.t -> int
+end
+
+val clustered_key : shards:int -> buckets_per_shard:int -> keys:int -> int -> int
+(** Owner-major rank->key mapping: ranks [0, buckets_per_shard) land
+    on distinct buckets of shard 0 (under the default route), the next
+    batch on shard 1, and so on, wrapping round the keyspace — so a
+    skewed rank distribution makes shard 0 hot while remaining
+    splittable. A bijection of [0, keys) when
+    [shards * buckets_per_shard] divides [keys]. *)
+
+type dist =
+  | Uniform
+  | Zipfian of { theta : float }
+  | Hot of { pct : int; hot_keys : int }
+      (** [pct]% of writes drawn uniformly from the first [hot_keys]
+          clustered ranks; the rest uniform over the keyspace. *)
+
+type arrival =
+  | Closed
+  | Open of {
+      mean_gap : int;  (** Mean exponential inter-arrival gap, cycles. *)
+      burst_every : int;  (** Period, in arrivals, of the spikes. *)
+      burst_len : int;  (** Arrivals per spike. *)
+      burst_gap : int;  (** Mean gap inside a spike. *)
+    }
+
+type split_spec = {
+  check_every : int;  (** Commits between {!Splitter.advise} calls. *)
+  batch : int;  (** Keys per incremental copy step. *)
+  max_moves : int;  (** Split/merge budget for the run. *)
+  advisor : Splitter.Config.t;
+      (** Thresholds for the {!Splitter} the driver builds — lower
+          [imbalance] splits more eagerly, [merge_below = 0.] pins
+          displaced buckets for the whole run. *)
+}
+
+val default_split : split_spec
+(** [{ check_every = 32; batch = 32; max_moves = 8;
+      advisor = Splitter.Config.default }]. *)
 
 type spec = {
   txns : int;  (** Transactions to generate. *)
-  cross_pct : int;  (** Percentage touching two shards (0–100). *)
+  cross_pct : int;  (** Percentage touching two shards (0–100);
+                        [Uniform] only. *)
   writes_per_txn : int;
   seed : int;  (** Splitmix seed; same seed, same run. *)
   retries : int;  (** Requeue budget per transaction (admission
                       [Queue]). *)
+  dist : dist;
+  arrival : arrival;
+  queue_cap : int option;
+      (** Open-loop front door: drop an arrival whose home queue
+          already holds this many transactions. *)
+  split : split_spec option;  (** [Some _] enables dynamic splitting. *)
 }
 
 val default : spec
 (** [{ txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7;
-      retries = 2 }]. *)
+      retries = 2; dist = Uniform; arrival = Closed; queue_cap = None;
+      split = None }] — exactly the pre-split driver's behavior. *)
 
 type shard_stat = {
   txns : int;  (** Transactions this shard was home for. *)
@@ -46,7 +135,17 @@ type result = {
   executed : int;
   cross : int;
   shed : int;
+      (** Deliberate drops: admission-[Shed] overload plus token-bucket
+          [Shed] refusals. *)
+  failed : int;
+      (** Transactions whose retry budget ran out (admission [Queue]) —
+          reported distinctly, never as success or shed. *)
   requeued : int;
+  moved : int;
+      (** Requeues caused by a shard move's handoff window ([Moved]). *)
+  dropped : int;  (** Open-loop arrivals dropped by [queue_cap]. *)
+  splits : int;  (** Shard splits the driver completed. *)
+  merges : int;  (** Merges (displaced buckets sent home) completed. *)
   wall_cycles : int;  (** Wall-clock cycles of the whole run: the
                           latest CPU clock delta. *)
   cycles_per_txn : float;  (** [wall_cycles / executed] — the

@@ -872,3 +872,240 @@ let run_fams ?(seed = 42) ?(snaps = 10) ?(writes = 8) ?(points = 120)
     failures = List.rev !failures;
     trace = Buffer.contents buf;
   }
+
+(* {1 Split-cutover sweep}
+
+   The subject is the sharded store again, but the scripted schedule
+   interleaves ordinary transactions with a full shard-move lifecycle
+   (split half of shard 0's buckets to shard 1, then merge them home):
+   warm-up txns, [move_begin] (the forced split intent), incremental
+   copy steps with txns between them (dirty-set tracking), a drain with
+   a deliberate moved-key write (must be refused with [Moved]), the
+   cutover, a txn in the cutover-durable-but-unretired window, the
+   retire, more txns, then the merge. Crash points sweep the whole
+   schedule plus the [Split_cutover] fault site itself, and every
+   crashed run must recover to:
+
+   - all keys readable with their host-model values (the usual
+     atomicity contract — a mid-copy crash must not expose the target's
+     partial copy);
+   - a routing table that is exactly the pre-move or the post-move
+     table, never a mixture — every bucket has exactly one owner;
+   - an idempotent second recovery (state and route both);
+   - a store that still commits: a probe transaction on a moved bucket
+     and one on an unmoved bucket both read back. *)
+
+(* The scripted schedule: returns the bucket set the split moves (the
+   checker needs it to build the two legal routing tables). Transaction
+   values come from [store_txn]; writes refused with [Moved] during the
+   drain are deterministic skips, any other refusal is a harness bug. *)
+let split_buckets ss =
+  let owned = Store.shard_buckets ss.st 0 in
+  let half = (List.length owned + 1) / 2 in
+  List.filteri (fun i _ -> i < half) owned
+
+let run_split_schedule ss ~shards ~seed =
+  let j = ref 0 in
+  let txn () =
+    let writes = store_txn ~shards ~seed !j in
+    incr j;
+    ss.staged := writes;
+    (match Store.exec ss.st ~writes with
+    | Ok () -> List.iter (fun (key, v) -> ss.model.(key) <- v) writes
+    | Error (Store.Moved _) -> () (* handoff window: deterministic skip *)
+    | Error e -> failwith ("split sweep exec: " ^ Store.error_to_string e));
+    ss.staged := []
+  in
+  for _ = 1 to 4 do txn () done;
+  let buckets = split_buckets ss in
+  Store.move_begin ss.st ~from_:0 ~to_:1 buckets;
+  let remaining = ref 1 in
+  while !remaining > 0 do
+    remaining := Store.move_copy_step ss.st ~batch:1;
+    txn ()
+  done;
+  Store.move_enter_drain ss.st;
+  (* A write into the handoff window must be refused with [Moved]
+     (keys = buckets here, so a bucket number is a key it contains). *)
+  let mk = List.hd buckets in
+  ss.staged := [ (mk, 0xABCDE) ];
+  (match Store.exec ss.st ~writes:[ (mk, 0xABCDE) ] with
+  | Error (Store.Moved _) -> ()
+  | Ok () -> failwith "split sweep: draining move accepted a moved-key write"
+  | Error e ->
+    failwith ("split sweep drain probe: " ^ Store.error_to_string e));
+  ss.staged := [];
+  Store.move_drain ss.st;
+  Store.move_cutover ss.st;
+  txn (); (* cutover durable, intent not yet retired *)
+  Store.move_retire ss.st;
+  for _ = 1 to 3 do txn () done;
+  (* calm again: merge the displaced buckets back home *)
+  Store.move ss.st ~from_:1 ~to_:0 ~batch:1 buckets;
+  for _ = 1 to 3 do txn () done;
+  buckets
+
+(* The two legal routing tables: default ownership, and default with
+   the split's buckets on shard 1. Any recovered route must equal one
+   of them exactly. *)
+let split_legal_routes ss buckets =
+  let r0 =
+    Array.init (Store.buckets ss.st) (fun b -> Store.default_owner ss.st b)
+  in
+  let r1 = Array.copy r0 in
+  List.iter (fun b -> r1.(b) <- 1) buckets;
+  (r0, r1)
+
+let split_route_check ss buckets =
+  let r0, r1 = split_legal_routes ss buckets in
+  let rt = Store.route_table ss.st in
+  if rt = r0 then Ok "route=default"
+  else if rt = r1 then Ok "route=split"
+  else
+    Error
+      (Printf.sprintf "mixed route: %s"
+         (String.concat ","
+            (Array.to_list (Array.map string_of_int rt))))
+
+(* Post-recovery liveness probe: one single-key transaction on a moved
+   bucket and one on an unmoved key must both commit and read back. *)
+let split_probe ss buckets =
+  let probe key v =
+    match Store.exec ss.st ~writes:[ (key, v) ] with
+    | Ok () ->
+      if Store.read ss.st key <> v then
+        Error (Printf.sprintf "probe key %d: wrote %d read %d" key v
+                 (Store.read ss.st key))
+      else Ok ()
+    | Error e ->
+      Error (Printf.sprintf "probe key %d: %s" key (Store.error_to_string e))
+  in
+  let moved = List.hd buckets in
+  let unmoved =
+    let n = Array.length ss.model in
+    let rec go k = if List.mem (k mod Store.buckets ss.st) buckets
+      then go (k + 1) else k in
+    go 0 mod n
+  in
+  match probe moved 0x51A51 with
+  | Error _ as e -> e
+  | Ok () -> probe unmoved 0x51B52
+
+let cutover_plan ~nth =
+  Lvm_fault.Plan.create
+    [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Split_cutover;
+        trigger = Lvm_fault.Plan.At_count nth;
+        fault = Lvm_fault.Fault.Crash } ]
+
+let run_one_split ~shards ~label ~seed plan =
+  let ss = build_store ~shards () in
+  let buckets = split_buckets ss in
+  Lvm_machine.Machine.set_fault_plan (store_machine ss) (Some plan);
+  match run_split_schedule ss ~shards ~seed with
+  | moved_buckets -> (
+    Lvm_machine.Machine.set_fault_plan (store_machine ss) None;
+    let state =
+      match check_store_state ss with
+      | Error _ as e -> e
+      | Ok _ ->
+        (* the merge sent everything home: only the default route is
+           legal for a completed schedule *)
+        let r0, _ = split_legal_routes ss moved_buckets in
+        if Store.route_table ss.st = r0 then Ok "committed"
+        else Error "completed run left a non-default route"
+    in
+    match state with
+    | Ok _ -> (Printf.sprintf "%s completed state=ok\n" label, None, false,
+               false)
+    | Error d ->
+      ( Printf.sprintf "%s completed state=FAIL %s\n" label d,
+        Some (label ^ ": " ^ d), false, false ))
+  | exception Lvm_fault.Fault.Crashed { cycle; site } -> (
+    Lvm_machine.Machine.set_fault_plan (store_machine ss) None;
+    let report = Store.recover ss.st in
+    let torn =
+      report.Store.coordinator.Lvm_rvm.Ramdisk.truncated_bytes > 0
+      || Array.exists
+           (fun (r : Lvm_rvm.Ramdisk.recovery) -> r.truncated_bytes > 0)
+           report.Store.shard_reports
+    in
+    let base =
+      Printf.sprintf "%s crashed cycle=%d site=%s %s" label cycle
+        (Lvm_fault.Fault.site_name site)
+        (Store.recovery_to_string report)
+    in
+    (* Replay idempotence: state and route both. *)
+    let first = store_snapshot ss in
+    let first_route = Store.route_table ss.st in
+    ignore (Store.recover ss.st);
+    let second = store_snapshot ss in
+    let second_route = Store.route_table ss.st in
+    let verdict =
+      match check_store_state ss with
+      | Error _ as e -> e
+      | Ok which -> (
+        if first <> second || first_route <> second_route then
+          Error "recovery not idempotent"
+        else if Store.active_move ss.st <> None then
+          Error "recovery left a move active"
+        else
+          match split_route_check ss buckets with
+          | Error _ as e -> e
+          | Ok route -> (
+            match split_probe ss buckets with
+            | Error _ as e -> e
+            | Ok () -> Ok (which ^ " " ^ route)))
+    in
+    match verdict with
+    | Ok which ->
+      (Printf.sprintf "%s state=ok(%s)\n" base which, None, true, torn)
+    | Error d ->
+      ( Printf.sprintf "%s state=FAIL %s\n" base d,
+        Some (label ^ ": " ^ d), true, torn ))
+
+let run_split ?(seed = 11) ?(points = 90) ?(torn_points = 8)
+    ?(cutover_points = 2) ?(shards = 2) () =
+  (* Reference run: how long the whole schedule takes with no faults. *)
+  let total =
+    let ss = build_store ~shards () in
+    ignore (run_split_schedule ss ~shards ~seed);
+    Kernel.max_time (Store.kernel ss.st)
+  in
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let crashed = ref 0 and completed = ref 0 and torn = ref 0 in
+  let record (line, failure, did_crash, did_torn) =
+    Buffer.add_string buf line;
+    (match failure with Some f -> failures := f :: !failures | None -> ());
+    if did_crash then incr crashed else incr completed;
+    if did_torn then incr torn
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "splitsweep seed=%d total_cycles=%d shards=%d\n" seed
+       total shards);
+  for i = 0 to points - 1 do
+    let at = 1 + (i * (total - 1) / max 1 (points - 1)) in
+    record
+      (run_one_split ~shards
+         ~label:(Printf.sprintf "point=%d at=%d" i at) ~seed (crash_plan ~at))
+  done;
+  for j = 1 to torn_points do
+    let keep = 1 + (j * 7 mod 23) in
+    record
+      (run_one_split ~shards
+         ~label:(Printf.sprintf "torn=%d keep=%d" j keep)
+         ~seed (torn_plan ~nth:j ~keep))
+  done;
+  for n = 1 to cutover_points do
+    record
+      (run_one_split ~shards
+         ~label:(Printf.sprintf "cutover=%d" n) ~seed (cutover_plan ~nth:n))
+  done;
+  {
+    points = points + torn_points + cutover_points;
+    crashed = !crashed;
+    completed = !completed;
+    torn = !torn;
+    failures = List.rev !failures;
+    trace = Buffer.contents buf;
+  }

@@ -100,3 +100,33 @@ val run_repl :
     {!outcome}, [crashed] counts kill schedules, [completed] fault-only
     schedules, and [torn] schedules that needed at least one full-state
     resync. Deterministic: same parameters, byte-identical [trace]. *)
+
+val run_split :
+  ?seed:int -> ?points:int -> ?torn_points:int -> ?cutover_points:int ->
+  ?shards:int -> unit -> outcome
+(** Split-cutover sweep over the sharded store's shard-move protocol.
+    The scripted schedule interleaves seeded transactions with a full
+    move lifecycle — split half of shard 0's buckets to shard 1
+    (forced intent, incremental copy steps with transactions between
+    them, a drain whose moved-key write must be refused with [Moved],
+    the cutover, a transaction in the cutover-durable-but-unretired
+    window, the retire) and then a merge sending the buckets home.
+    [points] (default 90) evenly-spaced crash cycles cover the whole
+    schedule — intent force, mid-copy, drain, cutover, the
+    post-cutover pre-retire window, and the merge — [torn_points]
+    (default 8) tear WAL appends (split-intent records included), and
+    [cutover_points] (default 2) crash inside the
+    {!Lvm_fault.Fault.Split_cutover} site itself (the split's and the
+    merge's cutover force). Every crashed run recovers and checks:
+
+    - every key reads its host-model value (a mid-copy crash must not
+      expose the target's partial copy);
+    - the routing table equals exactly the pre-move or the post-move
+      table — never a mixture, so every bucket has one owner;
+    - a second recovery reproduces both state and route (idempotence)
+      and leaves no move active;
+    - the store still commits: probe transactions on a moved and an
+      unmoved bucket read back.
+
+    Deterministic: same parameters, byte-identical [trace]. With the
+    defaults the sweep runs 100 seeded schedules. *)

@@ -24,7 +24,7 @@ let suite_seed = env_int "LVM_TEST_SEED" 0x5eed
    [max_size]; [prop rng size] signals failure by raising. On failure the
    size is halved (same stream!) until the property passes, and the
    smallest still-failing size is reported. *)
-let check ?(max_size = 256) name prop =
+let check ?(max_size = 256) ?(cases = cases) name prop =
   let failing = ref None in
   (try
      for case = 0 to cases - 1 do
@@ -379,9 +379,144 @@ let prop_extent_ring rng size =
     (s.Lvm_log.write_pos = n * Log_record.bytes)
     "write_pos %d after %d records" s.Lvm_log.write_pos n
 
-let prop name ?max_size p =
-  Alcotest.test_case (Printf.sprintf "%s (%d cases)" name cases) `Quick
-    (fun () -> check ?max_size name p)
+(* {1 Zipf sampler vs its own theory curve}
+
+   The sampler's empirical frequency-rank curve must match the exact
+   pmf it was built from, for whatever (n, theta) the case draws —
+   uniform (theta 0) through heavily skewed — and a seed must replay
+   the identical sample stream. *)
+
+module Wl = Lvm_store.Workload
+
+let prop_zipf rng size =
+  let n = 2 + (size mod 62) in
+  let theta = [| 0.0; 0.5; 0.99; 1.2; 1.5 |].(Sm.int rng ~bound:5) in
+  let z = Wl.Zipf.create ~n ~theta in
+  (* the pmf is a distribution: sums to 1, non-increasing in rank *)
+  let mass = ref 0.0 in
+  for r = 0 to n - 1 do
+    let p = Wl.Zipf.pmf z r in
+    expect (p > 0.0) "rank %d has zero mass" r;
+    if r > 0 then
+      expect
+        (p <= Wl.Zipf.pmf z (r - 1) +. 1e-12)
+        "pmf increases at rank %d (theta %.2f)" r theta;
+    mass := !mass +. p
+  done;
+  expect (abs_float (!mass -. 1.0) < 1e-9) "pmf sums to %.12f" !mass;
+  (* empirical frequencies track the pmf *)
+  let samples = 4000 in
+  let sample_seed = Int64.to_int (Sm.next_u64 rng) land 0xFFFFFF in
+  let counts = Array.make n 0 in
+  let s1 = Sm.create ~seed:sample_seed in
+  for _ = 1 to samples do
+    let r = Wl.Zipf.sample z s1 in
+    expect (r >= 0 && r < n) "sample %d out of range" r;
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 0 to n - 1 do
+    let p = Wl.Zipf.pmf z r in
+    let emp = float_of_int counts.(r) /. float_of_int samples in
+    let tol =
+      (5.0 *. sqrt (p *. (1.0 -. p) /. float_of_int samples)) +. 0.005
+    in
+    expect
+      (abs_float (emp -. p) <= tol)
+      "rank %d: empirical %.4f vs pmf %.4f (n=%d theta=%.2f)" r emp p n theta
+  done;
+  (* determinism: the same seed replays the same stream *)
+  let s2 = Sm.create ~seed:sample_seed in
+  let replay = Array.make n 0 in
+  for _ = 1 to samples do
+    let r = Wl.Zipf.sample z s2 in
+    replay.(r) <- replay.(r) + 1
+  done;
+  expect (replay = counts) "same seed, different sample stream"
+
+(* {1 Split-then-merge round-trip}
+
+   Move a random subset of shard 0's buckets to another shard and back:
+   every key must read its pre-split value after both the split and the
+   merge, the routing table must show exactly the moved buckets away
+   (then none), and no key may resolve to a shard outside the table —
+   one owner per bucket, always. *)
+
+module St = Lvm_store.Store
+
+let route_invariant st ~label =
+  let shards = (St.config st).St.Config.shards in
+  let route = St.route_table st in
+  Array.iteri
+    (fun b s ->
+      expect (s >= 0 && s < shards) "%s: bucket %d routed to shard %d" label
+        b s)
+    route;
+  let keys = (St.config st).St.Config.keys in
+  for key = 0 to keys - 1 do
+    expect
+      (St.shard_of_key st key = route.(St.bucket_of_key st key))
+      "%s: key %d owned outside its bucket's route" label key
+  done
+
+let prop_split_roundtrip rng size =
+  let shards = 2 + Sm.int rng ~bound:3 in
+  let keys = shards * 8 in
+  let st =
+    St.create
+      { St.Config.default with shards; keys; log_pages = 8; compute = 40 }
+  in
+  (* seed every key with a distinct value, a few keys per transaction *)
+  let value key = 0x1000 + (key * 7) + (size mod 97) in
+  let rec seed_keys key =
+    if key < keys then begin
+      let batch = min 8 (keys - key) in
+      let writes = List.init batch (fun i -> (key + i, value (key + i))) in
+      (match St.exec st ~writes with
+      | Ok () -> ()
+      | Error e -> failwith (St.error_to_string e));
+      seed_keys (key + batch)
+    end
+  in
+  seed_keys 0;
+  let to_ = 1 + Sm.int rng ~bound:(shards - 1) in
+  let owned = St.shard_buckets st 0 in
+  (* a random non-empty strict subset of shard 0's buckets *)
+  let picked =
+    List.filter (fun _ -> Sm.bool rng) owned
+  in
+  let picked =
+    match picked with
+    | [] -> [ List.hd owned ]
+    | l when List.length l = List.length owned -> List.tl l
+    | l -> l
+  in
+  St.move st ~from_:0 ~to_ ~batch:(1 + Sm.int rng ~bound:8) picked;
+  route_invariant st ~label:"post-split";
+  List.iter
+    (fun b ->
+      expect (St.owner_of_bucket st b = to_) "bucket %d did not move" b)
+    picked;
+  for key = 0 to keys - 1 do
+    expect
+      (St.read st key = value key)
+      "post-split key %d: got %d want %d" key (St.read st key) (value key)
+  done;
+  St.move st ~from_:to_ ~to_:0 ~batch:(1 + Sm.int rng ~bound:8) picked;
+  route_invariant st ~label:"post-merge";
+  Array.iteri
+    (fun b s ->
+      expect (s = St.default_owner st b) "bucket %d not home after merge" b)
+    (St.route_table st);
+  for key = 0 to keys - 1 do
+    expect
+      (St.read st key = value key)
+      "post-merge key %d: got %d want %d" key (St.read st key) (value key)
+  done
+
+let prop name ?max_size ?cases:c p =
+  let shown = match c with None -> cases | Some c -> c in
+  Alcotest.test_case (Printf.sprintf "%s (%d cases)" name shown) `Quick
+    (fun () -> check ?max_size ?cases:c name p)
 
 let suites =
   [
@@ -394,5 +529,12 @@ let suites =
         prop "wal round-trip + torn tail" ~max_size:128 prop_wal;
         prop "extent ring fold round-trip" ~max_size:64 prop_extent_ring;
         Alcotest.test_case "saturation overloads" `Quick test_overload_fires;
+      ] );
+    ( "hotshard.prop",
+      [
+        prop "zipf frequency-rank curve" ~max_size:128
+          ~cases:(min cases 200) prop_zipf;
+        prop "split-then-merge round-trip" ~max_size:64 ~cases:(min cases 48)
+          prop_split_roundtrip;
       ] );
   ]

@@ -208,6 +208,248 @@ let test_store_sweep () =
   let o2 = sweep () in
   Alcotest.(check string) "sweep deterministic" o.trace o2.trace
 
+(* {1 Hot-shard survival: moves, admission, skew} *)
+
+(* The move lifecycle stepwise, with writes landing in every window:
+   during the copy (dirty-tracked, old owner), during the drain (typed
+   [Moved] refusal), and after the cutover (new owner). The moved key's
+   latest committed value must win. *)
+let test_move_lifecycle () =
+  let st = make ~shards:2 ~keys:16 () in
+  for key = 0 to 15 do
+    match Store.exec st ~writes:[ (key, 100 + key) ] with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  done;
+  (* key 0 lives in bucket 0, owned by shard 0 *)
+  check "key 0 starts on shard 0" 0 (Store.shard_of_key st 0);
+  Store.move_begin st ~from_:0 ~to_:1 [ 0; 2 ];
+  check "two keys to copy" 2 (Store.move_remaining st);
+  let remaining = Store.move_copy_step st ~batch:1 in
+  check "one key copied" 1 remaining;
+  (* a write during the copy keeps landing on the old owner, dirty *)
+  (match Store.exec st ~writes:[ (0, 777) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "copy-phase write visible" 777 (Store.read st 0);
+  check_bool "write dirtied the moved key" true
+    (Store.move_dirty_count st >= 1);
+  Store.move_enter_drain st;
+  check_bool "draining" true (Store.move_draining st);
+  (* the handoff window: a moved-key write is refused, typed *)
+  (match Store.exec st ~writes:[ (0, 888) ] with
+  | Error (Store.Moved { key; shard }) ->
+    check "moved key reported" 0 key;
+    check "new owner reported" 1 shard
+  | Ok () -> Alcotest.fail "draining move accepted a moved-key write"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.blocked_by_move st [ (0, 1) ] with
+  | Some (key, shard) ->
+    check "blocked key" 0 key;
+    check "blocked target" 1 shard
+  | None -> Alcotest.fail "blocked_by_move missed the handoff window");
+  check_bool "unmoved keys unaffected" true
+    (Store.blocked_by_move st [ (1, 1) ] = None);
+  Store.move_drain st;
+  check "drain copied everything" 0 (Store.move_remaining st);
+  check "drain flushed the dirty set" 0 (Store.move_dirty_count st);
+  Store.move_cutover st;
+  Store.move_retire st;
+  check_bool "move over" true (Store.active_move st = None);
+  check "key 0 rerouted" 1 (Store.shard_of_key st 0);
+  check "dirty value survived the handoff" 777 (Store.read st 0);
+  check "companion key moved too" 102 (Store.read st 2);
+  (* post-move writes land on the new owner *)
+  (match Store.exec st ~writes:[ (0, 999) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "post-move write" 999 (Store.read st 0)
+
+(* An aborted move changes nothing: ownership, values, and a later
+   successful move still works. *)
+let test_move_abort () =
+  let st = make ~shards:2 ~keys:16 () in
+  (match Store.exec st ~writes:[ (0, 5) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  Store.move_begin st ~from_:0 ~to_:1 [ 0 ];
+  ignore (Store.move_copy_step st ~batch:8);
+  Store.move_abort st;
+  check "abort kept ownership" 0 (Store.shard_of_key st 0);
+  check "abort kept the value" 5 (Store.read st 0);
+  Store.move st ~from_:0 ~to_:1 [ 0 ];
+  check "retry after abort moves" 1 (Store.shard_of_key st 0);
+  check "value follows" 5 (Store.read st 0)
+
+(* The token-bucket gate: burst admits, the next immediate transaction
+   sheds with the typed [Shed] — no log room or intent slot consumed —
+   and tokens refill with CPU time. *)
+let test_admission_shed () =
+  let st =
+    Store.create
+      { Store.Config.default with
+        shards = 2; keys = 16; compute = 40;
+        admission_rate = 0.01; admission_burst = 1 }
+  in
+  (match Store.exec st ~writes:[ (0, 1) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.exec st ~writes:[ (0, 2) ] with
+  | Error (Store.Shed { shard }) -> check "shedding shard" 0 shard
+  | Ok () -> Alcotest.fail "expected the token bucket to shed"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  check "shed txn left no trace" 1 (Store.read st 0);
+  (* backing off (shard-CPU time passing) refills the bucket *)
+  let k = Store.kernel st in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "the gate never refilled"
+    else
+      match Store.exec st ~writes:[ (0, 3) ] with
+      | Ok () -> ()
+      | Error (Store.Shed _) ->
+        Lvm_vm.Kernel.set_cpu k 0;
+        Lvm_vm.Kernel.compute k 10_000;
+        wait (tries - 1)
+      | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  wait 100;
+  check "refilled and admitted" 3 (Store.read st 0)
+
+(* Workload-level shed accounting: a tight admission rate sheds some of
+   a closed-loop run, every transaction accounted exactly once. *)
+let test_workload_shed_accounting () =
+  let st =
+    Store.create
+      { Store.Config.default with
+        shards = 2; keys = 64; compute = 40;
+        admission_rate = 0.01; admission_burst = 2 }
+  in
+  let r =
+    Workload.run st
+      { Workload.default with txns = 60; cross_pct = 0; retries = 1 }
+  in
+  check_bool "the gate shed something" true (r.Workload.shed > 0);
+  check "every txn accounted once" 60
+    (r.Workload.executed + r.Workload.shed + r.Workload.failed
+   + r.Workload.dropped)
+
+(* Retry-budget exhaustion surfaces in [failed] — never silently, never
+   as success, never as shed. A fault plan exhausts the log on every
+   page crossing; transactions bigger than a log page cross on every
+   attempt, so each one hits [Overloaded] until its budget runs out. *)
+let test_failed_counter () =
+  let st =
+    Store.create
+      { Store.Config.default with
+        shards = 2; keys = 1024; compute = 40; max_txn_writes = 300 }
+  in
+  let m = Lvm_vm.Kernel.machine (Store.kernel st) in
+  let plan =
+    Lvm_fault.Plan.create
+      [ { Lvm_fault.Plan.site = Lvm_fault.Fault.Log_segment;
+          trigger = Lvm_fault.Plan.Every 1;
+          fault = Lvm_fault.Fault.Log_exhaust } ]
+  in
+  Lvm_machine.Machine.set_fault_plan m (Some plan);
+  let r =
+    Workload.run st
+      { Workload.default with
+        txns = 6; cross_pct = 0; writes_per_txn = 280; retries = 2 }
+  in
+  Lvm_machine.Machine.set_fault_plan m None;
+  check "every txn exhausted its retry budget" 6 r.Workload.failed;
+  check "failed never counted as shed" 0 r.Workload.shed;
+  check "failed never counted as executed" 0 r.Workload.executed;
+  check "each failure burned its whole retry budget" 12 r.Workload.requeued
+
+(* Zipfian closed-loop run with dynamic splitting: the skew piles onto
+   shard 0, the splitter fires, the driver completes the move mid-run,
+   and every transaction is still accounted exactly once. *)
+let test_zipf_split_workload () =
+  let st =
+    Store.create { Store.Config.default with shards = 4; keys = 1024 }
+  in
+  let r =
+    Workload.run st
+      { Workload.default with
+        txns = 300;
+        dist = Workload.Zipfian { theta = 1.2 };
+        split =
+          Some
+            { Workload.default_split with
+              check_every = 24; batch = 16; max_moves = 4 }
+      }
+  in
+  check_bool "at least one split completed" true (r.Workload.splits >= 1);
+  check "every txn accounted once" 300
+    (r.Workload.executed + r.Workload.shed + r.Workload.failed
+   + r.Workload.dropped);
+  (* the route actually changed: some bucket left its default owner,
+     or a later merge sent it home again — either way moves happened *)
+  check_bool "split moved buckets off the hot shard" true
+    (r.Workload.splits + r.Workload.merges >= 1)
+
+(* The same skewed run must reproduce byte-for-byte: splits, moved-key
+   requeues and all. *)
+let test_zipf_split_deterministic () =
+  let go () =
+    let st =
+      Store.create { Store.Config.default with shards = 4; keys = 1024 }
+    in
+    Workload.run st
+      { Workload.default with
+        txns = 200;
+        dist = Workload.Zipfian { theta = 1.2 };
+        split =
+          Some
+            { Workload.default_split with
+              check_every = 24; batch = 16; max_moves = 4 }
+      }
+  in
+  let r1 = go () and r2 = go () in
+  check "wall cycles reproduce" r1.Workload.wall_cycles r2.Workload.wall_cycles;
+  check "executed reproduces" r1.Workload.executed r2.Workload.executed;
+  check "splits reproduce" r1.Workload.splits r2.Workload.splits;
+  check "merges reproduce" r1.Workload.merges r2.Workload.merges;
+  check "moved requeues reproduce" r1.Workload.moved r2.Workload.moved
+
+(* Open-loop bursty arrivals with a bounded front door: drops are
+   counted, accounting still exact. *)
+let test_open_loop_bursty () =
+  let st =
+    Store.create { Store.Config.default with shards = 2; keys = 64 }
+  in
+  let r =
+    Workload.run st
+      { Workload.default with
+        txns = 120; cross_pct = 0;
+        arrival =
+          Workload.Open
+            { mean_gap = 20000; burst_every = 16; burst_len = 8;
+              burst_gap = 1000 };
+        queue_cap = Some 4 }
+  in
+  check "every arrival accounted once" 120
+    (r.Workload.executed + r.Workload.shed + r.Workload.failed
+   + r.Workload.dropped);
+  check_bool "bursts overflowed the front door" true
+    (r.Workload.dropped > 0);
+  check_bool "most of the load still executed" true
+    (r.Workload.executed > 60)
+
+(* {1 Split-cutover crash sweep} *)
+
+let test_split_sweep () =
+  let sweep () =
+    Lvm_tpc.Crash_sweep.run_split ~seed:5 ~points:24 ~torn_points:4
+      ~cutover_points:2 ~shards:2 ()
+  in
+  let o = sweep () in
+  Alcotest.(check (list string)) "no split-protocol violations" [] o.failures;
+  check "every point ran" 30 o.points;
+  let o2 = sweep () in
+  Alcotest.(check string) "split sweep deterministic" o.trace o2.trace
+
 let suites =
   [ ( "store",
       [ Alcotest.test_case "local transactions" `Quick test_local_txns;
@@ -225,4 +467,20 @@ let suites =
         Alcotest.test_case "4-shard >= 2x scaling" `Slow test_workload_scaling ]
     );
     ( "store.crash",
-      [ Alcotest.test_case "sharded sweep" `Slow test_store_sweep ] ) ]
+      [ Alcotest.test_case "sharded sweep" `Slow test_store_sweep ] );
+    ( "hotshard",
+      [ Alcotest.test_case "move lifecycle windows" `Quick test_move_lifecycle;
+        Alcotest.test_case "move abort" `Quick test_move_abort;
+        Alcotest.test_case "token-bucket shed" `Quick test_admission_shed;
+        Alcotest.test_case "workload shed accounting" `Quick
+          test_workload_shed_accounting;
+        Alcotest.test_case "retry exhaustion counts as failed" `Quick
+          test_failed_counter;
+        Alcotest.test_case "zipfian + dynamic split" `Slow
+          test_zipf_split_workload;
+        Alcotest.test_case "zipfian split deterministic" `Slow
+          test_zipf_split_deterministic;
+        Alcotest.test_case "open-loop bursty arrivals" `Quick
+          test_open_loop_bursty ] );
+    ( "hotshard.crash",
+      [ Alcotest.test_case "split-cutover sweep" `Slow test_split_sweep ] ) ]
