@@ -8,7 +8,8 @@
                    [--store] [--store-json FILE]
                    [--fams] [--fams-json FILE]
                    [--repl] [--repl-json FILE]
-                   [--hotshard] [--hotshard-json FILE] *)
+                   [--hotshard] [--hotshard-json FILE]
+                   [--logdiet] [--logdiet-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -610,6 +611,204 @@ let hotshard_comparison ?json_file ppf =
     close_out oc;
     Printf.printf "hotshard matrix written to %s\n%!" file
 
+(* {1 Logging-bandwidth diet (codec x coalescing matrix)}
+
+   The BENCH_4-style saturation loop and a BENCH_5-style transaction
+   workload through the four corners of the diet matrix — coalescing
+   off/on x Raw16 (V0) / run+delta (V1). The overload leg drives tight
+   logged bursts with hot rewrites straight at the FIFOs; the WAL leg
+   runs RLVM transactions with truncation gated off and measures WAL
+   bytes per transaction plus a full recovery replay. The headline
+   checks ride the run: v1+coalescing must overload less than both the
+   v0 baseline and the seed's 261, cut WAL bytes/txn by >= 30%, and
+   every corner must recover byte-identical images.
+   [--logdiet-json FILE] records the matrix (the BENCH_9.json blob). *)
+
+type logdiet_overload = {
+  ld_overloads : int;
+  ld_cycles : int;
+  ld_stream_bytes : int;  (** encoded bytes emitted over the whole run *)
+}
+
+type logdiet_wal = {
+  ld_wal_bytes : int;
+  ld_bytes_per_txn : float;
+  ld_replayed : int;
+  ld_recovery_ms : float;
+  ld_image : Bytes.t;
+}
+
+let logdiet_config_name ~codec ~coalesce_depth =
+  Printf.sprintf "%s%s"
+    (Lvm_machine.Log_record.version_to_string codec)
+    (if coalesce_depth > 0 then Printf.sprintf "+co%d" coalesce_depth else "")
+
+let logdiet_overload_point ~codec ~coalesce_depth =
+  let seg_bytes = 64 * 1024 in
+  let log_pages = 64 in
+  let k = Kernel.create ~frames:256 ~codec ~coalesce_depth () in
+  let sp = Kernel.create_space k in
+  let seg = Kernel.create_segment k ~size:seg_bytes in
+  let region = Kernel.create_region k seg in
+  let ls = Kernel.create_log_segment k ~size:(log_pages * Addr.page_size) in
+  Kernel.set_region_log k region (Some ls);
+  let base = Kernel.bind k sp region in
+  for p = 0 to (seg_bytes / Addr.page_size) - 1 do
+    ignore (Kernel.read_word k sp (base + (p * Addr.page_size)))
+  done;
+  Logger.flush (Machine.logger (Kernel.machine k));
+  let perf = Kernel.perf k in
+  Perf.reset perf;
+  let pos = ref 0 in
+  let recycle_at = (log_pages - 8) * Addr.page_size in
+  let t0 = Kernel.time k in
+  for i = 0 to 1999 do
+    Kernel.compute k 20;
+    (* a sequential burst (run-shaped) ... *)
+    for w = 0 to 15 do
+      Kernel.write_word k sp (base + !pos) (i + w);
+      pos := (!pos + Addr.word_size) mod seg_bytes
+    done;
+    (* ... plus hot rewrites where only the last value matters *)
+    for v = 0 to 7 do
+      Kernel.write_word k sp base (i + v)
+    done;
+    (* each iteration ends at a commit boundary: hard sync drains the
+       coalescing buffer, exactly what a transaction commit does *)
+    Kernel.sync_log k ls;
+    if Segment.write_pos ls >= recycle_at then
+      Lvm_log.truncate_suffix (Lvm_log.of_segment k ls) ~new_end:0
+  done;
+  let cycles = Kernel.time k - t0 in
+  Logger.complete_pending (Machine.logger (Kernel.machine k));
+  let stream_bytes =
+    match codec with
+    | Log_record.V1 ->
+      let snap = Kernel.snapshot k in
+      if Lvm_obs.Snapshot.mem snap "log.bytes_encoded" then
+        Lvm_obs.Snapshot.get snap "log.bytes_encoded"
+      else 0
+    | Log_record.V0 -> perf.Perf.log_records * Log_record.bytes
+  in
+  { ld_overloads = perf.Perf.overloads; ld_cycles = cycles;
+    ld_stream_bytes = stream_bytes }
+
+let logdiet_wal_point ~codec ~coalesce_depth =
+  let k = Kernel.create ~codec ~coalesce_depth () in
+  let sp = Kernel.create_space k in
+  let r =
+    Lvm_rvm.Rlvm.make
+      { Lvm_rvm.Rlvm.Config.default with log_pages = 64 }
+      k sp ~size:4096
+  in
+  let disk = Lvm_rvm.Rlvm.disk r in
+  (* let the WAL accumulate the whole run so recovery replays it all *)
+  Lvm_rvm.Ramdisk.set_truncate_gate disk (Some (fun () -> false));
+  let txns = 64 in
+  for t = 1 to txns do
+    Lvm_rvm.Rlvm.begin_txn r;
+    for w = 0 to 15 do
+      Lvm_rvm.Rlvm.write_word r ~off:(4 * (((t * 16) + w) mod 1024)) (t + w)
+    done;
+    for v = 1 to 8 do
+      Lvm_rvm.Rlvm.write_word r ~off:0 ((t * 100) + v)
+    done;
+    Lvm_rvm.Rlvm.commit r
+  done;
+  let wal_bytes = Lvm_rvm.Ramdisk.wal_bytes disk in
+  let t0 = Sys.time () in
+  let image, rep = Lvm_rvm.Ramdisk.recover disk in
+  let recovery_ms = (Sys.time () -. t0) *. 1000. in
+  { ld_wal_bytes = wal_bytes;
+    ld_bytes_per_txn = float_of_int wal_bytes /. float_of_int txns;
+    ld_replayed = rep.Lvm_rvm.Ramdisk.replayed;
+    ld_recovery_ms = recovery_ms; ld_image = image }
+
+let logdiet_comparison ?json_file ppf =
+  let matrix =
+    [ (Lvm_machine.Log_record.V0, 0); (Lvm_machine.Log_record.V0, 64);
+      (Lvm_machine.Log_record.V1, 0); (Lvm_machine.Log_record.V1, 64) ]
+  in
+  let rows =
+    List.map
+      (fun (codec, coalesce_depth) ->
+        let o = logdiet_overload_point ~codec ~coalesce_depth in
+        let w = logdiet_wal_point ~codec ~coalesce_depth in
+        ((codec, coalesce_depth), o, w))
+      matrix
+  in
+  List.iter
+    (fun ((codec, depth), o, w) ->
+      Format.fprintf ppf
+        "logdiet %-8s: %4d overloads, %7d stream B; WAL %.1f B/txn, \
+         recovery replayed %d in %.1f ms@."
+        (logdiet_config_name ~codec ~coalesce_depth:depth)
+        o.ld_overloads o.ld_stream_bytes w.ld_bytes_per_txn w.ld_replayed
+        w.ld_recovery_ms)
+    rows;
+  let find c d =
+    let _, o, w = List.find (fun ((c', d'), _, _) -> c' = c && d' = d) rows in
+    (o, w)
+  in
+  let o_v0, w_v0 = find Lvm_machine.Log_record.V0 0 in
+  let o_v1c, w_v1c = find Lvm_machine.Log_record.V1 64 in
+  let reduction = 1. -. (w_v1c.ld_bytes_per_txn /. w_v0.ld_bytes_per_txn) in
+  Format.fprintf ppf
+    "logdiet headline: overloads %d -> %d (seed 261); WAL bytes/txn %.1f \
+     -> %.1f (%.0f%% saved, target >= 30%%)@."
+    o_v0.ld_overloads o_v1c.ld_overloads w_v0.ld_bytes_per_txn
+    w_v1c.ld_bytes_per_txn (100. *. reduction);
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if o_v1c.ld_overloads >= min 261 o_v0.ld_overloads then
+    fail "v1+coalesce overloads %d, need < min(261, v0 %d)"
+      o_v1c.ld_overloads o_v0.ld_overloads;
+  if reduction < 0.30 then
+    fail "WAL bytes/txn reduction %.2f, need >= 0.30" reduction;
+  List.iter
+    (fun ((codec, depth), _, w) ->
+      if not (Bytes.equal w.ld_image w_v0.ld_image) then
+        fail "%s recovered image differs from the v0 baseline"
+          (logdiet_config_name ~codec ~coalesce_depth:depth))
+    rows;
+  List.iter (fun f -> Format.fprintf ppf "FAIL: %s@." f) !failures;
+  Format.pp_print_flush ppf ();
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let line =
+      render ~kind:"logdiet"
+        [ ("seed_overloads", Int 261);
+          ("rows",
+           List
+             (List.map
+                (fun ((codec, depth), o, w) ->
+                  Obj
+                    [ ("config",
+                       String (logdiet_config_name ~codec ~coalesce_depth:depth));
+                      ("codec",
+                       String (Lvm_machine.Log_record.version_to_string codec));
+                      ("coalesce_depth", Int depth);
+                      ("overloads", Int o.ld_overloads);
+                      ("overload_cycles", Int o.ld_cycles);
+                      ("stream_bytes", Int o.ld_stream_bytes);
+                      ("wal_bytes", Int w.ld_wal_bytes);
+                      ("wal_bytes_per_txn", Float w.ld_bytes_per_txn);
+                      ("recovery_replayed", Int w.ld_replayed);
+                      ("recovery_ms", Float w.ld_recovery_ms) ])
+                rows));
+          ("wal_reduction", Float reduction);
+          ("overloads_v0", Int o_v0.ld_overloads);
+          ("overloads_v1_coalesce", Int o_v1c.ld_overloads) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "logdiet matrix written to %s\n%!" file);
+  if !failures <> [] then exit 1
+
 (* {1 Entry point} *)
 
 (* Write a single enveloped JSON metrics blob (counters + histograms
@@ -653,6 +852,9 @@ let () =
   else if List.mem "--hotshard" args then
     (* The hot-shard matrix alone (what generates BENCH_8.json). *)
     hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf
+  else if List.mem "--logdiet" args then
+    (* The codec/coalescing matrix alone (what generates BENCH_9.json). *)
+    logdiet_comparison ?json_file:(flag_value "--logdiet-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -670,7 +872,8 @@ let () =
               ppf;
             fams_comparison ?json_file:(flag_value "--fams-json") ppf;
             repl_comparison ?json_file:(flag_value "--repl-json") ppf;
-            hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf)
+            hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf;
+            logdiet_comparison ?json_file:(flag_value "--logdiet-json") ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

@@ -407,9 +407,9 @@ let crashsweep_cmd =
 (* A seeded, skewed logged-write workload: most writes hammer a small hot
    set of words, the rest scatter — exactly the redundancy pattern the
    Section 2.7 analysis exists to expose. *)
-let run_logstats ~writes ~hot ~seed ~limit ~json =
+let run_logstats ~writes ~hot ~seed ~limit ~codec ~coalesce ~txn ~json =
   let page = Lvm_machine.Addr.page_size in
-  let k = Lvm_vm.Kernel.create () in
+  let k = Lvm_vm.Kernel.create ~codec ~coalesce_depth:coalesce () in
   let sp = Lvm_vm.Kernel.create_space k in
   let seg = Lvm_vm.Kernel.create_segment k ~size:(4 * page) in
   let region = Lvm_vm.Kernel.create_region k seg in
@@ -419,17 +419,27 @@ let run_logstats ~writes ~hot ~seed ~limit ~json =
   let base = Lvm_vm.Kernel.bind k sp region in
   let words = 4 * page / 4 in
   let rng = Random.State.make [| seed |] in
+  let txns = ref 0 in
   for i = 0 to writes - 1 do
     Lvm_log.reserve log ~bytes:Lvm_machine.Log_record.bytes ~max_pages:max_int;
     let off =
       if Random.State.int rng 100 < 80 then 4 * Random.State.int rng hot
       else 4 * Random.State.int rng words
     in
-    Lvm_vm.Kernel.write_word k sp (base + off) i
+    Lvm_vm.Kernel.write_word k sp (base + off) i;
+    (* every [txn] writes is a commit boundary: a hard sync drains the
+       coalescing buffer, exactly what a transaction commit does *)
+    if (i + 1) mod txn = 0 then begin
+      Lvm_vm.Kernel.sync_log k ls;
+      incr txns
+    end
   done;
+  Lvm_vm.Kernel.sync_log k ls;
+  if writes mod txn <> 0 then incr txns;
   let s = Lvm_tools.Log_stats.summarize k ~watched:seg ~log:ls in
   let top = Lvm_tools.Log_stats.top_rewritten ~limit k ~watched:seg ~log:ls in
   let ring = Lvm_log.stats log in
+  let d = Lvm_tools.Log_stats.diet k ~log ~txns:!txns in
   if json then begin
     let open Lvm_tools.Output_stream.Envelope in
     emit ~kind:"logstats" ppf
@@ -452,7 +462,28 @@ let run_logstats ~writes ~hot ~seed ~limit ~json =
              ("write_pos", Int ring.Lvm_log.write_pos);
              ("capacity", Int ring.Lvm_log.capacity);
              ("utilization_pct", Int ring.Lvm_log.utilization_pct);
-             ("switches", Int ring.Lvm_log.switches) ]) ]
+             ("switches", Int ring.Lvm_log.switches);
+             ("sealed_bytes", Int d.Lvm_tools.Log_stats.sealed_bytes);
+             ("active_bytes", Int d.Lvm_tools.Log_stats.active_bytes) ]);
+        ("diet",
+         Obj
+           [ ("codec",
+              String
+                (match d.Lvm_tools.Log_stats.version with
+                | Lvm_machine.Log_record.V0 -> "v0"
+                | Lvm_machine.Log_record.V1 -> "v1"));
+             ("txns", Int d.Lvm_tools.Log_stats.txns);
+             ("bytes_per_txn", Float d.Lvm_tools.Log_stats.bytes_per_txn);
+             ("absorbed", Int d.Lvm_tools.Log_stats.absorbed);
+             ("flushed", Int d.Lvm_tools.Log_stats.flushed);
+             ("absorption_ratio",
+              Float d.Lvm_tools.Log_stats.absorption_ratio);
+             ("records_raw", Int d.Lvm_tools.Log_stats.raw);
+             ("records_run", Int d.Lvm_tools.Log_stats.run);
+             ("records_delta", Int d.Lvm_tools.Log_stats.delta);
+             ("records_pad", Int d.Lvm_tools.Log_stats.pad);
+             ("bytes_logical", Int d.Lvm_tools.Log_stats.bytes_logical);
+             ("bytes_encoded", Int d.Lvm_tools.Log_stats.bytes_encoded) ]) ]
   end
   else begin
     Format.fprintf ppf
@@ -463,10 +494,38 @@ let run_logstats ~writes ~hot ~seed ~limit ~json =
       (100. *. s.Lvm_tools.Log_stats.redundancy_ratio);
     Format.fprintf ppf
       "log ring: %d extents of %d page(s), write_pos %d/%d (%d%% full), \
-       %d extent switch(es)@."
+       %d extent switch(es), %d B sealed / %d B active@."
       ring.Lvm_log.extents ring.Lvm_log.extent_pages ring.Lvm_log.write_pos
       ring.Lvm_log.capacity ring.Lvm_log.utilization_pct
-      ring.Lvm_log.switches;
+      ring.Lvm_log.switches d.Lvm_tools.Log_stats.sealed_bytes
+      d.Lvm_tools.Log_stats.active_bytes;
+    Format.fprintf ppf
+      "record stream: %s, %.1f bytes/txn over %d txn(s)@."
+      (match d.Lvm_tools.Log_stats.version with
+      | Lvm_machine.Log_record.V0 -> "v0 (16 B fixed records)"
+      | Lvm_machine.Log_record.V1 -> "v1 (versioned codec)")
+      d.Lvm_tools.Log_stats.bytes_per_txn d.Lvm_tools.Log_stats.txns;
+    (match d.Lvm_tools.Log_stats.version with
+    | Lvm_machine.Log_record.V0 -> ()
+    | Lvm_machine.Log_record.V1 ->
+      Format.fprintf ppf
+        "  records: %d raw, %d run, %d delta, %d pad; %d logical B -> %d \
+         encoded B (%.1f%% saved)@."
+        d.Lvm_tools.Log_stats.raw d.Lvm_tools.Log_stats.run
+        d.Lvm_tools.Log_stats.delta d.Lvm_tools.Log_stats.pad
+        d.Lvm_tools.Log_stats.bytes_logical
+        d.Lvm_tools.Log_stats.bytes_encoded
+        (if d.Lvm_tools.Log_stats.bytes_logical = 0 then 0.
+         else
+           100.
+           *. (1.
+               -. float_of_int d.Lvm_tools.Log_stats.bytes_encoded
+                  /. float_of_int d.Lvm_tools.Log_stats.bytes_logical)));
+    if d.Lvm_tools.Log_stats.absorbed + d.Lvm_tools.Log_stats.flushed > 0 then
+      Format.fprintf ppf
+        "  coalescing: %d absorbed / %d flushed (%.1f%% absorption)@."
+        d.Lvm_tools.Log_stats.absorbed d.Lvm_tools.Log_stats.flushed
+        (100. *. d.Lvm_tools.Log_stats.absorption_ratio);
     Format.fprintf ppf "top rewritten offsets:@.";
     List.iter
       (fun (off, n) -> Format.fprintf ppf "  +0x%04x  %4d writes@." off n)
@@ -490,22 +549,47 @@ let logstats_cmd =
     Arg.(value & opt int 10
          & info [ "limit" ] ~doc:"Top rewritten offsets to report.")
   in
+  let codec =
+    Arg.(value & opt (enum [ ("v0", Lvm_machine.Log_record.V0);
+                             ("v1", Lvm_machine.Log_record.V1) ])
+           Lvm_machine.Log_record.V0
+         & info [ "codec" ]
+             ~doc:"Record-stream codec: $(b,v0) (16-byte fixed records) \
+                   or $(b,v1) (versioned, run/delta-compressed).")
+  in
+  let coalesce =
+    Arg.(value & opt int 0
+         & info [ "coalesce" ]
+             ~doc:"Logger write-coalescing buffer depth in records \
+                   (0: off).")
+  in
+  let txn =
+    Arg.(value & opt int 100
+         & info [ "txn" ]
+             ~doc:"Writes per transaction: every $(docv) writes the log \
+                   is hard-synced (a commit boundary, draining the \
+                   coalescing buffer).")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
   in
-  let run writes hot seed limit json =
+  let run writes hot seed limit codec coalesce txn json =
     if writes <= 0 then `Error (false, "--writes must be positive")
     else if hot <= 0 then `Error (false, "--hot must be positive")
+    else if coalesce < 0 then `Error (false, "--coalesce must be >= 0")
+    else if txn <= 0 then `Error (false, "--txn must be positive")
     else begin
-      run_logstats ~writes ~hot ~seed ~limit ~json;
+      run_logstats ~writes ~hot ~seed ~limit ~codec ~coalesce ~txn ~json;
       `Ok ()
     end
   in
   Cmd.v
     (Cmd.info "logstats"
        ~doc:"Run a skewed logged-write workload and report the Section \
-             2.7 redundancy analysis plus the extent-ring state.")
-    Term.(ret (const run $ writes $ hot $ seed $ limit $ json))
+             2.7 redundancy analysis, the logging-bandwidth diet \
+             (codec/coalescing) counters, and the extent-ring state.")
+    Term.(ret (const run $ writes $ hot $ seed $ limit $ codec $ coalesce
+          $ txn $ json))
 
 (* {1 trace} *)
 

@@ -141,7 +141,11 @@ let snapshot t =
     Segment.absorbing t.ls
     || Segment.absorbed_crossings t.ls > t.epoch_absorbed_base
   in
-  let log_records = Segment.write_pos t.ls / Lvm_machine.Log_record.bytes in
+  let log_records =
+    match Lvm_log.stream_version t.log with
+    | Log_record.V0 -> Segment.write_pos t.ls / Lvm_machine.Log_record.bytes
+    | Log_record.V1 -> Lvm.Log_reader.record_count t.k t.ls
+  in
   let snap = t.next_snap in
   t.next_snap <- snap + 1;
   let spans =
@@ -152,17 +156,51 @@ let snapshot t =
       (Kernel.dirty_spans t.k t.working)
   in
   let bytes = ref 0 in
-  List.iter
-    (fun (off, len) ->
-      (* building the redo record: RVM's per-record overhead plus the
-         copy out of the working image *)
-      Kernel.compute t.k
-        (Rvm_costs.redo_record_overhead
-         + (words len * Rvm_costs.redo_copy_per_word));
-      bytes := !bytes + len;
+  let charge_span len =
+    (* building the redo record: RVM's per-record overhead plus the
+       copy out of the working image *)
+    Kernel.compute t.k
+      (Rvm_costs.redo_record_overhead
+       + (words len * Rvm_costs.redo_copy_per_word));
+    bytes := !bytes + len
+  in
+  (match Lvm_log.stream_version t.log with
+  | Log_record.V0 ->
+    List.iter
+      (fun (off, len) ->
+        charge_span len;
+        Ramdisk.wal_append t.disk
+          (Ramdisk.Data { txn = snap; off; bytes = read_span t ~off ~len }))
+      spans
+  | Log_record.V1 ->
+    (* Encoded redo: the whole snapshot's dirty spans as one compact V1
+       stream of word records — sequential words of a span share the
+       snapshot id as timestamp, so they collapse into runs. Spans that
+       are not word-shaped (only possible at the clipped segment tail)
+       fall back to plain [Data] records. *)
+    let records = ref [] in
+    List.iter
+      (fun (off, len) ->
+        charge_span len;
+        if off land 3 = 0 && len land 3 = 0 then
+          for i = 0 to (len / 4) - 1 do
+            let woff = off + (4 * i) in
+            records :=
+              { Log_record.addr = woff;
+                value = Kernel.seg_read_raw t.k t.working ~off:woff ~size:4;
+                size = 4; pre_image = false; timestamp = snap }
+              :: !records
+          done
+        else
+          Ramdisk.wal_append t.disk
+            (Ramdisk.Data { txn = snap; off; bytes = read_span t ~off ~len }))
+      spans;
+    match List.rev !records with
+    | [] -> ()
+    | rs ->
       Ramdisk.wal_append t.disk
-        (Ramdisk.Data { txn = snap; off; bytes = read_span t ~off ~len }))
-    spans;
+        (Ramdisk.Encoded
+           { txn = snap; payload = Log_record.Codec.encode_stream rs }));
   (* The boundary record commits the snapshot: recovery applies a
      snapshot's Data records only when its boundary reached the disk. *)
   Ramdisk.wal_append t.disk (Ramdisk.Snapshot { snap });

@@ -154,6 +154,15 @@ let extent_state t i =
 
 let sync t = Kernel.sync_log t.k t.seg
 
+(* Position-only sync: no coalescing-buffer drain. Reservations run on
+   every logged write, so they must not force the buffer out. *)
+let sync_pos t = Kernel.sync_log_pos t.k t.seg
+
+let stream_version t =
+  match Segment.log_mode t.seg with
+  | Logger.Normal -> Logger.codec (Machine.logger (Kernel.machine t.k))
+  | Logger.Direct_mapped | Logger.Indexed -> Log_record.V0
+
 let length t =
   sync t;
   Segment.write_pos t.seg
@@ -212,12 +221,15 @@ let reserve t ~bytes ~max_pages =
     Error.raise_
       (Error.Out_of_range
          { op = "reserve_log_room"; what = "bytes"; value = bytes });
-  sync t;
+  sync_pos t;
   let seg = t.seg in
+  let pending =
+    Logger.pending_log_bytes_bound (Machine.logger (Kernel.machine t.k))
+  in
   let pos = Segment.write_pos seg in
   let capacity = Segment.size seg in
-  if pos + bytes > capacity || Segment.absorbing seg then begin
-    let short = max 0 (pos + bytes - capacity) in
+  if pos + bytes + pending > capacity || Segment.absorbing seg then begin
+    let short = max 0 (pos + bytes + pending - capacity) in
     let need =
       max
         (if Segment.absorbing seg then 1 else 0)
@@ -240,32 +252,82 @@ let mark_truncatable t ~upto =
   if upto > t.truncatable_upto then t.truncatable_upto <- upto;
   refresh_gauges t
 
+(* Copy stream bytes out of the segment's frames (untimed; cost is
+   charged by the caller). *)
+let snapshot_bytes t ~len =
+  let mem = Machine.mem (Kernel.machine t.k) in
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min (Addr.page_size - Addr.page_offset !off) (len - !off) in
+    let paddr = Kernel.paddr_of t.k t.seg ~off:!off in
+    Physmem.blit_to_bytes mem ~src:paddr buf ~pos:!off ~len:chunk;
+    off := !off + chunk
+  done;
+  buf
+
+let write_stream_bytes t buf =
+  let mem = Machine.mem (Kernel.machine t.k) in
+  let len = Bytes.length buf in
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min (Addr.page_size - Addr.page_offset !off) (len - !off) in
+    let paddr = Kernel.paddr_of t.k t.seg ~off:!off in
+    Physmem.blit_of_bytes mem buf ~pos:!off ~dst:paddr ~len:chunk;
+    off := !off + chunk
+  done
+
 let compact t =
   sync t;
   let seg = t.seg in
   let pos = Segment.write_pos seg in
   let keep_from = min t.truncatable_upto pos in
-  let remaining = pos - keep_from in
-  if remaining > 0 then begin
-    (* Compact the kept suffix to the front, page by page (kernel copy,
-       charged at bcopy cost — identical to the seed's truncate_log). *)
-    let moved = ref 0 in
-    while !moved < remaining do
-      let src_off = keep_from + !moved in
-      let dst_off = !moved in
-      let chunk =
-        min
-          (min
-             (Addr.page_size - Addr.page_offset src_off)
-             (Addr.page_size - Addr.page_offset dst_off))
-          (remaining - !moved)
-      in
-      let src = Kernel.paddr_of t.k seg ~off:src_off in
-      let dst = Kernel.paddr_of t.k seg ~off:dst_off in
-      Machine.bcopy (Kernel.machine t.k) ~src ~dst ~len:chunk;
-      moved := !moved + chunk
-    done
-  end;
+  let remaining =
+    match stream_version t with
+    | Log_record.V0 ->
+      let remaining = pos - keep_from in
+      if remaining > 0 then begin
+        (* Compact the kept suffix to the front, page by page (kernel
+           copy, charged at bcopy cost — identical to the seed's
+           truncate_log). *)
+        let moved = ref 0 in
+        while !moved < remaining do
+          let src_off = keep_from + !moved in
+          let dst_off = !moved in
+          let chunk =
+            min
+              (min
+                 (Addr.page_size - Addr.page_offset src_off)
+                 (Addr.page_size - Addr.page_offset dst_off))
+              (remaining - !moved)
+          in
+          let src = Kernel.paddr_of t.k seg ~off:src_off in
+          let dst = Kernel.paddr_of t.k seg ~off:dst_off in
+          Machine.bcopy (Kernel.machine t.k) ~src ~dst ~len:chunk;
+          moved := !moved + chunk
+        done
+      end;
+      remaining
+    | Log_record.V1 ->
+      (* An encoded suffix cannot be bcopied to the front: a delta's
+         predecessor may be dying with the prefix, and pads were placed
+         for the old page phase. Decode the kept containers (scanning
+         from the stream head so every delta resolves) and re-encode
+         them as a fresh stream, charged at the same bcopy rate over the
+         bytes written. *)
+      let buf = snapshot_bytes t ~len:pos in
+      let kept = ref [] in
+      ignore
+        (Log_record.Codec.scan buf ~pos:0 ~len:pos ~f:(fun ~off ~next:_ rs ->
+             if off >= keep_from then
+               List.iter (fun r -> kept := r :: !kept) rs));
+      let out = Log_record.Codec.encode_stream (List.rev !kept) in
+      write_stream_bytes t out;
+      let words = (Bytes.length out + Addr.word_size - 1) / Addr.word_size in
+      Machine.compute (Kernel.machine t.k)
+        (Cycles.bcopy_base + (words * Cycles.bcopy_per_word));
+      Bytes.length out
+  in
   Segment.set_write_pos seg remaining;
   let freed = keep_from / extent_bytes t in
   if freed > 0 then begin
@@ -285,6 +347,13 @@ let truncate t ~keep_from =
 let seal t =
   sync t;
   let sealed = Segment.write_pos t.seg in
+  (* A V1 stream's floor is its 8-byte version header, not zero. *)
+  let empty =
+    match stream_version t with
+    | Log_record.V0 -> 0
+    | Log_record.V1 -> Log_record.Codec.header_bytes
+  in
+  let sealed = if sealed <= empty then 0 else sealed in
   (* Sealing an empty active extent — including a second seal in the
      same epoch, which finds the ring already compacted to zero — is a
      no-op: no bytes move, no extents recycle, stats stay put. Without
@@ -307,6 +376,49 @@ let truncate_suffix t ~new_end =
   if t.truncatable_upto > new_end then t.truncatable_upto <- new_end;
   Kernel.rearm_log t.k t.seg;
   refresh_gauges t
+
+(* {1 Software epoch coalescing}
+
+   The commit-path analogue of the logger's hardware buffer: squash one
+   epoch's worth of write records before they are serialized into a WAL
+   payload. Only whole-word writes merge (last value wins, first-touch
+   order); a sub-word write flushes the pending words first so
+   overlapping extents can never be re-ordered against each other. *)
+
+module Coalescer = struct
+  type write = { off : int; size : int; value : int; timestamp : int }
+
+  let squash writes =
+    let tbl = Hashtbl.create 64 in
+    let order = Queue.create () in
+    let out = ref [] in
+    let absorbed = ref 0 in
+    let flush () =
+      Queue.iter
+        (fun off ->
+          match Hashtbl.find_opt tbl off with
+          | Some w -> out := w :: !out
+          | None -> ())
+        order;
+      Queue.clear order;
+      Hashtbl.reset tbl
+    in
+    List.iter
+      (fun w ->
+        if w.size = Addr.word_size && w.off land (Addr.word_size - 1) = 0
+        then begin
+          if Hashtbl.mem tbl w.off then incr absorbed
+          else Queue.push w.off order;
+          Hashtbl.replace tbl w.off w
+        end
+        else begin
+          flush ();
+          out := w :: !out
+        end)
+      writes;
+    flush ();
+    (List.rev !out, !absorbed)
+end
 
 (* {1 Group commit} *)
 

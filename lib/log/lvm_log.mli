@@ -86,7 +86,13 @@ val extent_state : t -> int -> extent_state
 val stats : t -> stats
 
 val sync : t -> unit
-(** Synchronize the segment's write position from the logger. *)
+(** Synchronize the segment's write position from the logger. A hard
+    sync: drains the logger's write-coalescing buffer first when one is
+    configured (see {!Lvm_vm.Kernel.sync_log}). *)
+
+val stream_version : t -> Lvm_machine.Log_record.version
+(** Wire format of the log's record stream (the logger's codec for
+    [Normal]-mode logs, [V0] otherwise). *)
 
 val length : t -> int
 (** Synchronized write position: bytes of records in the log. *)
@@ -134,6 +140,19 @@ val seal : t -> int
     Sealing an empty active extent — and hence sealing twice in one
     epoch — is a guaranteed no-op returning [0]: nothing is compacted or
     recycled, {!stats} are unchanged, and the ring stays consistent. *)
+
+(** {1 Software epoch coalescing} *)
+
+module Coalescer : sig
+  type write = { off : int; size : int; value : int; timestamp : int }
+
+  val squash : write list -> write list * int
+  (** Squash one epoch of write records before WAL serialization: repeated
+      whole-word writes to the same offset merge in place (last value
+      wins, first-touch order); a sub-word write flushes the pending words
+      first so overlapping extents keep their relative order. Returns the
+      squashed sequence and the number of absorbed writes. *)
+end
 
 (** {1 Group commit} *)
 

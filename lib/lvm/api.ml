@@ -17,17 +17,21 @@ module Config = struct
     frames : int;
     log_entries : int;
     cpus : int;
+    codec : Lvm_machine.Log_record.version;
+    coalesce_depth : int;
   }
 
   let default =
     { obs = None; hw = Lvm_machine.Logger.Prototype;
-      record_old_values = false; frames = 4096; log_entries = 64; cpus = 1 }
+      record_old_values = false; frames = 4096; log_entries = 64; cpus = 1;
+      codec = Lvm_machine.Log_record.V0; coalesce_depth = 0 }
 end
 
 let create (c : Config.t) =
   Kernel.create ?obs:c.Config.obs ~hw:c.Config.hw
     ~record_old_values:c.Config.record_old_values ~frames:c.Config.frames
-    ~log_entries:c.Config.log_entries ~cpus:c.Config.cpus ()
+    ~log_entries:c.Config.log_entries ~cpus:c.Config.cpus
+    ~codec:c.Config.codec ~coalesce_depth:c.Config.coalesce_depth ()
 
 let obs k = Kernel.obs k
 let perf k = Kernel.snapshot k
@@ -36,23 +40,6 @@ let run config f =
   let k = create config in
   let result = f k in
   (result, perf k)
-
-(* Deprecated optional-argument wrappers: pre-redesign call sites keep
-   compiling; every internal caller uses the config records above. *)
-
-let config_of ?obs ?hw ?frames ?log_entries () =
-  let d = Config.default in
-  { d with
-    Config.obs;
-    hw = Option.value hw ~default:d.Config.hw;
-    frames = Option.value frames ~default:d.Config.frames;
-    log_entries = Option.value log_entries ~default:d.Config.log_entries }
-
-let boot ?obs ?hw ?frames ?log_entries () =
-  create (config_of ?obs ?hw ?frames ?log_entries ())
-
-let with_kernel ?obs ?hw ?frames ?log_entries f =
-  run (config_of ?obs ?hw ?frames ?log_entries ()) f
 
 let address_space k = Kernel.create_space k
 let std_segment ?manager k ~size = Kernel.create_segment ?manager k ~size

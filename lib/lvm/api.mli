@@ -4,7 +4,7 @@
     The example from Section 2.2, creating a logged region:
 
     {[
-      let k = Api.boot () in
+      let k = Api.create Api.Config.default in
       let space = Api.address_space k in
       let seg_a = Api.std_segment k ~size in        (* new StdSegment(size) *)
       let reg_r = Api.std_region k seg_a in         (* new StdRegion(seg_a) *)
@@ -39,8 +39,8 @@ exception Lvm_error of Error.t
 
 (** Boot-time machine configuration.
 
-    One record replaces the optional-argument sprawl of the original
-    [boot]/[with_kernel] signatures; override the defaults with the
+    One record replaces the optional-argument sprawl of the retired
+    [boot]/[with_kernel] wrappers; override the defaults with the
     functional-update syntax:
 
     {[
@@ -62,12 +62,23 @@ module Config : sig
     cpus : int;
         (** Processors sharing the bus, logger and frame pool
             (default 1). *)
+    codec : Lvm_machine.Log_record.version;
+        (** On-disk record-stream format the logger writes (default
+            [V0], the seed's fixed 16-byte records — bit-identical
+            output). [V1] is the versioned codec: an explicit stream
+            header plus run/delta-compressed records. *)
+    coalesce_depth : int;
+        (** Logger write-coalescing buffer depth in records (default 0:
+            no buffer, every store emits immediately). Repeated
+            whole-word stores to the same address are absorbed until a
+            flush — a commit, force or snapshot boundary drains the
+            buffer. Incompatible with [record_old_values]. *)
   }
 
   val default : t
   (** [{ obs = None; hw = Prototype; record_old_values = false;
-        frames = 4096; log_entries = 64; cpus = 1 }] — exactly the
-      machine every pre-redesign [boot ()] call produced. *)
+        frames = 4096; log_entries = 64; cpus = 1; codec = V0;
+        coalesce_depth = 0 }] — exactly the machine the seed produced. *)
 end
 
 val create : Config.t -> kernel
@@ -78,23 +89,6 @@ val run : Config.t -> (kernel -> 'a) -> 'a * Lvm_obs.Snapshot.t
 (** [run config f] boots a kernel, runs [f] on it and returns [f]'s
     result together with the final counter snapshot — the convenient
     shape for measured one-shot workloads. *)
-
-val boot :
-  ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
-  ?log_entries:int -> unit -> kernel
-[@@ocaml.deprecated
-  "use Api.create { Api.Config.default with ... } (config records replace \
-   the optional-argument form)"]
-(** Deprecated thin wrapper over {!create}; pre-redesign call sites
-    compile unchanged. *)
-
-val with_kernel :
-  ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw -> ?frames:int ->
-  ?log_entries:int -> (kernel -> 'a) -> 'a * Lvm_obs.Snapshot.t
-[@@ocaml.deprecated
-  "use Api.run { Api.Config.default with ... } (config records replace \
-   the optional-argument form)"]
-(** Deprecated thin wrapper over {!run}. *)
 
 val address_space : kernel -> address_space
 (** Create an address space ([thisProcess()->addressSpace()] analogue). *)

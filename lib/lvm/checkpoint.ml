@@ -10,16 +10,47 @@ let apply_record k ~target ~off (r : Log_record.t) =
     ~mode:Machine.Write_back ~logged:false r.Log_record.value
 
 let roll_forward k ~log ~from ~apply =
-  let len = Log_reader.length k log in
-  let rec go off =
-    if off + Log_record.bytes > len then off
-    else
-      let r = Log_reader.read_at_timed k log ~off in
-      match apply ~off r with
-      | `Continue -> go (off + Log_record.bytes)
-      | `Stop -> off
-  in
-  go from
+  match Log_reader.stream_version k log with
+  | Log_record.V0 ->
+    let len = Log_reader.length k log in
+    let rec go off =
+      if off + Log_record.bytes > len then off
+      else
+        let r = Log_reader.read_at_timed k log ~off in
+        match apply ~off r with
+        | `Continue -> go (off + Log_record.bytes)
+        | `Stop -> off
+    in
+    go from
+  | Log_record.V1 ->
+    (* Containers are the only valid stop offsets of an encoded stream
+       (truncating inside one would tear it, and a record after a dead
+       delta's predecessor must never survive alone), so the walk applies
+       container by container: the reader charges one pass over the
+       container's bytes, then every logical record is offered to
+       [apply]. A [`Stop] anywhere in a container stops at the
+       container's start — replay is idempotent (records carry absolute
+       values), so records of a partially-applied container are simply
+       replayed next time. *)
+    let exception Stop of int in
+    (try
+       let stop =
+         Log_reader.fold_phys k log ~init:(max from 0)
+           ~f:(fun acc ~off ~next rs ->
+             if next <= from then acc
+             else begin
+               Log_reader.charge_read k log ~off ~len:(next - off);
+               List.iter
+                 (fun r ->
+                   match apply ~off r with
+                   | `Continue -> ()
+                   | `Stop -> raise (Stop off))
+                 rs;
+               next
+             end)
+       in
+       stop
+     with Stop off -> off)
 
 let rollback k ~space ~working ~working_region ~base ~log ~upto =
   (* Re-applied updates must not be re-logged (logging is dynamically

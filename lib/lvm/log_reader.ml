@@ -8,19 +8,99 @@ let length k ls =
   Kernel.sync_log k ls;
   Segment.write_pos ls
 
-let record_count k ls = length k ls / Log_record.bytes
+(* The wire format of the segment's record stream. Streams are written by
+   this kernel's logger, so the logger's configured codec is
+   authoritative; only [Normal]-mode streams carry encoded records. *)
+let stream_version k ls =
+  match Segment.log_mode ls with
+  | Logger.Normal -> Logger.codec (Machine.logger (Kernel.machine k))
+  | Logger.Direct_mapped | Logger.Indexed -> Log_record.V0
+
+(* Copy the whole record stream out of physical memory (one address
+   translation per page). V1 walks operate on this snapshot: records are
+   variable-length and deltas need look-behind, so the stream is parsed
+   as one contiguous fragment. *)
+let snapshot_stream k ls =
+  let len = length k ls in
+  let mem = Machine.mem (Kernel.machine k) in
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min (Addr.page_size - Addr.page_offset !off) (len - !off) in
+    let paddr = Kernel.paddr_of k ls ~off:!off in
+    Physmem.blit_to_bytes mem ~src:paddr buf ~pos:!off ~len:chunk;
+    off := !off + chunk
+  done;
+  buf
+
+(* Fold over physical records — the stream's containers. Under V0 every
+   container is one bare record; under V1 a container may carry a run of
+   records (or none: version headers and pads). [next] is the offset just
+   past the container. *)
+let fold_phys k ls ~init ~f =
+  match stream_version k ls with
+  | Log_record.V1 ->
+    let buf = snapshot_stream k ls in
+    let acc = ref init in
+    ignore
+      (Log_record.Codec.scan buf ~pos:0 ~len:(Bytes.length buf)
+         ~f:(fun ~off ~next rs -> acc := f !acc ~off ~next rs));
+    !acc
+  | Log_record.V0 ->
+    let mem = Machine.mem (Kernel.machine k) in
+    let len = length k ls in
+    let rec go acc off =
+      if off + Log_record.bytes > len then acc
+      else
+        let paddr = Kernel.paddr_of k ls ~off in
+        let r = Log_record.decode_from mem ~paddr in
+        go (f acc ~off ~next:(off + Log_record.bytes) [ r ]) (off + Log_record.bytes)
+    in
+    go init 0
+
+let record_count k ls =
+  match stream_version k ls with
+  | Log_record.V0 -> length k ls / Log_record.bytes
+  | Log_record.V1 ->
+    fold_phys k ls ~init:0 ~f:(fun n ~off:_ ~next:_ rs -> n + List.length rs)
 
 let read_at k ls ~off =
-  let paddr = Kernel.paddr_of k ls ~off in
-  Log_record.decode_from (Machine.mem (Kernel.machine k)) ~paddr
+  match stream_version k ls with
+  | Log_record.V0 ->
+    let paddr = Kernel.paddr_of k ls ~off in
+    Log_record.decode_from (Machine.mem (Kernel.machine k)) ~paddr
+  | Log_record.V1 -> (
+    match
+      fold_phys k ls ~init:None ~f:(fun acc ~off:o ~next:_ rs ->
+          match acc with
+          | Some _ -> acc
+          | None -> if o = off then (match rs with r :: _ -> Some r | [] -> None)
+            else None)
+    with
+    | Some r -> r
+    | None -> invalid_arg "Log_reader.read_at: no record at offset")
+
+(* Charge the cache-model cost of reading [len] stream bytes at [off]. *)
+let charge_read k ls ~off ~len =
+  let m = Kernel.machine k in
+  for w = 0 to ((len + Addr.word_size - 1) / Addr.word_size) - 1 do
+    let paddr = Kernel.paddr_of k ls ~off:(off + (w * Addr.word_size)) in
+    ignore (Machine.read m ~paddr ~size:4)
+  done
 
 let read_at_timed k ls ~off =
-  let paddr = Kernel.paddr_of k ls ~off in
-  let m = Kernel.machine k in
-  for w = 0 to 3 do
-    ignore (Machine.read m ~paddr:(paddr + (w * Addr.word_size)) ~size:4)
-  done;
-  Log_record.decode_from (Machine.mem m) ~paddr
+  match stream_version k ls with
+  | Log_record.V0 ->
+    let paddr = Kernel.paddr_of k ls ~off in
+    let m = Kernel.machine k in
+    for w = 0 to 3 do
+      ignore (Machine.read m ~paddr:(paddr + (w * Addr.word_size)) ~size:4)
+    done;
+    Log_record.decode_from (Machine.mem m) ~paddr
+  | Log_record.V1 ->
+    let r = read_at k ls ~off in
+    charge_read k ls ~off ~len:Log_record.bytes;
+    r
 
 let map k space ls =
   if Segment.kind ls <> Segment.Log then
@@ -36,7 +116,7 @@ let read_mapped k space ~base ~off =
   done;
   Log_record.decode_bytes buf ~pos:0
 
-let fold k ls ~init ~f =
+let fold_v0 k ls ~init ~f =
   (* One logger sync for the whole walk ([length]), one address
      translation per page: records never straddle pages (the page size is
      a multiple of [Log_record.bytes]), so a cached page base serves all
@@ -73,6 +153,16 @@ let fold k ls ~init ~f =
     end
   in
   go init 0
+
+let fold k ls ~init ~f =
+  match stream_version k ls with
+  | Log_record.V0 -> fold_v0 k ls ~init ~f
+  | Log_record.V1 ->
+    (* Logical records decoded from the stream snapshot; [off] is the
+       containing physical record's offset. Mid-fold truncation is safe
+       (the snapshot was captured first) but not observed. *)
+    fold_phys k ls ~init ~f:(fun acc ~off ~next:_ rs ->
+        List.fold_left (fun acc r -> f acc ~off r) acc rs)
 
 let iter k ls ~f = fold k ls ~init:() ~f:(fun () ~off r -> f ~off r)
 

@@ -14,15 +14,35 @@ type kernel = Lvm_vm.Kernel.t
 type segment = Lvm_vm.Segment.t
 
 val length : kernel -> segment -> int
-(** Bytes of records currently in the log (syncs with the logger). *)
+(** Bytes of records currently in the log (syncs with the logger, which
+    also drains its coalescing buffer when one is configured). *)
+
+val stream_version : kernel -> segment -> Lvm_machine.Log_record.version
+(** Wire format of the segment's record stream: the logger's configured
+    codec for [Normal]-mode streams, [V0] for mapped/streamed output. *)
 
 val record_count : kernel -> segment -> int
+(** Logical records in the log (decoded count under [V1]). *)
+
+val fold_phys :
+  kernel -> segment -> init:'a ->
+  f:('a -> off:int -> next:int -> Lvm_machine.Log_record.t list -> 'a) -> 'a
+(** Untimed fold over {e physical} records — the stream's containers.
+    Under [V0] every container is one record; under [V1] a container may
+    decode to several logical records (a run) or none (the version
+    header, pads). [next] is the offset just past the container, the
+    only valid truncation points of a [V1] stream. *)
 
 val read_at : kernel -> segment -> off:int -> Lvm_machine.Log_record.t
 (** Untimed parse of the record at byte offset [off]. *)
 
 val read_at_timed : kernel -> segment -> off:int -> Lvm_machine.Log_record.t
 (** As {!read_at} but charging four word reads through the cache model. *)
+
+val charge_read : kernel -> segment -> off:int -> len:int -> unit
+(** Charge the cache-model cost of reading [len] stream bytes at [off]
+    (one word read per 4 bytes) without parsing them — how the
+    checkpoint machinery prices a pass over an encoded container. *)
 
 val map : kernel -> Lvm_vm.Address_space.t -> segment -> int
 (** Bind the log segment into an address space for reading (Section 2.1:

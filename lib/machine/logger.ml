@@ -24,9 +24,28 @@ type raw = {
   w_pre_image : bool;
 }
 
+(* Codec / coalescing metrics, registered only when either feature is
+   enabled so the default configuration's metrics snapshot stays
+   byte-identical to the seed. *)
+type diet_stats = {
+  s_absorbed : Lvm_obs.Counter.counter; (* writes merged in the buffer *)
+  s_flushed : Lvm_obs.Counter.counter; (* records leaving the buffer *)
+  s_raw : Lvm_obs.Counter.counter;
+  s_run : Lvm_obs.Counter.counter;
+  s_delta : Lvm_obs.Counter.counter;
+  s_pad : Lvm_obs.Counter.counter;
+  s_logical_bytes : Lvm_obs.Counter.counter; (* 16 B per logical record *)
+  s_encoded_bytes : Lvm_obs.Counter.counter; (* stream bytes, pads included *)
+}
+
 type t = {
   hw : hw;
   record_old_values : bool;
+  codec : Log_record.version;
+  coalesce_depth : int;
+  co_tbl : (int, raw) Hashtbl.t; (* word paddr -> last write, last-wins *)
+  co_order : int Queue.t; (* first-touch drain order *)
+  stats : diet_stats option;
   pmt : pmt_entry array;
   pmt_bits : int;
   table : log_entry array;
@@ -49,15 +68,42 @@ type t = {
 }
 
 let create ?obs ?(hw = Prototype) ?(record_old_values = false)
-    ?(pmt_bits = 15) ?(log_entries = 64) ~clock mem bus perf =
+    ?(codec = Log_record.V0) ?(coalesce_depth = 0) ?(pmt_bits = 15)
+    ?(log_entries = 64) ~clock mem bus perf =
   let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   if pmt_bits < 2 || pmt_bits > 20 then invalid_arg "Logger.create: pmt_bits";
   if log_entries <= 0 then invalid_arg "Logger.create: log_entries";
   if record_old_values && hw <> On_chip then
     invalid_arg "Logger.create: old-value records need on-chip logging";
+  if coalesce_depth < 0 then invalid_arg "Logger.create: coalesce_depth";
+  if coalesce_depth > 0 && record_old_values then
+    invalid_arg
+      "Logger.create: coalescing absorbs writes, old-value records need \
+       every store";
+  let stats =
+    if codec = Log_record.V1 || coalesce_depth > 0 then
+      let c name = Lvm_obs.Ctx.counter obs ("log." ^ name) in
+      Some
+        {
+          s_absorbed = c "coalesce_absorbed";
+          s_flushed = c "coalesce_flushed";
+          s_raw = c "records_raw";
+          s_run = c "records_run";
+          s_delta = c "records_delta";
+          s_pad = c "records_pad";
+          s_logical_bytes = c "bytes_logical";
+          s_encoded_bytes = c "bytes_encoded";
+        }
+    else None
+  in
   {
     hw;
     record_old_values;
+    codec;
+    coalesce_depth;
+    co_tbl = Hashtbl.create 64;
+    co_order = Queue.create ();
+    stats;
     pmt =
       Array.init (1 lsl pmt_bits) (fun _ ->
           { p_valid = false; tag = 0; log_index = 0 });
@@ -84,12 +130,24 @@ let create ?obs ?(hw = Prototype) ?(record_old_values = false)
 
 let hw t = t.hw
 let records_old_values t = t.record_old_values
+let codec t = t.codec
+let coalesce_depth t = t.coalesce_depth
+let coalesce_pending t = Queue.length t.co_order
 let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
 let set_fault_handler t f = t.on_fault <- f
 let set_clock t clock = t.clock <- clock
 let set_snoop_observer t f = t.snoop_observer <- f
 let set_fault_plan t p = t.fault_plan <- p
+
+(* Worst-case log bytes still owed by the coalescing buffer: the
+   log-lifecycle layer adds this to its reservations so a deferred flush
+   can never land past the end of the segment. *)
+let pending_log_bytes_bound t =
+  let pending = Queue.length t.co_order in
+  match t.codec with
+  | Log_record.V0 -> pending * Log_record.bytes
+  | Log_record.V1 -> Log_record.Codec.worst_case_bytes ~writes:pending
 
 let fault_check t ~site ~cycle =
   match t.fault_plan with
@@ -294,6 +352,285 @@ let admit t ~arrival =
       done
     end
 
+(* {1 The V1 encoded datapath}
+
+   Under the V1 codec the logger forms variable-length physical records:
+   runs of sequential word writes share one header, a word-diff against
+   the previous record's cache line shrinks to 8 bytes, and pads keep
+   records from straddling page boundaries (the page-grain re-arm
+   machinery — [Log_addr_invalid] faults — is unchanged). DMA cost
+   scales with the encoded size: a physical record of [len] bytes books
+   [ceil(len/16)] 16-byte DMA units on the bus and occupies that many
+   FIFO slots, which is exactly where the bandwidth diet pays off. *)
+
+let record_of_raw t (w : raw) =
+  let logged_addr =
+    match t.hw with Prototype -> w.w_paddr | On_chip -> w.w_vaddr
+  in
+  { Log_record.addr = logged_addr; value = w.w_value; size = w.w_size;
+    timestamp = w.w_timestamp; pre_image = w.w_pre_image }
+
+let lose t n =
+  t.perf.Perf.log_records_lost <- t.perf.Perf.log_records_lost + n
+
+let note_group t (g : Log_record.Codec.group) =
+  match t.stats with
+  | None -> ()
+  | Some s ->
+    let n = List.length (Log_record.Codec.group_records g) in
+    Lvm_obs.Counter.add s.s_logical_bytes (n * Log_record.bytes);
+    Lvm_obs.Counter.add s.s_encoded_bytes (Log_record.Codec.group_bytes g);
+    (match g with
+    | Log_record.Codec.G_raw _ -> Lvm_obs.Counter.incr s.s_raw
+    | Log_record.Codec.G_run _ -> Lvm_obs.Counter.incr s.s_run
+    | Log_record.Codec.G_delta _ -> Lvm_obs.Counter.incr s.s_delta)
+
+let note_pad t ~len =
+  match t.stats with
+  | None -> ()
+  | Some s ->
+    Lvm_obs.Counter.incr s.s_pad;
+    Lvm_obs.Counter.add s.s_encoded_bytes len
+
+(* Emit one physical record at the log entry's current address, splitting
+   runs (or padding) so no record straddles a page. Returns whether the
+   whole group made it into the stream. *)
+let rec emit_phys t ~log_index (g : Log_record.Codec.group) ~attempts =
+  let n = List.length (Log_record.Codec.group_records g) in
+  if attempts > 4 then begin
+    lose t n;
+    false
+  end
+  else
+    let entry = t.table.(log_index) in
+    if not entry.l_valid then begin
+      match fault t (Log_addr_invalid { log_index }) with
+      | Drop ->
+        lose t n;
+        false
+      | Fixed -> emit_phys t ~log_index g ~attempts:(attempts + 1)
+    end
+    else begin
+      let addr = entry.next_addr in
+      let remaining = Addr.page_size - Addr.page_offset addr in
+      let glen = Log_record.Codec.group_bytes g in
+      if glen > remaining then begin
+        match g with
+        | Log_record.Codec.G_run rs when remaining >= 12 + 8 ->
+          (* split the run at the page boundary *)
+          let k = (remaining - 12) / 4 in
+          let rec take i = function
+            | x :: rest when i > 0 ->
+              let a, b = take (i - 1) rest in
+              (x :: a, b)
+            | rest -> ([], rest)
+          in
+          let first, rest = take k rs in
+          let ok1 = emit_phys t ~log_index (Log_record.Codec.G_run first)
+              ~attempts
+          in
+          let g' =
+            match rest with
+            | [ r ] -> Log_record.Codec.G_raw r
+            | rs -> Log_record.Codec.G_run rs
+          in
+          let ok2 = emit_phys t ~log_index g' ~attempts:0 in
+          ok1 && ok2
+        | _ ->
+          (* pad out the page; the entry invalidates at the boundary and
+             the retry faults into the kernel to arm the next page *)
+          let pad = Log_record.Codec.encode_pad ~len:remaining in
+          Physmem.blit_of_bytes t.mem pad ~pos:0 ~dst:addr ~len:remaining;
+          note_pad t ~len:remaining;
+          entry.next_addr <- addr + remaining;
+          entry.l_valid <- false;
+          emit_phys t ~log_index g ~attempts
+      end
+      else begin
+        let arrival = !(t.clock) in
+        admit t ~arrival;
+        let arrival = max arrival !(t.clock) in
+        match fault_check t ~site:Lvm_fault.Fault.Log_dma ~cycle:!(t.clock) with
+        | Some Lvm_fault.Fault.Dma_fail ->
+          (* the whole physical record is lost in flight *)
+          lose t n;
+          false
+        | Some _ | None ->
+          let b = Log_record.Codec.encode_group g in
+          Physmem.blit_of_bytes t.mem b ~pos:0 ~dst:addr ~len:glen;
+          entry.next_addr <- addr + glen;
+          if Addr.page_offset entry.next_addr = 0 then entry.l_valid <- false;
+          let units = (glen + Log_record.bytes - 1) / Log_record.bytes in
+          let start = max arrival t.free_at in
+          let lookup_done = start + Cycles.logger_lookup in
+          let dma_internal =
+            Cycles.log_record_dma_total - Cycles.log_record_dma_bus
+          in
+          let bus_done =
+            Bus.access t.bus ~track:Bus.Dma ~now:(lookup_done + dma_internal)
+              ~cycles:(units * Cycles.log_record_dma_bus)
+          in
+          t.free_at <- bus_done;
+          for _ = 1 to units do
+            Fifo.push t.fifo ~drain_time:bus_done
+          done;
+          t.perf.Perf.log_records <- t.perf.Perf.log_records + units;
+          note_group t g;
+          true
+      end
+    end
+
+(* Resolve a snooped write to its log table index, faulting the kernel in
+   for PMT misses exactly as the V0 pipeline does. *)
+let rec resolve_index t (w : raw) ~attempts =
+  if attempts > 4 then begin
+    lose t 1;
+    None
+  end
+  else
+    let key = match t.hw with Prototype -> w.w_paddr | On_chip -> w.w_vaddr in
+    match pmt_lookup t ~page:(Addr.page_number key) with
+    | Some log_index -> Some log_index
+    | None -> begin
+      match fault t (Pmt_miss { paddr = key }) with
+      | Drop ->
+        lose t 1;
+        None
+      | Fixed -> resolve_index t w ~attempts:(attempts + 1)
+    end
+
+(* Service a batch of writes through the encoded pipeline: resolve each
+   one, group consecutive same-log Normal-mode writes into compact
+   physical records, and emit. Non-[Normal] log entries (mapped and
+   streamed device output) keep the bare V0 datapath — their streams
+   carry no headers and no framing. *)
+let service_batch t raws =
+  let resolved =
+    List.filter_map
+      (fun w ->
+        match resolve_index t w ~attempts:0 with
+        | None -> None
+        | Some i -> Some (i, w))
+      raws
+  in
+  (* split into runs of consecutive writes to the same log *)
+  let segments =
+    List.fold_left
+      (fun acc (i, w) ->
+        match acc with
+        | (j, ws) :: rest when j = i -> (j, w :: ws) :: rest
+        | _ -> (i, [ w ]) :: acc)
+      [] resolved
+    |> List.rev_map (fun (i, ws) -> (i, List.rev ws))
+  in
+  List.iter
+    (fun (log_index, seg) ->
+      match t.table.(log_index).l_mode with
+      | Direct_mapped | Indexed ->
+        List.iter
+          (fun w ->
+            let arrival = !(t.clock) in
+            admit t ~arrival;
+            service_one t
+              { w with w_arrival = max arrival !(t.clock) }
+              ~attempts:0)
+          seg
+      | Normal ->
+        let records = List.map (record_of_raw t) seg in
+        let groups = Log_record.Codec.group_batch records in
+        let rest = ref seg in
+        List.iter
+          (fun g ->
+            let n = List.length (Log_record.Codec.group_records g) in
+            let rec take i = function
+              | x :: more when i > 0 ->
+                let a, b = take (i - 1) more in
+                (x :: a, b)
+              | more -> ([], more)
+            in
+            let mine, more = take n !rest in
+            rest := more;
+            if emit_phys t ~log_index g ~attempts:0 then
+              match t.snoop_observer with
+              | None -> ()
+              | Some observe ->
+                List.iter
+                  (fun w ->
+                    if not w.w_pre_image then
+                      observe ~paddr:w.w_paddr ~vaddr:w.w_vaddr
+                        ~size:w.w_size ~value:w.w_value)
+                  mine)
+          groups)
+    segments
+
+(* {1 The coalescing buffer}
+
+   A small associative buffer in front of the FIFOs (the in-cache-line
+   logging idea): full-word writes park here and repeated writes to the
+   same word are absorbed in place, last value wins. The buffer drains in
+   first-touch order on commit/force/snapshot boundaries (the kernel's
+   hard log sync) or when it fills. Only whole-word writes coalesce —
+   sub-word writes would have to merge across overlapping extents to
+   stay order-independent, so they flush the buffer and take the
+   uncoalesced path. *)
+
+let coalescible (w : raw) =
+  w.w_size = Addr.word_size && w.w_paddr land (Addr.word_size - 1) = 0
+  && not w.w_pre_image
+
+let flush_coalesced t =
+  if Queue.length t.co_order > 0 then begin
+    let raws =
+      Queue.fold
+        (fun acc paddr ->
+          match Hashtbl.find_opt t.co_tbl paddr with
+          | Some w -> w :: acc
+          | None -> acc)
+        [] t.co_order
+      |> List.rev
+    in
+    Queue.clear t.co_order;
+    Hashtbl.reset t.co_tbl;
+    (match t.stats with
+    | Some s -> Lvm_obs.Counter.add s.s_flushed (List.length raws)
+    | None -> ());
+    (* Records leave the buffer now, so they are stamped now — a drain
+       shares one timestamp (like a cache-line writeback), which is also
+       what lets sequential buffered words collapse into runs. *)
+    match t.codec with
+    | Log_record.V1 ->
+      let now = !(t.clock) in
+      let ts = now / Cycles.timestamp_divider in
+      service_batch t
+        (List.map (fun w -> { w with w_arrival = now; w_timestamp = ts }) raws)
+    | Log_record.V0 ->
+      List.iter
+        (fun w ->
+          let arrival = !(t.clock) in
+          admit t ~arrival;
+          let arrival = max arrival !(t.clock) in
+          service_one t
+            { w with
+              w_arrival = arrival;
+              w_timestamp = arrival / Cycles.timestamp_divider }
+            ~attempts:0)
+        raws
+  end
+
+let discard_coalesced t =
+  Queue.clear t.co_order;
+  Hashtbl.reset t.co_tbl
+
+let coalesce_insert t (w : raw) =
+  (if Hashtbl.mem t.co_tbl w.w_paddr then begin
+     match t.stats with
+     | Some s -> Lvm_obs.Counter.incr s.s_absorbed
+     | None -> ()
+   end
+   else Queue.push w.w_paddr t.co_order);
+  Hashtbl.replace t.co_tbl w.w_paddr w;
+  if Queue.length t.co_order >= t.coalesce_depth then flush_coalesced t
+
 let snoop ?old_value t ~paddr ~vaddr ~size ~value =
   if t.enabled then begin
     (* pre-image first, so readers see old value then new value *)
@@ -314,10 +651,7 @@ let snoop ?old_value t ~paddr ~vaddr ~size ~value =
         }
         ~attempts:0
     | (true | false), _ -> ());
-    let arrival = !(t.clock) in
-    admit t ~arrival;
-    let arrival = max arrival !(t.clock) in
-    service_one t
+    let raw_at arrival =
       {
         w_paddr = paddr;
         w_vaddr = vaddr;
@@ -327,5 +661,18 @@ let snoop ?old_value t ~paddr ~vaddr ~size ~value =
         w_timestamp = arrival / Cycles.timestamp_divider;
         w_pre_image = false;
       }
-      ~attempts:0
+    in
+    if t.coalesce_depth > 0 && coalescible (raw_at !(t.clock)) then
+      coalesce_insert t (raw_at !(t.clock))
+    else begin
+      (* an uncoalescible write must not overtake buffered ones *)
+      if Queue.length t.co_order > 0 then flush_coalesced t;
+      match t.codec with
+      | Log_record.V1 -> service_batch t [ raw_at !(t.clock) ]
+      | Log_record.V0 ->
+        let arrival = !(t.clock) in
+        admit t ~arrival;
+        let arrival = max arrival !(t.clock) in
+        service_one t (raw_at arrival) ~attempts:0
+    end
   end

@@ -53,6 +53,7 @@ type t
 
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:hw -> ?record_old_values:bool ->
+  ?codec:Log_record.version -> ?coalesce_depth:int ->
   ?pmt_bits:int -> ?log_entries:int ->
   clock:int ref -> Physmem.t -> Bus.t -> Perf.t -> t
 (** [create ~clock mem bus perf] builds a logger sharing the machine's CPU
@@ -64,10 +65,45 @@ val create :
     defaults to 64. [record_old_values] enables Section 4.6's optional
     pre-image records (on-chip hardware only): each store emits a flagged
     record carrying the overwritten value before the ordinary record,
-    doubling the logging traffic but enabling constant-time undo. *)
+    doubling the logging traffic but enabling constant-time undo.
+
+    [codec] selects the wire format of [Normal]-mode log streams:
+    [Log_record.V0] (the default, the bare 16-byte records of the
+    prototype) or [Log_record.V1] (the versioned codec — runs, deltas and
+    pads; DMA and FIFO cost scale with the encoded size). [coalesce_depth]
+    (default 0 = off) enables a [depth]-word associative coalescing buffer
+    in front of the FIFOs: repeated full-word writes to the same word are
+    absorbed in place and the buffer drains in first-touch order when full
+    or at a hard log sync ({!flush_coalesced}). Coalescing is incompatible
+    with [record_old_values] (absorbed stores would lose their
+    pre-images). With both features off, the datapath is exactly the
+    seed's. Metrics [log.coalesce_*], [log.records_*] and [log.bytes_*]
+    are registered only when a feature is on, so the default metrics
+    snapshot is unchanged. *)
 
 val hw : t -> hw
 val records_old_values : t -> bool
+
+val codec : t -> Log_record.version
+val coalesce_depth : t -> int
+
+val coalesce_pending : t -> int
+(** Writes currently parked in the coalescing buffer. *)
+
+val pending_log_bytes_bound : t -> int
+(** Worst-case log bytes the coalescing buffer can still emit (version
+    header and page pads included under [V1]) — the log-lifecycle layer
+    adds this to its room reservations. *)
+
+val flush_coalesced : t -> unit
+(** Drain the coalescing buffer into the log in first-touch order. Called
+    by the kernel on every hard log sync (commit/force/snapshot
+    boundaries). A no-op when the buffer is empty. *)
+
+val discard_coalesced : t -> unit
+(** Drop buffered writes without logging them — the abort path, where the
+    log tail is about to be truncated anyway. *)
+
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 

@@ -22,8 +22,8 @@ type t = {
   mutable fault : Lvm_fault.Plan.t option;
 }
 
-let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
-    ?(log_entries = 64) ?(cpus = 1) () =
+let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?codec
+    ?coalesce_depth ?(frames = 4096) ?(log_entries = 64) ?(cpus = 1) () =
   if cpus <= 0 then invalid_arg "Machine.create: cpus must be positive";
   let obs = match obs with Some o -> o | None -> Lvm_obs.Ctx.create () in
   let perf = Perf.create () in
@@ -35,8 +35,8 @@ let create ?obs ?(hw = Logger.Prototype) ?record_old_values ?(frames = 4096)
      single-CPU snapshots stay byte-identical *)
   let clocks = Array.init cpus (fun _ -> ref 0) in
   let logger =
-    Logger.create ~obs ~hw ?record_old_values ~log_entries ~clock:clocks.(0)
-      mem bus perf
+    Logger.create ~obs ~hw ?record_old_values ?codec ?coalesce_depth
+      ~log_entries ~clock:clocks.(0) mem bus perf
   in
   let deferred = Deferred_cache.create ~obs mem perf in
   let cpu =

@@ -31,11 +31,14 @@ type write_mode =
 
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Logger.hw -> ?record_old_values:bool ->
+  ?codec:Log_record.version -> ?coalesce_depth:int ->
   ?frames:int -> ?log_entries:int -> ?cpus:int -> unit -> t
 (** [create ()] builds a machine with [frames] physical page frames
     (default 4096, i.e. 16 MB) and the given logging hardware model
     (default [Prototype]). [record_old_values] enables the on-chip
-    pre-image records of Section 4.6. [obs] is the observability context
+    pre-image records of Section 4.6. [codec] and [coalesce_depth] select
+    the log record wire format and the logger's write-coalescing buffer
+    depth (see {!Logger.create}); both default to off, the seed datapath. [obs] is the observability context
     shared by every component (default: a fresh one, announced to any
     attached [Lvm_obs.Collector]); the perf record is enrolled in it as a
     snapshot provider. [cpus] (default 1) is the number of processor

@@ -5,6 +5,10 @@ type entry =
   | Data of { txn : int; off : int; bytes : Bytes.t }
   | Commit of { txn : int }
   | Snapshot of { snap : int }
+  | Encoded of { txn : int; payload : Bytes.t }
+      (* kind 3: a V1 codec stream (version header + records) whose
+         record addresses are image byte offsets — one compact record
+         for a whole transaction's worth of redo *)
 
 type t = {
   k : Kernel.t;
@@ -53,6 +57,7 @@ let words bytes = (bytes + 3) / 4
    the on-disk serialization below. *)
 let entry_bytes = function
   | Data { bytes; _ } -> Bytes.length bytes + 12
+  | Encoded { payload; _ } -> Bytes.length payload + 12
   | Commit _ | Snapshot _ -> 8
 
 (* {1 On-disk serialization}
@@ -94,6 +99,7 @@ let serialize entry =
     | Data { txn; off; bytes } -> (0, txn, off, bytes)
     | Commit { txn } -> (1, txn, 0, Bytes.empty)
     | Snapshot { snap } -> (2, snap, 0, Bytes.empty)
+    | Encoded { txn; payload } -> (3, txn, 0, payload)
   in
   let len = Bytes.length payload in
   let b = Bytes.create (header_bytes + len) in
@@ -152,6 +158,7 @@ let scan t =
             | 0 -> Some (Data { txn; off; bytes = payload })
             | 1 -> Some (Commit { txn })
             | 2 -> Some (Snapshot { snap = txn })
+            | 3 -> Some (Encoded { txn; payload })
             | _ -> None
           in
           match entry with
@@ -189,7 +196,7 @@ let charge_parsed t ~from =
       if len <= t.log_len - pos - header_bytes then begin
         t.entries <- t.entries + 1;
         t.charged_bytes <-
-          t.charged_bytes + (if kind = 0 then len + 12 else 8);
+          t.charged_bytes + (if kind = 0 || kind = 3 then len + 12 else 8);
         go (pos + header_bytes + len)
       end
     end
@@ -229,6 +236,19 @@ let wal_append t entry =
       Error.raise_
         (Error.Out_of_range { op = "Ramdisk.wal_append"; what = "offset";
                               value = off })
+  | Encoded { payload; _ } ->
+    let records, _ =
+      Log_record.Codec.decode_fragment payload ~pos:0
+        ~len:(Bytes.length payload)
+    in
+    List.iter
+      (fun (r : Log_record.t) ->
+        if r.Log_record.addr < 0 || r.Log_record.addr + r.Log_record.size > size t
+        then
+          Error.raise_
+            (Error.Out_of_range { op = "Ramdisk.wal_append"; what = "offset";
+                                  value = r.Log_record.addr }))
+      records
   | Commit _ | Snapshot _ -> ());
   let legacy = entry_bytes entry in
   Kernel.compute t.k (Rvm_costs.disk_op_overhead
@@ -282,11 +302,19 @@ let committed_txns entries =
     (function
       | Commit { txn } -> Some txn
       | Snapshot { snap } -> Some snap
-      | Data _ -> None)
+      | Data _ | Encoded _ -> None)
     entries
 
 (* Apply committed Data records in append order. Records carry absolute
    new values, so replay is idempotent. *)
+let image_write_sized image ~off ~size v =
+  if off >= 0 && off + size <= Bytes.length image then
+    match size with
+    | 4 -> Bytes.set_int32_le image off (Int32.of_int v)
+    | 2 -> Bytes.set_uint16_le image off (v land 0xFFFF)
+    | 1 -> Bytes.set_uint8 image off (v land 0xFF)
+    | _ -> ()
+
 let apply_committed image entries =
   let committed = committed_txns entries in
   let applied = ref 0 in
@@ -295,7 +323,21 @@ let apply_committed image entries =
       | Data { txn; off; bytes } when List.mem txn committed ->
         incr applied;
         Bytes.blit bytes 0 image off (Bytes.length bytes)
-      | Data _ | Commit _ | Snapshot _ -> ())
+      | Encoded { txn; payload } when List.mem txn committed ->
+        (* decode the codec stream; record addresses are image offsets *)
+        let records, _ =
+          Log_record.Codec.decode_fragment payload ~pos:0
+            ~len:(Bytes.length payload)
+        in
+        List.iter
+          (fun (r : Log_record.t) ->
+            if not r.Log_record.pre_image then begin
+              incr applied;
+              image_write_sized image ~off:r.Log_record.addr
+                ~size:r.Log_record.size r.Log_record.value
+            end)
+          records
+      | Data _ | Encoded _ | Commit _ | Snapshot _ -> ())
     entries;
   !applied
 
@@ -324,8 +366,9 @@ let truncate t =
   let committed = committed_txns s.s_entries in
   let uncommitted =
     List.filter
-      (function Data { txn; _ } -> not (List.mem txn committed)
-              | Commit _ | Snapshot _ -> false)
+      (function
+        | Data { txn; _ } | Encoded { txn; _ } -> not (List.mem txn committed)
+        | Commit _ | Snapshot _ -> false)
       s.s_entries
   in
   ignore (apply_committed t.image s.s_entries);

@@ -9,8 +9,8 @@
     serialization.
 
     On disk each record is little-endian words — magic ["WAL1"], kind
-    (0 data / 1 commit / 2 snapshot boundary), transaction id, image
-    offset, payload length,
+    (0 data / 1 commit / 2 snapshot boundary / 3 encoded redo), transaction
+    id, image offset, payload length,
     an FNV-1a checksum over (kind, txn, off, len, payload) — followed by
     the payload. Recovery fail-stops at the first record whose header or
     checksum does not parse, so a torn or corrupted tail is detected and
@@ -41,6 +41,14 @@ type entry =
           boundary never reached the disk is torn — its data records are
           never applied, and recovery truncates back to the last intact
           boundary exactly as it does for an uncommitted transaction. *)
+  | Encoded of { txn : int; payload : Bytes.t }
+      (** Compact redo (kind 3): the payload is a
+          {!Lvm_machine.Log_record.Codec} V1 stream (version header plus
+          run/delta/raw records) whose record addresses are image byte
+          offsets — a whole transaction's redo in one WAL record. Commits
+          exactly like [Data] (gated on kind 1/2 markers); old logs
+          without kind 3 records recover unchanged, and charged bytes
+          follow the encoded payload size — the WAL-side bandwidth diet. *)
 
 val create : Lvm_vm.Kernel.t -> size:int -> t
 (** An all-zero image of [size] bytes. *)

@@ -38,10 +38,14 @@ module Config = struct
 end
 
 (* Worst case a single transaction can log: one 16-byte record per word
-   of the segment, plus the begin/end writes of the transaction cell. *)
-let worst_case_log_bytes ~size =
-  ((size / Addr.word_size) * Lvm_machine.Log_record.bytes)
-  + (2 * Lvm_machine.Log_record.bytes)
+   of the segment, plus the begin/end writes of the transaction cell.
+   Under the V1 codec the stream also carries its version header and
+   worst-case page-boundary pads. *)
+let worst_case_log_bytes ?(version = Log_record.V0) ~size () =
+  let writes = (size / Addr.word_size) + 2 in
+  match version with
+  | Log_record.V0 -> writes * Lvm_machine.Log_record.bytes
+  | Log_record.V1 -> Log_record.Codec.worst_case_bytes ~writes
 
 let make (config : Config.t) k space ~size =
   let { Config.log_pages; max_log_pages; group } = config in
@@ -61,7 +65,8 @@ let make (config : Config.t) k space ~size =
     match max_log_pages with Some m -> max m log_pages | None -> 2 * log_pages
   in
   let capacity = log_pages * Addr.page_size in
-  let requested = worst_case_log_bytes ~size in
+  let version = Logger.codec (Machine.logger (Kernel.machine k)) in
+  let requested = worst_case_log_bytes ~version ~size () in
   if requested > capacity then
     Error.raise_ (Error.Log_capacity { op = "Rlvm.create"; requested;
                                        capacity });
@@ -87,15 +92,6 @@ let make (config : Config.t) k space ~size =
   in
   { k; space; working; committed; region; ls; log; base; size; disk; batcher;
     max_log_pages; current = None; next_txn = 1; txn_absorbed_base = 0 }
-
-(* Deprecated optional-argument wrapper over [make]. *)
-let create ?log_pages ?max_log_pages ?group k space ~size =
-  let d = Config.default in
-  make
-    { Config.log_pages = Option.value log_pages ~default:d.Config.log_pages;
-      max_log_pages;
-      group = Option.value group ~default:d.Config.group }
-    k space ~size
 
 let kernel t = t.k
 let base t = t.base
@@ -168,16 +164,53 @@ let commit ?(pace = fun () -> ()) t =
            capacity = Segment.size t.ls });
   (* Build redo records for the write-ahead log straight from the LVM
      log — the records are already there; no set_range bookkeeping. *)
-  Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
-      pace ();
-      match
-        if r.Log_record.pre_image then None else Lvm.Log_reader.locate t.k r
-      with
-      | Some (seg, off)
-        when Segment.id seg = Segment.id t.working && off < t.size ->
-        Ramdisk.wal_append t.disk
-          (Ramdisk.Data { txn = id; off; bytes = value_bytes r })
-      | Some _ | None -> ());
+  (match Lvm_log.stream_version t.log with
+  | Log_record.V0 ->
+    Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
+        pace ();
+        match
+          if r.Log_record.pre_image then None else Lvm.Log_reader.locate t.k r
+        with
+        | Some (seg, off)
+          when Segment.id seg = Segment.id t.working && off < t.size ->
+          Ramdisk.wal_append t.disk
+            (Ramdisk.Data { txn = id; off; bytes = value_bytes r })
+        | Some _ | None -> ())
+  | Log_record.V1 ->
+    (* Encoded WAL path: collect the transaction's redo writes in log
+       order, squash repeated whole-word stores (epoch coalescing — only
+       the final value of each word needs to reach the WAL), and
+       serialize the survivors as one compact V1 stream. Record
+       timestamps are normalized to the transaction id: redo replay is
+       positional, and equal timestamps let sequential stores group into
+       runs and same-line rewrites into deltas. *)
+    let writes = ref [] in
+    Lvm.Log_reader.iter t.k t.ls ~f:(fun ~off:_ r ->
+        pace ();
+        match
+          if r.Log_record.pre_image then None else Lvm.Log_reader.locate t.k r
+        with
+        | Some (seg, off)
+          when Segment.id seg = Segment.id t.working && off < t.size ->
+          writes :=
+            { Lvm_log.Coalescer.off; size = r.Log_record.size;
+              value = r.Log_record.value; timestamp = id }
+            :: !writes
+        | Some _ | None -> ());
+    let squashed, _absorbed =
+      Lvm_log.Coalescer.squash (List.rev !writes)
+    in
+    if squashed <> [] then begin
+      let records =
+        List.map
+          (fun { Lvm_log.Coalescer.off; size; value; timestamp } ->
+            { Log_record.addr = off; value; size; pre_image = false;
+              timestamp })
+          squashed
+      in
+      let payload = Log_record.Codec.encode_stream records in
+      Ramdisk.wal_append t.disk (Ramdisk.Encoded { txn = id; payload })
+    end);
   Ramdisk.wal_append t.disk (Ramdisk.Commit { txn = id });
   (* group commit: force once per batch (group 1 forces right here) *)
   Lvm_log.Batcher.note_commit t.batcher;
@@ -197,6 +230,10 @@ let commit ?(pace = fun () -> ()) t =
 
 let abort t =
   if t.current = None then raise No_transaction;
+  (* Writes of the aborted transaction may still sit in the logger's
+     coalescing buffer; drop them so they cannot flush into the fresh
+     log later. *)
+  Logger.discard_coalesced (Machine.logger (Kernel.machine t.k));
   Kernel.set_logging_enabled t.k t.region false;
   Kernel.reset_deferred_copy t.k t.space ~start:t.base
     ~len:(Region.size t.region);
@@ -208,6 +245,7 @@ let abort t =
 
 let recover t =
   t.current <- None;
+  Logger.discard_coalesced (Machine.logger (Kernel.machine t.k));
   Lvm_log.Batcher.reset t.batcher;
   let image, report = Ramdisk.recover t.disk in
   Kernel.set_logging_enabled t.k t.region false;

@@ -61,15 +61,6 @@ val make : Config.t -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t ->
     roll back cleanly — recovery replays to the last fully-forced
     batch). Raises [Out_of_range] for [group < 1]. *)
 
-val create :
-  ?log_pages:int -> ?max_log_pages:int -> ?group:int ->
-  Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
-[@@ocaml.deprecated
-  "use Rlvm.make { Rlvm.Config.default with ... } (config records replace \
-   the optional-argument form)"]
-(** Deprecated thin wrapper over {!make}; pre-redesign call sites
-    compile unchanged. *)
-
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int
 val size : t -> int

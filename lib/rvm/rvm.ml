@@ -32,13 +32,6 @@ let make (config : Config.t) k space ~size =
   { k; space; seg; base; size; disk = Ramdisk.create k ~size;
     strict = config.Config.strict; current = None; next_txn = 1 }
 
-(* Deprecated optional-argument wrapper over [make]. *)
-let create ?strict k space ~size =
-  make
-    { Config.strict =
-        Option.value strict ~default:Config.default.Config.strict }
-    k space ~size
-
 let kernel t = t.k
 let base t = t.base
 let size t = t.size

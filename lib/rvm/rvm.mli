@@ -34,13 +34,6 @@ val make :
   Config.t -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
 (** Map a recoverable segment of [size] bytes backed by a fresh RAM disk. *)
 
-val create :
-  ?strict:bool -> Lvm_vm.Kernel.t -> Lvm_vm.Address_space.t -> size:int -> t
-  [@@ocaml.deprecated
-    "Use Rvm.make { Rvm.Config.default with ... } — optional-argument \
-     construction is being retired (PR 5 config-record migration)."]
-(** @deprecated Alias for {!make} with an optional-argument surface. *)
-
 val kernel : t -> Lvm_vm.Kernel.t
 val base : t -> int
 (** Base virtual address of the mapped recoverable segment. *)

@@ -163,9 +163,28 @@ let paddr_of t seg ~off =
 
 let logger t = Machine.logger t.machine
 
+(* Under the V1 codec every [Normal] log stream opens with the codec's
+   8-byte version record — the on-disk tag that keeps V0 logs readable.
+   The kernel materializes it when it arms a stream whose write position
+   is still zero (first arming, or a truncation back to empty). *)
+let ensure_stream_header t ls =
+  if
+    Logger.codec (logger t) = Log_record.V1
+    && Segment.log_mode ls = Logger.Normal
+    && (not (Segment.absorbing ls))
+    && Segment.write_pos ls = 0
+  then begin
+    let frame = materialize_page t ls ~page:0 in
+    let header = Log_record.Codec.encode_version_header () in
+    Physmem.blit_of_bytes (Machine.mem t.machine) header ~pos:0
+      ~dst:(Addr.addr_of_page frame) ~len:(Bytes.length header);
+    Segment.set_write_pos ls Log_record.Codec.header_bytes
+  end
+
 (* Point the logger's log-table entry for [ls] at its current write
    position, materializing the page under it. *)
 let arm_log_entry t ls ~index =
+  ensure_stream_header t ls;
   let pos = Segment.write_pos ls in
   let page = pos / Addr.page_size in
   Segment.set_active_page ls page;
@@ -173,7 +192,16 @@ let arm_log_entry t ls ~index =
   Logger.set_log_entry (logger t) ~index ~mode:(Segment.log_mode ls)
     ~addr:(Addr.addr_of_page frame + Addr.page_offset pos)
 
+(* [sync_log] is the hard synchronization point — commit/force/snapshot
+   boundaries — so it first drains the logger's coalescing buffer (a
+   no-op when coalescing is off). [sync_log_pos] only recomputes
+   [write_pos] from the log table; the lifecycle layer's per-write room
+   reservation uses it so reservations do not defeat coalescing. *)
 let rec sync_log t ls =
+  Logger.flush_coalesced (logger t);
+  sync_log_pos t ls
+
+and sync_log_pos t ls =
   Logger.complete_pending (logger t);
   match Segment.log_index ls with
   | None -> ()
@@ -471,10 +499,11 @@ let handle_log_addr_invalid t ~log_index =
 
 (* {1 Construction} *)
 
-let create ?obs ?hw ?record_old_values ?(frames = 4096) ?(log_entries = 64)
-    ?cpus () =
+let create ?obs ?hw ?record_old_values ?codec ?coalesce_depth
+    ?(frames = 4096) ?(log_entries = 64) ?cpus () =
   let machine =
-    Machine.create ?obs ?hw ?record_old_values ~frames ~log_entries ?cpus ()
+    Machine.create ?obs ?hw ?record_old_values ?codec ?coalesce_depth ~frames
+      ~log_entries ?cpus ()
   in
   let ctx = Machine.obs machine in
   let default_log_frame = Physmem.alloc_frame (Machine.mem machine) in
@@ -668,6 +697,7 @@ let rearm_log t ls =
      (compaction, truncation): already-written records moved or died, so
      cached reader views of the record area are stale. *)
   Segment.bump_generation ls;
+  ensure_stream_header t ls;
   let pos = Segment.write_pos ls in
   match Segment.log_index ls with
   | None -> Segment.set_active_page ls (pos / Addr.page_size)

@@ -24,10 +24,14 @@ type ext = ..
 
 val create :
   ?obs:Lvm_obs.Ctx.t -> ?hw:Lvm_machine.Logger.hw ->
-  ?record_old_values:bool -> ?frames:int -> ?log_entries:int ->
+  ?record_old_values:bool -> ?codec:Lvm_machine.Log_record.version ->
+  ?coalesce_depth:int -> ?frames:int -> ?log_entries:int ->
   ?cpus:int -> unit -> t
 (** Boot a kernel on a fresh machine. [record_old_values] enables the
-    on-chip pre-image records of Section 4.6. [obs] is the observability
+    on-chip pre-image records of Section 4.6. [codec] and
+    [coalesce_depth] configure the logger's record wire format and
+    write-coalescing buffer (see {!Lvm_machine.Logger.create}); both
+    default to off, the seed datapath. [obs] is the observability
     context shared with the machine (default: a fresh one). [cpus]
     (default 1) boots a multi-processor machine; see {!set_cpu} and
     {!run_cpus}. *)
@@ -149,7 +153,16 @@ val set_logging_enabled : t -> Region.t -> bool -> unit
 
 val sync_log : t -> Segment.t -> unit
 (** Bring the log segment's [write_pos] up to date from the logger's log
-    table entry. *)
+    table entry. This is the {e hard} sync — the commit/force/snapshot
+    ordering point — so it first drains the logger's write-coalescing
+    buffer (a no-op when coalescing is off). *)
+
+val sync_log_pos : t -> Segment.t -> unit
+(** Like {!sync_log} but without draining the coalescing buffer: only
+    recomputes [write_pos]. The log-lifecycle layer's per-write room
+    reservations use this (together with
+    {!Lvm_machine.Logger.pending_log_bytes_bound}) so that reserving room
+    on every write does not defeat coalescing. *)
 
 (** {1 Log lifecycle hooks}
 

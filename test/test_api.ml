@@ -263,38 +263,6 @@ let test_watchpoint_empty_log () =
     (List.length (Lvm_tools.Watchpoint.hits k ~log:ls ~watched:seg ~off:0
                     ~len:4096))
 
-(* The deprecated optional-argument wrappers must keep compiling the
-   pre-redesign call sites unchanged, and must build the same machine the
-   config-record form does. Only this module may use them. *)
-module Deprecated_compat = struct
-  [@@@alert "-deprecated"]
-
-  let exercise () =
-    let k = Lvm.Api.boot ~frames:64 ~log_entries:32 () in
-    let sp = Lvm.Api.address_space k in
-    let r = Lvm_rvm.Rlvm.create ~log_pages:16 ~group:2 k sp ~size:1024 in
-    Lvm_rvm.Rlvm.begin_txn r;
-    Lvm_rvm.Rlvm.write_word r ~off:0 7;
-    Lvm_rvm.Rlvm.commit r;
-    Lvm_rvm.Rlvm.flush_commits r;
-    let v, _snap = Lvm.Api.with_kernel (fun k2 -> Lvm.Api.time k2) in
-    let rvm = Lvm_rvm.Rvm.create ~strict:false k sp ~size:1024 in
-    Lvm_rvm.Rvm.begin_txn rvm;
-    Lvm_rvm.Rvm.write_word rvm ~off:0 9;
-    Lvm_rvm.Rvm.commit rvm;
-    ( Lvm_rvm.Rlvm.read_word r ~off:0,
-      Lvm_rvm.Rlvm.group r,
-      v,
-      Lvm_rvm.Rvm.read_word rvm ~off:0 )
-end
-
-let test_deprecated_wrappers () =
-  let read0, group, t0, rvm0 = Deprecated_compat.exercise () in
-  check "wrapper-built rlvm commits" 7 read0;
-  check "wrapper threads group" 2 group;
-  check "with_kernel wrapper boots at cycle 0" 0 t0;
-  check "wrapper-built rvm threads strict" 9 rvm0
-
 let test_rvm_abort_overlapping_ranges () =
   let k = Lvm_vm.Kernel.create () in
   let sp = Lvm_vm.Kernel.create_space k in
@@ -350,7 +318,5 @@ let suites =
           test_watchpoint_empty_log;
         Alcotest.test_case "rvm overlapping ranges" `Quick
           test_rvm_abort_overlapping_ranges;
-        Alcotest.test_case "deprecated wrappers" `Quick
-          test_deprecated_wrappers;
       ] );
   ]
