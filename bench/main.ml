@@ -9,7 +9,8 @@
                    [--fams] [--fams-json FILE]
                    [--repl] [--repl-json FILE]
                    [--hotshard] [--hotshard-json FILE]
-                   [--logdiet] [--logdiet-json FILE] *)
+                   [--logdiet] [--logdiet-json FILE]
+                   [--mvcc] [--mvcc-json FILE] *)
 
 open Lvm_machine
 open Lvm_vm
@@ -809,6 +810,134 @@ let logdiet_comparison ?json_file ppf =
     Printf.printf "logdiet matrix written to %s\n%!" file);
   if !failures <> [] then exit 1
 
+(* {1 MVCC snapshot reads (worker vs snapshot read matrix)}
+
+   A 95/5 read-heavy Zipfian(1.1) mix at 1 and 4 shards, the reads
+   served two ways: by the shard workers (each read is scheduled like a
+   transaction and its per-request compute lands on the owning shard's
+   CPU — under skew the hot shard serializes them behind the writes)
+   and from log-derived MVCC snapshots on virtual reader tasks
+   (wait-free version-chain lookups on the readers' own clocks, no
+   shard CPU touched). A reader-scaling leg re-runs the snapshot point
+   at 4 shards with 1/2/4 readers. Headline checks ride the run:
+   snapshot-read throughput at 4 shards must be >= 2x the worker-read
+   point, and adding readers must not lose throughput.
+   [--mvcc-json FILE] records the matrix (the BENCH_10.json blob). *)
+
+let mvcc_point ~shards ~txns ~mode ~readers =
+  let st =
+    Lvm_store.Store.create
+      { Lvm_store.Store.Config.default with shards; group = 16 }
+  in
+  (* Single-write transactions (as in the hotshard matrix): a
+     multi-write Zipfian transaction is nearly always cross-shard and
+     2PC would dominate both modes' wall clock, drowning the read-path
+     difference the matrix isolates. *)
+  Lvm_store.Workload.run st
+    { Lvm_store.Workload.default with
+      txns; cross_pct = 0; writes_per_txn = 1;
+      dist = Lvm_store.Workload.Zipfian { theta = 1.1 };
+      read_pct = 95; read_mode = mode; readers }
+
+(* Committed writes plus served reads per kilocycle of wall clock. *)
+let mvcc_throughput (r : Lvm_store.Workload.result) =
+  1000.
+  *. float_of_int (r.Lvm_store.Workload.executed + r.Lvm_store.Workload.reads)
+  /. float_of_int (max 1 r.Lvm_store.Workload.wall_cycles)
+
+let mvcc_comparison ?json_file ppf =
+  let txns = 2000 and readers = 4 in
+  let rows =
+    List.map
+      (fun shards ->
+        let worker =
+          mvcc_point ~shards ~txns ~mode:Lvm_store.Workload.Worker ~readers:1
+        in
+        let snapshot =
+          mvcc_point ~shards ~txns ~mode:Lvm_store.Workload.Snapshot ~readers
+        in
+        (shards, worker, snapshot))
+      [ 1; 4 ]
+  in
+  List.iter
+    (fun (shards, w, s) ->
+      Format.fprintf ppf
+        "mvcc (%d ops, %d shard%s): worker %d reads %.2f ops/kcycle; \
+         snapshot (%d readers) %d reads %.2f ops/kcycle — %.2fx@."
+        txns shards
+        (if shards = 1 then "" else "s")
+        w.Lvm_store.Workload.reads (mvcc_throughput w) readers
+        s.Lvm_store.Workload.reads (mvcc_throughput s)
+        (mvcc_throughput s /. mvcc_throughput w))
+    rows;
+  let scaling =
+    List.map
+      (fun readers ->
+        ( readers,
+          mvcc_point ~shards:4 ~txns ~mode:Lvm_store.Workload.Snapshot
+            ~readers ))
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun (readers, r) ->
+      Format.fprintf ppf
+        "mvcc reader scaling (4 shards): %d reader%s %.2f ops/kcycle@."
+        readers
+        (if readers = 1 then "" else "s")
+        (mvcc_throughput r))
+    scaling;
+  let _, w4, s4 = List.find (fun (shards, _, _) -> shards = 4) rows in
+  let speedup4 = mvcc_throughput s4 /. mvcc_throughput w4 in
+  Format.fprintf ppf "mvcc 4-shard snapshot speedup: %.2fx (target >= 2x)@."
+    speedup4;
+  if speedup4 < 2.0 then
+    failwith
+      (Printf.sprintf
+         "mvcc bench: snapshot reads %.2fx worker reads at 4 shards (< 2x)"
+         speedup4);
+  (let tp r = mvcc_throughput (List.assoc r scaling) in
+   if tp 4 < tp 1 then
+     failwith "mvcc bench: snapshot reads do not scale with reader count");
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let open Lvm_tools.Output_stream.Envelope in
+    let point (r : Lvm_store.Workload.result) =
+      Obj
+        [ ("executed", Int r.Lvm_store.Workload.executed);
+          ("reads", Int r.Lvm_store.Workload.reads);
+          ("failed", Int r.Lvm_store.Workload.failed);
+          ("wall_cycles", Int r.Lvm_store.Workload.wall_cycles);
+          ("ops_per_kcycle", Float (mvcc_throughput r)) ]
+    in
+    let line =
+      render ~kind:"mvcc"
+        [ ("ops", Int txns); ("read_pct", Int 95); ("theta", Float 1.1);
+          ("readers", Int readers);
+          ("rows",
+           List
+             (List.map
+                (fun (shards, w, s) ->
+                  Obj
+                    [ ("shards", Int shards); ("worker", point w);
+                      ("snapshot", point s);
+                      ("speedup",
+                       Float (mvcc_throughput s /. mvcc_throughput w)) ])
+                rows));
+          ("reader_scaling",
+           List
+             (List.map
+                (fun (readers, r) ->
+                  Obj [ ("readers", Int readers); ("point", point r) ])
+                scaling));
+          ("speedup_at_4", Float speedup4) ]
+    in
+    let oc = open_out file in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "mvcc matrix written to %s\n%!" file
+
 (* {1 Entry point} *)
 
 (* Write a single enveloped JSON metrics blob (counters + histograms
@@ -855,6 +984,9 @@ let () =
   else if List.mem "--logdiet" args then
     (* The codec/coalescing matrix alone (what generates BENCH_9.json). *)
     logdiet_comparison ?json_file:(flag_value "--logdiet-json") ppf
+  else if List.mem "--mvcc" args then
+    (* The snapshot-read matrix alone (what generates BENCH_10.json). *)
+    mvcc_comparison ?json_file:(flag_value "--mvcc-json") ppf
   else begin
     let (), collector =
       Lvm_obs.Collector.with_collector (fun () ->
@@ -873,7 +1005,8 @@ let () =
             fams_comparison ?json_file:(flag_value "--fams-json") ppf;
             repl_comparison ?json_file:(flag_value "--repl-json") ppf;
             hotshard_comparison ?json_file:(flag_value "--hotshard-json") ppf;
-            logdiet_comparison ?json_file:(flag_value "--logdiet-json") ppf)
+            logdiet_comparison ?json_file:(flag_value "--logdiet-json") ppf;
+            mvcc_comparison ?json_file:(flag_value "--mvcc-json") ppf)
     in
     Format.pp_print_flush ppf ();
     Option.iter (fun file -> write_metrics file collector) metrics_file;

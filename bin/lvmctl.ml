@@ -736,16 +736,40 @@ let store_cmd =
              ~doc:"With $(b,--open): drop an arrival whose home shard \
                    already queues $(docv) transactions.")
   in
+  let read_heavy =
+    Arg.(value & flag
+         & info [ "read-heavy" ]
+             ~doc:"95/5 read-heavy mix: 95% of the operations are \
+                   single-key reads drawn from the key distribution, \
+                   served by the shard workers unless \
+                   $(b,--snapshot-readers) moves them off.")
+  in
+  let snap_readers =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-readers" ] ~docv:"N"
+             ~doc:"Serve the reads from log-derived MVCC snapshots on \
+                   $(docv) virtual readers instead of the shard worker \
+                   CPUs.")
+  in
+  let as_of =
+    Arg.(value & opt (some int) None
+         & info [ "as-of" ] ~docv:"TS"
+             ~doc:"After the run, acquire a time-travel snapshot at \
+                   commit timestamp $(docv) and probe a few keys \
+                   through it.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead.")
   in
   let run shards txns cross writes seed group compute zipf split rate
-      open_gap queue_cap json metrics =
+      open_gap queue_cap read_heavy snap_readers as_of json metrics =
     if shards <= 0 then `Error (false, "--shards must be positive")
     else if txns <= 0 then `Error (false, "--txns must be positive")
     else if cross < 0 || cross > 100 then
       `Error (false, "--cross must be a percentage")
     else if rate < 0. then `Error (false, "--rate must be non-negative")
+    else if (match snap_readers with Some n -> n <= 0 | None -> false) then
+      `Error (false, "--snapshot-readers must be positive")
     else begin
       with_metrics ~label:"store" metrics (fun () ->
           let st =
@@ -773,7 +797,37 @@ let store_cmd =
                 dist; arrival; queue_cap;
                 split =
                   (if split then Some Lvm_store.Workload.default_split
-                   else None) }
+                   else None);
+                read_pct = (if read_heavy then 95 else 0);
+                read_mode =
+                  (match snap_readers with
+                  | Some _ -> Lvm_store.Workload.Snapshot
+                  | None -> Lvm_store.Workload.Worker);
+                readers = Option.value snap_readers ~default:1 }
+          in
+          (* The time-travel probe: a handful of evenly spaced keys read
+             through a snapshot pinned at the requested timestamp. *)
+          let asof_probe =
+            Option.map
+              (fun ts ->
+                match Lvm_store.Store.Snapshot.as_of st ~ts with
+                | Error e -> (ts, Error (Lvm.Lvm_error.to_string e))
+                | Ok snap ->
+                  let keys =
+                    (Lvm_store.Store.config st).Lvm_store.Store.Config.keys
+                  in
+                  let n = min 8 keys in
+                  let vals =
+                    List.init n (fun i ->
+                        let key = i * (max 1 (keys / n)) in
+                        ( key,
+                          match Lvm_store.Store.Snapshot.read snap key with
+                          | Ok v -> v
+                          | Error _ -> -1 ))
+                  in
+                  Lvm_store.Store.Snapshot.release snap;
+                  (ts, Ok vals))
+              as_of
           in
           if json then begin
             let open Lvm_tools.Output_stream.Envelope in
@@ -784,6 +838,11 @@ let store_cmd =
                 ("zipf", Float (Option.value zipf ~default:0.));
                 ("rate", Float rate);
                 ("executed", Int r.Lvm_store.Workload.executed);
+                ("reads", Int r.Lvm_store.Workload.reads);
+                ("read_mode",
+                 String (match snap_readers with
+                        | Some _ -> "snapshot"
+                        | None -> "worker"));
                 ("cross", Int r.Lvm_store.Workload.cross);
                 ("shed", Int r.Lvm_store.Workload.shed);
                 ("failed", Int r.Lvm_store.Workload.failed);
@@ -802,7 +861,21 @@ let store_cmd =
                            Obj
                              [ ("shard", Int i); ("txns", Int s.txns);
                                ("cycles", Int s.cycles) ])
-                         r.Lvm_store.Workload.per_shard))) ]
+                         r.Lvm_store.Workload.per_shard)));
+                ("as_of",
+                 match asof_probe with
+                 | None -> Null
+                 | Some (ts, Error e) ->
+                   Obj [ ("ts", Int ts); ("error", String e) ]
+                 | Some (ts, Ok vals) ->
+                   Obj
+                     [ ("ts", Int ts);
+                       ("values",
+                        List
+                          (List.map
+                             (fun (key, v) ->
+                               Obj [ ("key", Int key); ("value", Int v) ])
+                             vals)) ]) ]
           end
           else begin
             Format.fprintf ppf
@@ -811,6 +884,12 @@ let store_cmd =
               shards r.Lvm_store.Workload.executed r.Lvm_store.Workload.cross
               r.Lvm_store.Workload.shed r.Lvm_store.Workload.failed
               r.Lvm_store.Workload.requeued;
+            if r.Lvm_store.Workload.reads > 0 then
+              Format.fprintf ppf "%d reads served (%s)@."
+                r.Lvm_store.Workload.reads
+                (match snap_readers with
+                | Some n -> Printf.sprintf "snapshot mode, %d readers" n
+                | None -> "worker mode");
             if r.Lvm_store.Workload.moved > 0
                || r.Lvm_store.Workload.dropped > 0
                || r.Lvm_store.Workload.splits > 0
@@ -827,7 +906,16 @@ let store_cmd =
               (fun i (s : Lvm_store.Workload.shard_stat) ->
                 Format.fprintf ppf "  shard %d: %d txns, %d cpu cycles@." i
                   s.txns s.cycles)
-              r.Lvm_store.Workload.per_shard
+              r.Lvm_store.Workload.per_shard;
+            match asof_probe with
+            | None -> ()
+            | Some (ts, Error e) ->
+              Format.fprintf ppf "as-of %d: %s@." ts e
+            | Some (ts, Ok vals) ->
+              Format.fprintf ppf "as-of %d:%t@." ts (fun ppf ->
+                  List.iter
+                    (fun (key, v) -> Format.fprintf ppf " %d=%d" key v)
+                    vals)
           end);
       `Ok ()
     end
@@ -836,10 +924,12 @@ let store_cmd =
     (Cmd.info "store"
        ~doc:"Run the sharded transactional store under a seeded workload \
              (closed or open loop, uniform or Zipfian, optionally with \
-             dynamic shard splitting) and report per-shard throughput.")
+             dynamic shard splitting), report per-shard throughput, and \
+             optionally serve a read-heavy mix from log-derived MVCC \
+             snapshots.")
     Term.(ret (const run $ shards $ txns $ cross $ writes $ seed $ group
-          $ compute $ zipf $ split $ rate $ open_gap $ queue_cap $ json
-          $ metrics_arg))
+          $ compute $ zipf $ split $ rate $ open_gap $ queue_cap
+          $ read_heavy $ snap_readers $ as_of $ json $ metrics_arg))
 
 (* {1 fams} *)
 

@@ -116,7 +116,7 @@ let read_mapped k space ~base ~off =
   done;
   Log_record.decode_bytes buf ~pos:0
 
-let fold_v0 k ls ~init ~f =
+let fold_v0 ?(start = 0) k ls ~init ~f =
   (* One logger sync for the whole walk ([length]), one address
      translation per page: records never straddle pages (the page size is
      a multiple of [Log_record.bytes]), so a cached page base serves all
@@ -152,7 +152,7 @@ let fold_v0 k ls ~init ~f =
         (off + Log_record.bytes)
     end
   in
-  go init 0
+  go init start
 
 let fold k ls ~init ~f =
   match stream_version k ls with
@@ -165,6 +165,38 @@ let fold k ls ~init ~f =
         List.fold_left (fun acc r -> f acc ~off r) acc rs)
 
 let iter k ls ~f = fold k ls ~init:() ~f:(fun () ~off r -> f ~off r)
+
+(* Incremental fold for appliers: only records stamped strictly past
+   [ts], plus the high-water timestamp to feed back next tick. *)
+let fold_from k ls ~ts ~init ~f =
+  let last = ref ts in
+  let wrap acc ~off (r : Log_record.t) =
+    if r.Log_record.timestamp > ts then begin
+      if r.Log_record.timestamp > !last then last := r.Log_record.timestamp;
+      f acc ~off r
+    end
+    else acc
+  in
+  let acc =
+    match stream_version k ls with
+    | Log_record.V1 ->
+      (* Variable-length containers: no random access, walk and filter. *)
+      fold_phys k ls ~init ~f:(fun acc ~off ~next:_ rs ->
+          List.fold_left (fun acc r -> wrap acc ~off r) acc rs)
+    | Log_record.V0 ->
+      (* Timestamps are nondecreasing in log order and V0 records are
+         fixed-size: binary-search the first record past [ts] so an
+         incremental applier never rescans the sealed prefix. *)
+      let count = length k ls / Log_record.bytes in
+      let lo = ref 0 and hi = ref count in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let r = read_at k ls ~off:(mid * Log_record.bytes) in
+        if r.Log_record.timestamp > ts then hi := mid else lo := mid + 1
+      done;
+      fold_v0 ~start:(!lo * Log_record.bytes) k ls ~init ~f:wrap
+  in
+  (acc, !last)
 
 let to_list k ls =
   List.rev (fold k ls ~init:[] ~f:(fun acc ~off:_ r -> r :: acc))

@@ -69,6 +69,18 @@ val fold :
 val iter :
   kernel -> segment -> f:(off:int -> Lvm_machine.Log_record.t -> unit) -> unit
 
+val fold_from :
+  kernel -> segment -> ts:int -> init:'a ->
+  f:('a -> off:int -> Lvm_machine.Log_record.t -> 'a) -> 'a * int
+(** Incremental variant of {!fold} for log-tailing appliers: visit only
+    records whose [timestamp] is strictly greater than [ts], and return
+    the accumulator together with the highest timestamp seen ([ts]
+    itself when nothing qualified) — the applied frontier to pass back
+    on the next tick. Record timestamps are nondecreasing in log order,
+    so under [V0] (fixed-size records) the walk binary-searches its
+    starting record instead of rescanning sealed extents from zero;
+    [V1] streams are walked and filtered. *)
+
 val to_list : kernel -> segment -> Lvm_machine.Log_record.t list
 
 val locate :

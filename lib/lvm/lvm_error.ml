@@ -5,6 +5,7 @@ type t =
   | Invalid_key of { key : int }
   | Shed of { shard : int }
   | Moved of { key : int; shard : int }
+  | Snapshot_unavailable of { ts : int; floor : int; frontier : int }
 
 let of_vm e = Vm e
 
@@ -16,6 +17,9 @@ let to_string = function
   | Invalid_key { key } -> Printf.sprintf "invalid key %d" key
   | Shed { shard } -> Printf.sprintf "shed(shard %d)" shard
   | Moved { key; shard } -> Printf.sprintf "moved(key %d -> shard %d)" key shard
+  | Snapshot_unavailable { ts; floor; frontier } ->
+    Printf.sprintf "snapshot unavailable (ts %d, readable [%d, %d])" ts floor
+      frontier
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

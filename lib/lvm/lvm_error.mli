@@ -25,6 +25,12 @@ type t =
       (** The key's bucket is mid-handoff to [shard] (a shard split or
           merge is draining): the transaction was not started and should
           be requeued — the route flips as soon as the cutover commits. *)
+  | Snapshot_unavailable of { ts : int; floor : int; frontier : int }
+      (** An MVCC snapshot at [ts] cannot be served: versions at or
+          below [floor] have been pruned into the base image, and the
+          consistent cut has only reached [frontier]. Readable as-of
+          timestamps lie in [[floor, frontier]]; a released or
+          recovery-invalidated snapshot also reports this. *)
 
 val of_vm : Lvm_vm.Error.t -> t
 

@@ -172,6 +172,51 @@ let scan t =
 let entry_count t = List.length (scan t).s_entries
 let wal_bytes t = t.charged_bytes
 
+(* With a volatile tail (group commit), bytes appended since the last
+   force never reached the disk: a crash loses them, so recovery must not
+   see them. With [volatile_tail] off (group 1, the default) every append
+   is treated as durable, exactly the pre-group-commit semantics. *)
+let durable_len t =
+  if t.volatile_tail then min t.log_len t.forced_len else t.log_len
+
+let durable_bytes t = durable_len t
+
+(* Incremental record walk for a log-tailing consumer (the MVCC applier):
+   parse intact records from [off] up to the durable frontier, stopping —
+   without error — at the first byte that does not parse as a whole
+   record. A half-appended tail is simply "not yet": the consumer resumes
+   from the returned offset once more bytes are appended/forced. *)
+let wal_fold t ~off ~init ~f =
+  let n = durable_len t in
+  let data = t.log in
+  let rec go pos acc =
+    if n - pos < header_bytes then (acc, pos)
+    else if get32 data pos <> wal_magic then (acc, pos)
+    else
+      let kind = get32 data (pos + 4) in
+      let txn = get32 data (pos + 8) in
+      let off' = get32 data (pos + 12) in
+      let len = get32 data (pos + 16) in
+      let ck = get32 data (pos + 20) in
+      if len > n - pos - header_bytes then (acc, pos)
+      else
+        let payload = Bytes.sub data (pos + header_bytes) len in
+        if checksum ~kind ~txn ~off:off' ~len payload <> ck then (acc, pos)
+        else
+          let entry =
+            match kind with
+            | 0 -> Some (Data { txn; off = off'; bytes = payload })
+            | 1 -> Some (Commit { txn })
+            | 2 -> Some (Snapshot { snap = txn })
+            | 3 -> Some (Encoded { txn; payload })
+            | _ -> None
+          in
+          match entry with
+          | None -> (acc, pos)
+          | Some e -> go (pos + header_bytes + len) (f acc ~off:pos e)
+  in
+  if off >= n then (init, off) else go off init
+
 (* {1 Log shipping}
 
    Raw, untimed access to the serialized log for the replication layer:
@@ -392,13 +437,6 @@ let recovery_to_string r =
   Printf.sprintf "scanned=%d committed=%d replayed=%d truncated=%d torn=%s"
     r.scanned r.committed r.replayed r.truncated_bytes
     (match r.torn with None -> "none" | Some s -> s)
-
-(* With a volatile tail (group commit), bytes appended since the last
-   force never reached the disk: a crash loses them, so recovery must not
-   see them. With [volatile_tail] off (group 1, the default) every append
-   is treated as durable, exactly the pre-group-commit semantics. *)
-let durable_len t =
-  if t.volatile_tail then min t.log_len t.forced_len else t.log_len
 
 let recovered_image t =
   let image = Bytes.copy t.image in

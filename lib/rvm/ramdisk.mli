@@ -81,6 +81,23 @@ val wal_bytes : t -> int
 val log_bytes : t -> int
 (** Physical bytes of serialized log, torn tail included. *)
 
+val durable_bytes : t -> int
+(** Physical log bytes a crash would preserve: [log_bytes] with the
+    default every-append-durable semantics, clamped to {!forced_bytes}
+    when {!set_volatile_tail} is on (group commit). *)
+
+val wal_fold :
+  t -> off:int -> init:'a -> f:('a -> off:int -> entry -> 'a) -> 'a * int
+(** Untimed incremental walk for log-tailing consumers (the MVCC
+    applier): parse whole intact records starting at byte offset [off],
+    never reading past {!durable_bytes}, and stop silently at the first
+    byte that does not parse — a half-appended or unforced tail is "not
+    yet", not an error. Returns the accumulator and the offset of the
+    first unconsumed byte, the resume point for the next call. [off]
+    must be a record boundary previously returned by [wal_fold] (or 0);
+    after a {!truncate} or {!recover} rebuilt the log, stale offsets are
+    invalid — resync via {!set_on_truncate}. *)
+
 val should_truncate : t -> bool
 (** The WAL has grown past the truncation threshold. *)
 

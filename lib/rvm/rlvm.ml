@@ -100,6 +100,7 @@ let disk t = t.disk
 let log_segment t = t.ls
 let log t = t.log
 let in_txn t = t.current <> None
+let last_txn_id t = t.next_txn - 1
 let group t = Lvm_log.Batcher.group t.batcher
 let pending_commits t = Lvm_log.Batcher.pending t.batcher
 let flush_commits t = Lvm_log.Batcher.flush t.batcher

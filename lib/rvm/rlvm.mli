@@ -72,6 +72,13 @@ val log : t -> Lvm_log.t
 
 val in_txn : t -> bool
 
+val last_txn_id : t -> int
+(** The most recently begun transaction's id (0 before any). Ids are
+    assigned at {!begin_txn}, strictly monotone, and {e never} reset by
+    {!recover} — a dead uncommitted WAL transaction can never collide
+    with a future id, which is what lets a log-tailing consumer key
+    per-transaction state by id across crashes. *)
+
 val group : t -> int
 
 val pending_commits : t -> int

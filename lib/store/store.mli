@@ -103,6 +103,10 @@ module Config : sig
             shard-CPU cycles. [0.] (the default) disables the gate. *)
     admission_burst : int;
         (** Token-bucket capacity (and initial fill). *)
+    mvcc_history : int;
+        (** Version history retained behind the MVCC cut for {!Snapshot.as_of}
+            time travel, in commit timestamps (live snapshots always pin
+            their own history). *)
     obs : Lvm_obs.Ctx.t option;
         (** Observability context to share (default: a fresh one). *)
   }
@@ -111,36 +115,24 @@ module Config : sig
   (** [{ shards = 4; keys = 1024; group = 1; log_pages = 32;
         max_log_pages = None; admission = Queue; max_txn_writes = 32;
         compute = 400; frames = 4096; buckets_per_shard = 8;
-        admission_rate = 0.; admission_burst = 8; obs = None }]. *)
+        admission_rate = 0.; admission_burst = 8; mvcc_history = 1024;
+        obs = None }]. *)
 end
 
-(** Why a transaction was not executed. *)
-type error =
-  | Overloaded of { shard : int }
-      (** The shard's log could not make the transaction durable
-          (typed [Log_exhausted] underneath); the transaction was
-          cleanly aborted and may be retried. *)
-  | Txn_too_large of { writes : int; limit : int }
-  | Invalid_key of { key : int }
-  | Shed of { shard : int }
-      (** The shard's token-bucket admission gate refused the
-          transaction at the front door — no log room, CPU time or
-          intent slot was consumed. Retrying immediately will shed
-          again; back off instead. *)
-  | Moved of { key : int; shard : int }
-      (** [key]'s bucket is mid-handoff to [shard] (a draining shard
-          move): the transaction was not started. Requeue it — the
-          route flips as soon as the cutover commits. *)
+(** Why a transaction or read was not executed: the store speaks
+    {!Lvm.Lvm_error.t} end to end. [Overloaded] means the shard's log
+    could not make the transaction durable (typed [Log_exhausted]
+    underneath, cleanly aborted, retryable); [Shed] is the token-bucket
+    front door; [Moved] is a draining shard handoff (requeue);
+    [Snapshot_unavailable] is an MVCC read outside the retained
+    version-history window. The per-module [error] type and its
+    [to_error] injection are gone — callers match [Lvm.Lvm_error.t]
+    directly. *)
 
-val to_error : error -> Lvm.Lvm_error.t
-(** Inject into the unified error scheme of the result-typed APIs: the
-    store's variants map onto {!Lvm.Lvm_error.t}'s constructors of the
-    same names, so callers mixing the store with {!Lvm_fams} (or any
-    [Lvm_error]-typed facility) match one type. *)
-
-val error_to_string : error -> string
-(** [to_error] composed with {!Lvm.Lvm_error.to_string} — same strings
-    the per-module renderer always produced. *)
+val error_to_string : Lvm.Lvm_error.t -> string
+[@@deprecated "use Lvm.Lvm_error.to_string"]
+(** Alias of {!Lvm.Lvm_error.to_string}, kept for one PR so existing
+    renderer callsites keep compiling. *)
 
 val create : Config.t -> t
 (** Boot a machine with [Config.shards] CPUs and one RLVM shard per
@@ -178,10 +170,20 @@ val shard_buckets : t -> int -> int list
 val shard : t -> int -> Lvm_rvm.Rlvm.t
 (** The shard's underlying RLVM instance (tests and the crash sweep). *)
 
-val read : t -> int -> int
-(** Committed-state read of one key, charged to its owning shard's
-    CPU. Raises [Lvm_vm.Error.Lvm_error] ([Out_of_range]) if the key
-    is outside [0, keys). *)
+val read : t -> int -> (int, Lvm.Lvm_error.t) result
+(** Read one key's committed value. With no MVCC view attached (the
+    default), this is the worker-path read: charged to the owning
+    shard's CPU, contending with its commit path. Once a view is
+    attached (first {!Snapshot.acquire}), it becomes a latest-snapshot
+    read — acquire at the current cut, read, release — served without
+    touching a shard worker. [Error (Invalid_key _)] outside
+    [0, keys). *)
+
+val read_exn : t -> int -> int
+[@@deprecated "use read (result-typed) or Snapshot.acquire + Snapshot.read"]
+(** The old bare read surface, kept for one PR: {!read} with the
+    raise-on-bad-key contract ([Lvm_vm.Error.Lvm_error]
+    [Out_of_range]). *)
 
 (** {2 Load signals} *)
 
@@ -258,7 +260,7 @@ val blocked_by_move : t -> (int * int) list -> (int * int) option
 val exec :
   ?pace:(cpu:int -> unit) ->
   ?detach:(shard:int -> (pace:(cpu:int -> unit) -> unit) -> unit) ->
-  t -> writes:(int * int) list -> (unit, error) result
+  t -> writes:(int * int) list -> (unit, Lvm.Lvm_error.t) result
 (** Execute one transaction writing [(key, value)] pairs. All keys on
     one shard: a local RLVM transaction on that shard's CPU. Keys on
     several shards: a two-phase commit — the transaction is durable
@@ -291,6 +293,59 @@ val exec :
 
 val flush : t -> unit
 (** Force every shard's pending group-commit batch. *)
+
+(** {2 Snapshot reads (MVCC)}
+
+    The redesigned read surface (see [docs/MVCC.md]): multi-version
+    snapshots derived from the per-shard WALs by an {!Lvm_mvcc.View}
+    that rides along with the store. Every committed transaction is
+    stamped with a global commit timestamp (cross-shard transactions
+    carry one timestamp on every participant); a snapshot is a
+    GVT-style consistent cut — the minimum of the per-shard applied
+    frontiers — so it always equals some committed prefix, with 2PC
+    transactions wholly visible or wholly invisible. Reads on an
+    acquired snapshot are lock-free and wait-free, served from any CPU
+    without touching a shard worker, and remain valid across concurrent
+    shard split/merge (snapshots pin pre-cutover routing). *)
+
+val last_ts : t -> int
+(** The most recently allocated commit timestamp (0 before any commit)
+    — an upper bound for {!Snapshot.as_of}. *)
+
+val mvcc_attached : t -> bool
+(** Whether the MVCC view is attached (first {!Snapshot.acquire} does
+    it; until then {!read} uses the worker path). *)
+
+module Snapshot : sig
+  type store = t
+
+  type t
+  (** An acquired snapshot: an immutable timestamp plus the routing in
+      effect at that timestamp. *)
+
+  val acquire : store -> (t, Lvm.Lvm_error.t) result
+  (** Snapshot at the current consistent cut. The first call attaches
+      the MVCC view (flushing the WAL batches); it requires quiescence —
+      [Error (Snapshot_unavailable _)] if a cross-shard transaction is
+      mid-2PC at attach time (later acquires never fail). Never blocks
+      writers. *)
+
+  val as_of : store -> ts:int -> (t, Lvm.Lvm_error.t) result
+  (** Time-travel snapshot at exactly [ts], replayed from the retained
+      version history ([Config.mvcc_history] timestamps behind the
+      cut); pins the routing that was in effect at [ts].
+      [Error (Snapshot_unavailable _)] outside the readable window. *)
+
+  val read : t -> int -> (int, Lvm.Lvm_error.t) result
+  (** Wait-free versioned read of one key. [Error (Invalid_key _)]
+      outside [0, keys); [Error (Snapshot_unavailable _)] on a released
+      or recovery-invalidated snapshot. *)
+
+  val release : t -> unit
+  (** Allow version history behind this snapshot to be pruned. *)
+
+  val ts : t -> int
+end
 
 (** {2 Crash recovery} *)
 

@@ -85,6 +85,8 @@ let default_split =
   { check_every = 32; batch = 32; max_moves = 8;
     advisor = Splitter.Config.default }
 
+type read_mode = Worker | Snapshot
+
 type spec = {
   txns : int;
   cross_pct : int;
@@ -95,16 +97,21 @@ type spec = {
   arrival : arrival;
   queue_cap : int option;
   split : split_spec option;
+  read_pct : int;
+  read_mode : read_mode;
+  readers : int;
 }
 
 let default =
   { txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7; retries = 2;
-    dist = Uniform; arrival = Closed; queue_cap = None; split = None }
+    dist = Uniform; arrival = Closed; queue_cap = None; split = None;
+    read_pct = 0; read_mode = Worker; readers = 1 }
 
 type shard_stat = { txns : int; cycles : int }
 
 type result = {
   executed : int;
+  reads : int;
   cross : int;
   shed : int;
   failed : int;
@@ -120,6 +127,7 @@ type result = {
 
 type entry = {
   writes : (int * int) list;
+  reads : int list;
   is_cross : bool;
   mutable tries : int;
   arrive : int;
@@ -157,7 +165,21 @@ let generate store spec =
   let clock = ref 0 in
   let entries = ref [] in
   for i = 0 to spec.txns - 1 do
-    let writes, is_cross =
+    (* Read-heavy mixes: [read_pct]% of the ops are single-key reads
+       drawn from the same distribution. The draw happens only when
+       [read_pct > 0], so pure-write specs keep the historical stream
+       draw-for-draw. *)
+    let is_read = spec.read_pct > 0 && Splitmix.int rng ~bound:100 < spec.read_pct in
+    let writes, reads, is_cross =
+      if is_read then begin
+        let key =
+          match spec.dist with
+          | Uniform -> Splitmix.int rng ~bound:keys
+          | Zipfian _ | Hot _ -> skewed_key ()
+        in
+        ([], [ key ], false)
+      end
+      else
       match spec.dist with
       | Uniform ->
         (* The seeded uniform mix, draw-for-draw the stream earlier
@@ -173,14 +195,14 @@ let generate store spec =
             @ List.init
                 (max 1 (spec.writes_per_txn - half))
                 (fun _ -> (key_on ~keys ~shards rng b, value ())),
-            true )
+            [], true )
         end
         else begin
           let s = Splitmix.int rng ~bound:shards in
           ( List.init
               (max 1 spec.writes_per_txn)
               (fun _ -> (key_on ~keys ~shards rng s, value ())),
-            false )
+            [], false )
         end
       | Zipfian _ | Hot _ ->
         (* Skewed mixes draw every key from the distribution; whether
@@ -195,7 +217,7 @@ let generate store spec =
           List.sort_uniq compare
             (List.map (fun (key, _) -> Store.shard_of_key store key) ws)
         in
-        (ws, List.length owners > 1)
+        (ws, [], List.length owners > 1)
     in
     (match spec.arrival with
     | Closed -> ()
@@ -211,7 +233,7 @@ let generate store spec =
       let u = Splitmix.unit_float rng in
       let gap = int_of_float (-.float_of_int mean *. Float.log (1.0 -. u)) in
       clock := !clock + max 0 gap);
-    entries := { writes; is_cross; tries = 0; arrive = !clock } :: !entries
+    entries := { writes; reads; is_cross; tries = 0; arrive = !clock } :: !entries
   done;
   Array.of_list (List.rev !entries)
 
@@ -232,7 +254,7 @@ type _ Effect.t += Yield : int -> unit Effect.t
 
 type outcome =
   | Suspended of int * (unit, outcome) Effect.Deep.continuation
-  | Done of (unit, Store.error) Stdlib.result
+  | Done of (unit, Lvm.Lvm_error.t) Stdlib.result
 
 (* What an in-flight coroutine is doing: a whole transaction (carrying
    the shards whose claim it handed to detached phase-2 items — those
@@ -262,10 +284,12 @@ let start_coroutine f =
                 Suspended (cpu, k))
           | _ -> None) }
 
+let keys_of_entry entry = List.map fst entry.writes @ entry.reads
+
 (* Route-aware: a moved bucket changes which worker claims the key. *)
 let shards_of_entry store entry =
   List.sort_uniq compare
-    (List.map (fun (key, _) -> Store.shard_of_key store key) entry.writes)
+    (List.map (Store.shard_of_key store) (keys_of_entry entry))
 
 (* What a shard CPU burns per scheduler step while its next transaction
    waits for a shard a cross-shard transaction holds — 2PC blocking,
@@ -291,7 +315,7 @@ let run store spec =
   let n_entries = Array.length entries in
   let next_arrival = ref 0 in
   let queues = Array.init shards (fun _ -> Queue.create ()) in
-  let executed = ref 0 and cross = ref 0 in
+  let executed = ref 0 and cross = ref 0 and reads_done = ref 0 in
   let shed = ref 0 and failed = ref 0 and requeued = ref 0 in
   let moved = ref 0 and dropped = ref 0 in
   let splits = ref 0 and merges = ref 0 in
@@ -323,16 +347,85 @@ let run store spec =
   in
   let home_of entry =
     List.fold_left
-      (fun acc (key, _) -> min acc (Store.shard_of_key store key))
-      (shards - 1) entry.writes
+      (fun acc key -> min acc (Store.shard_of_key store key))
+      (shards - 1) (keys_of_entry entry)
+  in
+  (* {2 Snapshot readers}
+
+     In [Snapshot] read mode the reads never enter a shard queue: they
+     drain through [readers] virtual reader tasks, each with its own
+     clock, reading MVCC snapshots off the log — no shard CPU, no
+     claim, no admission. A reader re-acquires its snapshot every
+     [snap_batch] reads (staleness bound) and otherwise reads wait-free
+     against the pinned version chains. Readers are throttled to the
+     machine wall clock while transactions are still in flight so the
+     interleaving is honest; whatever is left drains after the writes
+     finish. *)
+  let snapshot_reads = spec.read_mode = Snapshot && spec.read_pct > 0 in
+  (* Attach the view now, while the store is quiescent — a mid-run
+     first acquire could land between a 2PC decision and its phase-2
+     commits, when attaching is refused. *)
+  if snapshot_reads && not (Store.mvcc_attached store) then
+    (match Store.Snapshot.acquire store with
+    | Ok s -> Store.Snapshot.release s
+    | Error _ -> ());
+  let read_stream = Queue.create () in
+  let n_readers = max 1 spec.readers in
+  let reader_clock = Array.make n_readers wall0 in
+  let reader_snap = Array.make n_readers None in
+  let reader_count = Array.make n_readers 0 in
+  (* A snapshot read bills the version-chain lookup plus the same
+     per-request application compute a worker-served read pays — on the
+     reader's own clock instead of the shard CPU. The comparison
+     measures placement, not vanished work. *)
+  let snap_read_cycles = 60 + cfg.Store.Config.compute in
+  let snap_acquire_cycles = 200 and snap_batch = 64 in
+  let min_reader () =
+    let best = ref 0 in
+    for r = 1 to n_readers - 1 do
+      if reader_clock.(r) < reader_clock.(!best) then best := r
+    done;
+    !best
+  in
+  let reader_read key =
+    let r = min_reader () in
+    if reader_count.(r) mod snap_batch = 0 then begin
+      (match reader_snap.(r) with
+      | Some s -> Store.Snapshot.release s
+      | None -> ());
+      reader_clock.(r) <- reader_clock.(r) + snap_acquire_cycles;
+      reader_snap.(r) <-
+        (match Store.Snapshot.acquire store with
+        | Ok s -> Some s
+        | Error _ -> None)
+    end;
+    reader_clock.(r) <- reader_clock.(r) + snap_read_cycles;
+    reader_count.(r) <- reader_count.(r) + 1;
+    match reader_snap.(r) with
+    | Some s -> (
+      match Store.Snapshot.read s key with
+      | Ok _ -> incr reads_done
+      | Error _ -> incr failed)
+    | None -> incr failed
+  in
+  let drain_reads ~final =
+    while
+      (not (Queue.is_empty read_stream))
+      && (final || reader_clock.(min_reader ()) <= Kernel.max_time k)
+    do
+      reader_read (Queue.pop read_stream)
+    done
   in
   let enqueue entry =
-    let h = home_of entry in
-    match spec.queue_cap with
-    | Some cap when Queue.length queues.(h) >= cap ->
-      (* Front-door drop: the home worker's queue is over its cap. *)
-      incr dropped
-    | _ -> Queue.add entry queues.(h)
+    if snapshot_reads && entry.writes = [] then
+      List.iter (fun key -> Queue.add key read_stream) entry.reads
+    else
+      let h = home_of entry in
+      match spec.queue_cap with
+      | Some cap when Queue.length queues.(h) >= cap ->
+        (* Front-door drop: the home worker's queue is over its cap. *)
+        incr dropped
+      | _ -> Queue.add entry queues.(h)
   in
   let transfer_arrivals () =
     let wall = Kernel.max_time k in
@@ -430,24 +523,29 @@ let run store spec =
       List.iter
         (fun s -> if not (List.mem s !detached) then busy.(s) <- false)
         (shards_of_entry store entry);
+      if entry.writes = [] then
+        (* Worker-mode read-only entry: its reads were counted (or
+           failed) one by one inside its coroutine. *)
+        ()
+      else
       match result with
       | Ok () ->
         incr executed;
         incr completions;
         txn_counts.(i) <- txn_counts.(i) + 1;
         if entry.is_cross then incr cross
-      | Error (Store.Moved _) ->
+      | Error (Lvm.Lvm_error.Moved _) ->
         (* The handoff window: park until the cutover commits. *)
         incr moved;
         parked := entry :: !parked
-      | Error (Store.Shed _) -> incr shed
-      | Error (Store.Overloaded _)
+      | Error (Lvm.Lvm_error.Shed _) -> incr shed
+      | Error (Lvm.Lvm_error.Overloaded _)
         when cfg.Store.Config.admission = Store.Config.Queue
              && entry.tries < spec.retries ->
         entry.tries <- entry.tries + 1;
         incr requeued;
         Queue.add entry queues.(home_of entry)
-      | Error (Store.Overloaded _)
+      | Error (Lvm.Lvm_error.Overloaded _)
         when cfg.Store.Config.admission = Store.Config.Shed ->
         incr shed
       | Error _ ->
@@ -516,7 +614,25 @@ let run store spec =
             launch i
               (Txn (entry, detached))
               (start_coroutine (fun () ->
-                   Store.exec store ~pace:yield ~detach ~writes:entry.writes))
+                   if entry.writes = [] then begin
+                     (* Worker-mode read: scheduled like a transaction
+                        and served by the owning shard's worker, so the
+                        per-request application compute lands on the
+                        shard CPU — the baseline the snapshot readers
+                        are measured against. *)
+                     List.iter
+                       (fun key ->
+                         let s = Store.shard_of_key store key in
+                         yield ~cpu:s;
+                         Kernel.set_cpu k s;
+                         Kernel.compute k cfg.Store.Config.compute;
+                         match Store.read store key with
+                         | Ok _ -> incr reads_done
+                         | Error _ -> incr failed)
+                       entry.reads;
+                     Ok ()
+                   end
+                   else Store.exec store ~pace:yield ~detach ~writes:entry.writes))
           end))
   in
   (* Lowest clock first; on ties an in-flight transaction beats an idle
@@ -538,6 +654,7 @@ let run store spec =
     transfer_arrivals ();
     maybe_advise ();
     drive_move ();
+    drain_reads ~final:false;
     let best = ref (-1) in
     for i = 0 to shards - 1 do
       if live i && (!best < 0 || better i !best) then best := i
@@ -580,8 +697,21 @@ let run store spec =
   loop 0;
   Kernel.set_cpu k 0;
   Store.flush store;
-  let wall = Kernel.max_time k - wall0 in
+  (* Whatever reads the wall-clock throttle held back drain now, on the
+     reader clocks alone — the writes are done. *)
+  drain_reads ~final:true;
+  Array.iteri
+    (fun r s ->
+      match s with
+      | Some s ->
+        Store.Snapshot.release s;
+        reader_snap.(r) <- None
+      | None -> ())
+    reader_snap;
+  let max_reader = Array.fold_left max wall0 reader_clock in
+  let wall = max (Kernel.max_time k) max_reader - wall0 in
   { executed = !executed;
+    reads = !reads_done;
     cross = !cross;
     shed = !shed;
     failed = !failed;

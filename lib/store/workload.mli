@@ -105,8 +105,21 @@ val default_split : split_spec
 (** [{ check_every = 32; batch = 32; max_moves = 8;
       advisor = Splitter.Config.default }]. *)
 
+(** How read operations are served (see [docs/MVCC.md]):
+    - [Worker] — a read is scheduled like a transaction: it claims its
+      owning shard and the shard worker's CPU executes it. The
+      pre-MVCC baseline.
+    - [Snapshot] — reads drain through [readers] virtual reader tasks
+      with their own clocks, each reading an MVCC snapshot acquired
+      from the store's log-derived view: no shard CPU, no claim, no
+      admission. Readers re-acquire every 64 reads and are throttled
+      to the machine wall clock while writes are in flight, so the
+      interleaving is honest. Requires nothing of the caller — the
+      driver attaches the view on entry. *)
+type read_mode = Worker | Snapshot
+
 type spec = {
-  txns : int;  (** Transactions to generate. *)
+  txns : int;  (** Operations to generate (writes and reads). *)
   cross_pct : int;  (** Percentage touching two shards (0–100);
                         [Uniform] only. *)
   writes_per_txn : int;
@@ -119,12 +132,19 @@ type spec = {
       (** Open-loop front door: drop an arrival whose home queue
           already holds this many transactions. *)
   split : split_spec option;  (** [Some _] enables dynamic splitting. *)
+  read_pct : int;
+      (** Percentage of the [txns] operations that are single-key
+          reads, drawn from [dist]. [0] (the default) generates the
+          historical pure-write stream draw-for-draw. *)
+  read_mode : read_mode;  (** How those reads are served. *)
+  readers : int;  (** Virtual reader tasks ([Snapshot] mode only). *)
 }
 
 val default : spec
 (** [{ txns = 400; cross_pct = 20; writes_per_txn = 4; seed = 7;
       retries = 2; dist = Uniform; arrival = Closed; queue_cap = None;
-      split = None }] — exactly the pre-split driver's behavior. *)
+      split = None; read_pct = 0; read_mode = Worker; readers = 1 }]
+    — exactly the pre-split driver's behavior. *)
 
 type shard_stat = {
   txns : int;  (** Transactions this shard was home for. *)
@@ -132,7 +152,8 @@ type shard_stat = {
 }
 
 type result = {
-  executed : int;
+  executed : int;  (** Write transactions committed. *)
+  reads : int;  (** Reads served (either mode). *)
   cross : int;
   shed : int;
       (** Deliberate drops: admission-[Shed] overload plus token-bucket
@@ -147,7 +168,8 @@ type result = {
   splits : int;  (** Shard splits the driver completed. *)
   merges : int;  (** Merges (displaced buckets sent home) completed. *)
   wall_cycles : int;  (** Wall-clock cycles of the whole run: the
-                          latest CPU clock delta. *)
+                          latest clock delta over shard CPUs and
+                          virtual readers. *)
   cycles_per_txn : float;  (** [wall_cycles / executed] — the
                                throughput figure shards improve. *)
   per_shard : shard_stat array;

@@ -221,6 +221,15 @@ let store_txn ~shards ~seed j =
     let s = j mod shards in
     [ (key s (2 * j), value 0); (key s ((2 * j) + 1), value 1) ]
 
+let err = Lvm.Lvm_error.to_string
+
+(* The sweep's probes want the bare word; a read refusal here is a
+   harness bug, not a legal crash outcome. *)
+let read_word st key =
+  match Store.read st key with
+  | Ok v -> v
+  | Error e -> failwith ("crash sweep read: " ^ err e)
+
 let run_store_workload ss ~shards ~seed ~txns =
   for j = 0 to txns - 1 do
     let writes = store_txn ~shards ~seed j in
@@ -229,12 +238,12 @@ let run_store_workload ss ~shards ~seed ~txns =
     | Ok () ->
       List.iter (fun (key, v) -> ss.model.(key) <- v) writes;
       ss.staged := []
-    | Error e -> failwith ("store sweep exec: " ^ Store.error_to_string e));
+    | Error e -> failwith ("store sweep exec: " ^ err e));
   done
 
 let check_store_state ss =
   let n = Array.length ss.model in
-  let actual = Array.init n (fun key -> Store.read ss.st key) in
+  let actual = Array.init n (fun key -> read_word ss.st key) in
   let plus_staged =
     let m = Array.copy ss.model in
     List.iter (fun (key, v) -> m.(key) <- v) !(ss.staged);
@@ -256,7 +265,7 @@ let check_store_state ss =
 let store_machine ss = Kernel.machine (Store.kernel ss.st)
 
 let store_snapshot ss =
-  Array.init (Array.length ss.model) (fun key -> Store.read ss.st key)
+  Array.init (Array.length ss.model) (fun key -> read_word ss.st key)
 
 let run_one_store ~shards ~label ~seed ~txns plan =
   let ss = build_store ~shards () in
@@ -912,8 +921,8 @@ let run_split_schedule ss ~shards ~seed =
     ss.staged := writes;
     (match Store.exec ss.st ~writes with
     | Ok () -> List.iter (fun (key, v) -> ss.model.(key) <- v) writes
-    | Error (Store.Moved _) -> () (* handoff window: deterministic skip *)
-    | Error e -> failwith ("split sweep exec: " ^ Store.error_to_string e));
+    | Error (Lvm.Lvm_error.Moved _) -> () (* handoff window: deterministic skip *)
+    | Error e -> failwith ("split sweep exec: " ^ err e));
     ss.staged := []
   in
   for _ = 1 to 4 do txn () done;
@@ -930,10 +939,10 @@ let run_split_schedule ss ~shards ~seed =
   let mk = List.hd buckets in
   ss.staged := [ (mk, 0xABCDE) ];
   (match Store.exec ss.st ~writes:[ (mk, 0xABCDE) ] with
-  | Error (Store.Moved _) -> ()
+  | Error (Lvm.Lvm_error.Moved _) -> ()
   | Ok () -> failwith "split sweep: draining move accepted a moved-key write"
   | Error e ->
-    failwith ("split sweep drain probe: " ^ Store.error_to_string e));
+    failwith ("split sweep drain probe: " ^ err e));
   ss.staged := [];
   Store.move_drain ss.st;
   Store.move_cutover ss.st;
@@ -973,12 +982,12 @@ let split_probe ss buckets =
   let probe key v =
     match Store.exec ss.st ~writes:[ (key, v) ] with
     | Ok () ->
-      if Store.read ss.st key <> v then
+      if read_word ss.st key <> v then
         Error (Printf.sprintf "probe key %d: wrote %d read %d" key v
-                 (Store.read ss.st key))
+                 (read_word ss.st key))
       else Ok ()
     | Error e ->
-      Error (Printf.sprintf "probe key %d: %s" key (Store.error_to_string e))
+      Error (Printf.sprintf "probe key %d: %s" key (err e))
   in
   let moved = List.hd buckets in
   let unmoved =

@@ -104,15 +104,16 @@ let test_error_surface () =
   (match Fams.map { Fams.Config.default with group = 0 } k sp ~size:256 with
   | Error (Lvm.Lvm_error.Vm (Error.Out_of_range _)) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected Vm Out_of_range");
-  (* unified scheme round-trips the store's typed errors with the same
-     rendering the per-module printer always produced *)
-  let e = Lvm_store.Store.Overloaded { shard = 3 } in
+  (* the store's refusals are plain [Lvm_error] constructors now — one
+     scheme end to end, same rendering the per-module printer always
+     produced *)
   Alcotest.(check string)
     "store error string" "overloaded(shard 3)"
-    (Lvm.Lvm_error.to_string (Lvm_store.Store.to_error e));
+    (Lvm.Lvm_error.to_string (Lvm.Lvm_error.Overloaded { shard = 3 }));
   Alcotest.(check string)
-    "store error_to_string delegates" "overloaded(shard 3)"
-    (Lvm_store.Store.error_to_string e)
+    "snapshot error string" "snapshot unavailable (ts 9, readable [2, 7])"
+    (Lvm.Lvm_error.to_string
+       (Lvm.Lvm_error.Snapshot_unavailable { ts = 9; floor = 2; frontier = 7 }))
 
 let test_backpressure () =
   let k, sp = boot () in

@@ -443,6 +443,11 @@ let prop_zipf rng size =
 
 module St = Lvm_store.Store
 
+let read_ok st key =
+  match St.read st key with
+  | Ok v -> v
+  | Error e -> failwith (Lvm.Lvm_error.to_string e)
+
 let route_invariant st ~label =
   let shards = (St.config st).St.Config.shards in
   let route = St.route_table st in
@@ -473,7 +478,7 @@ let prop_split_roundtrip rng size =
       let writes = List.init batch (fun i -> (key + i, value (key + i))) in
       (match St.exec st ~writes with
       | Ok () -> ()
-      | Error e -> failwith (St.error_to_string e));
+      | Error e -> failwith (Lvm.Lvm_error.to_string e));
       seed_keys (key + batch)
     end
   in
@@ -498,8 +503,8 @@ let prop_split_roundtrip rng size =
     picked;
   for key = 0 to keys - 1 do
     expect
-      (St.read st key = value key)
-      "post-split key %d: got %d want %d" key (St.read st key) (value key)
+      (read_ok st key = value key)
+      "post-split key %d: got %d want %d" key (read_ok st key) (value key)
   done;
   St.move st ~from_:to_ ~to_:0 ~batch:(1 + Sm.int rng ~bound:8) picked;
   route_invariant st ~label:"post-merge";
@@ -509,8 +514,8 @@ let prop_split_roundtrip rng size =
     (St.route_table st);
   for key = 0 to keys - 1 do
     expect
-      (St.read st key = value key)
-      "post-merge key %d: got %d want %d" key (St.read st key) (value key)
+      (read_ok st key = value key)
+      "post-merge key %d: got %d want %d" key (read_ok st key) (value key)
   done
 
 let prop name ?max_size ?cases:c p =

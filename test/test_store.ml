@@ -9,6 +9,12 @@ module Workload = Lvm_store.Workload
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* The result-typed read, unwrapped: any refusal here is a test bug. *)
+let read st key =
+  match Store.read st key with
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e)
+
 let make ?(shards = 2) ?(keys = 32) ?(admission = Store.Config.Queue) () =
   Store.create
     { Store.Config.default with shards; keys; admission; compute = 40 }
@@ -19,14 +25,14 @@ let test_local_txns () =
   let st = make () in
   (match Store.exec st ~writes:[ (0, 11); (2, 13) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   (match Store.exec st ~writes:[ (1, 17) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "key 0" 11 (Store.read st 0);
-  check "key 2" 13 (Store.read st 2);
-  check "key 1" 17 (Store.read st 1);
-  check "untouched key" 0 (Store.read st 3)
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "key 0" 11 (read st 0);
+  check "key 2" 13 (read st 2);
+  check "key 1" 17 (read st 1);
+  check "untouched key" 0 (read st 3)
 
 let test_cross_txn () =
   let st = make () in
@@ -35,23 +41,23 @@ let test_cross_txn () =
     (abs (Store.shard_of_key st 4 - Store.shard_of_key st 7));
   (match Store.exec st ~writes:[ (4, 44); (7, 77) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "shard-a key" 44 (Store.read st 4);
-  check "shard-b key" 77 (Store.read st 7)
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "shard-a key" 44 (read st 4);
+  check "shard-b key" 77 (read st 7)
 
 let test_empty_and_invalid () =
   let st = make () in
   check_bool "empty writes ok" true (Store.exec st ~writes:[] = Ok ());
   (match Store.exec st ~writes:[ (99, 1) ] with
-  | Error (Store.Invalid_key { key }) -> check "bad key reported" 99 key
+  | Error (Lvm.Lvm_error.Invalid_key { key }) -> check "bad key reported" 99 key
   | _ -> Alcotest.fail "expected Invalid_key");
   let too_many = List.init 40 (fun i -> (i mod 8, i)) in
   (match Store.exec st ~writes:too_many with
-  | Error (Store.Txn_too_large { writes; limit }) ->
+  | Error (Lvm.Lvm_error.Txn_too_large { writes; limit }) ->
     check "size reported" 40 writes;
     check "limit reported" 32 limit
   | _ -> Alcotest.fail "expected Txn_too_large");
-  check "failed txns left no trace" 0 (Store.read st 3)
+  check "failed txns left no trace" 0 (read st 3)
 
 (* {1 Crash recovery} *)
 
@@ -68,20 +74,20 @@ let test_in_doubt_roll_forward () =
        ~writes:[ (4, 91); (7, 92) ]
    with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   check "one phase-2 branch captured" 1 (List.length !captured);
   (* Crash: volatile state is lost, the captured commit never runs. *)
   let report = Store.recover st in
   (match report.Store.redone with
   | [ (_, n) ] -> check "redone writes" 2 n
   | _ -> Alcotest.fail "expected an in-doubt transaction to roll forward");
-  check "home slice" 91 (Store.read st 4);
-  check "in-doubt slice" 92 (Store.read st 7);
+  check "home slice" 91 (read st 4);
+  check "in-doubt slice" 92 (read st 7);
   (* Idempotence: a second recovery finds nothing to redo. *)
   let report2 = Store.recover st in
   check_bool "second recovery redoes nothing" true (report2.Store.redone = []);
-  check "home slice stable" 91 (Store.read st 4);
-  check "in-doubt slice stable" 92 (Store.read st 7)
+  check "home slice stable" 91 (read st 4);
+  check "in-doubt slice stable" 92 (read st 7)
 
 (* Two cross-shard transactions on disjoint shard sets, both in their
    decide->retire window at the crash (each one's detached phase-2
@@ -95,18 +101,18 @@ let test_two_in_doubt_roll_forward () =
   (* Keys 0,1 -> shards 0,1; keys 2,3 -> shards 2,3. *)
   (match Store.exec st ~detach ~writes:[ (0, 10); (1, 11) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   (match Store.exec st ~detach ~writes:[ (2, 20); (3, 21) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   check "two phase-2 branches captured" 2 (List.length !captured);
   let report = Store.recover st in
   check "both in-doubt transactions rolled forward" 2
     (List.length report.Store.redone);
-  check "txn A home slice" 10 (Store.read st 0);
-  check "txn A in-doubt slice" 11 (Store.read st 1);
-  check "txn B home slice" 20 (Store.read st 2);
-  check "txn B in-doubt slice" 21 (Store.read st 3);
+  check "txn A home slice" 10 (read st 0);
+  check "txn A in-doubt slice" 11 (read st 1);
+  check "txn B home slice" 20 (read st 2);
+  check "txn B in-doubt slice" 21 (read st 3);
   let report2 = Store.recover st in
   check "second recovery redoes nothing" 0 (List.length report2.Store.redone)
 
@@ -114,11 +120,11 @@ let test_recover_clean () =
   let st = make () in
   (match Store.exec st ~writes:[ (0, 5); (1, 6) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   let report = Store.recover st in
   check_bool "nothing in doubt" true (report.Store.redone = []);
-  check "shard 0 durable" 5 (Store.read st 0);
-  check "shard 1 durable" 6 (Store.read st 1)
+  check "shard 0 durable" 5 (read st 0);
+  check "shard 1 durable" 6 (read st 1)
 
 (* {1 Backpressure} *)
 
@@ -145,15 +151,15 @@ let test_overloaded () =
   (* 280 writes, all on shard 0. *)
   let big = List.init 280 (fun i -> (2 * i, i + 1)) in
   (match Store.exec st ~writes:big with
-  | Error (Store.Overloaded { shard }) -> check "overloaded shard" 0 shard
+  | Error (Lvm.Lvm_error.Overloaded { shard }) -> check "overloaded shard" 0 shard
   | Ok () -> Alcotest.fail "expected Overloaded, got Ok"
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "aborted txn left no trace" 0 (Store.read st 0);
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "aborted txn left no trace" 0 (read st 0);
   Lvm_machine.Machine.set_fault_plan m None;
   (match Store.exec st ~writes:[ (0, 123) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "store recovered after backpressure" 123 (Store.read st 0)
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "store recovered after backpressure" 123 (read st 0)
 
 (* {1 Workload driver} *)
 
@@ -219,7 +225,7 @@ let test_move_lifecycle () =
   for key = 0 to 15 do
     match Store.exec st ~writes:[ (key, 100 + key) ] with
     | Ok () -> ()
-    | Error e -> Alcotest.fail (Store.error_to_string e)
+    | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e)
   done;
   (* key 0 lives in bucket 0, owned by shard 0 *)
   check "key 0 starts on shard 0" 0 (Store.shard_of_key st 0);
@@ -230,19 +236,19 @@ let test_move_lifecycle () =
   (* a write during the copy keeps landing on the old owner, dirty *)
   (match Store.exec st ~writes:[ (0, 777) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "copy-phase write visible" 777 (Store.read st 0);
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "copy-phase write visible" 777 (read st 0);
   check_bool "write dirtied the moved key" true
     (Store.move_dirty_count st >= 1);
   Store.move_enter_drain st;
   check_bool "draining" true (Store.move_draining st);
   (* the handoff window: a moved-key write is refused, typed *)
   (match Store.exec st ~writes:[ (0, 888) ] with
-  | Error (Store.Moved { key; shard }) ->
+  | Error (Lvm.Lvm_error.Moved { key; shard }) ->
     check "moved key reported" 0 key;
     check "new owner reported" 1 shard
   | Ok () -> Alcotest.fail "draining move accepted a moved-key write"
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   (match Store.blocked_by_move st [ (0, 1) ] with
   | Some (key, shard) ->
     check "blocked key" 0 key;
@@ -257,13 +263,13 @@ let test_move_lifecycle () =
   Store.move_retire st;
   check_bool "move over" true (Store.active_move st = None);
   check "key 0 rerouted" 1 (Store.shard_of_key st 0);
-  check "dirty value survived the handoff" 777 (Store.read st 0);
-  check "companion key moved too" 102 (Store.read st 2);
+  check "dirty value survived the handoff" 777 (read st 0);
+  check "companion key moved too" 102 (read st 2);
   (* post-move writes land on the new owner *)
   (match Store.exec st ~writes:[ (0, 999) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "post-move write" 999 (Store.read st 0)
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "post-move write" 999 (read st 0)
 
 (* An aborted move changes nothing: ownership, values, and a later
    successful move still works. *)
@@ -271,15 +277,15 @@ let test_move_abort () =
   let st = make ~shards:2 ~keys:16 () in
   (match Store.exec st ~writes:[ (0, 5) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   Store.move_begin st ~from_:0 ~to_:1 [ 0 ];
   ignore (Store.move_copy_step st ~batch:8);
   Store.move_abort st;
   check "abort kept ownership" 0 (Store.shard_of_key st 0);
-  check "abort kept the value" 5 (Store.read st 0);
+  check "abort kept the value" 5 (read st 0);
   Store.move st ~from_:0 ~to_:1 [ 0 ];
   check "retry after abort moves" 1 (Store.shard_of_key st 0);
-  check "value follows" 5 (Store.read st 0)
+  check "value follows" 5 (read st 0)
 
 (* The token-bucket gate: burst admits, the next immediate transaction
    sheds with the typed [Shed] — no log room or intent slot consumed —
@@ -293,12 +299,12 @@ let test_admission_shed () =
   in
   (match Store.exec st ~writes:[ (0, 1) ] with
   | Ok () -> ()
-  | Error e -> Alcotest.fail (Store.error_to_string e));
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
   (match Store.exec st ~writes:[ (0, 2) ] with
-  | Error (Store.Shed { shard }) -> check "shedding shard" 0 shard
+  | Error (Lvm.Lvm_error.Shed { shard }) -> check "shedding shard" 0 shard
   | Ok () -> Alcotest.fail "expected the token bucket to shed"
-  | Error e -> Alcotest.fail (Store.error_to_string e));
-  check "shed txn left no trace" 1 (Store.read st 0);
+  | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e));
+  check "shed txn left no trace" 1 (read st 0);
   (* backing off (shard-CPU time passing) refills the bucket *)
   let k = Store.kernel st in
   let rec wait tries =
@@ -306,14 +312,14 @@ let test_admission_shed () =
     else
       match Store.exec st ~writes:[ (0, 3) ] with
       | Ok () -> ()
-      | Error (Store.Shed _) ->
+      | Error (Lvm.Lvm_error.Shed _) ->
         Lvm_vm.Kernel.set_cpu k 0;
         Lvm_vm.Kernel.compute k 10_000;
         wait (tries - 1)
-      | Error e -> Alcotest.fail (Store.error_to_string e)
+      | Error e -> Alcotest.fail (Lvm.Lvm_error.to_string e)
   in
   wait 100;
-  check "refilled and admitted" 3 (Store.read st 0)
+  check "refilled and admitted" 3 (read st 0)
 
 (* Workload-level shed accounting: a tight admission rate sheds some of
    a closed-loop run, every transaction accounted exactly once. *)
